@@ -1,0 +1,78 @@
+// rxbench regenerates every experiment table of EXPERIMENTS.md (the
+// reproduction of the paper's evaluation artifacts; see DESIGN.md's
+// per-experiment index).
+//
+// Usage:
+//
+//	rxbench                 # run everything
+//	rxbench e1 e5 e7        # run selected experiments
+//	rxbench -quick          # smaller workloads (CI-sized)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"rx/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller workloads")
+	flag.Parse()
+	sel := map[string]bool{}
+	for _, a := range flag.Args() {
+		sel[strings.ToLower(a)] = true
+	}
+	want := func(id string) bool { return len(sel) == 0 || sel[strings.ToLower(id)] }
+
+	scale := func(full, quickVal int) int {
+		if *quick {
+			return quickVal
+		}
+		return full
+	}
+
+	type exp struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	exps := []exp{
+		{"e1", func() (*experiments.Table, error) { return experiments.E1(scale(20000, 4000), 20) }},
+		{"e2", func() (*experiments.Table, error) { return experiments.E2(scale(20000, 4000), 20, scale(5, 2)) }},
+		{"e3", func() (*experiments.Table, error) { return experiments.E3(scale(20000, 4000), 20, scale(300, 50)) }},
+		{"e4", experiments.E4},
+		{"e5", experiments.E5},
+		{"e6", func() (*experiments.Table, error) { return experiments.E6(scale(20000, 4000)) }},
+		{"e7", func() (*experiments.Table, error) { return experiments.E7(scale(2000, 300), 10) }},
+		{"e7b", func() (*experiments.Table, error) { return experiments.E7Large(scale(50, 10), scale(2000, 500)) }},
+		{"e8", func() (*experiments.Table, error) { return experiments.E8(scale(100000, 10000)) }},
+		{"e9", func() (*experiments.Table, error) { return experiments.E9(scale(20000, 4000)) }},
+		{"e10", func() (*experiments.Table, error) { return experiments.E10(scale(200, 40), 20) }},
+		{"e11", func() (*experiments.Table, error) {
+			return experiments.E11(4, time.Duration(scale(1000, 300))*time.Millisecond)
+		}},
+		{"e11b", experiments.E11Locks},
+	}
+
+	fmt.Println("System R/X reproduction — experiment harness")
+	fmt.Println("(E12, Table-1 propagation semantics, is a correctness artifact: run `go test ./internal/quickxscan/ -run 'Table1|Propagation'`)")
+	fmt.Println()
+	for _, e := range exps {
+		if !want(e.id) {
+			continue
+		}
+		start := time.Now()
+		tbl, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		var sb strings.Builder
+		tbl.Render(&sb)
+		fmt.Print(sb.String())
+		fmt.Printf("(%s took %v)\n\n", strings.ToUpper(e.id), time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,171 @@
+// rxcli is a command-line shell for System R/X databases.
+//
+// Usage:
+//
+//	rxcli -db data.rxdb create <collection>
+//	rxcli -db data.rxdb insert <collection> <file.xml>...
+//	rxcli -db data.rxdb index <collection> <name> <xpath> <string|double|date|decimal>
+//	rxcli -db data.rxdb query <collection> <xpath>
+//	rxcli -db data.rxdb get <collection> <docid>
+//	rxcli -db data.rxdb delete <collection> <docid>
+//	rxcli -db data.rxdb ls [collection]
+//	rxcli -db data.rxdb stats <collection>
+//
+// With -wal <path>, the database runs with write-ahead logging and performs
+// crash recovery on open.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rx"
+	"rx/internal/xml"
+)
+
+func main() {
+	dbPath := flag.String("db", "rx.rxdb", "database file")
+	walPath := flag.String("wal", "", "write-ahead log file (enables logging + recovery)")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+	}
+
+	var db *rx.DB
+	var err error
+	if *walPath != "" {
+		db, err = rx.OpenFileLogged(*dbPath, *walPath, rx.Options{})
+	} else {
+		db, err = rx.OpenFile(*dbPath, rx.Options{})
+	}
+	fatal(err)
+	defer db.Close()
+
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "create":
+		need(rest, 1, "create <collection>")
+		_, err := db.CreateCollection(rest[0], rx.CollectionOptions{})
+		fatal(err)
+		fmt.Printf("created collection %q\n", rest[0])
+	case "insert":
+		need(rest, 2, "insert <collection> <file.xml>...")
+		col := collection(db, rest[0])
+		for _, path := range rest[1:] {
+			data, err := os.ReadFile(path)
+			fatal(err)
+			id, err := col.Insert(data)
+			fatal(err)
+			fmt.Printf("%s → doc %d\n", path, id)
+		}
+	case "index":
+		need(rest, 4, "index <collection> <name> <xpath> <type>")
+		col := collection(db, rest[0])
+		var typ xml.TypeID
+		switch rest[3] {
+		case "string":
+			typ = rx.TypeString
+		case "double":
+			typ = rx.TypeDouble
+		case "date":
+			typ = rx.TypeDate
+		case "decimal":
+			typ = rx.TypeDecimal
+		default:
+			fatal(fmt.Errorf("unknown index type %q", rest[3]))
+		}
+		fatal(col.CreateValueIndex(rest[1], rest[2], typ))
+		fmt.Printf("index %q on %s created\n", rest[1], rest[2])
+	case "query":
+		need(rest, 2, "query <collection> <xpath>")
+		col := collection(db, rest[0])
+		results, plan, err := col.QueryValues(rest[1])
+		fatal(err)
+		fmt.Printf("-- access method: %s (exact=%v, indexes=%v, candidate docs=%d)\n",
+			plan.Method, plan.Exact, plan.Indexes, plan.CandidateDocs)
+		for _, r := range results {
+			v := string(r.Value)
+			if len(v) > 60 {
+				v = v[:60] + "..."
+			}
+			fmt.Printf("doc %-6d node %-14s %s\n", r.Doc, r.Node, v)
+		}
+		fmt.Printf("-- %d results\n", len(results))
+	case "get":
+		need(rest, 2, "get <collection> <docid>")
+		col := collection(db, rest[0])
+		id, err := strconv.ParseUint(rest[1], 10, 64)
+		fatal(err)
+		fatal(col.Serialize(rx.DocID(id), os.Stdout))
+		fmt.Println()
+	case "delete":
+		need(rest, 2, "delete <collection> <docid>")
+		col := collection(db, rest[0])
+		id, err := strconv.ParseUint(rest[1], 10, 64)
+		fatal(err)
+		fatal(col.Delete(rx.DocID(id)))
+		fmt.Printf("doc %d deleted\n", id)
+	case "ls":
+		if len(rest) == 0 {
+			for _, name := range db.Collections() {
+				fmt.Println(name)
+			}
+			return
+		}
+		col := collection(db, rest[0])
+		ids, err := col.DocIDs()
+		fatal(err)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	case "backup":
+		need(rest, 1, "backup <file>")
+		f, err := os.Create(rest[0])
+		fatal(err)
+		fatal(db.Backup(f))
+		fatal(f.Close())
+		fmt.Printf("backup written to %s\n", rest[0])
+	case "stats":
+		need(rest, 1, "stats <collection>")
+		col := collection(db, rest[0])
+		n, _ := col.Count()
+		pages, _ := col.XMLTable().Pages()
+		entries, _ := col.NodeIndex().Count()
+		fmt.Printf("documents:        %d\n", n)
+		fmt.Printf("XML records:      %d\n", col.XMLTable().Count())
+		fmt.Printf("XML table pages:  %d (%d KiB)\n", pages, pages*8)
+		fmt.Printf("NodeID entries:   %d\n", entries)
+		fmt.Printf("value indexes:    %s\n", strings.Join(col.ValueIndexes(), ", "))
+	default:
+		usage()
+	}
+}
+
+func collection(db *rx.DB, name string) *rx.Collection {
+	col, err := db.Collection(name)
+	fatal(err)
+	return col
+}
+
+func need(args []string, n int, form string) {
+	if len(args) < n {
+		fatal(fmt.Errorf("usage: rxcli %s", form))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxcli:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: rxcli [-db file] [-wal file] <command> ...
+commands: create, insert, index, query, get, delete, ls, stats, backup`)
+	os.Exit(2)
+}

@@ -1,0 +1,101 @@
+// rxload bulk-loads generated XML into a database and reports throughput
+// with the per-phase CPU breakdown of §3.2/§6 ("XML processing is highly
+// CPU-intensive, with major contributors being parsing and validation,
+// traversal, and serialization").
+//
+// Usage:
+//
+//	rxload [-docs N] [-products M] [-index] [-db file]
+//
+// Without -db the load runs against an in-memory store (pure CPU numbers).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"rx"
+	"rx/internal/core"
+	"rx/internal/xmlgen"
+	"rx/internal/xmlparse"
+)
+
+func main() {
+	docs := flag.Int("docs", 1000, "number of documents")
+	products := flag.Int("products", 25, "products per document")
+	withIndex := flag.Bool("index", true, "maintain a value index during the load")
+	dbPath := flag.String("db", "", "database file (default: in-memory)")
+	flag.Parse()
+
+	var db *rx.DB
+	var err error
+	if *dbPath != "" {
+		db, err = rx.OpenFile(*dbPath, rx.Options{})
+	} else {
+		db, err = core.OpenMemory()
+	}
+	fatal(err)
+	defer db.Close()
+
+	col, err := db.CreateCollection("load", rx.CollectionOptions{})
+	fatal(err)
+	if *withIndex {
+		fatal(col.CreateValueIndex("ix_price", "/Catalog/Categories/Product/RegPrice", rx.TypeDouble))
+	}
+
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	raws := make([][]byte, *docs)
+	var bytes int
+	for i := range raws {
+		raws[i] = xmlgen.Catalog(rng, *products, 500)
+		bytes += len(raws[i])
+	}
+	fmt.Printf("generated %d documents, %.1f MiB\n", *docs, float64(bytes)/(1<<20))
+
+	// Phase 1: parse.
+	start := time.Now()
+	streams := make([][]byte, *docs)
+	for i, raw := range raws {
+		streams[i], err = xmlparse.Parse(raw, db.Names(), xmlparse.Options{})
+		fatal(err)
+	}
+	parseT := time.Since(start)
+
+	// Phase 2: full insert (pack + heap + NodeID index + value keys).
+	start = time.Now()
+	for _, s := range streams {
+		_, err := col.InsertStream(s)
+		fatal(err)
+	}
+	insertT := time.Since(start)
+
+	total := parseT + insertT
+	mib := float64(bytes) / (1 << 20)
+	fmt.Printf("parse:   %8.1f ms  (%5.1f MiB/s)\n", ms(parseT), mib/parseT.Seconds())
+	fmt.Printf("insert:  %8.1f ms  (%5.1f MiB/s)\n", ms(insertT), mib/insertT.Seconds())
+	fmt.Printf("total:   %8.1f ms  (%5.1f MiB/s, %.0f docs/s)\n",
+		ms(total), mib/total.Seconds(), float64(*docs)/total.Seconds())
+
+	n, _ := col.Count()
+	pages, _ := col.XMLTable().Pages()
+	entries, _ := col.NodeIndex().Count()
+	fmt.Printf("stored:  %d docs, %d records, %d pages, %d NodeID entries\n",
+		n, col.XMLTable().Count(), pages, entries)
+	if *dbPath != "" {
+		start = time.Now()
+		fatal(db.Flush())
+		fmt.Printf("flush:   %8.1f ms\n", ms(time.Since(start)))
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxload:", err)
+		os.Exit(1)
+	}
+}

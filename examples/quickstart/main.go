@@ -1,0 +1,73 @@
+// Quickstart: open a database, store XML documents, index them, query with
+// XPath, and serialize results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"rx"
+)
+
+func main() {
+	db, err := rx.OpenMemory()
+	if err != nil {
+		log.Fatal(err)
+	}
+	col, err := db.CreateCollection("books", rx.CollectionOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	docs := []string{
+		`<book year="1999"><title>Data on the Web</title><price>39.95</price></book>`,
+		`<book year="2000"><title>XML Handbook</title><price>55.00</price></book>`,
+		`<book year="2005"><title>Native XML Databases</title><price>25.50</price></book>`,
+	}
+	for _, d := range docs {
+		if _, err := col.Insert([]byte(d)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// An XPath value index on price (a "simple XPath expression without
+	// predicates, and a data type for the key values", §3.3).
+	if err := col.CreateValueIndex("by_price", "/book/price", rx.TypeDouble); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query: the planner picks the exact-match NodeID-list access method.
+	results, plan, err := col.QueryValues("/book[price < 40]/title")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query /book[price < 40]/title → %d matches (access method: %s)\n",
+		len(results), plan.Method)
+	for _, r := range results {
+		fmt.Printf("  doc %d node %s: %s\n", r.Doc, r.Node, r.Value)
+	}
+
+	// Serialize a whole stored document back to XML.
+	fmt.Print("document 1: ")
+	if err := col.Serialize(1, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	// Subdocument update: change a price in place (no LOB rewrite).
+	tRes, _, err := col.Query("/book[@year = 1999]/price/text()")
+	if err != nil || len(tRes) != 1 {
+		log.Fatalf("price text: %v %v", tRes, err)
+	}
+	if err := col.UpdateText(tRes[0].Doc, tRes[0].Node, []byte("19.99")); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("after price update: ")
+	col.Serialize(tRes[0].Doc, os.Stdout)
+	fmt.Println()
+
+	// The index followed the update.
+	results, plan, _ = col.Query("/book[price < 20]")
+	fmt.Printf("query /book[price < 20] → %d match via %s\n", len(results), plan.Method)
+}

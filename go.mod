@@ -1,0 +1,3 @@
+module rx
+
+go 1.22

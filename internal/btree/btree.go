@@ -1,0 +1,728 @@
+// Package btree implements the B+tree index manager over the buffer pool.
+// It is the single index infrastructure the paper reuses for everything:
+// relational-style indexes, the DocID index, the NodeID index, and the XPath
+// value indexes are all B+trees with byte-string keys (§2: "Index manager
+// ... enhanced to support XPath indexes"; Figure 2 shows three B+trees).
+//
+// Keys are arbitrary byte strings ordered by bytes.Compare; callers build
+// order-preserving composite keys with package keycodec. Keys are unique:
+// multi-entry indexes append a discriminating suffix (DocID, NodeID, RID) to
+// the key, which is exactly how the paper's value-index entries
+// (keyval, DocID, NodeID, RID) are laid out.
+//
+// Page layout:
+//
+//	[0:8)   pageLSN (maintained by buffer.Pool.Modify)
+//	[8]     flags (bit 0: leaf)
+//	[10:12) cell count
+//	[12:14) free-space pointer (cells grow down from the page end)
+//	[14:18) leaf: right sibling page; internal: leftmost child page
+//	[18:..) slot array, 2 bytes per cell (cell offset)
+//
+// Leaf cell:     keyLen u16, key, valLen u16, val
+// Internal cell: keyLen u16, key, child u32 — child covers keys >= key.
+//
+// All page mutations go through buffer.Pool.Modify so the WAL sees them when
+// attached; a failed mutation rolls the page back, and a split that fails
+// midway leaves at worst an orphan page, never a broken tree.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rx/internal/buffer"
+	"rx/internal/pagestore"
+)
+
+const (
+	hdrFlags   = 8
+	hdrNKeys   = 10
+	hdrFreePtr = 12
+	hdrLink    = 14 // right sibling (leaf) or leftmost child (internal)
+	hdrSize    = 18
+	slotSize   = 2
+
+	flagLeaf = 1
+)
+
+// MaxKey is the largest key the tree accepts; it guarantees a minimum fanout
+// of four cells per page.
+const MaxKey = 1024
+
+// MaxValue is the largest value payload per entry.
+const MaxValue = 512
+
+// ErrNotFound reports a missing key.
+var ErrNotFound = errors.New("btree: key not found")
+
+// ErrKeyTooLarge reports a key or value exceeding the size limits.
+var ErrKeyTooLarge = errors.New("btree: key or value too large")
+
+// Tree is a B+tree index. A tree is durably identified by its meta page,
+// which stores the current root (the root moves when it splits).
+type Tree struct {
+	pool *buffer.Pool
+
+	mu   sync.RWMutex
+	meta pagestore.PageID
+	root pagestore.PageID
+}
+
+// Create allocates a new empty tree (a meta page plus an empty leaf root).
+func Create(pool *buffer.Pool) (*Tree, error) {
+	mf, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	rf, err := pool.NewPage()
+	if err != nil {
+		pool.Unpin(mf, false)
+		return nil, err
+	}
+	err = pool.Modify(rf, func(d []byte) error {
+		initNode(d, true)
+		return nil
+	})
+	rootID := rf.ID
+	pool.Unpin(rf, false)
+	if err != nil {
+		pool.Unpin(mf, false)
+		return nil, err
+	}
+	err = pool.Modify(mf, func(d []byte) error {
+		binary.BigEndian.PutUint32(d[8:12], uint32(rootID))
+		return nil
+	})
+	metaID := mf.ID
+	pool.Unpin(mf, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Tree{pool: pool, meta: metaID, root: rootID}, nil
+}
+
+// Open attaches to an existing tree by its meta page ID.
+func Open(pool *buffer.Pool, meta pagestore.PageID) (*Tree, error) {
+	f, err := pool.Fetch(meta)
+	if err != nil {
+		return nil, err
+	}
+	f.RLock()
+	root := pagestore.PageID(binary.BigEndian.Uint32(f.Data[8:12]))
+	f.RUnlock()
+	pool.Unpin(f, false)
+	return &Tree{pool: pool, meta: meta, root: root}, nil
+}
+
+// MetaPage returns the tree's durable identity for catalog storage.
+func (t *Tree) MetaPage() pagestore.PageID { return t.meta }
+
+// Reload re-reads the root pointer from the meta page. Call after recovery
+// has replayed WAL records that may have moved the root.
+func (t *Tree) Reload() error {
+	f, err := t.pool.Fetch(t.meta)
+	if err != nil {
+		return err
+	}
+	f.RLock()
+	root := pagestore.PageID(binary.BigEndian.Uint32(f.Data[8:12]))
+	f.RUnlock()
+	t.pool.Unpin(f, false)
+	t.mu.Lock()
+	t.root = root
+	t.mu.Unlock()
+	return nil
+}
+
+func initNode(d []byte, leaf bool) {
+	for i := 8; i < len(d); i++ {
+		d[i] = 0
+	}
+	if leaf {
+		d[hdrFlags] = flagLeaf
+	}
+	binary.BigEndian.PutUint16(d[hdrNKeys:], 0)
+	binary.BigEndian.PutUint16(d[hdrFreePtr:], pagestore.PageSize)
+	binary.BigEndian.PutUint32(d[hdrLink:], uint32(pagestore.InvalidPage))
+}
+
+func isLeaf(d []byte) bool { return d[hdrFlags]&flagLeaf != 0 }
+func nKeys(d []byte) int   { return int(binary.BigEndian.Uint16(d[hdrNKeys:])) }
+func link(d []byte) pagestore.PageID {
+	return pagestore.PageID(binary.BigEndian.Uint32(d[hdrLink:]))
+}
+func setLink(d []byte, id pagestore.PageID) {
+	binary.BigEndian.PutUint32(d[hdrLink:], uint32(id))
+}
+
+func cellOff(d []byte, i int) int {
+	return int(binary.BigEndian.Uint16(d[hdrSize+i*slotSize:]))
+}
+
+func setCellOff(d []byte, i, off int) {
+	binary.BigEndian.PutUint16(d[hdrSize+i*slotSize:], uint16(off))
+}
+
+// cellKey returns the key of cell i (aliasing the page buffer).
+func cellKey(d []byte, i int) []byte {
+	off := cellOff(d, i)
+	kl := int(binary.BigEndian.Uint16(d[off:]))
+	return d[off+2 : off+2+kl]
+}
+
+// leafValue returns the value of leaf cell i (aliasing the page buffer).
+func leafValue(d []byte, i int) []byte {
+	off := cellOff(d, i)
+	kl := int(binary.BigEndian.Uint16(d[off:]))
+	vo := off + 2 + kl
+	vl := int(binary.BigEndian.Uint16(d[vo:]))
+	return d[vo+2 : vo+2+vl]
+}
+
+// childAt returns the child pointer of internal cell i.
+func childAt(d []byte, i int) pagestore.PageID {
+	off := cellOff(d, i)
+	kl := int(binary.BigEndian.Uint16(d[off:]))
+	return pagestore.PageID(binary.BigEndian.Uint32(d[off+2+kl:]))
+}
+
+func cellSize(d []byte, i int) int {
+	off := cellOff(d, i)
+	kl := int(binary.BigEndian.Uint16(d[off:]))
+	if isLeaf(d) {
+		vl := int(binary.BigEndian.Uint16(d[off+2+kl:]))
+		return 2 + kl + 2 + vl
+	}
+	return 2 + kl + 4
+}
+
+// search finds the smallest cell index whose key is >= key, i.e. the
+// insertion point. Returns (index, exact match).
+func search(d []byte, key []byte) (int, bool) {
+	lo, hi := 0, nKeys(d)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch bytes.Compare(cellKey(d, mid), key) {
+		case -1:
+			lo = mid + 1
+		case 0:
+			return mid, true
+		default:
+			hi = mid
+		}
+	}
+	return lo, false
+}
+
+// childFor returns the child to descend into for key in an internal node:
+// the child of the last cell whose key is <= key, or the leftmost child.
+func childFor(d []byte, key []byte) pagestore.PageID {
+	i, exact := search(d, key)
+	if exact {
+		return childAt(d, i)
+	}
+	if i == 0 {
+		return link(d) // leftmost child
+	}
+	return childAt(d, i-1)
+}
+
+// freeBytes returns free bytes available for one more cell (incl. its slot).
+func freeBytes(d []byte) int {
+	n := nKeys(d)
+	freePtr := int(binary.BigEndian.Uint16(d[hdrFreePtr:]))
+	if freePtr == 0 {
+		freePtr = pagestore.PageSize
+	}
+	return freePtr - hdrSize - n*slotSize - slotSize
+}
+
+// insertCell places a cell at index i, shifting slots. Returns false when
+// the page is full even after compaction.
+func insertCell(d []byte, i int, cell []byte) bool {
+	if freeBytes(d) < len(cell) {
+		if !compactNode(d) || freeBytes(d) < len(cell) {
+			return false
+		}
+	}
+	freePtr := int(binary.BigEndian.Uint16(d[hdrFreePtr:]))
+	if freePtr == 0 {
+		freePtr = pagestore.PageSize
+	}
+	off := freePtr - len(cell)
+	copy(d[off:], cell)
+	binary.BigEndian.PutUint16(d[hdrFreePtr:], uint16(off))
+	n := nKeys(d)
+	copy(d[hdrSize+(i+1)*slotSize:hdrSize+(n+1)*slotSize], d[hdrSize+i*slotSize:hdrSize+n*slotSize])
+	setCellOff(d, i, off)
+	binary.BigEndian.PutUint16(d[hdrNKeys:], uint16(n+1))
+	return true
+}
+
+// removeCell deletes cell i (slot shift only; bytes reclaimed on compaction).
+func removeCell(d []byte, i int) {
+	n := nKeys(d)
+	copy(d[hdrSize+i*slotSize:hdrSize+(n-1)*slotSize], d[hdrSize+(i+1)*slotSize:hdrSize+n*slotSize])
+	binary.BigEndian.PutUint16(d[hdrNKeys:], uint16(n-1))
+}
+
+// compactNode re-packs live cells to eliminate holes from removed or replaced
+// cells. Returns true if space was reclaimed.
+func compactNode(d []byte) bool {
+	n := nKeys(d)
+	tmp := make([]byte, pagestore.PageSize)
+	w := pagestore.PageSize
+	offs := make([]int, n)
+	for i := 0; i < n; i++ {
+		sz := cellSize(d, i)
+		w -= sz
+		copy(tmp[w:], d[cellOff(d, i):cellOff(d, i)+sz])
+		offs[i] = w
+	}
+	oldFree := int(binary.BigEndian.Uint16(d[hdrFreePtr:]))
+	if oldFree == 0 {
+		oldFree = pagestore.PageSize
+	}
+	if w == oldFree {
+		return false
+	}
+	copy(d[w:], tmp[w:])
+	for i := 0; i < n; i++ {
+		setCellOff(d, i, offs[i])
+	}
+	binary.BigEndian.PutUint16(d[hdrFreePtr:], uint16(w))
+	return true
+}
+
+func leafCell(key, val []byte) []byte {
+	cell := make([]byte, 2+len(key)+2+len(val))
+	binary.BigEndian.PutUint16(cell, uint16(len(key)))
+	copy(cell[2:], key)
+	binary.BigEndian.PutUint16(cell[2+len(key):], uint16(len(val)))
+	copy(cell[4+len(key):], val)
+	return cell
+}
+
+func internalCell(key []byte, child pagestore.PageID) []byte {
+	cell := make([]byte, 2+len(key)+4)
+	binary.BigEndian.PutUint16(cell, uint16(len(key)))
+	copy(cell[2:], key)
+	binary.BigEndian.PutUint32(cell[2+len(key):], uint32(child))
+	return cell
+}
+
+// Get returns a copy of the value stored under key.
+func (t *Tree) Get(key []byte) ([]byte, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	f, err := t.descend(key)
+	if err != nil {
+		return nil, err
+	}
+	defer t.pool.Unpin(f, false)
+	f.RLock()
+	defer f.RUnlock()
+	i, exact := search(f.Data, key)
+	if !exact {
+		return nil, fmt.Errorf("%w: %x", ErrNotFound, key)
+	}
+	v := leafValue(f.Data, i)
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// descend walks from the root to the leaf for key, returning the pinned leaf.
+func (t *Tree) descend(key []byte) (*buffer.Frame, error) {
+	pg := t.root
+	for {
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return nil, err
+		}
+		f.RLock()
+		if isLeaf(f.Data) {
+			f.RUnlock()
+			return f, nil
+		}
+		next := childFor(f.Data, key)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		pg = next
+	}
+}
+
+// Put inserts or replaces the value under key.
+func (t *Tree) Put(key, val []byte) error {
+	if len(key) > MaxKey || len(val) > MaxValue {
+		return fmt.Errorf("%w: key %d, value %d", ErrKeyTooLarge, len(key), len(val))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sepKey, sepChild, err := t.putRec(t.root, key, val)
+	if err != nil {
+		return err
+	}
+	if sepKey == nil {
+		return nil
+	}
+	// Root split: new internal root.
+	nf, err := t.pool.NewPage()
+	if err != nil {
+		return err
+	}
+	err = t.pool.Modify(nf, func(d []byte) error {
+		initNode(d, false)
+		setLink(d, t.root)
+		if !insertCell(d, 0, internalCell(sepKey, sepChild)) {
+			return errors.New("btree: root cell does not fit")
+		}
+		return nil
+	})
+	newRoot := nf.ID
+	t.pool.Unpin(nf, false)
+	if err != nil {
+		return err
+	}
+	return t.setRoot(newRoot)
+}
+
+func (t *Tree) setRoot(id pagestore.PageID) error {
+	mf, err := t.pool.Fetch(t.meta)
+	if err != nil {
+		return err
+	}
+	err = t.pool.Modify(mf, func(d []byte) error {
+		binary.BigEndian.PutUint32(d[8:12], uint32(id))
+		return nil
+	})
+	t.pool.Unpin(mf, false)
+	if err != nil {
+		return err
+	}
+	t.root = id
+	return nil
+}
+
+// putRec inserts into the subtree rooted at pg. On child split it returns
+// the separator key and new right sibling for the caller to install; (nil,
+// 0, nil) means no split propagated.
+func (t *Tree) putRec(pg pagestore.PageID, key, val []byte) ([]byte, pagestore.PageID, error) {
+	f, err := t.pool.Fetch(pg)
+	if err != nil {
+		return nil, 0, err
+	}
+	f.RLock()
+	leaf := isLeaf(f.Data)
+	var child pagestore.PageID
+	if !leaf {
+		child = childFor(f.Data, key)
+	}
+	f.RUnlock()
+
+	if leaf {
+		var sep []byte
+		var right pagestore.PageID
+		err = t.pool.Modify(f, func(d []byte) error {
+			i, exact := search(d, key)
+			if exact {
+				removeCell(d, i)
+			}
+			if insertCell(d, i, leafCell(key, val)) {
+				return nil
+			}
+			s, r, err := t.split(d, true)
+			if err != nil {
+				return err
+			}
+			sep, right = s, r
+			if bytes.Compare(key, s) >= 0 {
+				return t.insertInto(r, leafCell(key, val), key)
+			}
+			j, _ := search(d, key)
+			if !insertCell(d, j, leafCell(key, val)) {
+				return fmt.Errorf("btree: cell does not fit after split (key %d bytes)", len(key))
+			}
+			return nil
+		})
+		t.pool.Unpin(f, false)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sep, right, nil
+	}
+
+	sepKey, sepChild, err := t.putRec(child, key, val)
+	if err != nil {
+		t.pool.Unpin(f, false)
+		return nil, 0, err
+	}
+	if sepKey == nil {
+		t.pool.Unpin(f, false)
+		return nil, 0, nil
+	}
+	var up []byte
+	var right pagestore.PageID
+	err = t.pool.Modify(f, func(d []byte) error {
+		i, _ := search(d, sepKey)
+		if insertCell(d, i, internalCell(sepKey, sepChild)) {
+			return nil
+		}
+		u, r, err := t.split(d, false)
+		if err != nil {
+			return err
+		}
+		up, right = u, r
+		if bytes.Compare(sepKey, u) >= 0 {
+			return t.insertInto(r, internalCell(sepKey, sepChild), sepKey)
+		}
+		j, _ := search(d, sepKey)
+		if !insertCell(d, j, internalCell(sepKey, sepChild)) {
+			return errors.New("btree: internal cell does not fit after split")
+		}
+		return nil
+	})
+	t.pool.Unpin(f, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	return up, right, nil
+}
+
+// insertInto inserts a prebuilt cell into page pg at the position for key.
+func (t *Tree) insertInto(pg pagestore.PageID, cell, key []byte) error {
+	rf, err := t.pool.Fetch(pg)
+	if err != nil {
+		return err
+	}
+	err = t.pool.Modify(rf, func(rd []byte) error {
+		j, exact := search(rd, key)
+		if exact {
+			removeCell(rd, j)
+		}
+		if !insertCell(rd, j, cell) {
+			return errors.New("btree: cell does not fit in split sibling")
+		}
+		return nil
+	})
+	t.pool.Unpin(rf, false)
+	return err
+}
+
+// split moves the upper half of d's cells to a new right sibling and returns
+// the separator key plus the new page. For a leaf, the separator is the
+// right node's first key (copied up); for an internal node, the middle key
+// moves up and its child becomes the right node's leftmost child.
+func (t *Tree) split(d []byte, leaf bool) ([]byte, pagestore.PageID, error) {
+	n := nKeys(d)
+	if n < 2 {
+		return nil, 0, errors.New("btree: cannot split page with fewer than 2 cells")
+	}
+	mid := n / 2
+	var sep []byte
+	var leftmost pagestore.PageID
+	firstRight := mid
+	if leaf {
+		sep = append([]byte(nil), cellKey(d, mid)...)
+	} else {
+		sep = append([]byte(nil), cellKey(d, mid)...)
+		leftmost = childAt(d, mid)
+		firstRight = mid + 1
+	}
+
+	rf, err := t.pool.NewPage()
+	if err != nil {
+		return nil, 0, err
+	}
+	err = t.pool.Modify(rf, func(rd []byte) error {
+		initNode(rd, leaf)
+		if leaf {
+			setLink(rd, link(d))
+		} else {
+			setLink(rd, leftmost)
+		}
+		for i := firstRight; i < n; i++ {
+			off := cellOff(d, i)
+			sz := cellSize(d, i)
+			if !insertCell(rd, i-firstRight, d[off:off+sz]) {
+				return errors.New("btree: split target overflow")
+			}
+		}
+		return nil
+	})
+	rightID := rf.ID
+	t.pool.Unpin(rf, false)
+	if err != nil {
+		return nil, 0, err
+	}
+
+	binary.BigEndian.PutUint16(d[hdrNKeys:], uint16(mid))
+	compactNode(d)
+	if leaf {
+		setLink(d, rightID)
+	}
+	return sep, rightID, nil
+}
+
+// Delete removes key from the tree. Underflowing nodes are not merged (lazy
+// deletion, as in many production systems' online path).
+func (t *Tree) Delete(key []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	f, err := t.descend(key)
+	if err != nil {
+		return err
+	}
+	found := false
+	err = t.pool.Modify(f, func(d []byte) error {
+		i, exact := search(d, key)
+		if !exact {
+			return nil
+		}
+		found = true
+		removeCell(d, i)
+		return nil
+	})
+	t.pool.Unpin(f, false)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: %x", ErrNotFound, key)
+	}
+	return nil
+}
+
+// Entry is one key/value pair returned by a scan.
+type Entry struct {
+	Key   []byte
+	Value []byte
+}
+
+// Scan visits entries with key in [from, to) in ascending order (nil from =
+// from the start; nil to = to the end) and calls fn for each. fn returning
+// false stops the scan. The tree is read-locked for the duration; fn must
+// not call writers on the same tree.
+func (t *Tree) Scan(from, to []byte, fn func(e Entry) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var f *buffer.Frame
+	var err error
+	if from == nil {
+		f, err = t.leftmostLeaf()
+	} else {
+		f, err = t.descend(from)
+	}
+	if err != nil {
+		return err
+	}
+	i := 0
+	if from != nil {
+		f.RLock()
+		i, _ = search(f.Data, from)
+		f.RUnlock()
+	}
+	for {
+		f.RLock()
+		n := nKeys(f.Data)
+		for ; i < n; i++ {
+			k := cellKey(f.Data, i)
+			if to != nil && bytes.Compare(k, to) >= 0 {
+				f.RUnlock()
+				t.pool.Unpin(f, false)
+				return nil
+			}
+			e := Entry{Key: append([]byte(nil), k...), Value: append([]byte(nil), leafValue(f.Data, i)...)}
+			if !fn(e) {
+				f.RUnlock()
+				t.pool.Unpin(f, false)
+				return nil
+			}
+		}
+		next := link(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		if next == pagestore.InvalidPage {
+			return nil
+		}
+		f, err = t.pool.Fetch(next)
+		if err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// Ceiling returns the smallest entry with key >= from, or ErrNotFound.
+// This is the NodeID-index primitive: the paper finds a node's record by
+// searching for the successor entry among interval upper endpoints (§3.4).
+func (t *Tree) Ceiling(from []byte) (Entry, error) {
+	var out Entry
+	found := false
+	err := t.Scan(from, nil, func(e Entry) bool {
+		out = e
+		found = true
+		return false
+	})
+	if err != nil {
+		return Entry{}, err
+	}
+	if !found {
+		return Entry{}, fmt.Errorf("%w: no key >= %x", ErrNotFound, from)
+	}
+	return out, nil
+}
+
+func (t *Tree) leftmostLeaf() (*buffer.Frame, error) {
+	pg := t.root
+	for {
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return nil, err
+		}
+		f.RLock()
+		if isLeaf(f.Data) {
+			f.RUnlock()
+			return f, nil
+		}
+		next := link(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		pg = next
+	}
+}
+
+// Count returns the number of entries (full scan; for stats and tests).
+func (t *Tree) Count() (int, error) {
+	n := 0
+	err := t.Scan(nil, nil, func(Entry) bool { n++; return true })
+	return n, err
+}
+
+// Height returns the tree height (leaf = 1).
+func (t *Tree) Height() (int, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	h := 1
+	pg := t.root
+	for {
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return 0, err
+		}
+		f.RLock()
+		leaf := isLeaf(f.Data)
+		next := link(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		if leaf {
+			return h, nil
+		}
+		h++
+		pg = next
+	}
+}

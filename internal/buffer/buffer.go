@@ -1,0 +1,321 @@
+// Package buffer implements the buffer manager: a fixed-capacity pool of
+// page frames over a pagestore.Store with pinning, LRU replacement and
+// write-back of dirty pages. It is part of the relational data-management
+// infrastructure the XML engine reuses unchanged (Figure 1 of the paper):
+// packed XML records live on the same buffered pages as relational rows.
+//
+// Write-ahead logging is integrated through FlushLSN: before a dirty page is
+// evicted or flushed, the pool asks the log to be durable up to the page's
+// LSN.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rx/internal/pagestore"
+)
+
+// LSN is a log sequence number. The buffer pool treats it opaquely.
+type LSN uint64
+
+// Frame is a pinned page in the pool. Callers read and write Data under the
+// frame latch and must Unpin when done, marking the frame dirty if modified.
+type Frame struct {
+	ID pagestore.PageID
+	// Data is the page contents; valid while the frame is pinned.
+	Data []byte
+
+	mu      sync.RWMutex
+	pins    int
+	dirty   bool
+	pageLSN LSN
+	lruElem *list.Element
+}
+
+// Lock acquires the frame's exclusive latch (for writers).
+func (f *Frame) Lock() { f.mu.Lock() }
+
+// Unlock releases the exclusive latch.
+func (f *Frame) Unlock() { f.mu.Unlock() }
+
+// RLock acquires the frame's shared latch (for readers).
+func (f *Frame) RLock() { f.mu.RLock() }
+
+// RUnlock releases the shared latch.
+func (f *Frame) RUnlock() { f.mu.RUnlock() }
+
+// SetLSN records the LSN of the last log record describing a change to this
+// page; the pool will not write the page out before the log is flushed past
+// it.
+func (f *Frame) SetLSN(l LSN) {
+	if l > f.pageLSN {
+		f.pageLSN = l
+	}
+}
+
+// PageLogger receives physiological redo records for page mutations made
+// through Pool.Modify. Implemented by the WAL; nil disables logging.
+type PageLogger interface {
+	// LogPageDelta records that page id changed at [off, off+len(after)) from
+	// before to after, returning the record's LSN.
+	LogPageDelta(id pagestore.PageID, off int, before, after []byte) (LSN, error)
+}
+
+// Pool is a buffer pool of page frames.
+type Pool struct {
+	store  pagestore.Store
+	logger PageLogger
+	// flushLSN, when non-nil, is called before writing out a dirty page to
+	// guarantee WAL durability up to the page's LSN.
+	flushLSN func(LSN) error
+
+	mu       sync.Mutex
+	capacity int
+	frames   map[pagestore.PageID]*Frame
+	lru      *list.List // unpinned frames, front = least recently used
+
+	// statistics
+	hits, misses, evictions uint64
+}
+
+// ErrPoolFull reports that every frame is pinned and no page can be evicted.
+var ErrPoolFull = errors.New("buffer: all frames pinned")
+
+// New creates a pool of the given capacity (in pages) over store.
+func New(store pagestore.Store, capacity int) *Pool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pool{
+		store:    store,
+		capacity: capacity,
+		frames:   make(map[pagestore.PageID]*Frame, capacity),
+		lru:      list.New(),
+	}
+}
+
+// SetFlushLSN installs the WAL flush hook. Must be called before concurrent
+// use.
+func (p *Pool) SetFlushLSN(fn func(LSN) error) { p.flushLSN = fn }
+
+// SetLogger installs the page-delta logger (the WAL). Must be called before
+// concurrent use. With no logger, Modify skips the before-image copy.
+func (p *Pool) SetLogger(l PageLogger) { p.logger = l }
+
+// Modify applies a mutation to the frame under its exclusive latch, logs the
+// resulting page delta to the attached logger, stamps the page LSN into
+// bytes [0,8) of the page (all page layouts in this system reserve them),
+// and marks the frame dirty. If fn leaves the page unchanged, nothing is
+// logged and the frame stays clean. The frame remains pinned; callers still
+// Unpin (dirtiness is already recorded, so Unpin(f, false) is fine).
+func (p *Pool) Modify(f *Frame, fn func(data []byte) error) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if p.logger == nil {
+		if err := fn(f.Data); err != nil {
+			return err
+		}
+		p.mu.Lock()
+		f.dirty = true
+		p.mu.Unlock()
+		return nil
+	}
+	var before [pagestore.PageSize]byte
+	copy(before[:], f.Data)
+	if err := fn(f.Data); err != nil {
+		copy(f.Data, before[:]) // roll the page back; mutation failed
+		return err
+	}
+	lo, hi := diffRange(before[:], f.Data)
+	if lo < 0 {
+		return nil // no change
+	}
+	lsn, err := p.logger.LogPageDelta(f.ID, lo, before[lo:hi], f.Data[lo:hi])
+	if err != nil {
+		return err
+	}
+	putLSN(f.Data, lsn)
+	f.SetLSN(lsn)
+	p.mu.Lock()
+	f.dirty = true
+	p.mu.Unlock()
+	return nil
+}
+
+// putLSN stamps the page LSN into the layout-reserved first 8 bytes.
+func putLSN(d []byte, l LSN) {
+	d[0] = byte(l >> 56)
+	d[1] = byte(l >> 48)
+	d[2] = byte(l >> 40)
+	d[3] = byte(l >> 32)
+	d[4] = byte(l >> 24)
+	d[5] = byte(l >> 16)
+	d[6] = byte(l >> 8)
+	d[7] = byte(l)
+}
+
+// PageLSN reads the LSN stamped by Modify into a page image.
+func PageLSN(d []byte) LSN {
+	return LSN(d[0])<<56 | LSN(d[1])<<48 | LSN(d[2])<<40 | LSN(d[3])<<32 |
+		LSN(d[4])<<24 | LSN(d[5])<<16 | LSN(d[6])<<8 | LSN(d[7])
+}
+
+// diffRange returns the smallest [lo, hi) covering all differing bytes, or
+// (-1, -1) if the buffers are identical. The LSN field [0,8) is excluded:
+// it is maintained by the logging machinery itself.
+func diffRange(a, b []byte) (int, int) {
+	lo := 8
+	for lo < len(a) && a[lo] == b[lo] {
+		lo++
+	}
+	if lo == len(a) {
+		return -1, -1
+	}
+	hi := len(a)
+	for hi > lo && a[hi-1] == b[hi-1] {
+		hi--
+	}
+	return lo, hi
+}
+
+// Fetch pins the page in the pool, reading it from the store on a miss.
+func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		p.hits++
+		p.pinLocked(f)
+		p.mu.Unlock()
+		return f, nil
+	}
+	p.misses++
+	f, err := p.newFrameLocked(id)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	p.mu.Unlock()
+	// Read outside the pool lock; the frame is pinned so it cannot be
+	// evicted, and it is not yet visible as clean data to others because we
+	// hold no latch — callers latch before use, and concurrent Fetch of the
+	// same id is serialized by the map insert above.
+	if err := p.store.ReadPage(id, f.Data); err != nil {
+		p.mu.Lock()
+		f.pins--
+		delete(p.frames, id)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewPage allocates a fresh zeroed page in the store and returns it pinned.
+func (p *Pool) NewPage() (*Frame, error) {
+	id, err := p.store.Allocate()
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	f, err := p.newFrameLocked(id)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// newFrameLocked installs a pinned frame for id, evicting if necessary.
+// Called with p.mu held.
+func (p *Pool) newFrameLocked(id pagestore.PageID) (*Frame, error) {
+	for len(p.frames) >= p.capacity {
+		if err := p.evictLocked(); err != nil {
+			return nil, err
+		}
+	}
+	f := &Frame{ID: id, Data: make([]byte, pagestore.PageSize), pins: 1}
+	p.frames[id] = f
+	return f, nil
+}
+
+// pinLocked pins an existing frame, removing it from the LRU list.
+func (p *Pool) pinLocked(f *Frame) {
+	f.pins++
+	if f.lruElem != nil {
+		p.lru.Remove(f.lruElem)
+		f.lruElem = nil
+	}
+}
+
+// evictLocked writes back and removes the least recently used unpinned frame.
+func (p *Pool) evictLocked() error {
+	e := p.lru.Front()
+	if e == nil {
+		return fmt.Errorf("%w (capacity %d)", ErrPoolFull, p.capacity)
+	}
+	f := e.Value.(*Frame)
+	if f.dirty {
+		if err := p.writeBackLocked(f); err != nil {
+			return err
+		}
+	}
+	p.lru.Remove(e)
+	delete(p.frames, f.ID)
+	p.evictions++
+	return nil
+}
+
+// writeBackLocked flushes f's contents to the store, honoring WAL ordering.
+func (p *Pool) writeBackLocked(f *Frame) error {
+	if p.flushLSN != nil && f.pageLSN > 0 {
+		if err := p.flushLSN(f.pageLSN); err != nil {
+			return err
+		}
+	}
+	if err := p.store.WritePage(f.ID, f.Data); err != nil {
+		return err
+	}
+	f.dirty = false
+	return nil
+}
+
+// Unpin releases one pin on the frame; dirty marks the page modified.
+func (p *Pool) Unpin(f *Frame, dirty bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if dirty {
+		f.dirty = true
+	}
+	f.pins--
+	if f.pins < 0 {
+		panic("buffer: unpin of unpinned frame")
+	}
+	if f.pins == 0 {
+		f.lruElem = p.lru.PushBack(f)
+	}
+}
+
+// FlushAll writes back every dirty frame (pinned or not) and syncs the store.
+func (p *Pool) FlushAll() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, f := range p.frames {
+		if f.dirty {
+			if err := p.writeBackLocked(f); err != nil {
+				return err
+			}
+		}
+	}
+	return p.store.Sync()
+}
+
+// Stats reports hit/miss/eviction counters.
+func (p *Pool) Stats() (hits, misses, evictions uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}
+
+// Store exposes the underlying page store (for allocation-size queries).
+func (p *Pool) Store() pagestore.Store { return p.store }

@@ -1,0 +1,181 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"rx/internal/pagestore"
+)
+
+func TestFetchMissRead(t *testing.T) {
+	store := pagestore.NewMemStore()
+	id, _ := store.Allocate()
+	buf := make([]byte, pagestore.PageSize)
+	buf[7] = 42
+	store.WritePage(id, buf)
+
+	p := New(store, 4)
+	f, err := p.Fetch(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Data[7] != 42 {
+		t.Error("miss did not read from store")
+	}
+	p.Unpin(f, false)
+	// Second fetch is a hit.
+	f2, _ := p.Fetch(id)
+	p.Unpin(f2, false)
+	hits, misses, _ := p.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestEvictionWritesDirty(t *testing.T) {
+	store := pagestore.NewMemStore()
+	p := New(store, 2)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Modify(f, func(d []byte) error { d[10] = 9; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	id := f.ID
+	p.Unpin(f, false)
+	// Fill the pool to force eviction of the dirty page.
+	for i := 0; i < 4; i++ {
+		g, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Unpin(g, false)
+	}
+	buf := make([]byte, pagestore.PageSize)
+	if err := store.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[10] != 9 {
+		t.Error("dirty page not written back on eviction")
+	}
+	_, _, ev := p.Stats()
+	if ev == 0 {
+		t.Error("expected evictions")
+	}
+}
+
+func TestPoolFull(t *testing.T) {
+	p := New(pagestore.NewMemStore(), 2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	if _, err := p.NewPage(); err == nil {
+		t.Error("expected pool-full error with all frames pinned")
+	}
+	p.Unpin(a, false)
+	p.Unpin(b, false)
+	if _, err := p.NewPage(); err != nil {
+		t.Errorf("after unpin: %v", err)
+	}
+}
+
+type recordingLogger struct {
+	mu      sync.Mutex
+	deltas  int
+	lastLSN LSN
+}
+
+func (r *recordingLogger) LogPageDelta(id pagestore.PageID, off int, before, after []byte) (LSN, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deltas++
+	r.lastLSN += 100
+	return r.lastLSN, nil
+}
+
+func TestModifyLogsDelta(t *testing.T) {
+	p := New(pagestore.NewMemStore(), 4)
+	lg := &recordingLogger{}
+	p.SetLogger(lg)
+	f, _ := p.NewPage()
+	defer p.Unpin(f, false)
+
+	if err := p.Modify(f, func(d []byte) error { d[100] = 1; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if lg.deltas != 1 {
+		t.Errorf("deltas = %d", lg.deltas)
+	}
+	if PageLSN(f.Data) != 100 {
+		t.Errorf("page LSN = %d, want 100", PageLSN(f.Data))
+	}
+	// No-op modification logs nothing.
+	if err := p.Modify(f, func(d []byte) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if lg.deltas != 1 {
+		t.Errorf("no-op logged: deltas = %d", lg.deltas)
+	}
+	// A failed modification rolls the page back.
+	sentinel := errSentinel{}
+	err := p.Modify(f, func(d []byte) error { d[200] = 7; return sentinel })
+	if err != sentinel {
+		t.Fatalf("err = %v", err)
+	}
+	if f.Data[200] != 0 {
+		t.Error("failed modification not rolled back")
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+func TestDiffRange(t *testing.T) {
+	a := make([]byte, pagestore.PageSize)
+	b := make([]byte, pagestore.PageSize)
+	if lo, hi := diffRange(a, b); lo != -1 || hi != -1 {
+		t.Errorf("identical: %d,%d", lo, hi)
+	}
+	b[100] = 1
+	b[200] = 2
+	if lo, hi := diffRange(a, b); lo != 100 || hi != 201 {
+		t.Errorf("got %d,%d", lo, hi)
+	}
+	// Changes within the LSN field are ignored.
+	b = make([]byte, pagestore.PageSize)
+	b[3] = 9
+	if lo, hi := diffRange(a, b); lo != -1 || hi != -1 {
+		t.Errorf("LSN-only diff: %d,%d", lo, hi)
+	}
+}
+
+func TestConcurrentFetch(t *testing.T) {
+	store := pagestore.NewMemStore()
+	p := New(store, 16)
+	var ids []pagestore.PageID
+	for i := 0; i < 8; i++ {
+		f, _ := p.NewPage()
+		ids = append(ids, f.ID)
+		p.Unpin(f, false)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				f, err := p.Fetch(ids[(g+i)%len(ids)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				f.RLock()
+				_ = f.Data[0]
+				f.RUnlock()
+				p.Unpin(f, false)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

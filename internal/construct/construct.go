@@ -1,0 +1,424 @@
+// Package construct implements the SQL/XML constructor functions of §4.1
+// (XMLELEMENT, XMLATTRIBUTES, XMLFOREST, XMLCONCAT, XMLAGG) with the
+// Figure-5 optimization: nested constructor calls are flattened at compile
+// time into a single tagging template whose slots reference tuple arguments.
+// Evaluating the constructors for a row produces an intermediate result that
+// is just (template pointer, argument record) — the tagging structure is
+// never repeated per row, which is what makes constructing XML for large
+// numbers of rows (and XMLAGG) cheap.
+//
+// The constructed-data iterator of Figure 8 is Template.Emit: it walks the
+// template once per row, converting each op into a virtual SAX event.
+package construct
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+
+	"rx/internal/nodeid"
+	"rx/internal/serialize"
+	"rx/internal/tokens"
+	"rx/internal/vsax"
+	"rx/internal/xml"
+)
+
+// Expr is a constructor expression (the nested SQL/XML function calls
+// before flattening).
+type Expr interface{ isExpr() }
+
+// ElementExpr is XMLELEMENT(NAME name, children...).
+type ElementExpr struct {
+	Name string
+	Kids []Expr
+}
+
+// AttrsExpr is XMLATTRIBUTES(arg AS name, ...). It must appear first among
+// an element's children.
+type AttrsExpr struct {
+	Attrs []AttrSpec
+}
+
+// AttrSpec is one attribute: the argument slot and the attribute name.
+type AttrSpec struct {
+	Name string
+	Arg  int
+}
+
+// ForestExpr is XMLFOREST(arg AS name, ...): one element per item wrapping
+// the argument's value.
+type ForestExpr struct {
+	Items []ForestItem
+}
+
+// ForestItem is one forest member.
+type ForestItem struct {
+	Name string
+	Arg  int
+}
+
+// TextExpr inserts an argument's value as text.
+type TextExpr struct{ Arg int }
+
+// LitExpr inserts constant text.
+type LitExpr struct{ Text string }
+
+// ConcatExpr is XMLCONCAT(items...).
+type ConcatExpr struct{ Kids []Expr }
+
+func (ElementExpr) isExpr() {}
+func (AttrsExpr) isExpr()   {}
+func (ForestExpr) isExpr()  {}
+func (TextExpr) isExpr()    {}
+func (LitExpr) isExpr()     {}
+func (ConcatExpr) isExpr()  {}
+
+// Convenience builders.
+
+// Element builds an ElementExpr.
+func Element(name string, kids ...Expr) Expr { return ElementExpr{Name: name, Kids: kids} }
+
+// Attributes builds an AttrsExpr.
+func Attributes(attrs ...AttrSpec) Expr { return AttrsExpr{Attrs: attrs} }
+
+// Attr builds one attribute spec.
+func Attr(name string, arg int) AttrSpec { return AttrSpec{Name: name, Arg: arg} }
+
+// Forest builds a ForestExpr.
+func Forest(items ...ForestItem) Expr { return ForestExpr{Items: items} }
+
+// As builds one forest item.
+func As(name string, arg int) ForestItem { return ForestItem{Name: name, Arg: arg} }
+
+// Text builds a TextExpr.
+func Text(arg int) Expr { return TextExpr{Arg: arg} }
+
+// Lit builds a LitExpr.
+func Lit(s string) Expr { return LitExpr{Text: s} }
+
+// Concat builds a ConcatExpr.
+func Concat(kids ...Expr) Expr { return ConcatExpr{Kids: kids} }
+
+// op kinds of the flattened template.
+type opKind uint8
+
+const (
+	opStart opKind = iota + 1 // begin element (name)
+	opEnd                     // end element
+	opAttr                    // attribute (name, arg)
+	opText                    // text from argument (arg)
+	opLit                     // constant text (lit)
+)
+
+type op struct {
+	kind opKind
+	name xml.QName
+	arg  int
+	lit  []byte
+}
+
+// Template is the flattened tagging template of Figure 5.
+type Template struct {
+	ops   []op
+	nArgs int
+}
+
+// NArgs is the number of argument slots rows must provide.
+func (t *Template) NArgs() int { return t.nArgs }
+
+// Ops is the template length (for stats/tests).
+func (t *Template) Ops() int { return len(t.ops) }
+
+// Compile flattens a constructor expression into a template, interning
+// names once (never per row).
+func Compile(e Expr, names xml.Names) (*Template, error) {
+	t := &Template{}
+	if err := t.flatten(e, names, false); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func (t *Template) needArg(i int) {
+	if i < 0 {
+		panic("construct: negative argument index")
+	}
+	if i+1 > t.nArgs {
+		t.nArgs = i + 1
+	}
+}
+
+func (t *Template) flatten(e Expr, names xml.Names, inElement bool) error {
+	switch x := e.(type) {
+	case ElementExpr:
+		local, err := names.Intern(x.Name)
+		if err != nil {
+			return err
+		}
+		t.ops = append(t.ops, op{kind: opStart, name: xml.QName{Local: local}})
+		// XMLATTRIBUTES must come first.
+		for i, k := range x.Kids {
+			if a, ok := k.(AttrsExpr); ok {
+				if i != 0 {
+					return errors.New("construct: XMLATTRIBUTES must be the first child of XMLELEMENT")
+				}
+				for _, as := range a.Attrs {
+					an, err := names.Intern(as.Name)
+					if err != nil {
+						return err
+					}
+					t.needArg(as.Arg)
+					t.ops = append(t.ops, op{kind: opAttr, name: xml.QName{Local: an}, arg: as.Arg})
+				}
+				continue
+			}
+			if err := t.flatten(k, names, true); err != nil {
+				return err
+			}
+		}
+		t.ops = append(t.ops, op{kind: opEnd})
+	case AttrsExpr:
+		return errors.New("construct: XMLATTRIBUTES outside XMLELEMENT")
+	case ForestExpr:
+		for _, it := range x.Items {
+			n, err := names.Intern(it.Name)
+			if err != nil {
+				return err
+			}
+			t.needArg(it.Arg)
+			t.ops = append(t.ops,
+				op{kind: opStart, name: xml.QName{Local: n}},
+				op{kind: opText, arg: it.Arg},
+				op{kind: opEnd})
+		}
+	case TextExpr:
+		t.needArg(x.Arg)
+		t.ops = append(t.ops, op{kind: opText, arg: x.Arg})
+	case LitExpr:
+		t.ops = append(t.ops, op{kind: opLit, lit: []byte(x.Text)})
+	case ConcatExpr:
+		for _, k := range x.Kids {
+			if err := t.flatten(k, names, inElement); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("construct: unknown expression %T", e)
+	}
+	return nil
+}
+
+// Row is one argument record: the evaluated tuple components the template's
+// slots reference (the paper's "XML handles" link larger XML values the
+// same way; here every argument is a byte string).
+type Row [][]byte
+
+// Emit replays the template for one row as virtual SAX events, synthesizing
+// packer-compatible node IDs under the given base (pass nodeid.Root and
+// firstSlot 0 for a whole document; Emit returns the next free sibling
+// slot, so consecutive rows nest as siblings). A nil base skips node-ID
+// synthesis entirely — the right choice when the handler ignores IDs, such
+// as direct serialization.
+func (t *Template) Emit(h vsax.Handler, row Row, base nodeid.ID, firstSlot int) (int, error) {
+	if len(row) < t.nArgs {
+		return firstSlot, fmt.Errorf("construct: row has %d args, template needs %d", len(row), t.nArgs)
+	}
+	type frame struct {
+		abs  nodeid.ID
+		next int
+	}
+	noIDs := base == nil
+	stack := []frame{{abs: base, next: firstSlot}}
+	cur := func() *frame { return &stack[len(stack)-1] }
+	alloc := func() nodeid.ID {
+		if noIDs {
+			return nil
+		}
+		f := cur()
+		rel := nodeid.RelAt(f.next)
+		f.next++
+		return nodeid.Append(f.abs, rel)
+	}
+	for _, o := range t.ops {
+		switch o.kind {
+		case opStart:
+			id := alloc()
+			if err := h.StartElement(o.name, id); err != nil {
+				return 0, err
+			}
+			stack = append(stack, frame{abs: id})
+		case opEnd:
+			id := cur().abs
+			stack = stack[:len(stack)-1]
+			if err := h.EndElement(id); err != nil {
+				return 0, err
+			}
+		case opAttr:
+			if err := h.Attribute(o.name, row[o.arg], xml.Untyped, alloc()); err != nil {
+				return 0, err
+			}
+		case opText:
+			if err := h.Text(row[o.arg], xml.Untyped, alloc()); err != nil {
+				return 0, err
+			}
+		case opLit:
+			if err := h.Text(o.lit, xml.Untyped, alloc()); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if len(stack) != 1 {
+		return 0, errors.New("construct: unbalanced template")
+	}
+	return stack[0].next, nil
+}
+
+// Serialize renders one row's constructed XML as text.
+func (t *Template) Serialize(w io.Writer, names xml.Names, row Row) error {
+	s := serialize.New(w, names)
+	if err := s.StartDocument(); err != nil {
+		return err
+	}
+	if _, err := t.Emit(s, row, nil, 0); err != nil {
+		return err
+	}
+	if err := s.EndDocument(); err != nil {
+		return err
+	}
+	return s.Err()
+}
+
+// String renders a row's construction to a string (tests, examples).
+func (t *Template) String(names xml.Names, row Row) (string, error) {
+	var buf bytes.Buffer
+	if err := t.Serialize(&buf, names, row); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+// Agg is XMLAGG: it accumulates (template, row) intermediate results and
+// emits them in ORDER BY order. Per §4.1, sorting is an in-memory quicksort
+// of the row list within the group — not an external sort.
+type Agg struct {
+	t    *Template
+	rows []Row
+	keys [][]byte
+}
+
+// NewAgg creates an aggregator over one template.
+func NewAgg(t *Template) *Agg { return &Agg{t: t} }
+
+// Add accumulates one row with its ORDER BY key (nil keys keep input order).
+func (a *Agg) Add(row Row, orderKey []byte) {
+	a.rows = append(a.rows, row)
+	a.keys = append(a.keys, orderKey)
+}
+
+// Len returns the number of accumulated rows.
+func (a *Agg) Len() int { return len(a.rows) }
+
+// Emit sorts (if keyed) and replays every row through the template.
+func (a *Agg) Emit(h vsax.Handler) error {
+	if len(a.keys) > 0 && a.keys[0] != nil {
+		quicksort(a.rows, a.keys, 0, len(a.rows)-1)
+	}
+	slot := 0
+	var err error
+	for _, row := range a.rows {
+		slot, err = a.t.Emit(h, row, nodeid.Root, slot)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SerializeInto renders the aggregate wrapped in an element.
+func (a *Agg) SerializeInto(w io.Writer, names xml.Names, wrapper string) error {
+	s := serialize.New(w, names)
+	wid, err := names.Intern(wrapper)
+	if err != nil {
+		return err
+	}
+	if err := s.StartDocument(); err != nil {
+		return err
+	}
+	if err := s.StartElement(xml.QName{Local: wid}, nodeid.ID{0x02}); err != nil {
+		return err
+	}
+	if err := a.Emit(s); err != nil {
+		return err
+	}
+	if err := s.EndElement(nodeid.ID{0x02}); err != nil {
+		return err
+	}
+	if err := s.EndDocument(); err != nil {
+		return err
+	}
+	return s.Err()
+}
+
+// quicksort is the in-memory quicksort over the group's row list (§4.1:
+// "we apply in-memory quicksort to the linked list representation of rows
+// in each group of XMLAGG").
+func quicksort(rows []Row, keys [][]byte, lo, hi int) {
+	for lo < hi {
+		p := partition(rows, keys, lo, hi)
+		if p-lo < hi-p {
+			quicksort(rows, keys, lo, p-1)
+			lo = p + 1
+		} else {
+			quicksort(rows, keys, p+1, hi)
+			hi = p - 1
+		}
+	}
+}
+
+func partition(rows []Row, keys [][]byte, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three pivot.
+	if bytes.Compare(keys[mid], keys[lo]) < 0 {
+		swap(rows, keys, mid, lo)
+	}
+	if bytes.Compare(keys[hi], keys[lo]) < 0 {
+		swap(rows, keys, hi, lo)
+	}
+	if bytes.Compare(keys[hi], keys[mid]) < 0 {
+		swap(rows, keys, hi, mid)
+	}
+	swap(rows, keys, mid, hi)
+	pivot := keys[hi]
+	i := lo
+	for j := lo; j < hi; j++ {
+		if bytes.Compare(keys[j], pivot) < 0 {
+			swap(rows, keys, i, j)
+			i++
+		}
+	}
+	swap(rows, keys, i, hi)
+	return i
+}
+
+func swap(rows []Row, keys [][]byte, i, j int) {
+	rows[i], rows[j] = rows[j], rows[i]
+	keys[i], keys[j] = keys[j], keys[i]
+}
+
+// TokenStream renders one row's construction as a buffered token stream
+// (so constructor output can be inserted into a collection).
+func (t *Template) TokenStream(row Row) ([]byte, error) {
+	tw := tokens.NewWriter(256)
+	sink := &vsax.TokenSink{W: tw}
+	if err := sink.StartDocument(); err != nil {
+		return nil, err
+	}
+	if _, err := t.Emit(sink, row, nodeid.Root, 0); err != nil {
+		return nil, err
+	}
+	if err := sink.EndDocument(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), tw.Bytes()...), nil
+}

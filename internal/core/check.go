@@ -1,0 +1,182 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/valueindex"
+	"rx/internal/xml"
+)
+
+// CheckConsistency verifies the collection's cross-structure invariants —
+// the engine's analogue of the "utilities" box in the paper's Figure 1
+// (CHECK INDEX and friends):
+//
+//  1. Every stored record's node-ID intervals have exactly one NodeID-index
+//     entry, keyed by the interval's upper endpoint and pointing at the
+//     record's RID (current version for versioned collections).
+//  2. Every NodeID-index entry resolves back to a record that contains the
+//     endpoint node.
+//  3. Every XPath value index holds exactly the keys re-derived by
+//     evaluating its path over the stored documents.
+//  4. Every document in the DocID index serializes without error.
+func (c *Collection) CheckConsistency() error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	docs, err := c.DocIDs()
+	if err != nil {
+		return err
+	}
+	for _, doc := range docs {
+		if err := c.checkDoc(doc); err != nil {
+			return fmt.Errorf("doc %d: %w", doc, err)
+		}
+	}
+	for _, ov := range c.valIxs {
+		if err := c.checkValueIndex(ov, docs); err != nil {
+			return fmt.Errorf("index %q: %w", ov.meta.Name, err)
+		}
+	}
+	return nil
+}
+
+func (c *Collection) checkDoc(doc xml.DocID) error {
+	// Gather the document's entries (current version).
+	type entry struct {
+		upper nodeid.ID
+		rid   heap.RID
+	}
+	var entries []entry
+	if c.meta.Versioned {
+		ver, err := c.currentVersion(doc)
+		if err != nil {
+			return err
+		}
+		err = c.nodeIx.ScanVersion(doc, ver, func(upper nodeid.ID, rid heap.RID) bool {
+			entries = append(entries, entry{nodeid.Clone(upper), rid})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		err := c.nodeIx.ScanDoc(doc, func(upper nodeid.ID, rid heap.RID) bool {
+			entries = append(entries, entry{nodeid.Clone(upper), rid})
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if len(entries) == 0 {
+		return errors.New("no NodeID entries")
+	}
+	// Invariant 2 + derive per-record intervals for invariant 1.
+	perRID := map[heap.RID][]string{}
+	for _, e := range entries {
+		rec, err := c.fetchRecord(e.rid)
+		if err != nil {
+			return fmt.Errorf("entry %s → %s: %v", e.upper, e.rid, err)
+		}
+		n, found, err := rec.Find(e.upper)
+		if err != nil {
+			return err
+		}
+		if !found || n.IsProxy() {
+			return fmt.Errorf("entry %s → %s: endpoint not in record", e.upper, e.rid)
+		}
+		perRID[e.rid] = append(perRID[e.rid], e.upper.String())
+	}
+	// Invariant 1: the entry set per record equals the record's intervals.
+	for rid, got := range perRID {
+		rec, err := c.fetchRecord(rid)
+		if err != nil {
+			return err
+		}
+		uppers, _, err := rec.Intervals()
+		if err != nil {
+			return err
+		}
+		if len(uppers) != len(got) {
+			return fmt.Errorf("record %s: %d entries for %d intervals", rid, len(got), len(uppers))
+		}
+		want := map[string]bool{}
+		for _, u := range uppers {
+			want[u.String()] = true
+		}
+		for _, g := range got {
+			if !want[g] {
+				return fmt.Errorf("record %s: stray entry %s", rid, g)
+			}
+		}
+	}
+	// Invariant 4: the document walks end to end.
+	h := &nodeCountHandler{}
+	if err := c.WalkDoc(doc, h); err != nil {
+		return fmt.Errorf("walk: %v", err)
+	}
+	if h.nodes == 0 {
+		return errors.New("document walks to zero nodes")
+	}
+	return nil
+}
+
+type nodeCountHandler struct{ nodes int }
+
+func (h *nodeCountHandler) StartDocument() error                           { return nil }
+func (h *nodeCountHandler) EndDocument() error                             { return nil }
+func (h *nodeCountHandler) StartElement(xml.QName, nodeid.ID) error        { h.nodes++; return nil }
+func (h *nodeCountHandler) EndElement(nodeid.ID) error                     { return nil }
+func (h *nodeCountHandler) NSDecl(xml.NameID, xml.NameID, nodeid.ID) error { h.nodes++; return nil }
+func (h *nodeCountHandler) Attribute(xml.QName, []byte, xml.TypeID, nodeid.ID) error {
+	h.nodes++
+	return nil
+}
+func (h *nodeCountHandler) Text([]byte, xml.TypeID, nodeid.ID) error { h.nodes++; return nil }
+func (h *nodeCountHandler) Comment([]byte, nodeid.ID) error          { h.nodes++; return nil }
+func (h *nodeCountHandler) PI(xml.NameID, []byte, nodeid.ID) error   { h.nodes++; return nil }
+
+// checkValueIndex re-derives every document's keys and compares them
+// (positions and encoded values) against the index contents.
+func (c *Collection) checkValueIndex(ov *openValueIndex, docs []xml.DocID) error {
+	want := map[string]bool{}
+	for _, doc := range docs {
+		matches, err := c.evalStored(doc, ov.keygen)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			enc, err := ov.ix.EncodeValue(m.Value)
+			if err != nil {
+				if errors.Is(err, valueindex.ErrNotIndexable) {
+					continue
+				}
+				return err
+			}
+			want[fmt.Sprintf("%x/%d/%s", enc, doc, m.ID)] = true
+		}
+	}
+	got := 0
+	var stray string
+	err := ov.ix.Scan(valueindex.Range{}, func(e valueindex.Entry) bool {
+		got++
+		k := fmt.Sprintf("%x/%d/%s", e.EncodedValue, e.Doc, e.Node)
+		if !want[k] {
+			stray = k
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if stray != "" {
+		return fmt.Errorf("stray index entry %s", stray)
+	}
+	if got != len(want) {
+		return fmt.Errorf("index holds %d entries, re-derivation yields %d", got, len(want))
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rx/internal/xml"
+)
+
+// TestConsistencyAfterChurn runs the CHECK-INDEX-style verifier after a
+// workload of inserts, updates, fragment insertions, subtree deletions and
+// document deletions.
+func TestConsistencyAfterChurn(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("churn", CollectionOptions{PackThreshold: 500})
+	col.CreateValueIndex("ix_qty", "//qty", xml.TDouble)
+	col.CreateValueIndex("ix_sku", "//sku", xml.TString)
+
+	var ids []xml.DocID
+	for d := 0; d < 12; d++ {
+		var sb strings.Builder
+		sb.WriteString("<order><items>")
+		for i := 0; i < 40; i++ {
+			fmt.Fprintf(&sb, `<item><sku>S%03d</sku><qty>%d</qty><pad>%030d</pad></item>`, i, i%9, i)
+		}
+		sb.WriteString("</items></order>")
+		id, err := col.Insert([]byte(sb.String()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := col.CheckConsistency(); err != nil {
+		t.Fatalf("after load: %v", err)
+	}
+
+	// Updates on several docs.
+	for _, id := range ids[:4] {
+		res, _, _ := col.Query(`//item[sku = 'S005']/qty/text()`)
+		for _, r := range res {
+			if r.Doc == id {
+				if err := col.UpdateText(id, r.Node, []byte("99")); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Subtree deletions.
+	for _, id := range ids[4:6] {
+		res, _, _ := col.Query(`//item[sku = 'S010']`)
+		for _, r := range res {
+			if r.Doc == id {
+				if err := col.DeleteSubtree(id, r.Node); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Fragment insertions.
+	for _, id := range ids[6:8] {
+		root, _, _ := col.Query("/order/items")
+		for _, r := range root {
+			if r.Doc == id {
+				if _, err := col.InsertFragment(id, r.Node, AsLastChild,
+					[]byte(`<item><sku>SNEW</sku><qty>7</qty></item>`)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Document deletions.
+	for _, id := range ids[8:10] {
+		if err := col.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.CheckConsistency(); err != nil {
+		t.Fatalf("after churn: %v", err)
+	}
+}
+
+// TestConsistencyVersioned checks the versioned invariants after updates
+// and vacuum.
+func TestConsistencyVersioned(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("v", CollectionOptions{Versioned: true, PackThreshold: 400})
+	col.CreateValueIndex("ix", "//v", xml.TDouble)
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 50; i++ {
+		fmt.Fprintf(&sb, "<e><v>%d</v><pad>%030d</pad></e>", i, i)
+	}
+	sb.WriteString("</r>")
+	id, _ := col.Insert([]byte(sb.String()))
+	for round := 0; round < 4; round++ {
+		res, _, _ := col.Query(`//e[v = 25]/v/text()`)
+		if len(res) == 0 {
+			res, _, _ = col.Query(`//e[v = 2525]/v/text()`)
+		}
+		if err := col.UpdateText(id, res[0].Node, []byte("2525")); err != nil {
+			t.Fatal(err)
+		}
+		if err := col.CheckConsistency(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	cur, _ := col.SnapshotVersion(id)
+	if err := col.Vacuum(id, cur); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.CheckConsistency(); err != nil {
+		t.Fatalf("after vacuum: %v", err)
+	}
+}

@@ -1,0 +1,498 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"rx/internal/btree"
+	"rx/internal/catalog"
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/nodeindex"
+	"rx/internal/pack"
+	"rx/internal/quickxscan"
+	"rx/internal/serialize"
+	"rx/internal/valueindex"
+	"rx/internal/vsax"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+	"rx/internal/xmlschema"
+	"rx/internal/xpath"
+)
+
+// Collection is a base table with one XML column (Figure 2).
+type Collection struct {
+	db   *DB
+	meta *catalog.Collection
+
+	base   *heap.Table
+	xmlTbl *heap.Table
+	docIx  *btree.Tree
+	nodeIx *nodeindex.Index
+
+	// writeMu serializes structural writers (insert/delete/update/index
+	// DDL). Readers coordinate through the lock manager / MVCC.
+	writeMu sync.Mutex
+	valIxs  []*openValueIndex
+}
+
+type openValueIndex struct {
+	meta   catalog.ValueIndexMeta
+	ix     *valueindex.Index
+	keygen *quickxscan.Eval // guarded by writeMu
+}
+
+func createCollection(db *DB, name string, opts CollectionOptions) (*Collection, error) {
+	base, err := heap.Create(db.pool)
+	if err != nil {
+		return nil, err
+	}
+	xmlTbl, err := heap.Create(db.pool)
+	if err != nil {
+		return nil, err
+	}
+	docIx, err := btree.Create(db.pool)
+	if err != nil {
+		return nil, err
+	}
+	nodeIx, err := nodeindex.Create(db.pool)
+	if err != nil {
+		return nil, err
+	}
+	meta := &catalog.Collection{
+		Name:          name,
+		BaseTable:     base.FirstPage(),
+		XMLTable:      xmlTbl.FirstPage(),
+		DocIDIndex:    docIx.MetaPage(),
+		NodeIDIndex:   nodeIx.MetaPage(),
+		PackThreshold: opts.PackThreshold,
+		Versioned:     opts.Versioned,
+	}
+	if err := db.cat.AddCollection(meta); err != nil {
+		return nil, err
+	}
+	return &Collection{
+		db:     db,
+		meta:   meta,
+		base:   base,
+		xmlTbl: xmlTbl,
+		docIx:  docIx,
+		nodeIx: nodeIx,
+	}, nil
+}
+
+func openCollection(db *DB, meta *catalog.Collection) (*Collection, error) {
+	base, err := heap.Open(db.pool, meta.BaseTable)
+	if err != nil {
+		return nil, err
+	}
+	xmlTbl, err := heap.Open(db.pool, meta.XMLTable)
+	if err != nil {
+		return nil, err
+	}
+	docIx, err := btree.Open(db.pool, meta.DocIDIndex)
+	if err != nil {
+		return nil, err
+	}
+	nodeIx, err := nodeindex.Open(db.pool, meta.NodeIDIndex)
+	if err != nil {
+		return nil, err
+	}
+	c := &Collection{
+		db:     db,
+		meta:   meta,
+		base:   base,
+		xmlTbl: xmlTbl,
+		docIx:  docIx,
+		nodeIx: nodeIx,
+	}
+	for _, im := range meta.Indexes {
+		ov, err := c.openValueIndex(im)
+		if err != nil {
+			return nil, err
+		}
+		c.valIxs = append(c.valIxs, ov)
+	}
+	return c, nil
+}
+
+func (c *Collection) openValueIndex(im catalog.ValueIndexMeta) (*openValueIndex, error) {
+	ix, err := valueindex.Open(c.db.pool, im.Meta, im.Path, im.Type)
+	if err != nil {
+		return nil, err
+	}
+	kg, err := c.compileKeygen(ix.Path())
+	if err != nil {
+		return nil, err
+	}
+	return &openValueIndex{meta: im, ix: ix, keygen: kg}, nil
+}
+
+func (c *Collection) compileKeygen(q *xpath.Query) (*quickxscan.Eval, error) {
+	return quickxscan.Compile(q, c.db.cat, nil, quickxscan.Options{NeedValues: true})
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.meta.Name }
+
+// NodeIndex exposes the NodeID index (stats, experiments).
+func (c *Collection) NodeIndex() *nodeindex.Index { return c.nodeIx }
+
+// XMLTable exposes the internal XML table (stats, experiments).
+func (c *Collection) XMLTable() *heap.Table { return c.xmlTbl }
+
+// packThreshold resolves the collection's record-size target.
+func (c *Collection) packThreshold() int {
+	if c.meta.PackThreshold > 0 {
+		return c.meta.PackThreshold
+	}
+	return pack.DefaultThreshold
+}
+
+// xmlRow encodes an internal XML table row: (DocID, minNodeID, XMLData).
+func xmlRow(doc xml.DocID, minID nodeid.ID, payload []byte) []byte {
+	row := make([]byte, 0, 8+1+len(minID)+len(payload))
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(doc))
+	row = append(row, d[:]...)
+	row = binary.AppendUvarint(row, uint64(len(minID)))
+	row = append(row, minID...)
+	return append(row, payload...)
+}
+
+// splitXMLRow decodes an internal XML table row.
+func splitXMLRow(row []byte) (xml.DocID, nodeid.ID, []byte, error) {
+	if len(row) < 9 {
+		return 0, nil, nil, errors.New("core: short XML row")
+	}
+	doc := xml.DocID(binary.BigEndian.Uint64(row))
+	l, n := binary.Uvarint(row[8:])
+	if n <= 0 || 8+n+int(l) > len(row) {
+		return 0, nil, nil, errors.New("core: corrupt XML row")
+	}
+	minID := nodeid.ID(row[8+n : 8+n+int(l)])
+	return doc, minID, row[8+n+int(l):], nil
+}
+
+// Insert parses and stores an XML document, maintaining all indexes, and
+// returns its DocID.
+func (c *Collection) Insert(doc []byte) (xml.DocID, error) {
+	stream, err := xmlparse.Parse(doc, c.db.cat, xmlparse.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return c.InsertStream(stream)
+}
+
+// InsertStream stores a document given as a buffered token stream (the
+// Figure-4 pipeline joins here after parsing or validation).
+func (c *Collection) InsertStream(stream []byte) (xml.DocID, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	docID, err := c.db.cat.AllocDocID(c.meta)
+	if err != nil {
+		return 0, err
+	}
+	if err := c.insertStreamLocked(docID, stream); err != nil {
+		return 0, err
+	}
+	return docID, nil
+}
+
+// insertStreamLocked does the insert work for a preallocated DocID.
+// Caller holds writeMu.
+func (c *Collection) insertStreamLocked(docID xml.DocID, stream []byte) error {
+	// Tree construction: packed records are generated bottom-up in a
+	// streaming fashion, and index keys for the NodeID index are generated
+	// per record (§3.2).
+	err := pack.PackStream(stream, c.packThreshold(), func(rec pack.EncodedRecord) error {
+		rid, err := c.xmlTbl.Insert(xmlRow(docID, rec.MinNodeID, rec.Payload))
+		if err != nil {
+			return err
+		}
+		for _, upper := range rec.Intervals {
+			if c.meta.Versioned {
+				err = c.nodeIx.PutV(docID, 1, upper, rid)
+			} else {
+				err = c.nodeIx.Put(docID, upper, rid)
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	// Base table row: the implicit DocID column (plus the current version
+	// for versioned collections).
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(docID))
+	baseRID, err := c.base.Insert(c.baseRow(docID, 1))
+	if err != nil {
+		return err
+	}
+	if err := c.docIx.Put(d[:], baseRID.Bytes()); err != nil {
+		return err
+	}
+	// XPath value index keys: one streaming pass per index (§3.3).
+	for _, ov := range c.valIxs {
+		if err := c.addValueKeys(ov, docID, stream); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// addValueKeys generates and inserts one index's keys for a document.
+func (c *Collection) addValueKeys(ov *openValueIndex, docID xml.DocID, stream []byte) error {
+	matches, err := quickxscan.EvalTokens(ov.keygen, stream)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		rid, err := c.lookupCur(docID, m.ID)
+		if err != nil {
+			return err
+		}
+		err = ov.ix.Put(m.Value, docID, m.ID, rid)
+		if err != nil && !errors.Is(err, valueindex.ErrNotIndexable) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Count returns the number of documents.
+func (c *Collection) Count() (int, error) { return c.docIx.Count() }
+
+// Has reports whether the document exists.
+func (c *Collection) Has(doc xml.DocID) bool {
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(doc))
+	_, err := c.docIx.Get(d[:])
+	return err == nil
+}
+
+// DocIDs returns all document IDs in order.
+func (c *Collection) DocIDs() ([]xml.DocID, error) {
+	var out []xml.DocID
+	err := c.docIx.Scan(nil, nil, func(e btree.Entry) bool {
+		out = append(out, xml.DocID(binary.BigEndian.Uint64(e.Key)))
+		return true
+	})
+	return out, err
+}
+
+// fetchRecord loads and decodes the packed record at rid.
+func (c *Collection) fetchRecord(rid heap.RID) (*pack.Record, error) {
+	row, err := c.xmlTbl.Fetch(rid)
+	if err != nil {
+		return nil, err
+	}
+	_, _, payload, err := splitXMLRow(row)
+	if err != nil {
+		return nil, err
+	}
+	return pack.Decode(payload)
+}
+
+// fetcher returns a pack.Fetch resolving proxies through the NodeID index
+// (§3.4).
+func (c *Collection) fetcher(doc xml.DocID) pack.Fetch {
+	return func(first nodeid.ID) (*pack.Record, error) {
+		rid, err := c.lookupCur(doc, first)
+		if err != nil {
+			return nil, err
+		}
+		return c.fetchRecord(rid)
+	}
+}
+
+// rootRecord loads the record containing the document root.
+func (c *Collection) rootRecord(doc xml.DocID) (*pack.Record, error) {
+	rid, err := c.lookupCur(doc, nodeid.Root)
+	if err != nil {
+		return nil, fmt.Errorf("%w: document %d", ErrNotFound, doc)
+	}
+	return c.fetchRecord(rid)
+}
+
+// handlerVisitor adapts pack.Walk to vsax events.
+type handlerVisitor struct {
+	h vsax.Handler
+}
+
+func (v handlerVisitor) Enter(n pack.Node, r *pack.Record) (bool, error) {
+	switch n.Kind {
+	case xml.Element:
+		return true, v.h.StartElement(n.Name, n.Abs)
+	case xml.Attribute:
+		return true, v.h.Attribute(n.Name, n.Value, n.Type, n.Abs)
+	case xml.Namespace:
+		return true, v.h.NSDecl(n.Name.Local, n.Name.URI, n.Abs)
+	case xml.Text:
+		return true, v.h.Text(n.Value, n.Type, n.Abs)
+	case xml.Comment:
+		return true, v.h.Comment(n.Value, n.Abs)
+	case xml.ProcessingInstruction:
+		return true, v.h.PI(n.Name.Local, n.Value, n.Abs)
+	}
+	return true, nil
+}
+
+func (v handlerVisitor) Leave(n pack.Node, r *pack.Record) (bool, error) {
+	return true, v.h.EndElement(n.Abs)
+}
+
+// WalkDoc drives a vsax.Handler with the stored document's events — the
+// persistent-data iterator of Figure 8.
+func (c *Collection) WalkDoc(doc xml.DocID, h vsax.Handler) error {
+	root, err := c.rootRecord(doc)
+	if err != nil {
+		return err
+	}
+	if err := h.StartDocument(); err != nil {
+		return err
+	}
+	if err := pack.Walk(root, c.fetcher(doc), handlerVisitor{h}); err != nil {
+		return err
+	}
+	return h.EndDocument()
+}
+
+// Serialize writes the stored document as XML text.
+func (c *Collection) Serialize(doc xml.DocID, w io.Writer) error {
+	s := serialize.New(w, c.db.cat)
+	if err := c.WalkDoc(doc, s); err != nil {
+		return err
+	}
+	return s.Err()
+}
+
+// Delete removes a document and all of its index entries.
+func (c *Collection) Delete(doc xml.DocID) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.deleteLocked(doc)
+}
+
+func (c *Collection) deleteLocked(doc xml.DocID) error {
+	if c.meta.Versioned {
+		return c.deleteVersionedDoc(doc)
+	}
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(doc))
+	baseRIDBytes, err := c.docIx.Get(d[:])
+	if err != nil {
+		return fmt.Errorf("%w: document %d", ErrNotFound, doc)
+	}
+	// Value index entries: regenerate keys from the stored document and
+	// delete them exactly (cheaper than scanning whole indexes).
+	for _, ov := range c.valIxs {
+		if err := c.dropValueKeys(ov, doc); err != nil {
+			return err
+		}
+	}
+	// XML records: collect distinct RIDs from the NodeID index entries.
+	rids := map[heap.RID]bool{}
+	err = c.nodeIx.ScanDoc(doc, func(upper nodeid.ID, rid heap.RID) bool {
+		rids[rid] = true
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	for rid := range rids {
+		if err := c.xmlTbl.Delete(rid); err != nil {
+			return err
+		}
+	}
+	if _, err := c.nodeIx.DeleteDoc(doc); err != nil {
+		return err
+	}
+	if err := c.base.Delete(heap.RIDFromBytes(baseRIDBytes)); err != nil {
+		return err
+	}
+	return c.docIx.Delete(d[:])
+}
+
+// dropValueKeys removes one index's entries for a document by re-deriving
+// them from the stored data.
+func (c *Collection) dropValueKeys(ov *openValueIndex, doc xml.DocID) error {
+	matches, err := c.evalStored(doc, ov.keygen)
+	if err != nil {
+		return err
+	}
+	for _, m := range matches {
+		err := ov.ix.Delete(m.Value, doc, m.ID)
+		if err != nil && !errors.Is(err, valueindex.ErrNotIndexable) && !errors.Is(err, btree.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// scanAdapter drives a quickxscan evaluator from vsax events.
+type scanAdapter struct {
+	e       *quickxscan.Eval
+	matches []quickxscan.Match
+}
+
+func (a *scanAdapter) StartDocument() error { a.e.StartDocument(); return nil }
+func (a *scanAdapter) EndDocument() error {
+	ms, err := a.e.EndDocument()
+	a.matches = ms
+	return err
+}
+func (a *scanAdapter) StartElement(name xml.QName, id nodeid.ID) error {
+	a.e.StartElement(name, id)
+	return nil
+}
+func (a *scanAdapter) EndElement(id nodeid.ID) error { a.e.EndElement(id); return nil }
+func (a *scanAdapter) NSDecl(prefix, uri xml.NameID, id nodeid.ID) error {
+	return nil
+}
+func (a *scanAdapter) Attribute(name xml.QName, value []byte, typ xml.TypeID, id nodeid.ID) error {
+	a.e.Attribute(name, value, id)
+	return nil
+}
+func (a *scanAdapter) Text(value []byte, typ xml.TypeID, id nodeid.ID) error {
+	a.e.Text(value, id)
+	return nil
+}
+func (a *scanAdapter) Comment(value []byte, id nodeid.ID) error {
+	a.e.Comment(value, id)
+	return nil
+}
+func (a *scanAdapter) PI(target xml.NameID, value []byte, id nodeid.ID) error { return nil }
+
+// evalStored evaluates a compiled query over a stored document by scanning
+// its records in document order (the base scan-based access of §4.2).
+func (c *Collection) evalStored(doc xml.DocID, e *quickxscan.Eval) ([]quickxscan.Match, error) {
+	e.Reset()
+	a := &scanAdapter{e: e}
+	if err := c.WalkDoc(doc, a); err != nil {
+		return nil, err
+	}
+	return a.matches, nil
+}
+
+// InsertValidated validates the document against a registered schema
+// (Figure 4: load the binary schema from the catalog, execute the
+// validation VM, store the typed token stream) and inserts it.
+func (c *Collection) InsertValidated(schemaName string, doc []byte) (xml.DocID, error) {
+	sch, err := c.db.compiledSchema(schemaName)
+	if err != nil {
+		return 0, err
+	}
+	stream, err := xmlschema.Validate(doc, sch, c.db.cat)
+	if err != nil {
+		return 0, err
+	}
+	return c.InsertStream(stream)
+}

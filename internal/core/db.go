@@ -1,0 +1,204 @@
+// Package core is the System R/X engine: it assembles the relational
+// substrate (heap table spaces, B+tree index manager, buffer pool, catalog)
+// and the native XML services (token-stream parsing, tree packing, NodeID
+// index, XPath value indexes, QuickXScan) into the architecture of Figures
+// 1 and 2.
+//
+// Each collection is a base table with an implicit DocID column and one XML
+// column; the XML column's data lives in an internal XML table of
+// (DocID, minNodeID, XMLData) rows; a DocID index maps documents to base
+// rows, a NodeID index maps logical node IDs to physical records, and any
+// number of XPath value indexes map typed node values to (DocID, NodeID,
+// RID) positions.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"rx/internal/buffer"
+	"rx/internal/catalog"
+	"rx/internal/lock"
+	"rx/internal/pagestore"
+	"rx/internal/wal"
+	"rx/internal/xml"
+	"rx/internal/xmlschema"
+)
+
+// Options configure an engine instance.
+type Options struct {
+	// PoolPages is the buffer pool capacity in pages (default 4096 = 32 MiB).
+	PoolPages int
+	// LockTimeoutMillis bounds lock waits (default 2000).
+	LockTimeoutMillis int
+	// WAL, when set, enables write-ahead logging: every page mutation is
+	// logged physically and transactions log logical undo records.
+	WAL *wal.Log
+}
+
+// DB is an open database.
+type DB struct {
+	store pagestore.Store
+	pool  *buffer.Pool
+	cat   *catalog.Catalog
+	locks *lock.Manager
+	log   *wal.Log
+
+	mu      sync.Mutex
+	cols    map[string]*Collection
+	schemas map[string]*xmlschema.Schema
+}
+
+// Open opens (bootstrapping if empty) a database over the given store.
+func Open(store pagestore.Store, opts Options) (*DB, error) {
+	if opts.PoolPages <= 0 {
+		opts.PoolPages = 4096
+	}
+	if opts.LockTimeoutMillis <= 0 {
+		opts.LockTimeoutMillis = 2000
+	}
+	pool := buffer.New(store, opts.PoolPages)
+	if opts.WAL != nil {
+		pool.SetLogger(opts.WAL)
+		pool.SetFlushLSN(opts.WAL.Flush)
+	}
+	var cat *catalog.Catalog
+	var err error
+	if store.NumPages() == 0 {
+		cat, err = catalog.Bootstrap(pool)
+	} else {
+		cat, err = catalog.Open(pool)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &DB{
+		store: store,
+		pool:  pool,
+		cat:   cat,
+		locks: lock.NewManager(opts.LockTimeoutMillis),
+		log:   opts.WAL,
+		cols:  map[string]*Collection{},
+	}, nil
+}
+
+// OpenMemory opens a fresh in-memory database.
+func OpenMemory() (*DB, error) {
+	return Open(pagestore.NewMemStore(), Options{})
+}
+
+// Catalog exposes the catalog (name dictionary, schema registry).
+func (db *DB) Catalog() *catalog.Catalog { return db.cat }
+
+// Pool exposes the buffer pool (stats).
+func (db *DB) Pool() *buffer.Pool { return db.pool }
+
+// Names returns the database-wide name dictionary.
+func (db *DB) Names() xml.Names { return db.cat }
+
+// Flush writes all dirty pages to the store and syncs it.
+func (db *DB) Flush() error { return db.pool.FlushAll() }
+
+// Close flushes and closes the underlying store.
+func (db *DB) Close() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	return db.store.Close()
+}
+
+// CollectionOptions configure a new collection.
+type CollectionOptions struct {
+	// PackThreshold is the record-size target for tree packing (0 =
+	// pack.DefaultThreshold). It is the packing-factor knob of the §3.1
+	// storage analysis.
+	PackThreshold int
+	// Versioned enables document-level multiversioning (§5.1).
+	Versioned bool
+}
+
+// CreateCollection creates a collection: base table, internal XML table,
+// DocID index and NodeID index (Figure 2).
+func (db *DB) CreateCollection(name string, opts CollectionOptions) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.cat.GetCollection(name) != nil {
+		return nil, fmt.Errorf("core: collection %q already exists", name)
+	}
+	col, err := createCollection(db, name, opts)
+	if err != nil {
+		return nil, err
+	}
+	db.cols[name] = col
+	return col, nil
+}
+
+// Collection opens an existing collection.
+func (db *DB) Collection(name string) (*Collection, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if c, ok := db.cols[name]; ok {
+		return c, nil
+	}
+	meta := db.cat.GetCollection(name)
+	if meta == nil {
+		return nil, fmt.Errorf("core: no collection %q", name)
+	}
+	col, err := openCollection(db, meta)
+	if err != nil {
+		return nil, err
+	}
+	db.cols[name] = col
+	return col, nil
+}
+
+// Collections lists collection names.
+func (db *DB) Collections() []string { return db.cat.Collections() }
+
+// ErrNotFound reports a missing document or node.
+var ErrNotFound = errors.New("core: not found")
+
+// RegisterSchema compiles an XML schema document to the binary format and
+// stores it in the catalog under name (Figure 4's registration path).
+func (db *DB) RegisterSchema(name string, schemaDoc []byte) error {
+	sch, err := xmlschema.Compile(schemaDoc)
+	if err != nil {
+		return err
+	}
+	if err := db.cat.RegisterSchema(name, sch.Encode()); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	if db.schemas == nil {
+		db.schemas = map[string]*xmlschema.Schema{}
+	}
+	db.schemas[name] = sch
+	db.mu.Unlock()
+	return nil
+}
+
+// compiledSchema loads (and caches) a registered schema's compiled form.
+func (db *DB) compiledSchema(name string) (*xmlschema.Schema, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if s, ok := db.schemas[name]; ok {
+		return s, nil
+	}
+	bin := db.cat.GetSchema(name)
+	if bin == nil {
+		return nil, fmt.Errorf("core: no schema %q registered", name)
+	}
+	s, err := xmlschema.Decode(bin)
+	if err != nil {
+		return nil, err
+	}
+	if db.schemas == nil {
+		db.schemas = map[string]*xmlschema.Schema{}
+	}
+	db.schemas[name] = s
+	return s, nil
+}
+
+// Locks exposes the lock manager (experiments, tests).
+func (db *DB) Locks() *lock.Manager { return db.locks }

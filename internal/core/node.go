@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"rx/internal/nodeid"
+	"rx/internal/pack"
+	"rx/internal/serialize"
+	"rx/internal/vsax"
+	"rx/internal/xml"
+)
+
+// findNode locates a node by (doc, id) through the NodeID index (§3.4:
+// "when a (docid, nodeid) is given from an XPath value index, to find the
+// record containing the corresponding node, use this pair as the key on the
+// node ID index").
+func (c *Collection) findNode(doc xml.DocID, id nodeid.ID) (*pack.Record, pack.Node, error) {
+	rid, err := c.lookupCur(doc, id)
+	if err != nil {
+		return nil, pack.Node{}, fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	rec, err := c.fetchRecord(rid)
+	if err != nil {
+		return nil, pack.Node{}, err
+	}
+	n, found, err := rec.Find(id)
+	if err != nil {
+		return nil, pack.Node{}, err
+	}
+	if !found {
+		return nil, pack.Node{}, fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	return rec, n, nil
+}
+
+// stringValueVisitor accumulates descendant text.
+type stringValueVisitor struct {
+	out []byte
+}
+
+func (v *stringValueVisitor) Enter(n pack.Node, r *pack.Record) (bool, error) {
+	if n.Kind == xml.Text {
+		v.out = append(v.out, n.Value...)
+	}
+	return true, nil
+}
+
+func (v *stringValueVisitor) Leave(pack.Node, *pack.Record) (bool, error) { return true, nil }
+
+// NodeString returns the XPath string value of a stored node: the value of
+// attribute/text/comment/PI nodes, or the concatenated descendant text of an
+// element.
+func (c *Collection) NodeString(doc xml.DocID, id nodeid.ID) ([]byte, error) {
+	rec, n, err := c.findNode(doc, id)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Kind {
+	case xml.Attribute, xml.Text, xml.Comment, xml.ProcessingInstruction:
+		return append([]byte(nil), n.Value...), nil
+	case xml.Element:
+		v := &stringValueVisitor{}
+		if err := pack.WalkSubtree(rec, n, c.fetcher(doc), v); err != nil {
+			return nil, err
+		}
+		return v.out, nil
+	default:
+		return nil, fmt.Errorf("core: node %s has no string value (kind %v)", id, n.Kind)
+	}
+}
+
+// NodeKind returns a stored node's kind and name.
+func (c *Collection) NodeKind(doc xml.DocID, id nodeid.ID) (xml.Kind, xml.QName, error) {
+	_, n, err := c.findNode(doc, id)
+	if err != nil {
+		return 0, xml.QName{}, err
+	}
+	return n.Kind, n.Name, nil
+}
+
+// SerializeNode writes a stored subtree as XML text. The record header's
+// in-scope namespaces make the fragment self-contained (§3.1: "being
+// self-contained when accessed from an XPath value index").
+func (c *Collection) SerializeNode(doc xml.DocID, id nodeid.ID, w io.Writer) error {
+	rec, n, err := c.findNode(doc, id)
+	if err != nil {
+		return err
+	}
+	s := serialize.New(w, c.db.cat)
+	if err := s.StartDocument(); err != nil {
+		return err
+	}
+	// Make the record's in-scope namespaces visible to the fragment. The
+	// serializer declares any that the fragment actually uses.
+	h := &nsSeedingHandler{Handler: s, seed: rec.NS, names: c.db.cat}
+	if err := pack.WalkSubtree(rec, n, c.fetcher(doc), handlerVisitor{h}); err != nil {
+		return err
+	}
+	if err := s.EndDocument(); err != nil {
+		return err
+	}
+	return s.Err()
+}
+
+// nsSeedingHandler injects the context node's in-scope namespace bindings as
+// declarations on the fragment's outermost element.
+type nsSeedingHandler struct {
+	vsax.Handler
+	seed   []pack.NSBinding
+	names  xml.Names
+	seeded bool
+}
+
+func (h *nsSeedingHandler) StartElement(name xml.QName, id nodeid.ID) error {
+	if err := h.Handler.StartElement(name, id); err != nil {
+		return err
+	}
+	if !h.seeded {
+		h.seeded = true
+		for _, b := range h.seed {
+			if err := h.Handler.NSDecl(b.Prefix, b.URI, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,596 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rx/internal/catalog"
+	"rx/internal/nodeid"
+	"rx/internal/quickxscan"
+	"rx/internal/valueindex"
+	"rx/internal/xml"
+	"rx/internal/xpath"
+)
+
+// Result is one query match.
+type Result struct {
+	Doc  xml.DocID
+	Node nodeid.ID
+	// Value is the node's string value when requested via QueryValues.
+	Value []byte
+}
+
+// Plan reports the access method chosen for a query (§4.3, Table 2).
+type Plan struct {
+	// Method is one of "scan", "nodeid-list", "nodeid-anding",
+	// "docid-list", "docid-anding", "docid-oring".
+	Method string
+	// Indexes names the XPath value indexes used.
+	Indexes []string
+	// Exact is true when the index result needed no re-evaluation on the
+	// documents.
+	Exact bool
+	// CandidateDocs is the number of documents re-evaluated (0 for exact
+	// node-level access; the collection size for a scan).
+	CandidateDocs int
+
+	pq *plannedQuery
+}
+
+// CreateValueIndex creates an XPath value index (§3.3) and backfills it from
+// the stored documents. The path must be a simple XPath expression without
+// predicates; typ is one of xml.TString, TDouble, TDate, TDecimal.
+func (c *Collection) CreateValueIndex(name, path string, typ xml.TypeID) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	for _, ov := range c.valIxs {
+		if ov.meta.Name == name {
+			return fmt.Errorf("core: index %q already exists on %s", name, c.meta.Name)
+		}
+	}
+	ix, err := valueindex.Create(c.db.pool, path, typ)
+	if err != nil {
+		return err
+	}
+	im := catalog.ValueIndexMeta{Name: name, Path: path, Type: typ, Meta: ix.MetaPage()}
+	kg, err := c.compileKeygen(ix.Path())
+	if err != nil {
+		return err
+	}
+	ov := &openValueIndex{meta: im, ix: ix, keygen: kg}
+	// Backfill from existing documents.
+	docs, err := c.DocIDs()
+	if err != nil {
+		return err
+	}
+	for _, doc := range docs {
+		matches, err := c.evalStored(doc, kg)
+		if err != nil {
+			return err
+		}
+		for _, m := range matches {
+			rid, err := c.nodeIx.Lookup(doc, m.ID)
+			if err != nil {
+				return err
+			}
+			if err := ix.Put(m.Value, doc, m.ID, rid); err != nil && !errors.Is(err, valueindex.ErrNotIndexable) {
+				return err
+			}
+		}
+	}
+	c.valIxs = append(c.valIxs, ov)
+	c.meta.Indexes = append(c.meta.Indexes, im)
+	return c.db.cat.UpdateCollection(c.meta)
+}
+
+// ValueIndexes lists the collection's value index names.
+func (c *Collection) ValueIndexes() []string {
+	var names []string
+	for _, ov := range c.valIxs {
+		names = append(names, ov.meta.Name)
+	}
+	return names
+}
+
+// ValueIndex returns an open value index by name (stats, experiments).
+func (c *Collection) ValueIndex(name string) *valueindex.Index {
+	for _, ov := range c.valIxs {
+		if ov.meta.Name == name {
+			return ov.ix
+		}
+	}
+	return nil
+}
+
+// Query evaluates an XPath query over the collection, using value indexes
+// when they apply (§4.3) and falling back to a QuickXScan relation-scan
+// otherwise.
+func (c *Collection) Query(expr string) ([]Result, *Plan, error) {
+	return c.query(expr, false)
+}
+
+// QueryValues is Query with node string values in the results.
+func (c *Collection) QueryValues(expr string) ([]Result, *Plan, error) {
+	return c.query(expr, true)
+}
+
+func (c *Collection) query(expr string, needValues bool) ([]Result, *Plan, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !q.Rooted {
+		return nil, nil, errors.New("core: collection queries must be rooted paths")
+	}
+	plan := c.selectAccessPath(q)
+	switch plan.Method {
+	case "nodeid-list", "nodeid-anding":
+		results, err := c.execNodeList(q, plan, needValues)
+		return results, plan, err
+	case "nodeid-filtering":
+		results, err := c.execNodeFilter(q, plan, needValues)
+		return results, plan, err
+	case "docid-list", "docid-anding", "docid-oring":
+		results, err := c.execDocList(q, plan, needValues)
+		return results, plan, err
+	default:
+		results, err := c.execScan(q, plan, needValues)
+		return results, plan, err
+	}
+}
+
+// planConjunct is one usable comparison conjunct with its matched index.
+type planConjunct struct {
+	ov    *openValueIndex
+	rng   valueindex.Range
+	exact bool
+	// level is the spine level the predicate anchors at (1-based).
+	level int
+}
+
+// plannedQuery carries the planning work product between selection and
+// execution.
+type plannedQuery struct {
+	conjuncts []planConjunct
+	orParts   []planConjunct // both sides of a top-level OR
+	spineLen  int
+}
+
+// selectAccessPath implements the §4.3 access-path selection: exact
+// DocID/NodeID list when index and predicate match exactly, filtering when
+// the index path merely contains the query path, ANDing/ORing across
+// multiple indexes, scan otherwise.
+func (c *Collection) selectAccessPath(q *xpath.Query) *Plan {
+	plan := &Plan{Method: "scan"}
+	if len(c.valIxs) == 0 {
+		return plan
+	}
+	spine := spineSteps(q)
+	// Predicates on any spine step can narrow the candidate documents; only
+	// result-step predicates can support exact node-level access (the
+	// result node is then a node-ID prefix of the predicate node).
+	type anchored struct {
+		stepIdx int
+		expr    xpath.Expr
+	}
+	var conjuncts []anchored
+	for i, s := range spine {
+		for _, p := range s.Preds {
+			for _, e := range flattenAnd(p) {
+				conjuncts = append(conjuncts, anchored{stepIdx: i, expr: e})
+			}
+		}
+	}
+	pq := &plannedQuery{spineLen: len(spine)}
+	unindexed := 0
+	resultIdx := len(spine) - 1
+	allOnResult := true
+	for _, conj := range conjuncts {
+		switch e := conj.expr.(type) {
+		case xpath.Cmp:
+			if pc, ok := c.matchIndex(spine[:conj.stepIdx+1], e); ok {
+				pq.conjuncts = append(pq.conjuncts, pc)
+				if conj.stepIdx != resultIdx {
+					allOnResult = false
+				}
+				continue
+			}
+		case xpath.Or:
+			// ORing applies when both sides are indexable comparisons and
+			// this is the only conjunct (otherwise treat as unindexed).
+			l, lok := e.L.(xpath.Cmp)
+			r, rok := e.R.(xpath.Cmp)
+			if lok && rok && len(pq.conjuncts) == 0 && len(conjuncts) == 1 {
+				pl, okl := c.matchIndex(spine[:conj.stepIdx+1], l)
+				pr, okr := c.matchIndex(spine[:conj.stepIdx+1], r)
+				if okl && okr {
+					pq.orParts = []planConjunct{pl, pr}
+					continue
+				}
+			}
+		}
+		unindexed++
+	}
+	switch {
+	case len(pq.orParts) == 2:
+		plan.Method = "docid-oring"
+		plan.Indexes = []string{pq.orParts[0].ov.meta.Name, pq.orParts[1].ov.meta.Name}
+	case len(pq.conjuncts) == 0:
+		return plan
+	default:
+		allExact := true
+		for _, pc := range pq.conjuncts {
+			if !pc.exact {
+				allExact = false
+			}
+			plan.Indexes = append(plan.Indexes, pc.ov.meta.Name)
+		}
+		// Node-level exact access needs: every conjunct exact and anchored
+		// at the result step, no unindexed residue, and a pure child-axis
+		// name-test spine so the result node is a node-ID prefix of the
+		// predicate node (§4.3: "If all the indexes match exactly ... the
+		// result list is exact").
+		if allExact && allOnResult && unindexed == 0 && pureChildSpine(spine) {
+			plan.Exact = true
+			if len(pq.conjuncts) == 1 {
+				plan.Method = "nodeid-list"
+			} else {
+				plan.Method = "nodeid-anding"
+			}
+		} else if len(pq.conjuncts) == 1 {
+			// §4.3: for small documents DocID-list filtering is enough; for
+			// large (multi-record) documents, NodeID-level access narrows
+			// re-evaluation to the candidate subtrees. The subtree is rooted
+			// at the predicate's anchor step, so every step up to the anchor
+			// must be a concrete child step (the anchor node is then a
+			// node-ID prefix of the predicate node) and no other predicates
+			// may sit above it (their content lies outside the subtree).
+			anchor := pq.conjuncts[0].level
+			if unindexed == 0 && pureChildSpine(spine[:anchor]) && c.largeDocs() {
+				plan.Method = "nodeid-filtering"
+			} else {
+				plan.Method = "docid-list"
+			}
+		} else {
+			plan.Method = "docid-anding"
+		}
+	}
+	plan.pq = pq
+	return plan
+}
+
+// matchIndex finds an index usable for the comparison predicate anchored at
+// the last step of prefix: the full predicate path (spine prefix + leaf
+// path) must be covered by the index path and the literal must be
+// comparable under the index's key type.
+func (c *Collection) matchIndex(prefix []*xpath.Step, cmp xpath.Cmp) (planConjunct, bool) {
+	if cmp.Op == xpath.NE {
+		return planConjunct{}, false // no contiguous range
+	}
+	full := fullPredicatePath(prefix, cmp.Path)
+	if full == nil {
+		return planConjunct{}, false
+	}
+	var best *planConjunct
+	for _, ov := range c.valIxs {
+		if !typeCompatible(ov.meta.Type, cmp.Lit) {
+			continue
+		}
+		exact := xpath.Equivalent(ov.ix.Path(), full)
+		if !exact && !xpath.Covers(ov.ix.Path(), full) {
+			continue
+		}
+		rng, err := ov.ix.RangeForOp(cmp.Op, cmp.Lit)
+		if err != nil {
+			continue
+		}
+		pc := planConjunct{ov: ov, rng: rng, exact: exact, level: len(prefix)}
+		if best == nil || (exact && !best.exact) {
+			b := pc
+			best = &b
+		}
+	}
+	if best == nil {
+		return planConjunct{}, false
+	}
+	return *best, true
+}
+
+// typeCompatible: numeric literals need a numeric index; string literals a
+// string or date index.
+func typeCompatible(typ xml.TypeID, lit xpath.Literal) bool {
+	if lit.IsNum {
+		return typ == xml.TDouble || typ == xml.TDecimal
+	}
+	return typ == xml.TString || typ == xml.TDate
+}
+
+// spineSteps lists the query's spine steps.
+func spineSteps(q *xpath.Query) []*xpath.Step {
+	var out []*xpath.Step
+	for s := q.Steps; s != nil; s = s.Next {
+		out = append(out, s)
+	}
+	return out
+}
+
+// pureChildSpine reports whether every spine step is a child-axis name test.
+func pureChildSpine(spine []*xpath.Step) bool {
+	for _, s := range spine {
+		if s.Axis != xpath.Child || s.Test != xpath.TestName {
+			return false
+		}
+	}
+	return true
+}
+
+// flattenAnd decomposes nested conjunctions.
+func flattenAnd(e xpath.Expr) []xpath.Expr {
+	if a, ok := e.(xpath.And); ok {
+		return append(flattenAnd(a.L), flattenAnd(a.R)...)
+	}
+	return []xpath.Expr{e}
+}
+
+// fullPredicatePath builds the rooted path "spine-prefix/leaf" used for
+// index matching: the anchoring steps (without predicates) followed by the
+// predicate's leaf path. Self-axis leaf paths use the prefix itself.
+func fullPredicatePath(prefix []*xpath.Step, leaf *xpath.Step) *xpath.Query {
+	var steps []xpath.Step
+	for _, s := range prefix {
+		cp := *s
+		cp.Preds = nil
+		cp.Next = nil
+		steps = append(steps, cp)
+	}
+	for s := leaf; s != nil; s = s.Next {
+		if s.Axis == xpath.Self {
+			if s.Test != xpath.TestNode || s.Next != nil || len(s.Preds) > 0 {
+				return nil
+			}
+			continue // [. op lit]: the spine node's own value
+		}
+		if len(s.Preds) > 0 {
+			return nil
+		}
+		cp := *s
+		cp.Next = nil
+		steps = append(steps, cp)
+	}
+	if len(steps) == 0 {
+		return nil
+	}
+	out := &xpath.Query{Rooted: true}
+	for i := range steps {
+		if i > 0 {
+			steps[i-1].Next = &steps[i]
+		}
+	}
+	out.Steps = &steps[0]
+	return out
+}
+
+// execNodeList answers the query from index entries alone: the result node
+// is the spine-length prefix of each matching predicate node; multiple
+// exact indexes are ANDed at the node level (§4.3 access methods 1 and 3).
+func (c *Collection) execNodeList(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+	pq := plan.pq
+	type key struct {
+		doc  xml.DocID
+		node string
+	}
+	var sets []map[key]bool
+	for _, pc := range pq.conjuncts {
+		set := map[key]bool{}
+		err := pc.ov.ix.Scan(pc.rng, func(e valueindex.Entry) bool {
+			prefix, ok := prefixAtLevel(e.Node, pq.spineLen)
+			if ok {
+				set[key{e.Doc, string(prefix)}] = true
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		sets = append(sets, set)
+	}
+	// Intersect.
+	base := sets[0]
+	for _, s := range sets[1:] {
+		for k := range base {
+			if !s[k] {
+				delete(base, k)
+			}
+		}
+	}
+	var results []Result
+	for k := range base {
+		results = append(results, Result{Doc: k.doc, Node: nodeid.ID(k.node)})
+	}
+	sortResults(results)
+	if needValues {
+		if err := c.fillValues(results); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// execDocList: candidate DocIDs from the indexes (intersected for ANDing,
+// unioned for ORing), then re-evaluation of the full query on each
+// candidate document (§4.3 access method 2: filtering).
+func (c *Collection) execDocList(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+	pq := plan.pq
+	docSet := func(pc planConjunct) (map[xml.DocID]bool, error) {
+		set := map[xml.DocID]bool{}
+		err := pc.ov.ix.Scan(pc.rng, func(e valueindex.Entry) bool {
+			set[e.Doc] = true
+			return true
+		})
+		return set, err
+	}
+	var candidates map[xml.DocID]bool
+	if len(pq.orParts) == 2 {
+		l, err := docSet(pq.orParts[0])
+		if err != nil {
+			return nil, err
+		}
+		r, err := docSet(pq.orParts[1])
+		if err != nil {
+			return nil, err
+		}
+		for d := range r {
+			l[d] = true
+		}
+		candidates = l
+	} else {
+		for _, pc := range pq.conjuncts {
+			s, err := docSet(pc)
+			if err != nil {
+				return nil, err
+			}
+			if candidates == nil {
+				candidates = s
+				continue
+			}
+			for d := range candidates {
+				if !s[d] {
+					delete(candidates, d)
+				}
+			}
+		}
+	}
+	plan.CandidateDocs = len(candidates)
+	docs := make([]xml.DocID, 0, len(candidates))
+	for d := range candidates {
+		docs = append(docs, d)
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
+	return c.evalDocs(q, docs, needValues)
+}
+
+// execScan evaluates the query over every document: the relational-scan
+// analogue of §4.2.
+func (c *Collection) execScan(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+	docs, err := c.DocIDs()
+	if err != nil {
+		return nil, err
+	}
+	plan.CandidateDocs = len(docs)
+	return c.evalDocs(q, docs, needValues)
+}
+
+func (c *Collection) evalDocs(q *xpath.Query, docs []xml.DocID, needValues bool) ([]Result, error) {
+	e, err := quickxscan.Compile(q, c.db.cat, nil, quickxscan.Options{NeedValues: needValues})
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, doc := range docs {
+		matches, err := c.evalStored(doc, e)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			results = append(results, Result{Doc: doc, Node: m.ID, Value: m.Value})
+		}
+	}
+	return results, nil
+}
+
+// prefixAtLevel returns the first n levels of a node ID.
+func prefixAtLevel(id nodeid.ID, n int) (nodeid.ID, bool) {
+	rels, err := nodeid.Split(id)
+	if err != nil || len(rels) < n {
+		return nil, false
+	}
+	length := 0
+	for _, r := range rels[:n] {
+		length += len(r)
+	}
+	return id[:length], true
+}
+
+func sortResults(rs []Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Doc != rs[j].Doc {
+			return rs[i].Doc < rs[j].Doc
+		}
+		return nodeid.Compare(rs[i].Node, rs[j].Node) < 0
+	})
+}
+
+// fillValues computes string values for exact node-list results.
+func (c *Collection) fillValues(rs []Result) error {
+	for i := range rs {
+		v, err := c.NodeString(rs[i].Doc, rs[i].Node)
+		if err != nil {
+			return err
+		}
+		rs[i].Value = v
+	}
+	return nil
+}
+
+// largeDocs reports whether documents in this collection typically span
+// multiple records — the §4.3 condition for preferring NodeID-level access.
+func (c *Collection) largeDocs() bool {
+	docs, err := c.Count()
+	if err != nil || docs == 0 {
+		return false
+	}
+	return int(c.xmlTbl.Count())/docs >= 4
+}
+
+// execNodeFilter implements NodeID-list filtering (§4.3): candidate result
+// subtrees are derived from the index entries and the query is re-evaluated
+// on each subtree alone, synthesizing ancestor context from the records'
+// headers — the rest of the document is never touched.
+func (c *Collection) execNodeFilter(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+	pq := plan.pq
+	pc := pq.conjuncts[0]
+	anchor := pc.level
+	type key struct {
+		doc  xml.DocID
+		node string
+	}
+	seen := map[key]bool{}
+	type cand struct {
+		doc  xml.DocID
+		node nodeid.ID
+	}
+	var cands []cand
+	err := pc.ov.ix.Scan(pc.rng, func(e valueindex.Entry) bool {
+		prefix, ok := prefixAtLevel(e.Node, anchor)
+		if !ok {
+			return true
+		}
+		k := key{e.Doc, string(prefix)}
+		if !seen[k] {
+			seen[k] = true
+			cands = append(cands, cand{doc: e.Doc, node: nodeid.Clone(prefix)})
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	plan.CandidateDocs = len(seen)
+	e, err := quickxscan.Compile(q, c.db.cat, nil, quickxscan.Options{NeedValues: needValues})
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, cd := range cands {
+		matches, err := c.evalSubtree(cd.doc, cd.node, e)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range matches {
+			results = append(results, Result{Doc: cd.doc, Node: m.ID, Value: m.Value})
+		}
+	}
+	sortResults(results)
+	return results, nil
+}

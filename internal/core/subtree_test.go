@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"rx/internal/xml"
+)
+
+// bigOrderDoc builds a multi-record document: many items under one order.
+func bigOrderDoc(items int) []byte {
+	var sb strings.Builder
+	sb.WriteString("<order><items>")
+	for i := 0; i < items; i++ {
+		fmt.Fprintf(&sb, `<item><sku>S%04d</sku><qty>%d</qty><note>%040d</note></item>`, i, i%9+1, i)
+	}
+	sb.WriteString("</items></order>")
+	return []byte(sb.String())
+}
+
+func TestNodeIDFilteringOnLargeDocs(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("orders", CollectionOptions{PackThreshold: 600})
+	const docs, items = 8, 120
+	for d := 0; d < docs; d++ {
+		if _, err := col.Insert(bigOrderDoc(items)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A containment-path (covering, not exact) index.
+	if err := col.CreateValueIndex("ix_qty", "//qty", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+	if !col.largeDocs() {
+		t.Fatal("workload should qualify as large documents")
+	}
+
+	// Scan answer for ground truth.
+	scanRes, _, err := col.Query("/order/items/item[qty = 7]/sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scanRes) == 0 {
+		t.Fatal("ground truth empty")
+	}
+
+	res, plan, err := col.Query("/order/items/item[qty = 7]/sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != "nodeid-filtering" {
+		t.Fatalf("plan = %s, want nodeid-filtering", plan.Method)
+	}
+	if len(res) != len(scanRes) {
+		t.Fatalf("nodeid-filtering: %d results, scan: %d", len(res), len(scanRes))
+	}
+	for i := range res {
+		if res[i].Doc != scanRes[i].Doc || res[i].Node.String() != scanRes[i].Node.String() {
+			t.Fatalf("result %d differs: %v vs %v", i, res[i], scanRes[i])
+		}
+	}
+	// Values come from the subtree evaluation.
+	resV, _, err := col.QueryValues("/order/items/item[qty = 7]/sku")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resV {
+		if !strings.HasPrefix(string(r.Value), "S") {
+			t.Errorf("value = %q", r.Value)
+		}
+	}
+}
+
+func TestNodeIDFilteringRejectsNonMatchingPaths(t *testing.T) {
+	// The covering index also matches qty nodes outside the query's spine;
+	// subtree re-evaluation must filter those out.
+	db := newDB(t)
+	col, _ := db.CreateCollection("mix", CollectionOptions{PackThreshold: 400})
+	var sb strings.Builder
+	sb.WriteString("<order><items>")
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&sb, `<item><qty>7</qty><pad>%030d</pad></item>`, i)
+	}
+	// qty under a different spine: must not appear in results.
+	sb.WriteString("</items><summary><qty>7</qty></summary></order>")
+	for d := 0; d < 6; d++ {
+		if _, err := col.Insert([]byte(sb.String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.CreateValueIndex("ix", "//qty", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+	res, plan, err := col.Query("/order/items/item[qty = 7]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != "nodeid-filtering" {
+		t.Fatalf("plan = %s", plan.Method)
+	}
+	if len(res) != 6*60 {
+		t.Errorf("got %d results, want %d (summary/qty must be filtered out)", len(res), 6*60)
+	}
+}
+
+func TestAncestorChain(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{PackThreshold: 300})
+	id, _ := col.Insert(bigOrderDoc(80))
+	res, _, err := col.Query("//sku")
+	if err != nil || len(res) == 0 {
+		t.Fatalf("%v %v", res, err)
+	}
+	// sku's ancestors are order/items/item.
+	names, err := col.ancestorChain(id, res[40].Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rendered []string
+	for _, q := range names {
+		s, _ := db.Catalog().Lookup(q.Local)
+		rendered = append(rendered, s)
+	}
+	want := "order/items/item"
+	if strings.Join(rendered, "/") != want {
+		t.Errorf("chain = %v, want %s", rendered, want)
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+
+	"rx/internal/lock"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/tokens"
+	"rx/internal/vsax"
+	"rx/internal/wal"
+	"rx/internal/xml"
+)
+
+// Transactions: document-level ACID on top of the shared infrastructure.
+// Physical redo comes for free from the buffer pool's WAL hook; this file
+// adds logical operation records with engine-level inverses (ARIES-style
+// logical undo) and two-phase document locking via the lock manager (§5.1).
+
+var txnSeq atomic.Uint64
+
+// Txn is an open transaction.
+type Txn struct {
+	db   *DB
+	id   uint64
+	lk   *lock.Txn
+	undo []logicalOp
+	done bool
+}
+
+// logicalOp is the JSON-encoded logical record and its inverse description.
+type logicalOp struct {
+	Kind string // "insert", "delete", "update-text", "insert-frag", "delete-subtree"
+	Col  string
+	Doc  xml.DocID
+	// Node is the target node (hex).
+	Node string
+	// Data carries the op-specific undo payload: the document token stream
+	// (delete), the old text value (update-text), or the subtree fragment
+	// XML (delete-subtree).
+	Data []byte
+	// Anchor/Pos describe where a deleted subtree is re-inserted on undo.
+	Anchor string
+	Pos    Position
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() *Txn {
+	t := &Txn{db: db, id: txnSeq.Add(1), lk: db.locks.Begin()}
+	if db.log != nil {
+		db.log.Begin(t.id)
+	}
+	return t
+}
+
+func (t *Txn) record(op logicalOp) error {
+	t.undo = append(t.undo, op)
+	if t.db.log != nil {
+		payload, err := json.Marshal(op)
+		if err != nil {
+			return err
+		}
+		t.db.log.Logical(t.id, payload)
+	}
+	return nil
+}
+
+// Insert stores a document under an X document lock.
+func (t *Txn) Insert(col *Collection, doc []byte) (xml.DocID, error) {
+	if t.done {
+		return 0, errTxnDone
+	}
+	id, err := col.Insert(doc)
+	if err != nil {
+		return 0, err
+	}
+	if err := t.lk.LockDoc(col.Name(), id, lock.X); err != nil {
+		return 0, err
+	}
+	return id, t.record(logicalOp{Kind: "insert", Col: col.Name(), Doc: id})
+}
+
+// Delete removes a document under an X lock, capturing its content for undo.
+func (t *Txn) Delete(col *Collection, doc xml.DocID) error {
+	if t.done {
+		return errTxnDone
+	}
+	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
+		return err
+	}
+	stream, err := col.DocStream(doc)
+	if err != nil {
+		return err
+	}
+	if err := col.Delete(doc); err != nil {
+		return err
+	}
+	return t.record(logicalOp{Kind: "delete", Col: col.Name(), Doc: doc, Data: stream})
+}
+
+// UpdateText updates a text or attribute node under an X document lock.
+func (t *Txn) UpdateText(col *Collection, doc xml.DocID, id nodeid.ID, newValue []byte) error {
+	if t.done {
+		return errTxnDone
+	}
+	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
+		return err
+	}
+	old, err := col.NodeString(doc, id)
+	if err != nil {
+		return err
+	}
+	if err := col.UpdateText(doc, id, newValue); err != nil {
+		return err
+	}
+	return t.record(logicalOp{Kind: "update-text", Col: col.Name(), Doc: doc, Node: id.String(), Data: old})
+}
+
+// InsertFragment inserts a fragment under an X document lock.
+func (t *Txn) InsertFragment(col *Collection, doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
+	if t.done {
+		return nil, errTxnDone
+	}
+	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
+		return nil, err
+	}
+	newID, err := col.InsertFragment(doc, anchor, pos, fragment)
+	if err != nil {
+		return nil, err
+	}
+	return newID, t.record(logicalOp{Kind: "insert-frag", Col: col.Name(), Doc: doc, Node: newID.String()})
+}
+
+// DeleteSubtree deletes a subtree under an X document lock, capturing the
+// fragment and its position for undo. (Undo restores content; the restored
+// nodes get fresh IDs, which no committed state can have observed.)
+func (t *Txn) DeleteSubtree(col *Collection, doc xml.DocID, id nodeid.ID) error {
+	if t.done {
+		return errTxnDone
+	}
+	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
+		return err
+	}
+	var frag bytes.Buffer
+	if err := col.SerializeNode(doc, id, &frag); err != nil {
+		return err
+	}
+	anchor, pos, err := col.undoAnchor(doc, id)
+	if err != nil {
+		return err
+	}
+	if err := col.DeleteSubtree(doc, id); err != nil {
+		return err
+	}
+	return t.record(logicalOp{
+		Kind: "delete-subtree", Col: col.Name(), Doc: doc, Node: id.String(),
+		Data: frag.Bytes(), Anchor: anchor.String(), Pos: pos,
+	})
+}
+
+// Serialize reads a document under an S lock (repeatable read at document
+// granularity).
+func (t *Txn) Serialize(col *Collection, doc xml.DocID, w *bytes.Buffer) error {
+	if t.done {
+		return errTxnDone
+	}
+	if err := t.lk.LockDoc(col.Name(), doc, lock.S); err != nil {
+		return err
+	}
+	return col.Serialize(doc, w)
+}
+
+// Query runs a query under an S collection lock.
+func (t *Txn) Query(col *Collection, expr string) ([]Result, *Plan, error) {
+	if t.done {
+		return nil, nil, errTxnDone
+	}
+	if err := t.lk.Lock(lock.CollectionRes(col.Name()), lock.S); err != nil {
+		return nil, nil, err
+	}
+	return col.Query(expr)
+}
+
+// Commit makes the transaction durable and releases its locks.
+func (t *Txn) Commit() error {
+	if t.done {
+		return errTxnDone
+	}
+	t.done = true
+	defer t.lk.ReleaseAll()
+	if t.db.log != nil {
+		if _, err := t.db.log.Commit(t.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rollback compensates the transaction's operations in reverse order and
+// releases its locks.
+func (t *Txn) Rollback() error {
+	if t.done {
+		return errTxnDone
+	}
+	t.done = true
+	defer t.lk.ReleaseAll()
+	for i := len(t.undo) - 1; i >= 0; i-- {
+		if err := t.db.compensate(t.undo[i]); err != nil {
+			return fmt.Errorf("core: rollback txn %d: %w", t.id, err)
+		}
+	}
+	if t.db.log != nil {
+		if _, err := t.db.log.Abort(t.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var errTxnDone = fmt.Errorf("core: transaction already finished")
+
+// compensate runs the inverse of one logical operation.
+func (db *DB) compensate(op logicalOp) error {
+	col, err := db.Collection(op.Col)
+	if err != nil {
+		return err
+	}
+	switch op.Kind {
+	case "insert":
+		return col.Delete(op.Doc)
+	case "delete":
+		col.writeMu.Lock()
+		defer col.writeMu.Unlock()
+		return col.insertStreamLocked(op.Doc, op.Data)
+	case "update-text":
+		id, err := nodeid.Parse(op.Node)
+		if err != nil {
+			return err
+		}
+		return col.UpdateText(op.Doc, id, op.Data)
+	case "insert-frag":
+		id, err := nodeid.Parse(op.Node)
+		if err != nil {
+			return err
+		}
+		return col.DeleteSubtree(op.Doc, id)
+	case "delete-subtree":
+		anchor, err := nodeid.Parse(op.Anchor)
+		if err != nil {
+			return err
+		}
+		_, err = col.InsertFragment(op.Doc, anchor, op.Pos, op.Data)
+		return err
+	default:
+		return fmt.Errorf("core: unknown logical op %q", op.Kind)
+	}
+}
+
+// undoAnchor computes where a subtree would be re-inserted: before its next
+// sibling if it has one, else as the parent's last child.
+func (c *Collection) undoAnchor(doc xml.DocID, id nodeid.ID) (nodeid.ID, Position, error) {
+	parentID, err := nodeid.Parent(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	sibs, err := c.childEntries(doc, parentID)
+	if err != nil {
+		return nil, 0, err
+	}
+	rel, err := nodeid.LastRel(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	for i, s := range sibs {
+		if bytes.Equal(s.rel, rel) {
+			if i+1 < len(sibs) {
+				return nodeid.Append(parentID, sibs[i+1].rel), BeforeNode, nil
+			}
+			break
+		}
+	}
+	return parentID, AsLastChild, nil
+}
+
+// DocStream re-encodes a stored document as a buffered token stream (used
+// for undo capture and for feeding other pipeline stages).
+func (c *Collection) DocStream(doc xml.DocID) ([]byte, error) {
+	w := tokens.NewWriter(4096)
+	sink := &vsax.TokenSink{W: w}
+	if err := c.WalkDoc(doc, sink); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), w.Bytes()...), nil
+}
+
+// Checkpoint flushes all pages and writes a checkpoint record, bounding
+// redo work after a crash.
+func (db *DB) Checkpoint() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	if db.log != nil {
+		if _, err := db.log.Checkpoint(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover performs crash recovery: physical redo of the WAL against the
+// store, then logical compensation of loser transactions, then a fresh
+// checkpoint. It returns the opened database.
+func Recover(store pagestore.Store, log *wal.Log, opts Options) (*DB, error) {
+	res, err := wal.Recover(log, store)
+	if err != nil {
+		return nil, err
+	}
+	opts.WAL = log
+	db, err := Open(store, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Compensate losers: each transaction's logical ops in reverse order.
+	for txn, ops := range res.Losers {
+		for i := len(ops) - 1; i >= 0; i-- {
+			var op logicalOp
+			if err := json.Unmarshal(ops[i], &op); err != nil {
+				return nil, fmt.Errorf("core: recovery txn %d: %v", txn, err)
+			}
+			if err := db.compensate(op); err != nil {
+				return nil, fmt.Errorf("core: recovery compensation txn %d: %w", txn, err)
+			}
+		}
+		if _, err := log.Abort(txn); err != nil {
+			return nil, err
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,558 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"rx/internal/btree"
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/nodeindex"
+	"rx/internal/pack"
+	"rx/internal/quickxscan"
+	"rx/internal/valueindex"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+)
+
+// Subdocument updates (§3.1, §5.2). Node IDs are stable: deletions never
+// relabel survivors and insertions take fresh IDs Between their siblings, so
+// index entries for untouched nodes stay valid. The paper's LOB comparison
+// is exactly this capability: a LOB column would rewrite the whole document.
+
+// UpdateText replaces the value of a text or attribute node in place.
+func (c *Collection) UpdateText(doc xml.DocID, id nodeid.ID, newValue []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	before, err := c.captureValueKeys(doc)
+	if err != nil {
+		return err
+	}
+	if c.meta.Versioned {
+		if err := c.updateTextVersioned(doc, id, newValue); err != nil {
+			return err
+		}
+		return c.reconcileValueKeys(doc, before)
+	}
+	rid, err := c.nodeIx.Lookup(doc, id)
+	if err != nil {
+		return fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	rec, err := c.fetchRecord(rid)
+	if err != nil {
+		return err
+	}
+	tops, err := rec.Mutable()
+	if err != nil {
+		return err
+	}
+	_, _, node, err := pack.FindMut(tops, rec.ContextID, id)
+	if err != nil {
+		return fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	if node.Kind != xml.Text && node.Kind != xml.Attribute {
+		return fmt.Errorf("core: UpdateText target %s is a %v", id, node.Kind)
+	}
+	node.Value = append([]byte(nil), newValue...)
+	if err := c.rewriteRecord(doc, rid, rec, tops); err != nil {
+		return err
+	}
+	return c.reconcileValueKeys(doc, before)
+}
+
+// DeleteSubtree removes a node and its entire subtree. The document root
+// element cannot be deleted (drop the document instead).
+func (c *Collection) DeleteSubtree(doc xml.DocID, id nodeid.ID) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if len(id) == 0 || nodeid.Level(id) == 1 {
+		return errors.New("core: cannot delete the document root; use Delete")
+	}
+	before, err := c.captureValueKeys(doc)
+	if err != nil {
+		return err
+	}
+	if c.meta.Versioned {
+		if err := c.deleteSubtreeVersioned(doc, id); err != nil {
+			return err
+		}
+		return c.reconcileValueKeys(doc, before)
+	}
+	rid0, err := c.nodeIx.Lookup(doc, id)
+	if err != nil {
+		return fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	rec0, err := c.fetchRecord(rid0)
+	if err != nil {
+		return err
+	}
+	tops, err := rec0.Mutable()
+	if err != nil {
+		return err
+	}
+	parent, idx, _, err := pack.FindMut(tops, rec0.ContextID, id)
+	if err != nil {
+		return fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+
+	// Collect and remove all NodeID-index entries whose interval upper lies
+	// inside the subtree; records other than rec0 referenced by them are
+	// fully contained in the subtree and are dropped whole.
+	type entry struct {
+		upper nodeid.ID
+		rid   heap.RID
+	}
+	var inside []entry
+	err = c.nodeIx.Tree().Scan(nodeindex.Key(doc, id), nil, func(e btree.Entry) bool {
+		d, upper, err := nodeindex.SplitKey(e.Key)
+		if err != nil || d != doc || !nodeid.IsAncestorOrSelf(id, upper) {
+			return false
+		}
+		inside = append(inside, entry{upper: nodeid.Clone(upper), rid: heap.RIDFromBytes(e.Value)})
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	dropped := map[heap.RID]bool{}
+	for _, e := range inside {
+		if e.rid != rid0 && !dropped[e.rid] {
+			if err := c.xmlTbl.Delete(e.rid); err != nil {
+				return err
+			}
+			dropped[e.rid] = true
+		}
+		if err := c.nodeIx.Delete(doc, e.upper); err != nil && !errors.Is(err, btree.ErrNotFound) {
+			return err
+		}
+	}
+
+	// Remove the subtree from rec0.
+	if parent == nil {
+		tops = append(tops[:idx], tops[idx+1:]...)
+	} else {
+		parent.Children = append(parent.Children[:idx], parent.Children[idx+1:]...)
+	}
+	if len(tops) == 0 {
+		// rec0 held only this subtree run: drop the record and remove (or
+		// shrink) the proxy that referenced it from the parent's record.
+		for _, u := range recordUppers(rec0) {
+			if err := c.nodeIx.Delete(doc, u); err != nil && !errors.Is(err, btree.ErrNotFound) {
+				return err
+			}
+		}
+		if err := c.xmlTbl.Delete(rid0); err != nil {
+			return err
+		}
+		if err := c.dropProxyFor(doc, id); err != nil {
+			return err
+		}
+	} else {
+		if err := c.rewriteRecord(doc, rid0, rec0, tops); err != nil {
+			return err
+		}
+	}
+	return c.reconcileValueKeys(doc, before)
+}
+
+// Position selects where an inserted fragment goes relative to its anchor.
+type Position int
+
+// Insertion positions.
+const (
+	// AsLastChild appends under the anchor element.
+	AsLastChild Position = iota
+	// BeforeNode inserts as the anchor's preceding sibling.
+	BeforeNode
+	// AfterNode inserts as the anchor's following sibling.
+	AfterNode
+)
+
+// InsertFragment parses an XML fragment (one element) and inserts it at the
+// given position relative to the anchor node.
+func (c *Collection) InsertFragment(doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	before, err := c.captureValueKeys(doc)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := xmlparse.Parse(fragment, c.db.cat, xmlparse.Options{})
+	if err != nil {
+		return nil, err
+	}
+
+	var parentID nodeid.ID
+	switch pos {
+	case AsLastChild:
+		parentID = anchor
+	default:
+		parentID, err = nodeid.Parent(anchor)
+		if err != nil {
+			return nil, err
+		}
+		if nodeid.Equal(parentID, nodeid.Root) && pos != AsLastChild {
+			return nil, errors.New("core: cannot insert siblings of the document root")
+		}
+	}
+
+	sibs, err := c.childEntries(doc, parentID)
+	if err != nil {
+		return nil, err
+	}
+	// Decide the new relative ID and the insertion site.
+	var lo, hi nodeid.Rel
+	site := -1 // index in sibs after which to insert (-1 = first)
+	switch pos {
+	case AsLastChild:
+		if len(sibs) > 0 {
+			lo = sibs[len(sibs)-1].rel
+			site = len(sibs) - 1
+		}
+	case BeforeNode, AfterNode:
+		aRel, err := nodeid.LastRel(anchor)
+		if err != nil {
+			return nil, err
+		}
+		ai := -1
+		for i, s := range sibs {
+			if bytes.Equal(s.rel, aRel) {
+				ai = i
+				break
+			}
+		}
+		if ai < 0 {
+			return nil, fmt.Errorf("%w: anchor %s not found among siblings", ErrNotFound, anchor)
+		}
+		if pos == BeforeNode {
+			hi = sibs[ai].rel
+			if ai > 0 {
+				lo = sibs[ai-1].rel
+			}
+			site = ai - 1
+		} else {
+			lo = sibs[ai].rel
+			if ai+1 < len(sibs) {
+				hi = sibs[ai+1].rel
+			}
+			site = ai
+		}
+	}
+	newRel, err := nodeid.Between(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	sub, err := pack.BuildMutFromTokens(stream, newRel)
+	if err != nil {
+		return nil, err
+	}
+	newID := nodeid.Append(parentID, newRel)
+
+	// Choose the record to edit: the record holding the neighbouring entry,
+	// or the record holding the parent element for a first child.
+	var rid heap.RID
+	if site >= 0 {
+		rid = sibs[site].rid
+	} else if len(sibs) > 0 {
+		rid = sibs[0].rid
+	} else {
+		rid, err = c.lookupCur(doc, parentID)
+		if err != nil {
+			return nil, fmt.Errorf("%w: parent %s", ErrNotFound, parentID)
+		}
+	}
+	rec, err := c.fetchRecord(rid)
+	if err != nil {
+		return nil, err
+	}
+	tops, err := rec.Mutable()
+	if err != nil {
+		return nil, err
+	}
+	if err := insertMut(tops, rec, parentID, newRel, sub, func(newTops []*pack.MutNode) { tops = newTops }); err != nil {
+		return nil, err
+	}
+	if c.meta.Versioned {
+		if err := c.insertFragmentVersioned(doc, rid, rec, tops); err != nil {
+			return nil, err
+		}
+	} else if err := c.rewriteRecord(doc, rid, rec, tops); err != nil {
+		return nil, err
+	}
+	if err := c.reconcileValueKeys(doc, before); err != nil {
+		return nil, err
+	}
+	return newID, nil
+}
+
+// insertMut places sub under parentID within the decoded record, keeping
+// sibling order by relative ID.
+func insertMut(tops []*pack.MutNode, rec *pack.Record, parentID nodeid.ID, newRel nodeid.Rel, sub *pack.MutNode, setTops func([]*pack.MutNode)) error {
+	insertOrdered := func(list []*pack.MutNode) []*pack.MutNode {
+		at := len(list)
+		for i, m := range list {
+			if bytes.Compare(m.Rel, newRel) > 0 {
+				at = i
+				break
+			}
+		}
+		list = append(list, nil)
+		copy(list[at+1:], list[at:])
+		list[at] = sub
+		return list
+	}
+	if nodeid.Equal(parentID, rec.ContextID) {
+		setTops(insertOrdered(tops))
+		return nil
+	}
+	_, _, parent, err := pack.FindMut(tops, rec.ContextID, parentID)
+	if err != nil {
+		return err
+	}
+	if parent.Kind != xml.Element {
+		return fmt.Errorf("core: insert parent %s is a %v", parentID, parent.Kind)
+	}
+	parent.Children = insertOrdered(parent.Children)
+	return nil
+}
+
+// childEntry is one child slot of a node, with the record that stores it.
+type childEntry struct {
+	rel     nodeid.Rel
+	rid     heap.RID
+	isProxy bool
+}
+
+// childEntries enumerates a node's child entries in order across records,
+// resolving proxies to the records holding their runs.
+func (c *Collection) childEntries(doc xml.DocID, parentID nodeid.ID) ([]childEntry, error) {
+	rid, err := c.lookupCur(doc, parentID)
+	if err != nil {
+		if len(parentID) == 0 {
+			return nil, fmt.Errorf("%w: document %d", ErrNotFound, doc)
+		}
+		return nil, fmt.Errorf("%w: node %s", ErrNotFound, parentID)
+	}
+	rec, err := c.fetchRecord(rid)
+	if err != nil {
+		return nil, err
+	}
+	var list func(rec *pack.Record, rid heap.RID, entries []pack.Node) ([]childEntry, error)
+	collect := func(rec *pack.Record, rid heap.RID) ([]pack.Node, error) {
+		var ns []pack.Node
+		err := rec.Top(func(n pack.Node) (bool, error) {
+			ns = append(ns, n)
+			return true, nil
+		})
+		return ns, err
+	}
+	list = func(rec *pack.Record, rid heap.RID, entries []pack.Node) ([]childEntry, error) {
+		var out []childEntry
+		for _, n := range entries {
+			if n.IsProxy() {
+				childRID, err := c.lookupCur(doc, n.Abs)
+				if err != nil {
+					return nil, err
+				}
+				childRec, err := c.fetchRecord(childRID)
+				if err != nil {
+					return nil, err
+				}
+				subEntries, err := collect(childRec, childRID)
+				if err != nil {
+					return nil, err
+				}
+				subs, err := list(childRec, childRID, subEntries)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, subs...)
+				continue
+			}
+			out = append(out, childEntry{rel: append(nodeid.Rel(nil), n.Rel...), rid: rid})
+		}
+		return out, nil
+	}
+	if nodeid.Equal(rec.ContextID, parentID) {
+		entries, err := collect(rec, rid)
+		if err != nil {
+			return nil, err
+		}
+		return list(rec, rid, entries)
+	}
+	n, found, err := rec.Find(parentID)
+	if err != nil || !found {
+		return nil, fmt.Errorf("%w: node %s", ErrNotFound, parentID)
+	}
+	if n.Kind != xml.Element {
+		return nil, fmt.Errorf("core: node %s is a %v, not an element", parentID, n.Kind)
+	}
+	var entries []pack.Node
+	err = rec.Children(&n, func(cn pack.Node) (bool, error) {
+		entries = append(entries, cn)
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return list(rec, rid, entries)
+}
+
+// rewriteRecord re-encodes an edited record, updates its heap row, and
+// refreshes its NodeID-index interval entries.
+func (c *Collection) rewriteRecord(doc xml.DocID, rid heap.RID, rec *pack.Record, tops []*pack.MutNode) error {
+	oldUppers := recordUppers(rec)
+	payload := rec.Encode(tops)
+	newRec, err := pack.Decode(payload)
+	if err != nil {
+		return err
+	}
+	newUppers, minID, err := newRec.Intervals()
+	if err != nil {
+		return err
+	}
+	if err := c.xmlTbl.Update(rid, xmlRow(doc, minID, payload)); err != nil {
+		return err
+	}
+	for _, u := range oldUppers {
+		if err := c.nodeIx.Delete(doc, u); err != nil && !errors.Is(err, btree.ErrNotFound) {
+			return err
+		}
+	}
+	for _, u := range newUppers {
+		if err := c.nodeIx.Put(doc, u, rid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordUppers computes a record's current interval upper endpoints.
+func recordUppers(rec *pack.Record) []nodeid.ID {
+	uppers, _, err := rec.Intervals()
+	if err != nil {
+		return nil
+	}
+	return uppers
+}
+
+// dropProxyFor removes (or shrinks) the proxy entry that covered the run a
+// now-empty record used to hold. id is the first deleted subtree's ID.
+func (c *Collection) dropProxyFor(doc xml.DocID, id nodeid.ID) error {
+	parentID, err := nodeid.Parent(id)
+	if err != nil {
+		return err
+	}
+	rid, err := c.nodeIx.Lookup(doc, parentID)
+	if err != nil {
+		return nil // parent record may itself be gone (cascading delete)
+	}
+	rec, err := c.fetchRecord(rid)
+	if err != nil {
+		return err
+	}
+	tops, err := rec.Mutable()
+	if err != nil {
+		return err
+	}
+	rel, err := nodeid.LastRel(id)
+	if err != nil {
+		return err
+	}
+	removeProxy := func(list []*pack.MutNode) ([]*pack.MutNode, bool) {
+		// The covering proxy is the last proxy with Rel <= rel.
+		best := -1
+		for i, m := range list {
+			if m.Kind == xml.Proxy && bytes.Compare(m.Rel, rel) <= 0 {
+				best = i
+			}
+		}
+		if best < 0 {
+			return list, false
+		}
+		if list[best].ProxyCount > 1 {
+			list[best].ProxyCount--
+			// The proxy may now start at a later subtree; its Rel is
+			// advisory (resolution goes through the NodeID index), so it is
+			// left unchanged.
+			return list, true
+		}
+		return append(list[:best], list[best+1:]...), true
+	}
+	changed := false
+	if nodeid.Equal(rec.ContextID, parentID) {
+		tops, changed = removeProxy(tops)
+	} else {
+		_, _, parent, err := pack.FindMut(tops, rec.ContextID, parentID)
+		if err == nil && parent != nil {
+			parent.Children, changed = removeProxy(parent.Children)
+		}
+	}
+	if !changed {
+		return nil
+	}
+	return c.rewriteRecord(doc, rid, rec, tops)
+}
+
+// valueKeySnapshot is one index's (value, node) key set for a document.
+type valueKeySnapshot struct {
+	ov      *openValueIndex
+	matches []quickxscan.Match
+}
+
+// captureValueKeys records every value index's keys for the document before
+// an update.
+func (c *Collection) captureValueKeys(doc xml.DocID) ([]valueKeySnapshot, error) {
+	var out []valueKeySnapshot
+	for _, ov := range c.valIxs {
+		ms, err := c.evalStored(doc, ov.keygen)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, valueKeySnapshot{ov: ov, matches: ms})
+	}
+	return out, nil
+}
+
+// reconcileValueKeys diffs each index's keys after an update against the
+// snapshot, applying only the changes.
+func (c *Collection) reconcileValueKeys(doc xml.DocID, before []valueKeySnapshot) error {
+	for _, snap := range before {
+		after, err := c.evalStored(doc, snap.ov.keygen)
+		if err != nil {
+			return err
+		}
+		key := func(m quickxscan.Match) string { return string(m.ID) + "\x00" + string(m.Value) }
+		oldSet := map[string]quickxscan.Match{}
+		for _, m := range snap.matches {
+			oldSet[key(m)] = m
+		}
+		newSet := map[string]quickxscan.Match{}
+		for _, m := range after {
+			newSet[key(m)] = m
+		}
+		for k, m := range oldSet {
+			if _, ok := newSet[k]; ok {
+				continue
+			}
+			err := snap.ov.ix.Delete(m.Value, doc, m.ID)
+			if err != nil && !errors.Is(err, valueindex.ErrNotIndexable) && !errors.Is(err, btree.ErrNotFound) {
+				return err
+			}
+		}
+		for k, m := range newSet {
+			if _, ok := oldSet[k]; ok {
+				continue
+			}
+			rid, err := c.lookupCur(doc, m.ID)
+			if err != nil {
+				return err
+			}
+			if err := snap.ov.ix.Put(m.Value, doc, m.ID, rid); err != nil && !errors.Is(err, valueindex.ErrNotIndexable) {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rx/internal/xml"
+)
+
+func serializeStr(t *testing.T, col *Collection, id xml.DocID) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := col.Serialize(id, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestUpdateText(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	col.CreateValueIndex("ix", "//price", xml.TDouble)
+	id, _ := col.Insert([]byte(`<r><p a="old"><price>10</price></p></r>`))
+
+	res, _, _ := col.Query("//price/text()")
+	if len(res) != 1 {
+		t.Fatal("text node not found")
+	}
+	if err := col.UpdateText(id, res[0].Node, []byte("99")); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><p a="old"><price>99</price></p></r>` {
+		t.Errorf("after UpdateText: %s", got)
+	}
+	// The value index reflects the change.
+	hits, plan, _ := col.Query("/r/p[price = 99]")
+	if len(hits) != 1 {
+		t.Errorf("index stale after text update (plan %s): %v", plan.Method, hits)
+	}
+	hits, _, _ = col.Query("/r/p[price = 10]")
+	if len(hits) != 0 {
+		t.Errorf("old value still indexed: %v", hits)
+	}
+
+	// Attribute update.
+	ares, _, _ := col.Query("//p/@a")
+	if err := col.UpdateText(id, ares[0].Node, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); !strings.Contains(got, `a="new"`) {
+		t.Errorf("after attr update: %s", got)
+	}
+	// Element target is rejected.
+	eres, _, _ := col.Query("//p")
+	if err := col.UpdateText(id, eres[0].Node, []byte("x")); err == nil {
+		t.Error("UpdateText on an element should fail")
+	}
+}
+
+func TestDeleteSubtreeSimple(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	col.CreateValueIndex("ix", "//v", xml.TDouble)
+	id, _ := col.Insert([]byte(`<r><a><v>1</v></a><b><v>2</v></b><c><v>3</v></c></r>`))
+
+	res, _, _ := col.Query("/r/b")
+	if err := col.DeleteSubtree(id, res[0].Node); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><a><v>1</v></a><c><v>3</v></c></r>` {
+		t.Errorf("after delete: %s", got)
+	}
+	hits, _, _ := col.Query("/r/*[v = 2]")
+	if len(hits) != 0 {
+		t.Errorf("deleted subtree still queryable: %v", hits)
+	}
+	hits, _, _ = col.Query("/r/*[v = 3]")
+	if len(hits) != 1 {
+		t.Errorf("sibling lost: %v", hits)
+	}
+	// Root deletion is rejected.
+	root, _, _ := col.Query("/r")
+	if err := col.DeleteSubtree(id, root[0].Node); err == nil {
+		t.Error("root deletion should be rejected")
+	}
+}
+
+func TestDeleteSubtreeMultiRecord(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{PackThreshold: 400})
+	var sb strings.Builder
+	sb.WriteString("<r><head/>")
+	sb.WriteString("<big>")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "<e>%040d</e>", i)
+	}
+	sb.WriteString("</big><tail/></r>")
+	id, _ := col.Insert([]byte(sb.String()))
+
+	rows0 := col.XMLTable().Count()
+	res, _, _ := col.Query("/r/big")
+	if len(res) != 1 {
+		t.Fatal("big not found")
+	}
+	if err := col.DeleteSubtree(id, res[0].Node); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><head/><tail/></r>` {
+		t.Errorf("after multi-record delete: %s", got)
+	}
+	rows1 := col.XMLTable().Count()
+	if rows1 >= rows0 {
+		t.Errorf("child records not reclaimed: %d -> %d", rows0, rows1)
+	}
+	// Remaining structure is fully navigable.
+	hits, _, _ := col.Query("//e")
+	if len(hits) != 0 {
+		t.Errorf("descendants of deleted subtree remain: %d", len(hits))
+	}
+}
+
+func TestInsertFragmentPositions(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	id, _ := col.Insert([]byte(`<r><a/><c/></r>`))
+
+	cRes, _, _ := col.Query("/r/c")
+	if _, err := col.InsertFragment(id, cRes[0].Node, BeforeNode, []byte(`<b>mid</b>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><a/><b>mid</b><c/></r>` {
+		t.Errorf("BeforeNode: %s", got)
+	}
+
+	aRes, _, _ := col.Query("/r/a")
+	if _, err := col.InsertFragment(id, aRes[0].Node, BeforeNode, []byte(`<first/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><first/><a/><b>mid</b><c/></r>` {
+		t.Errorf("Before first: %s", got)
+	}
+
+	cRes, _, _ = col.Query("/r/c")
+	if _, err := col.InsertFragment(id, cRes[0].Node, AfterNode, []byte(`<last x="1"/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><first/><a/><b>mid</b><c/><last x="1"/></r>` {
+		t.Errorf("AfterNode: %s", got)
+	}
+
+	// AsLastChild under an inner element.
+	bRes, _, _ := col.Query("/r/b")
+	newID, err := col.InsertFragment(id, bRes[0].Node, AsLastChild, []byte(`<sub>deep</sub>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := serializeStr(t, col, id); got != `<r><first/><a/><b>mid<sub>deep</sub></b><c/><last x="1"/></r>` {
+		t.Errorf("AsLastChild: %s", got)
+	}
+	v, err := col.NodeString(id, newID)
+	if err != nil || string(v) != "deep" {
+		t.Errorf("new node value = %q, %v", v, err)
+	}
+}
+
+func TestInsertFragmentMaintainsIndexes(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	col.CreateValueIndex("ix", "/r/item/price", xml.TDouble)
+	id, _ := col.Insert([]byte(`<r><item><price>10</price></item></r>`))
+
+	root, _, _ := col.Query("/r")
+	if _, err := col.InsertFragment(id, root[0].Node, AsLastChild, []byte(`<item><price>55</price></item>`)); err != nil {
+		t.Fatal(err)
+	}
+	hits, plan, err := col.Query("/r/item[price = 55]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method == "scan" {
+		t.Errorf("index not used: %s", plan.Method)
+	}
+	if len(hits) != 1 {
+		t.Errorf("inserted item not indexed: %v", hits)
+	}
+}
+
+func TestManySiblingInsertions(t *testing.T) {
+	// Repeated insertion at the same position exercises Between-based ID
+	// assignment: IDs must stay ordered and unique with no relabeling.
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	id, _ := col.Insert([]byte(`<r><a/><z/></r>`))
+	aRes, _, _ := col.Query("/r/a")
+	anchor := aRes[0].Node
+	for i := 0; i < 40; i++ {
+		if _, err := col.InsertFragment(id, anchor, AfterNode, []byte(fmt.Sprintf("<m i=\"%d\"/>", i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	got := serializeStr(t, col, id)
+	// Inserting after <a/> each time reverses the order: 39, 38, ..., 0.
+	for i := 0; i < 39; i++ {
+		hi := fmt.Sprintf(`i="%d"`, 39-i)
+		lo := fmt.Sprintf(`i="%d"`, 38-i)
+		if strings.Index(got, hi) > strings.Index(got, lo) {
+			t.Fatalf("sibling order wrong around %d: %s", i, got)
+		}
+	}
+	res, _, _ := col.Query("//m")
+	if len(res) != 40 {
+		t.Errorf("got %d m elements", len(res))
+	}
+}
+
+func TestUpdateOnMultiRecordDocument(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{PackThreshold: 300})
+	var sb strings.Builder
+	sb.WriteString("<r>")
+	for i := 0; i < 80; i++ {
+		fmt.Fprintf(&sb, "<e k=\"%d\">%030d</e>", i, i)
+	}
+	sb.WriteString("</r>")
+	id, _ := col.Insert([]byte(sb.String()))
+
+	// Update a text deep in some middle record.
+	res, _, _ := col.Query(`//e[@k = '40']/text()`)
+	if len(res) != 1 {
+		t.Fatalf("text not found: %v", res)
+	}
+	if err := col.UpdateText(id, res[0].Node, []byte("CHANGED")); err != nil {
+		t.Fatal(err)
+	}
+	got := serializeStr(t, col, id)
+	if !strings.Contains(got, `<e k="40">CHANGED</e>`) {
+		t.Error("update lost")
+	}
+	// Insert a sibling in the middle.
+	eRes, _, _ := col.Query(`//e[@k = '40']`)
+	if _, err := col.InsertFragment(id, eRes[0].Node, AfterNode, []byte(`<inserted/>`)); err != nil {
+		t.Fatal(err)
+	}
+	got = serializeStr(t, col, id)
+	if !strings.Contains(got, `CHANGED</e><inserted/>`) {
+		t.Errorf("mid-record insert misplaced: %.200s", got)
+	}
+	// Document still has all elements.
+	all, _, _ := col.Query("//e")
+	if len(all) != 80 {
+		t.Errorf("element count = %d", len(all))
+	}
+}

@@ -1,0 +1,140 @@
+// Package dom builds an in-memory tree from a token stream. It exists as
+// the baseline the paper measures QuickXScan against ("orders of magnitude
+// better than some DOM-based algorithm", §4.2): materialize everything,
+// then navigate. Node IDs are assigned exactly as the packer assigns them,
+// so DOM-based results are comparable node-for-node with streaming and
+// stored evaluation.
+package dom
+
+import (
+	"errors"
+
+	"rx/internal/nodeid"
+	"rx/internal/tokens"
+	"rx/internal/xml"
+)
+
+// Node is one node of the in-memory tree.
+type Node struct {
+	Kind   xml.Kind
+	Name   xml.QName // element/attribute name; PI target; ns prefix in Local
+	Value  []byte
+	Type   xml.TypeID
+	ID     nodeid.ID
+	Parent *Node
+	// Attrs holds attribute and namespace nodes; Kids holds element, text,
+	// comment and PI children. Both are in document order.
+	Attrs []*Node
+	Kids  []*Node
+}
+
+// Build materializes a token stream into a document node.
+func Build(stream []byte) (*Node, error) {
+	r := tokens.NewReader(stream)
+	var doc *Node
+	var stack []*Node
+	var counters []int
+	alloc := func() nodeid.ID {
+		parent := stack[len(stack)-1]
+		rel := nodeid.RelAt(counters[len(counters)-1])
+		counters[len(counters)-1]++
+		return nodeid.Append(parent.ID, rel)
+	}
+	for r.More() {
+		t, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case tokens.StartDocument:
+			doc = &Node{Kind: xml.Document, ID: nodeid.Root}
+			stack = append(stack[:0], doc)
+			counters = append(counters[:0], 0)
+		case tokens.EndDocument:
+			if len(stack) != 1 {
+				return nil, errors.New("dom: unbalanced document")
+			}
+			return doc, nil
+		case tokens.StartElement:
+			n := &Node{Kind: xml.Element, Name: t.Name, ID: alloc(), Parent: stack[len(stack)-1]}
+			n.Parent.Kids = append(n.Parent.Kids, n)
+			stack = append(stack, n)
+			counters = append(counters, 0)
+		case tokens.EndElement:
+			stack = stack[:len(stack)-1]
+			counters = counters[:len(counters)-1]
+		case tokens.Attr:
+			n := &Node{Kind: xml.Attribute, Name: t.Name, Value: append([]byte(nil), t.Value...),
+				Type: t.Type, ID: alloc(), Parent: stack[len(stack)-1]}
+			n.Parent.Attrs = append(n.Parent.Attrs, n)
+		case tokens.NSDecl:
+			n := &Node{Kind: xml.Namespace, Name: xml.QName{URI: t.URI, Local: t.Prefix},
+				ID: alloc(), Parent: stack[len(stack)-1]}
+			n.Parent.Attrs = append(n.Parent.Attrs, n)
+		case tokens.Text:
+			n := &Node{Kind: xml.Text, Value: append([]byte(nil), t.Value...), Type: t.Type,
+				ID: alloc(), Parent: stack[len(stack)-1]}
+			n.Parent.Kids = append(n.Parent.Kids, n)
+		case tokens.Comment:
+			n := &Node{Kind: xml.Comment, Value: append([]byte(nil), t.Value...),
+				ID: alloc(), Parent: stack[len(stack)-1]}
+			n.Parent.Kids = append(n.Parent.Kids, n)
+		case tokens.PI:
+			n := &Node{Kind: xml.ProcessingInstruction, Name: t.Name,
+				Value: append([]byte(nil), t.Value...), ID: alloc(), Parent: stack[len(stack)-1]}
+			n.Parent.Kids = append(n.Parent.Kids, n)
+		}
+	}
+	return nil, errors.New("dom: stream ended before EndDocument")
+}
+
+// StringValue computes the node's XPath string value: the attribute/text
+// value, or the concatenation of all descendant text for elements and
+// documents.
+func (n *Node) StringValue() []byte {
+	switch n.Kind {
+	case xml.Attribute, xml.Text, xml.Comment, xml.ProcessingInstruction, xml.Namespace:
+		return n.Value
+	}
+	var out []byte
+	var rec func(*Node)
+	rec = func(x *Node) {
+		if x.Kind == xml.Text {
+			out = append(out, x.Value...)
+			return
+		}
+		for _, k := range x.Kids {
+			rec(k)
+		}
+	}
+	rec(n)
+	return out
+}
+
+// Walk visits the subtree in document order (attributes and namespace nodes
+// before element content).
+func (n *Node) Walk(fn func(*Node) bool) bool {
+	if n.Kind != xml.Document {
+		if !fn(n) {
+			return false
+		}
+	}
+	for _, a := range n.Attrs {
+		if !fn(a) {
+			return false
+		}
+	}
+	for _, k := range n.Kids {
+		if !k.Walk(fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountNodes counts the nodes in the subtree (excluding the document node).
+func (n *Node) CountNodes() int {
+	count := 0
+	n.Walk(func(*Node) bool { count++; return true })
+	return count
+}

@@ -1,0 +1,109 @@
+package dom
+
+import (
+	"testing"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+)
+
+func build(t *testing.T, doc string) (*Node, *xml.Dict) {
+	t.Helper()
+	dict := xml.NewDict()
+	stream, err := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Build(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, dict
+}
+
+func TestBuildStructure(t *testing.T) {
+	tree, dict := build(t, `<a x="1"><b>hi</b><!--c--><?p d?></a>`)
+	if tree.Kind != xml.Document || len(tree.Kids) != 1 {
+		t.Fatalf("doc = %+v", tree)
+	}
+	a := tree.Kids[0]
+	name, _ := dict.Lookup(a.Name.Local)
+	if a.Kind != xml.Element || name != "a" {
+		t.Fatalf("root = %+v", a)
+	}
+	if len(a.Attrs) != 1 || string(a.Attrs[0].Value) != "1" {
+		t.Errorf("attrs = %+v", a.Attrs)
+	}
+	if len(a.Kids) != 3 {
+		t.Fatalf("kids = %d", len(a.Kids))
+	}
+	if a.Kids[1].Kind != xml.Comment || a.Kids[2].Kind != xml.ProcessingInstruction {
+		t.Errorf("kid kinds: %v %v", a.Kids[1].Kind, a.Kids[2].Kind)
+	}
+	if a.Kids[0].Parent != a || a.Attrs[0].Parent != a {
+		t.Error("parent links broken")
+	}
+}
+
+func TestIDsMatchPacker(t *testing.T) {
+	tree, _ := build(t, `<a x="1"><b>hi</b></a>`)
+	a := tree.Kids[0]
+	if !nodeid.Equal(a.ID, nodeid.ID{0x02}) {
+		t.Errorf("a.ID = %s", a.ID)
+	}
+	if !nodeid.Equal(a.Attrs[0].ID, nodeid.ID{0x02, 0x02}) {
+		t.Errorf("@x.ID = %s", a.Attrs[0].ID)
+	}
+	if !nodeid.Equal(a.Kids[0].ID, nodeid.ID{0x02, 0x04}) {
+		t.Errorf("b.ID = %s", a.Kids[0].ID)
+	}
+	if !nodeid.Equal(a.Kids[0].Kids[0].ID, nodeid.ID{0x02, 0x04, 0x02}) {
+		t.Errorf("text.ID = %s", a.Kids[0].Kids[0].ID)
+	}
+}
+
+func TestStringValue(t *testing.T) {
+	tree, _ := build(t, `<a>one <b>two</b> three</a>`)
+	if got := string(tree.Kids[0].StringValue()); got != "one two three" {
+		t.Errorf("StringValue = %q", got)
+	}
+	b := tree.Kids[0].Kids[1]
+	if got := string(b.StringValue()); got != "two" {
+		t.Errorf("b StringValue = %q", got)
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	tree, _ := build(t, `<a x="1"><b>t</b><c/></a>`)
+	// a, @x, b, text, c = 5
+	if n := tree.CountNodes(); n != 5 {
+		t.Errorf("CountNodes = %d", n)
+	}
+	var kinds []xml.Kind
+	tree.Walk(func(n *Node) bool {
+		kinds = append(kinds, n.Kind)
+		return true
+	})
+	want := []xml.Kind{xml.Element, xml.Attribute, xml.Element, xml.Text, xml.Element}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("kind %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	// Early stop.
+	n := 0
+	tree.Walk(func(*Node) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop at %d", n)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build([]byte{0xEE}); err == nil {
+		t.Error("garbage stream should fail")
+	}
+}

@@ -1,0 +1,683 @@
+// Package heap implements slotted-page heap tables over the buffer pool —
+// the "regular table space" of the paper's Figure 2. Both the base tables
+// (with DocID and XML columns) and the internal XML tables (DocID, minNodeID,
+// XMLData) are heap tables of variable-length VARBINARY rows addressed by
+// record IDs (RIDs). To this layer, packed XML data looks exactly like
+// relational rows, which is the central reuse claim of the paper (§2).
+//
+// Page layout:
+//
+//	[0:8)   pageLSN (maintained by buffer.Pool.Modify)
+//	[8:10)  slot count
+//	[10:12) free-space pointer (offset of the byte after the last record,
+//	        records grow downward from the end of the page)
+//	[12:16) next page in the table's chain (InvalidPage if last)
+//	[16:..) slot array, 4 bytes per slot: offset uint16, length uint16;
+//	        offset 0 marks a dead slot
+//
+// Updates that no longer fit on the home page leave a forwarding stub so RIDs
+// stay stable — the NodeID and XPath value indexes store RIDs and must not be
+// invalidated by record growth (§3.1: "maximum flexibility of record
+// placement").
+//
+// All page mutations go through buffer.Pool.Modify, which feeds the WAL when
+// one is attached; the heap itself contains no logging code, mirroring how
+// the paper's XML storage inherits logging from the relational data manager.
+package heap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"rx/internal/buffer"
+	"rx/internal/pagestore"
+)
+
+// RID is a record identifier: physical page plus slot number.
+type RID struct {
+	Page pagestore.PageID
+	Slot uint16
+}
+
+// InvalidRID never addresses a record.
+var InvalidRID = RID{Page: pagestore.InvalidPage}
+
+// String renders the RID as page:slot.
+func (r RID) String() string { return fmt.Sprintf("%d:%d", r.Page, r.Slot) }
+
+// Bytes encodes the RID into 6 bytes.
+func (r RID) Bytes() []byte {
+	var b [6]byte
+	binary.BigEndian.PutUint32(b[0:4], uint32(r.Page))
+	binary.BigEndian.PutUint16(b[4:6], r.Slot)
+	return b[:]
+}
+
+// RIDFromBytes decodes a RID encoded by Bytes.
+func RIDFromBytes(b []byte) RID {
+	return RID{
+		Page: pagestore.PageID(binary.BigEndian.Uint32(b[0:4])),
+		Slot: binary.BigEndian.Uint16(b[4:6]),
+	}
+}
+
+const (
+	hdrSlots    = 8
+	hdrFreePtr  = 10
+	hdrNextPage = 12
+	hdrSize     = 16
+	slotSize    = 4
+
+	recNormal  = 0 // flag byte: ordinary record
+	recForward = 1 // flag byte: 6-byte forwarding RID follows
+	recHome    = 2 // flag byte: record moved here from another home page
+)
+
+// MaxRecord is the largest record payload a single page can hold.
+const MaxRecord = pagestore.PageSize - hdrSize - slotSize - 8
+
+// ErrNotFound reports a missing record.
+var ErrNotFound = errors.New("heap: record not found")
+
+// ErrTooLarge reports a record payload exceeding MaxRecord.
+var ErrTooLarge = errors.New("heap: record too large")
+
+// Table is a heap table: an unordered collection of variable-length records.
+type Table struct {
+	pool *buffer.Pool
+
+	mu        sync.Mutex
+	firstPage pagestore.PageID
+	lastPage  pagestore.PageID
+	count     uint64 // records (approximate under concurrency)
+	// freeCache maps pages believed to have free space to the free byte
+	// count observed; consulted before extending the table.
+	freeCache map[pagestore.PageID]int
+}
+
+// Create allocates a new empty table and returns it. The table is identified
+// durably by its first page ID (store it in a catalog).
+func Create(pool *buffer.Pool) (*Table, error) {
+	f, err := pool.NewPage()
+	if err != nil {
+		return nil, err
+	}
+	err = pool.Modify(f, func(d []byte) error {
+		initPage(d)
+		return nil
+	})
+	id := f.ID
+	pool.Unpin(f, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{
+		pool:      pool,
+		firstPage: id,
+		lastPage:  id,
+		freeCache: make(map[pagestore.PageID]int),
+	}, nil
+}
+
+// Open attaches to an existing table by its first page ID, walking the chain
+// to find the last page.
+func Open(pool *buffer.Pool, first pagestore.PageID) (*Table, error) {
+	t := &Table{
+		pool:      pool,
+		firstPage: first,
+		lastPage:  first,
+		freeCache: make(map[pagestore.PageID]int),
+	}
+	pg := first
+	for pg != pagestore.InvalidPage {
+		f, err := pool.Fetch(pg)
+		if err != nil {
+			return nil, err
+		}
+		f.RLock()
+		next := pageNext(f.Data)
+		free := pageFree(f.Data)
+		slots := int(binary.BigEndian.Uint16(f.Data[hdrSlots:]))
+		f.RUnlock()
+		pool.Unpin(f, false)
+		if free > 64 {
+			t.freeCache[pg] = free
+		}
+		t.count += uint64(slots) // approximation; dead slots over-count
+		t.lastPage = pg
+		pg = next
+	}
+	return t, nil
+}
+
+// FirstPage returns the table's identifying first page.
+func (t *Table) FirstPage() pagestore.PageID { return t.firstPage }
+
+// Count returns the approximate number of live records.
+func (t *Table) Count() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+func initPage(d []byte) {
+	for i := 8; i < len(d); i++ {
+		d[i] = 0
+	}
+	binary.BigEndian.PutUint16(d[hdrSlots:], 0)
+	binary.BigEndian.PutUint16(d[hdrFreePtr:], pagestore.PageSize)
+	binary.BigEndian.PutUint32(d[hdrNextPage:], uint32(pagestore.InvalidPage))
+}
+
+func pageNext(d []byte) pagestore.PageID {
+	return pagestore.PageID(binary.BigEndian.Uint32(d[hdrNextPage:]))
+}
+
+func setPageNext(d []byte, id pagestore.PageID) {
+	binary.BigEndian.PutUint32(d[hdrNextPage:], uint32(id))
+}
+
+// pageFree returns the contiguous free bytes available for one more record
+// (including its slot).
+func pageFree(d []byte) int {
+	slots := int(binary.BigEndian.Uint16(d[hdrSlots:]))
+	freePtr := int(binary.BigEndian.Uint16(d[hdrFreePtr:]))
+	if freePtr == 0 {
+		freePtr = pagestore.PageSize
+	}
+	used := hdrSize + slots*slotSize
+	return freePtr - used - slotSize
+}
+
+func slotAt(d []byte, i int) (off, length int) {
+	base := hdrSize + i*slotSize
+	return int(binary.BigEndian.Uint16(d[base:])), int(binary.BigEndian.Uint16(d[base+2:]))
+}
+
+func setSlot(d []byte, i, off, length int) {
+	base := hdrSize + i*slotSize
+	binary.BigEndian.PutUint16(d[base:], uint16(off))
+	binary.BigEndian.PutUint16(d[base+2:], uint16(length))
+}
+
+// insertInPage places payload (with flag prefix) in the page if it fits,
+// returning the slot, or -1 if there is no room. Reuses dead slots.
+func insertInPage(d []byte, flag byte, payload []byte) int {
+	need := len(payload) + 1
+	slots := int(binary.BigEndian.Uint16(d[hdrSlots:]))
+	// Find a dead slot to reuse (doesn't need a new slot entry).
+	slot := -1
+	for i := 0; i < slots; i++ {
+		if off, _ := slotAt(d, i); off == 0 {
+			slot = i
+			break
+		}
+	}
+	freePtr := int(binary.BigEndian.Uint16(d[hdrFreePtr:]))
+	if freePtr == 0 {
+		freePtr = pagestore.PageSize
+	}
+	used := hdrSize + slots*slotSize
+	avail := freePtr - used
+	if slot == -1 {
+		avail -= slotSize
+	}
+	if avail < need {
+		// Try compaction: dead slots may have left holes.
+		if compact(d) {
+			return insertInPage(d, flag, payload)
+		}
+		return -1
+	}
+	off := freePtr - need
+	d[off] = flag
+	copy(d[off+1:], payload)
+	binary.BigEndian.PutUint16(d[hdrFreePtr:], uint16(off))
+	if slot == -1 {
+		slot = slots
+		binary.BigEndian.PutUint16(d[hdrSlots:], uint16(slots+1))
+	}
+	setSlot(d, slot, off, need)
+	return slot
+}
+
+// compact squeezes out holes left by deleted or shrunk records. Returns true
+// if any space was reclaimed.
+func compact(d []byte) bool {
+	slots := int(binary.BigEndian.Uint16(d[hdrSlots:]))
+	type live struct{ slot, off, length int }
+	var recs []live
+	for i := 0; i < slots; i++ {
+		if off, l := slotAt(d, i); off != 0 {
+			recs = append(recs, live{i, off, l})
+		}
+	}
+	// Sort by offset descending and re-pack from the page end.
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j-1].off < recs[j].off; j-- {
+			recs[j-1], recs[j] = recs[j], recs[j-1]
+		}
+	}
+	oldFree := int(binary.BigEndian.Uint16(d[hdrFreePtr:]))
+	if oldFree == 0 {
+		oldFree = pagestore.PageSize
+	}
+	tmp := make([]byte, pagestore.PageSize)
+	w := pagestore.PageSize
+	for _, r := range recs {
+		w -= r.length
+		copy(tmp[w:], d[r.off:r.off+r.length])
+	}
+	if w == oldFree {
+		return false // nothing to reclaim
+	}
+	w = pagestore.PageSize
+	for _, r := range recs {
+		w -= r.length
+		copy(d[w:], tmp[w:w+r.length])
+		setSlot(d, r.slot, w, r.length)
+	}
+	binary.BigEndian.PutUint16(d[hdrFreePtr:], uint16(w))
+	return true
+}
+
+// Insert appends a record and returns its RID.
+func (t *Table) Insert(payload []byte) (RID, error) {
+	return t.insert(recNormal, payload, true)
+}
+
+func (t *Table) insert(flag byte, payload []byte, countIt bool) (RID, error) {
+	if len(payload) > MaxRecord {
+		return InvalidRID, fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// First try pages known to have space, then the last page, then extend.
+	for pg, free := range t.freeCache {
+		if free >= len(payload)+1+slotSize {
+			if rid, ok, err := t.tryInsert(pg, flag, payload, countIt); err != nil {
+				return InvalidRID, err
+			} else if ok {
+				return rid, nil
+			}
+			delete(t.freeCache, pg)
+		}
+	}
+	if rid, ok, err := t.tryInsert(t.lastPage, flag, payload, countIt); err != nil {
+		return InvalidRID, err
+	} else if ok {
+		return rid, nil
+	}
+	// Extend the chain.
+	nf, err := t.pool.NewPage()
+	if err != nil {
+		return InvalidRID, err
+	}
+	slot := -1
+	err = t.pool.Modify(nf, func(d []byte) error {
+		initPage(d)
+		slot = insertInPage(d, flag, payload)
+		return nil
+	})
+	newID := nf.ID
+	t.pool.Unpin(nf, false)
+	if err != nil {
+		return InvalidRID, err
+	}
+	if slot < 0 {
+		return InvalidRID, fmt.Errorf("heap: record does not fit an empty page (%d bytes)", len(payload))
+	}
+
+	lf, err := t.pool.Fetch(t.lastPage)
+	if err != nil {
+		return InvalidRID, err
+	}
+	err = t.pool.Modify(lf, func(d []byte) error {
+		setPageNext(d, newID)
+		return nil
+	})
+	t.pool.Unpin(lf, false)
+	if err != nil {
+		return InvalidRID, err
+	}
+	t.lastPage = newID
+	if countIt {
+		t.count++
+	}
+	return RID{Page: newID, Slot: uint16(slot)}, nil
+}
+
+// tryInsert attempts an insert into page pg, updating the free cache.
+// Called with t.mu held.
+func (t *Table) tryInsert(pg pagestore.PageID, flag byte, payload []byte, countIt bool) (RID, bool, error) {
+	f, err := t.pool.Fetch(pg)
+	if err != nil {
+		return InvalidRID, false, err
+	}
+	slot, free := -1, 0
+	err = t.pool.Modify(f, func(d []byte) error {
+		slot = insertInPage(d, flag, payload)
+		free = pageFree(d)
+		return nil
+	})
+	t.pool.Unpin(f, false)
+	if err != nil {
+		return InvalidRID, false, err
+	}
+	if slot < 0 {
+		delete(t.freeCache, pg)
+		return InvalidRID, false, nil
+	}
+	if free > 64 {
+		t.freeCache[pg] = free
+	} else {
+		delete(t.freeCache, pg)
+	}
+	if countIt {
+		t.count++
+	}
+	return RID{Page: pg, Slot: uint16(slot)}, true, nil
+}
+
+// Fetch returns a copy of the record's payload, following forwarding stubs.
+func (t *Table) Fetch(rid RID) ([]byte, error) {
+	payload, fwd, err := t.fetchRaw(rid)
+	if err != nil {
+		return nil, err
+	}
+	if fwd != InvalidRID {
+		payload, fwd2, err := t.fetchRaw(fwd)
+		if err != nil {
+			return nil, err
+		}
+		if fwd2 != InvalidRID {
+			return nil, fmt.Errorf("heap: forwarding chain longer than one hop at %s", rid)
+		}
+		return payload, nil
+	}
+	return payload, nil
+}
+
+// fetchRaw reads the record at rid; if it is a forwarding stub, returns the
+// target RID instead of a payload.
+func (t *Table) fetchRaw(rid RID) ([]byte, RID, error) {
+	f, err := t.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, InvalidRID, err
+	}
+	defer t.pool.Unpin(f, false)
+	f.RLock()
+	defer f.RUnlock()
+	slots := int(binary.BigEndian.Uint16(f.Data[hdrSlots:]))
+	if int(rid.Slot) >= slots {
+		return nil, InvalidRID, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	off, length := slotAt(f.Data, int(rid.Slot))
+	if off == 0 {
+		return nil, InvalidRID, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	flag := f.Data[off]
+	body := f.Data[off+1 : off+length]
+	if flag == recForward {
+		return nil, RIDFromBytes(body), nil
+	}
+	out := make([]byte, len(body))
+	copy(out, body)
+	return out, InvalidRID, nil
+}
+
+// Delete removes the record, following and removing a forwarding stub.
+func (t *Table) Delete(rid RID) error {
+	fwd, err := t.deleteAt(rid)
+	if err != nil {
+		return err
+	}
+	if fwd != InvalidRID {
+		if _, err := t.deleteAt(fwd); err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	t.count--
+	t.mu.Unlock()
+	return nil
+}
+
+// deleteAt kills the slot at rid; returns the forward target if the record
+// was a stub.
+func (t *Table) deleteAt(rid RID) (RID, error) {
+	f, err := t.pool.Fetch(rid.Page)
+	if err != nil {
+		return InvalidRID, err
+	}
+	fwd := InvalidRID
+	notFound := false
+	err = t.pool.Modify(f, func(d []byte) error {
+		slots := int(binary.BigEndian.Uint16(d[hdrSlots:]))
+		if int(rid.Slot) >= slots {
+			notFound = true
+			return nil
+		}
+		off, length := slotAt(d, int(rid.Slot))
+		if off == 0 {
+			notFound = true
+			return nil
+		}
+		if d[off] == recForward {
+			fwd = RIDFromBytes(d[off+1 : off+length])
+		}
+		setSlot(d, int(rid.Slot), 0, 0)
+		return nil
+	})
+	t.pool.Unpin(f, false)
+	if err != nil {
+		return InvalidRID, err
+	}
+	if notFound {
+		return InvalidRID, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	t.mu.Lock()
+	t.freeCache[rid.Page] = 1 << 12 // rough hint; refreshed on next tryInsert
+	t.mu.Unlock()
+	return fwd, nil
+}
+
+// Update replaces the record's payload in place when possible; otherwise it
+// moves the record and leaves a forwarding stub so rid stays valid.
+func (t *Table) Update(rid RID, payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(payload))
+	}
+	f, err := t.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	const (
+		outcomeDone = iota
+		outcomeNotFound
+		outcomeForward
+		outcomeMove
+	)
+	outcome := outcomeDone
+	target := InvalidRID
+	err = t.pool.Modify(f, func(d []byte) error {
+		slots := int(binary.BigEndian.Uint16(d[hdrSlots:]))
+		if int(rid.Slot) >= slots {
+			outcome = outcomeNotFound
+			return nil
+		}
+		off, length := slotAt(d, int(rid.Slot))
+		if off == 0 {
+			outcome = outcomeNotFound
+			return nil
+		}
+		flag := d[off]
+		if flag == recForward {
+			outcome = outcomeForward
+			target = RIDFromBytes(d[off+1 : off+length])
+			return nil
+		}
+		// In place if the new payload fits the current slot.
+		if len(payload)+1 <= length {
+			copy(d[off+1:], payload)
+			setSlot(d, int(rid.Slot), off, len(payload)+1)
+			return nil
+		}
+		// The record can stay on its home page if, after freeing its old
+		// copy, the page has room (compaction reclaims holes).
+		if pageFree(d)+length >= len(payload)+1 {
+			setSlot(d, int(rid.Slot), 0, 0)
+			s := insertInPage(d, flag, payload)
+			if s < 0 {
+				return fmt.Errorf("heap: free-space accounting error at %s", rid)
+			}
+			// Force the record into our slot number so the RID is unchanged.
+			if s != int(rid.Slot) {
+				o2, l2 := slotAt(d, s)
+				setSlot(d, int(rid.Slot), o2, l2)
+				setSlot(d, s, 0, 0)
+			}
+			return nil
+		}
+		outcome = outcomeMove
+		return nil
+	})
+	t.pool.Unpin(f, false)
+	if err != nil {
+		return err
+	}
+	switch outcome {
+	case outcomeDone:
+		return nil
+	case outcomeNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, rid)
+	case outcomeForward:
+		// Update the moved copy; if it no longer fits there either, relocate
+		// again and rewrite the home stub.
+		if err := t.updateDirect(target, recHome, payload); err == nil {
+			return nil
+		}
+		if _, err := t.deleteAt(target); err != nil {
+			return err
+		}
+		newRID, err := t.insert(recHome, payload, false)
+		if err != nil {
+			return err
+		}
+		return t.updateDirect(rid, recForward, newRID.Bytes())
+	default: // outcomeMove
+		// Move the record elsewhere and leave a stub at home. The stub (7
+		// bytes) replaces the old record, which is at least as large in all
+		// but degenerate cases; updateDirect compacts if needed.
+		newRID, err := t.insert(recHome, payload, false)
+		if err != nil {
+			return err
+		}
+		return t.updateDirect(rid, recForward, newRID.Bytes())
+	}
+}
+
+// updateDirect rewrites the record at rid with the given flag and payload,
+// in place or via page-local relocation only (no forwarding). Used to
+// rewrite stubs and moved copies.
+func (t *Table) updateDirect(rid RID, flag byte, payload []byte) error {
+	f, err := t.pool.Fetch(rid.Page)
+	if err != nil {
+		return err
+	}
+	var opErr error
+	err = t.pool.Modify(f, func(d []byte) error {
+		off, length := slotAt(d, int(rid.Slot))
+		if off == 0 {
+			opErr = fmt.Errorf("%w: %s", ErrNotFound, rid)
+			return nil
+		}
+		if len(payload)+1 <= length {
+			d[off] = flag
+			copy(d[off+1:], payload)
+			setSlot(d, int(rid.Slot), off, len(payload)+1)
+			return nil
+		}
+		if pageFree(d)+length < len(payload)+1 {
+			opErr = fmt.Errorf("heap: no room for direct update at %s", rid)
+			return nil
+		}
+		setSlot(d, int(rid.Slot), 0, 0)
+		s := insertInPage(d, flag, payload)
+		if s < 0 {
+			return fmt.Errorf("heap: free-space accounting error at %s", rid)
+		}
+		if s != int(rid.Slot) {
+			o2, l2 := slotAt(d, s)
+			setSlot(d, int(rid.Slot), o2, l2)
+			setSlot(d, s, 0, 0)
+		}
+		return nil
+	})
+	t.pool.Unpin(f, false)
+	if err != nil {
+		return err
+	}
+	return opErr
+}
+
+// Scan calls fn for every live record in the table, in physical order,
+// skipping forwarding stubs (each logical record is visited exactly once, at
+// its moved location if it has one). Scanning stops early if fn returns an
+// error, which is then returned.
+func (t *Table) Scan(fn func(rid RID, payload []byte) error) error {
+	pg := t.firstPage
+	for pg != pagestore.InvalidPage {
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		slots := int(binary.BigEndian.Uint16(f.Data[hdrSlots:]))
+		type rec struct {
+			slot    uint16
+			payload []byte
+		}
+		var recs []rec
+		for i := 0; i < slots; i++ {
+			off, length := slotAt(f.Data, i)
+			if off == 0 || f.Data[off] == recForward {
+				continue
+			}
+			body := make([]byte, length-1)
+			copy(body, f.Data[off+1:off+length])
+			recs = append(recs, rec{uint16(i), body})
+		}
+		next := pageNext(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		for _, r := range recs {
+			if err := fn(RID{Page: pg, Slot: r.slot}, r.payload); err != nil {
+				return err
+			}
+		}
+		pg = next
+	}
+	return nil
+}
+
+// Pages returns the number of pages in the table's chain.
+func (t *Table) Pages() (int, error) {
+	n := 0
+	pg := t.firstPage
+	for pg != pagestore.InvalidPage {
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return 0, err
+		}
+		f.RLock()
+		next := pageNext(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		n++
+		pg = next
+	}
+	return n, nil
+}

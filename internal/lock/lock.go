@@ -1,0 +1,300 @@
+// Package lock implements the lock manager of §5: multiple-granularity
+// locking (IS/IX/S/SIX/X) over a hierarchy of collection → document →
+// node resources. Node resources are identified by prefix-encoded node IDs,
+// so the ancestor/descendant relationships the multigranularity protocol
+// needs reduce to prefix tests (§5.2): locking a node takes intention locks
+// on the collection, the document, and every ancestor node (each proper
+// prefix of the node ID), then the requested lock on the node itself.
+//
+// Deadlocks are resolved by bounded waits: a request that cannot be granted
+// within the manager's timeout fails with ErrTimeout and the caller aborts.
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+// Lock modes in increasing strength order for upgrades.
+const (
+	IS Mode = iota + 1
+	IX
+	S
+	SIX
+	X
+)
+
+var modeNames = [...]string{IS: "IS", IX: "IX", S: "S", SIX: "SIX", X: "X"}
+
+func (m Mode) String() string {
+	if int(m) < len(modeNames) && modeNames[m] != "" {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", uint8(m))
+}
+
+// compatible is the standard multigranularity compatibility matrix.
+var compatible = map[Mode]map[Mode]bool{
+	IS:  {IS: true, IX: true, S: true, SIX: true, X: false},
+	IX:  {IS: true, IX: true, S: false, SIX: false, X: false},
+	S:   {IS: true, IX: false, S: true, SIX: false, X: false},
+	SIX: {IS: true, IX: false, S: false, SIX: false, X: false},
+	X:   {IS: false, IX: false, S: false, SIX: false, X: false},
+}
+
+// supremum[a][b] is the weakest mode covering both a and b (for upgrades).
+var supremum = map[Mode]map[Mode]Mode{
+	IS:  {IS: IS, IX: IX, S: S, SIX: SIX, X: X},
+	IX:  {IS: IX, IX: IX, S: SIX, SIX: SIX, X: X},
+	S:   {IS: S, IX: SIX, S: S, SIX: SIX, X: X},
+	SIX: {IS: SIX, IX: SIX, S: SIX, SIX: SIX, X: X},
+	X:   {IS: X, IX: X, S: X, SIX: X, X: X},
+}
+
+// Resource identifies a lockable object. The zero Node means the whole
+// document; the zero Doc means the whole collection.
+type Resource struct {
+	Col  string
+	Doc  xml.DocID
+	Node string // string(nodeid.ID); "" for document-level
+}
+
+func (r Resource) String() string {
+	switch {
+	case r.Doc == 0:
+		return "col:" + r.Col
+	case r.Node == "":
+		return fmt.Sprintf("doc:%s/%d", r.Col, r.Doc)
+	default:
+		return fmt.Sprintf("node:%s/%d/%s", r.Col, r.Doc, nodeid.ID(r.Node))
+	}
+}
+
+// CollectionRes builds a collection resource.
+func CollectionRes(col string) Resource { return Resource{Col: col} }
+
+// DocRes builds a document resource.
+func DocRes(col string, doc xml.DocID) Resource { return Resource{Col: col, Doc: doc} }
+
+// NodeRes builds a node resource.
+func NodeRes(col string, doc xml.DocID, id nodeid.ID) Resource {
+	return Resource{Col: col, Doc: doc, Node: string(id)}
+}
+
+// ErrTimeout reports a lock wait that exceeded the manager's bound; the
+// caller should treat it as a deadlock victim and abort.
+var ErrTimeout = errors.New("lock: wait timeout (possible deadlock)")
+
+// Manager is the lock manager.
+type Manager struct {
+	timeout time.Duration
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	table map[Resource]map[*Txn]Mode
+	seq   uint64
+}
+
+// NewManager creates a manager with the given wait timeout in milliseconds.
+func NewManager(timeoutMillis int) *Manager {
+	m := &Manager{
+		timeout: time.Duration(timeoutMillis) * time.Millisecond,
+		table:   map[Resource]map[*Txn]Mode{},
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Txn is a lock owner.
+type Txn struct {
+	mgr  *Manager
+	id   uint64
+	held map[Resource]Mode
+}
+
+// Begin starts a new lock owner.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	m.seq++
+	t := &Txn{mgr: m, id: m.seq, held: map[Resource]Mode{}}
+	m.mu.Unlock()
+	return t
+}
+
+// ID returns the owner's identifier.
+func (t *Txn) ID() uint64 { return t.id }
+
+// Lock acquires (or upgrades to) mode on the resource, waiting up to the
+// manager's timeout.
+func (t *Txn) Lock(res Resource, mode Mode) error {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := t.held[res]; ok {
+		mode = supremum[cur][mode]
+		if mode == cur {
+			return nil
+		}
+	}
+	deadline := time.Now().Add(m.timeout)
+	for !m.grantableLocked(t, res, mode) {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w: %s %s by txn %d", ErrTimeout, mode, res, t.id)
+		}
+		// Bounded wait: wake on any release, re-check, give up at deadline.
+		waitWithDeadline(m.cond, deadline)
+	}
+	g := m.table[res]
+	if g == nil {
+		g = map[*Txn]Mode{}
+		m.table[res] = g
+	}
+	g[t] = mode
+	t.held[res] = mode
+	return nil
+}
+
+// waitWithDeadline waits on cond but no longer than the deadline. The
+// condition's lock must be held.
+func waitWithDeadline(cond *sync.Cond, deadline time.Time) {
+	timer := time.AfterFunc(time.Until(deadline), func() {
+		cond.L.Lock()
+		cond.Broadcast()
+		cond.L.Unlock()
+	})
+	cond.Wait()
+	timer.Stop()
+}
+
+// grantableLocked checks compatibility against all other holders.
+func (m *Manager) grantableLocked(t *Txn, res Resource, mode Mode) bool {
+	for holder, held := range m.table[res] {
+		if holder == t {
+			continue
+		}
+		if !compatible[held][mode] {
+			return false
+		}
+	}
+	return true
+}
+
+// TryLock acquires the lock only if immediately grantable.
+func (t *Txn) TryLock(res Resource, mode Mode) bool {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur, ok := t.held[res]; ok {
+		mode = supremum[cur][mode]
+		if mode == cur {
+			return true
+		}
+	}
+	if !m.grantableLocked(t, res, mode) {
+		return false
+	}
+	g := m.table[res]
+	if g == nil {
+		g = map[*Txn]Mode{}
+		m.table[res] = g
+	}
+	g[t] = mode
+	t.held[res] = mode
+	return true
+}
+
+// LockDoc takes an intention lock on the collection and the requested lock
+// on the document (document-level concurrency, §5.1).
+func (t *Txn) LockDoc(col string, doc xml.DocID, mode Mode) error {
+	intent := IS
+	if mode == IX || mode == X || mode == SIX {
+		intent = IX
+	}
+	if err := t.Lock(CollectionRes(col), intent); err != nil {
+		return err
+	}
+	return t.Lock(DocRes(col, doc), mode)
+}
+
+// LockNode takes the full multigranularity ladder for a node: intention
+// locks on the collection, the document and every ancestor node (each
+// proper prefix of the node ID), then the requested lock on the node
+// (subdocument concurrency, §5.2).
+func (t *Txn) LockNode(col string, doc xml.DocID, id nodeid.ID, mode Mode) error {
+	intent := IS
+	if mode == IX || mode == X || mode == SIX {
+		intent = IX
+	}
+	if err := t.Lock(CollectionRes(col), intent); err != nil {
+		return err
+	}
+	if err := t.Lock(DocRes(col, doc), intent); err != nil {
+		return err
+	}
+	rels, err := nodeid.Split(id)
+	if err != nil {
+		return err
+	}
+	prefix := nodeid.ID{}
+	for i := 0; i < len(rels)-1; i++ {
+		prefix = nodeid.Append(prefix, rels[i])
+		if err := t.Lock(NodeRes(col, doc, prefix), intent); err != nil {
+			return err
+		}
+	}
+	return t.Lock(NodeRes(col, doc, id), mode)
+}
+
+// ReleaseAll drops every lock the owner holds and wakes waiters.
+func (t *Txn) ReleaseAll() {
+	m := t.mgr
+	m.mu.Lock()
+	for res := range t.held {
+		g := m.table[res]
+		delete(g, t)
+		if len(g) == 0 {
+			delete(m.table, res)
+		}
+	}
+	t.held = map[Resource]Mode{}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Held returns the number of locks the owner holds (tests).
+func (t *Txn) Held() int {
+	m := t.mgr
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(t.held)
+}
+
+// TryLockNodeX attempts the full node-lock ladder in X mode without
+// waiting; it reports whether every lock (intentions included) was
+// immediately grantable. Locks acquired before a refusal are kept (release
+// with ReleaseAll).
+func (t *Txn) TryLockNodeX(col string, doc xml.DocID, id nodeid.ID) bool {
+	if !t.TryLock(CollectionRes(col), IX) || !t.TryLock(DocRes(col, doc), IX) {
+		return false
+	}
+	rels, err := nodeid.Split(id)
+	if err != nil {
+		return false
+	}
+	prefix := nodeid.ID{}
+	for i := 0; i < len(rels)-1; i++ {
+		prefix = nodeid.Append(prefix, rels[i])
+		if !t.TryLock(NodeRes(col, doc, prefix), IX) {
+			return false
+		}
+	}
+	return t.TryLock(NodeRes(col, doc, id), X)
+}

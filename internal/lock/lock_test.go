@@ -1,0 +1,183 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"rx/internal/nodeid"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	m := NewManager(50)
+	cases := []struct {
+		a, b Mode
+		ok   bool
+	}{
+		{IS, IS, true}, {IS, IX, true}, {IS, S, true}, {IS, SIX, true}, {IS, X, false},
+		{IX, IX, true}, {IX, S, false}, {IX, SIX, false}, {IX, X, false},
+		{S, S, true}, {S, IX, false}, {S, X, false},
+		{SIX, IS, true}, {SIX, S, false}, {SIX, SIX, false},
+		{X, IS, false}, {X, X, false},
+	}
+	for _, c := range cases {
+		res := DocRes("c", 1)
+		a := m.Begin()
+		b := m.Begin()
+		if err := a.Lock(res, c.a); err != nil {
+			t.Fatalf("%v/%v: %v", c.a, c.b, err)
+		}
+		got := b.TryLock(res, c.b)
+		if got != c.ok {
+			t.Errorf("holding %v, requesting %v: grantable = %v, want %v", c.a, c.b, got, c.ok)
+		}
+		a.ReleaseAll()
+		b.ReleaseAll()
+	}
+}
+
+func TestUpgrade(t *testing.T) {
+	m := NewManager(50)
+	res := DocRes("c", 1)
+	a := m.Begin()
+	if err := a.Lock(res, S); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Lock(res, X); err != nil {
+		t.Fatalf("self-upgrade S→X: %v", err)
+	}
+	b := m.Begin()
+	if b.TryLock(res, S) {
+		t.Error("S should not be grantable against an upgraded X")
+	}
+	// S + IX = SIX supremum.
+	a.ReleaseAll()
+	a.Lock(res, S)
+	a.Lock(res, IX)
+	if a.held[res] != SIX {
+		t.Errorf("S+IX = %v, want SIX", a.held[res])
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := NewManager(30)
+	res := DocRes("c", 1)
+	a := m.Begin()
+	a.Lock(res, X)
+	b := m.Begin()
+	start := time.Now()
+	err := b.Lock(res, S)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("timed out too early")
+	}
+}
+
+func TestWaitersWakeOnRelease(t *testing.T) {
+	m := NewManager(2000)
+	res := DocRes("c", 1)
+	a := m.Begin()
+	a.Lock(res, X)
+	done := make(chan error, 1)
+	go func() {
+		b := m.Begin()
+		done <- b.Lock(res, S)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	a.ReleaseAll()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken")
+	}
+}
+
+func TestLockDocHierarchy(t *testing.T) {
+	m := NewManager(30)
+	a := m.Begin()
+	if err := a.LockDoc("col", 5, X); err != nil {
+		t.Fatal(err)
+	}
+	// Another writer on a different doc in the same collection proceeds
+	// (IX-IX compatible).
+	b := m.Begin()
+	if err := b.LockDoc("col", 6, X); err != nil {
+		t.Errorf("different doc should not conflict: %v", err)
+	}
+	// A whole-collection S lock conflicts with the IX intents.
+	c := m.Begin()
+	if c.TryLock(CollectionRes("col"), S) {
+		t.Error("collection S should conflict with document writers")
+	}
+	a.ReleaseAll()
+	b.ReleaseAll()
+}
+
+func TestNodePrefixLadder(t *testing.T) {
+	m := NewManager(30)
+	doc := nodeid.ID{0x02}
+	left := nodeid.Append(doc, nodeid.RelAt(0))   // 0202
+	right := nodeid.Append(doc, nodeid.RelAt(1))  // 0204
+	inner := nodeid.Append(left, nodeid.RelAt(0)) // 020202
+
+	a := m.Begin()
+	if err := a.LockNode("c", 1, left, X); err != nil {
+		t.Fatal(err)
+	}
+	b := m.Begin()
+	if !b.TryLockNodeX("c", 1, right) {
+		t.Error("disjoint subtree should be grantable")
+	}
+	b.ReleaseAll()
+	if b.TryLockNodeX("c", 1, inner) {
+		t.Error("descendant of an X-locked node should be blocked")
+	}
+	b.ReleaseAll()
+	if b.TryLockNodeX("c", 1, doc) {
+		t.Error("ancestor of an X-locked node should be blocked (IX conflicts with X)")
+	}
+	b.ReleaseAll()
+	a.ReleaseAll()
+}
+
+func TestReleaseAllCount(t *testing.T) {
+	m := NewManager(30)
+	a := m.Begin()
+	a.LockNode("c", 1, nodeid.ID{0x02, 0x02, 0x02}, X)
+	if a.Held() != 5 { // collection, doc, 2 ancestors, node
+		t.Errorf("held = %d, want 5", a.Held())
+	}
+	a.ReleaseAll()
+	if a.Held() != 0 {
+		t.Errorf("held after release = %d", a.Held())
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	m := NewManager(500)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tx := m.Begin()
+				mode := S
+				if (g+i)%4 == 0 {
+					mode = X
+				}
+				if err := tx.LockDoc("c", 1, mode); err != nil && !errors.Is(err, ErrTimeout) {
+					t.Error(err)
+				}
+				tx.ReleaseAll()
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,145 @@
+// Package nodeindex implements the NodeID index of §3.1/§3.4: a B+tree that
+// maps logical node IDs to physical record IDs. For each contiguous interval
+// of node IDs within a record (in document order) there is exactly one
+// entry, keyed by the interval's upper endpoint; looking up a node searches
+// for the successor key, which lands on the entry of the interval containing
+// the node.
+//
+// Keys are (DocID, upper-endpoint NodeID); values are 6-byte RIDs. The
+// versioned variant of §5.1 — (DocID, ver#, NodeID, RID) with ver# ordered
+// so newer versions come first — is provided for multiversioning.
+package nodeindex
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rx/internal/btree"
+	"rx/internal/buffer"
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+)
+
+// ErrNotFound reports that no interval covers the requested node.
+var ErrNotFound = errors.New("nodeindex: node not found")
+
+// Index is a non-versioned NodeID index.
+type Index struct {
+	tree *btree.Tree
+}
+
+// Create makes a new empty index.
+func Create(pool *buffer.Pool) (*Index, error) {
+	t, err := btree.Create(pool)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t}, nil
+}
+
+// Open attaches to an existing index by its meta page.
+func Open(pool *buffer.Pool, meta pagestore.PageID) (*Index, error) {
+	t, err := btree.Open(pool, meta)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{tree: t}, nil
+}
+
+// MetaPage returns the index's durable identity.
+func (ix *Index) MetaPage() pagestore.PageID { return ix.tree.MetaPage() }
+
+// Tree exposes the underlying B+tree (for stats).
+func (ix *Index) Tree() *btree.Tree { return ix.tree }
+
+// Key builds the composite (DocID, NodeID) key.
+func Key(doc xml.DocID, id nodeid.ID) []byte {
+	k := make([]byte, 8, 8+len(id))
+	binary.BigEndian.PutUint64(k, uint64(doc))
+	return append(k, id...)
+}
+
+// SplitKey decomposes a composite key.
+func SplitKey(k []byte) (xml.DocID, nodeid.ID, error) {
+	if len(k) < 8 {
+		return 0, nil, errors.New("nodeindex: short key")
+	}
+	return xml.DocID(binary.BigEndian.Uint64(k)), nodeid.ID(k[8:]), nil
+}
+
+// Put inserts (or replaces) the entry for an interval upper endpoint.
+func (ix *Index) Put(doc xml.DocID, upper nodeid.ID, rid heap.RID) error {
+	return ix.tree.Put(Key(doc, upper), rid.Bytes())
+}
+
+// Delete removes the entry for an interval upper endpoint.
+func (ix *Index) Delete(doc xml.DocID, upper nodeid.ID) error {
+	return ix.tree.Delete(Key(doc, upper))
+}
+
+// Lookup finds the RID of the record containing (doc, id): the successor
+// search of §3.4. It returns ErrNotFound when id is beyond the document's
+// last interval.
+func (ix *Index) Lookup(doc xml.DocID, id nodeid.ID) (heap.RID, error) {
+	e, err := ix.tree.Ceiling(Key(doc, id))
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return heap.InvalidRID, fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+		}
+		return heap.InvalidRID, err
+	}
+	gotDoc, _, err := SplitKey(e.Key)
+	if err != nil {
+		return heap.InvalidRID, err
+	}
+	if gotDoc != doc {
+		return heap.InvalidRID, fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	return heap.RIDFromBytes(e.Value), nil
+}
+
+// RootRID returns the record containing the document root (node ID 00),
+// which by the successor rule is the record of the first interval.
+func (ix *Index) RootRID(doc xml.DocID) (heap.RID, error) {
+	return ix.Lookup(doc, nodeid.Root)
+}
+
+// DeleteDoc removes every entry for the document, returning how many were
+// removed.
+func (ix *Index) DeleteDoc(doc xml.DocID) (int, error) {
+	var keys [][]byte
+	lo := Key(doc, nodeid.Root)
+	hi := Key(doc+1, nodeid.Root)
+	err := ix.tree.Scan(lo, hi, func(e btree.Entry) bool {
+		keys = append(keys, e.Key)
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, k := range keys {
+		if err := ix.tree.Delete(k); err != nil {
+			return 0, err
+		}
+	}
+	return len(keys), nil
+}
+
+// ScanDoc visits the document's interval entries in node-ID order.
+func (ix *Index) ScanDoc(doc xml.DocID, fn func(upper nodeid.ID, rid heap.RID) bool) error {
+	lo := Key(doc, nodeid.Root)
+	hi := Key(doc+1, nodeid.Root)
+	return ix.tree.Scan(lo, hi, func(e btree.Entry) bool {
+		_, id, err := SplitKey(e.Key)
+		if err != nil {
+			return false
+		}
+		return fn(id, heap.RIDFromBytes(e.Value))
+	})
+}
+
+// Count returns the total number of interval entries in the index.
+func (ix *Index) Count() (int, error) { return ix.tree.Count() }

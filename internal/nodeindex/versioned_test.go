@@ -1,0 +1,123 @@
+package nodeindex
+
+import (
+	"testing"
+
+	"rx/internal/buffer"
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+)
+
+func newVIndex(t *testing.T) *Index {
+	t.Helper()
+	pool := buffer.New(pagestore.NewMemStore(), 128)
+	ix, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func vrid(p uint32) heap.RID { return heap.RID{Page: pagestore.PageID(p)} }
+
+func TestVersionedLookup(t *testing.T) {
+	ix := newVIndex(t)
+	doc := xml.DocID(5)
+	n1 := nodeid.ID{0x02, 0x04}
+	n2 := nodeid.ID{0x02, 0x08}
+	// Version 1: two intervals.
+	ix.PutV(doc, 1, n1, vrid(10))
+	ix.PutV(doc, 1, n2, vrid(11))
+	// Version 2: first interval's record replaced.
+	ix.PutV(doc, 2, n1, vrid(20))
+	ix.PutV(doc, 2, n2, vrid(11))
+
+	// Snapshot 1 sees version 1.
+	if w, err := ix.VisibleVersion(doc, 1); err != nil || w != 1 {
+		t.Fatalf("VisibleVersion(1) = %d, %v", w, err)
+	}
+	rid, err := ix.LookupV(doc, 1, nodeid.ID{0x02, 0x02})
+	if err != nil || rid != vrid(10) {
+		t.Errorf("v1 lookup = %v, %v", rid, err)
+	}
+	// Snapshot 2 (and any later snapshot) sees version 2.
+	for _, snap := range []uint64{2, 3, 99} {
+		w, err := ix.VisibleVersion(doc, snap)
+		if err != nil || w != 2 {
+			t.Fatalf("VisibleVersion(%d) = %d, %v", snap, w, err)
+		}
+		rid, err := ix.LookupV(doc, snap, nodeid.ID{0x02, 0x02})
+		if err != nil || rid != vrid(20) {
+			t.Errorf("v%d lookup = %v, %v", snap, rid, err)
+		}
+	}
+	// Snapshot 0: nothing visible.
+	if _, err := ix.VisibleVersion(doc, 0); err == nil {
+		t.Error("snapshot 0 should see nothing")
+	}
+	// Other documents don't leak in.
+	if _, err := ix.VisibleVersion(doc+1, 5); err == nil {
+		t.Error("other doc should see nothing")
+	}
+	// Past the last interval of the visible version.
+	if _, err := ix.LookupV(doc, 2, nodeid.ID{0x04}); err == nil {
+		t.Error("lookup past the document should fail")
+	}
+}
+
+func TestScanVersion(t *testing.T) {
+	ix := newVIndex(t)
+	doc := xml.DocID(1)
+	for v := uint64(1); v <= 3; v++ {
+		for i := 0; i < 4; i++ {
+			ix.PutV(doc, v, nodeid.Append(nodeid.Root, nodeid.RelAt(i)), vrid(uint32(v*10+uint64(i))))
+		}
+	}
+	for v := uint64(1); v <= 3; v++ {
+		count := 0
+		var prev nodeid.ID
+		err := ix.ScanVersion(doc, v, func(upper nodeid.ID, rid heap.RID) bool {
+			if prev != nil && nodeid.Compare(prev, upper) >= 0 {
+				t.Fatal("version scan out of node order")
+			}
+			prev = nodeid.Clone(upper)
+			if rid.Page != pagestore.PageID(v*10+uint64(count)) {
+				t.Fatalf("v%d entry %d rid = %v", v, count, rid)
+			}
+			count++
+			return true
+		})
+		if err != nil || count != 4 {
+			t.Fatalf("v%d: %d entries, %v", v, count, err)
+		}
+	}
+}
+
+func TestDropVersionsBefore(t *testing.T) {
+	ix := newVIndex(t)
+	doc := xml.DocID(1)
+	shared := vrid(100) // referenced by every version
+	for v := uint64(1); v <= 3; v++ {
+		ix.PutV(doc, v, nodeid.ID{0x02}, shared)
+		ix.PutV(doc, v, nodeid.ID{0x04}, vrid(uint32(v))) // per-version record
+	}
+	kept, released, err := ix.DropVersionsBefore(doc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !kept[shared] || !kept[vrid(3)] {
+		t.Errorf("kept = %v", kept)
+	}
+	if !released[vrid(1)] || !released[vrid(2)] || released[shared] {
+		t.Errorf("released = %v", released)
+	}
+	// Old versions are gone; current remains.
+	if _, err := ix.VisibleVersion(doc, 2); err == nil {
+		t.Error("version <= 2 should be gone")
+	}
+	if w, err := ix.VisibleVersion(doc, 3); err != nil || w != 3 {
+		t.Errorf("current version = %d, %v", w, err)
+	}
+}

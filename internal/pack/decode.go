@@ -1,0 +1,470 @@
+package pack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+)
+
+// ErrCorrupt reports a malformed packed record.
+var ErrCorrupt = errors.New("pack: corrupt record")
+
+// Record is a decoded record header plus its (still encoded) node body.
+// Records are self-contained (§3.1): the header carries the context node's
+// absolute ID, its path from the root, and the namespaces in scope, so a
+// record reached directly from an XPath value index can be interpreted
+// without touching its ancestors.
+type Record struct {
+	// ContextID is the absolute node ID of the common parent of the
+	// record's top-level subtrees (empty = the document node).
+	ContextID nodeid.ID
+	// Path holds the element names from the root element to the context
+	// node, one per level (empty for the root record).
+	Path []xml.QName
+	// NS holds the namespace bindings in scope at the context node.
+	NS []NSBinding
+	// SubtreeCount is the number of top-level entries in the record body.
+	SubtreeCount int
+
+	body []byte
+}
+
+// Node is a decoded view of one node (or proxy) inside a record.
+type Node struct {
+	Kind xml.Kind
+	// Rel is the node's relative ID; Abs its absolute ID.
+	Rel nodeid.Rel
+	Abs nodeid.ID
+	// Name is the element/attribute name; for PIs the target is Name.Local;
+	// for namespace nodes Name.Local holds the prefix and Name.URI the URI.
+	Name xml.QName
+	Type xml.TypeID
+	// Value is the attribute/text/comment/PI value (aliases the record).
+	Value []byte
+	// EntryCount and BodyLen describe an element's encoded children.
+	EntryCount int
+	BodyLen    int
+	// ProxyCount is the number of subtrees a proxy stands for.
+	ProxyCount int
+
+	// start and end delimit the node's full encoding in the record body;
+	// bodyStart is where an element's children begin.
+	start, end, bodyStart int
+}
+
+// IsProxy reports whether the node is a placeholder for subtrees stored in
+// another record.
+func (n *Node) IsProxy() bool { return n.Kind == xml.Proxy }
+
+// Decode parses a record payload.
+func Decode(payload []byte) (*Record, error) {
+	d := decoder{buf: payload}
+	ctxLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos+int(ctxLen) > len(payload) {
+		return nil, ErrCorrupt
+	}
+	r := &Record{ContextID: nodeid.ID(payload[d.pos : d.pos+int(ctxLen)])}
+	d.pos += int(ctxLen)
+	pathLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(pathLen); i++ {
+		uri, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		local, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.Path = append(r.Path, xml.QName{URI: xml.NameID(uri), Local: xml.NameID(local)})
+	}
+	nsLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < int(nsLen); i++ {
+		p, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		u, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		r.NS = append(r.NS, NSBinding{Prefix: xml.NameID(p), URI: xml.NameID(u)})
+	}
+	cnt, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	r.SubtreeCount = int(cnt)
+	r.body = payload[d.pos:]
+	return r, nil
+}
+
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	d.pos += n
+	return v, nil
+}
+
+// relID scans a self-terminating relative node ID.
+func (d *decoder) relID() (nodeid.Rel, error) {
+	start := d.pos
+	for d.pos < len(d.buf) {
+		c := d.buf[d.pos]
+		d.pos++
+		if c%2 == 0 {
+			if c == 0 {
+				return nil, ErrCorrupt
+			}
+			return nodeid.Rel(d.buf[start:d.pos]), nil
+		}
+	}
+	return nil, ErrCorrupt
+}
+
+// DecodeNodeAt decodes the node starting at offset off in the record body,
+// under the given parent absolute ID. Returns the node; n.end is the offset
+// just past the node's entire encoding (including element children).
+func (r *Record) DecodeNodeAt(off int, parentAbs nodeid.ID) (Node, error) {
+	d := decoder{buf: r.body, pos: off}
+	if d.pos >= len(d.buf) {
+		return Node{}, ErrCorrupt
+	}
+	kind := xml.Kind(d.buf[d.pos])
+	d.pos++
+	rel, err := d.relID()
+	if err != nil {
+		return Node{}, err
+	}
+	n := Node{Kind: kind, Rel: rel, Abs: nodeid.Append(parentAbs, rel), start: off}
+	switch kind {
+	case xml.Element:
+		uri, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		local, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		typ, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		ec, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		bl, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		n.Name = xml.QName{URI: xml.NameID(uri), Local: xml.NameID(local)}
+		n.Type = xml.TypeID(typ)
+		n.EntryCount = int(ec)
+		n.BodyLen = int(bl)
+		n.bodyStart = d.pos
+		n.end = d.pos + int(bl)
+		if n.end > len(r.body) {
+			return Node{}, ErrCorrupt
+		}
+	case xml.Attribute:
+		uri, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		local, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		typ, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		n.Name = xml.QName{URI: xml.NameID(uri), Local: xml.NameID(local)}
+		n.Type = xml.TypeID(typ)
+		if n.Value, err = d.value(); err != nil {
+			return Node{}, err
+		}
+		n.end = d.pos
+	case xml.Text:
+		typ, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		n.Type = xml.TypeID(typ)
+		if n.Value, err = d.value(); err != nil {
+			return Node{}, err
+		}
+		n.end = d.pos
+	case xml.Comment:
+		if n.Value, err = d.value(); err != nil {
+			return Node{}, err
+		}
+		n.end = d.pos
+	case xml.ProcessingInstruction:
+		target, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		n.Name = xml.QName{Local: xml.NameID(target)}
+		if n.Value, err = d.value(); err != nil {
+			return Node{}, err
+		}
+		n.end = d.pos
+	case xml.Namespace:
+		p, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		u, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		n.Name = xml.QName{URI: xml.NameID(u), Local: xml.NameID(p)}
+		n.end = d.pos
+	case xml.Proxy:
+		cnt, err := d.uvarint()
+		if err != nil {
+			return Node{}, err
+		}
+		n.ProxyCount = int(cnt)
+		n.end = d.pos
+	default:
+		return Node{}, fmt.Errorf("%w: node kind %d at %d", ErrCorrupt, kind, off)
+	}
+	return n, nil
+}
+
+func (d *decoder) value() ([]byte, error) {
+	l, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if d.pos+int(l) > len(d.buf) {
+		return nil, ErrCorrupt
+	}
+	v := d.buf[d.pos : d.pos+int(l)]
+	d.pos += int(l)
+	return v, nil
+}
+
+// Top iterates the record's top-level subtrees in order.
+func (r *Record) Top(fn func(n Node) (bool, error)) error {
+	off := 0
+	for i := 0; i < r.SubtreeCount; i++ {
+		n, err := r.DecodeNodeAt(off, r.ContextID)
+		if err != nil {
+			return err
+		}
+		ok, err := fn(n)
+		if err != nil || !ok {
+			return err
+		}
+		off = n.end
+	}
+	return nil
+}
+
+// Children iterates an element node's child entries (attributes, namespace
+// nodes, child nodes and proxies) in document order. fn returning false
+// stops the iteration.
+func (r *Record) Children(elem *Node, fn func(n Node) (bool, error)) error {
+	if elem.Kind != xml.Element {
+		return nil
+	}
+	off := elem.bodyStart
+	for i := 0; i < elem.EntryCount; i++ {
+		n, err := r.DecodeNodeAt(off, elem.Abs)
+		if err != nil {
+			return err
+		}
+		ok, err := fn(n)
+		if err != nil || !ok {
+			return err
+		}
+		off = n.end
+	}
+	return nil
+}
+
+// FirstChildOffset returns the offset of an element's first child entry, or
+// -1 when it has none.
+func (r *Record) FirstChildOffset(elem *Node) int {
+	if elem.Kind != xml.Element || elem.EntryCount == 0 {
+		return -1
+	}
+	return elem.bodyStart
+}
+
+// Find locates the node with absolute ID target within this record,
+// descending from the top-level subtrees. If the path descends into a proxy,
+// Find returns the proxy node and found=false (the caller resolves it via
+// the NodeID index). If the target does not exist, found=false and node.Kind
+// is zero.
+func (r *Record) Find(target nodeid.ID) (Node, bool, error) {
+	if !nodeid.IsAncestorOrSelf(r.ContextID, target) {
+		return Node{}, false, fmt.Errorf("%w: target %s outside record context %s", ErrCorrupt, target, r.ContextID)
+	}
+	var cur Node
+	curSet := false
+	// Scan top-level entries for the subtree containing target.
+	err := r.Top(func(n Node) (bool, error) {
+		if n.IsProxy() {
+			// The proxy covers [its ID .. next sibling); conservatively match
+			// if target is >= proxy start. Correct resolution is decided by
+			// the caller through the NodeID index, so only remember it if
+			// nothing better follows.
+			if nodeid.Compare(n.Abs, target) <= 0 {
+				cur = n
+				curSet = true
+			}
+			return true, nil
+		}
+		if nodeid.IsAncestorOrSelf(n.Abs, target) {
+			cur = n
+			curSet = true
+			return false, nil
+		}
+		if nodeid.Compare(n.Abs, target) > 0 {
+			return false, nil // past it
+		}
+		return true, nil
+	})
+	if err != nil {
+		return Node{}, false, err
+	}
+	if !curSet {
+		return Node{}, false, nil
+	}
+	for {
+		if cur.IsProxy() {
+			return cur, false, nil
+		}
+		if nodeid.Equal(cur.Abs, target) {
+			return cur, true, nil
+		}
+		if cur.Kind != xml.Element {
+			return Node{}, false, nil
+		}
+		var next Node
+		nextSet := false
+		err := r.Children(&cur, func(n Node) (bool, error) {
+			if n.IsProxy() {
+				if nodeid.Compare(n.Abs, target) <= 0 {
+					next = n
+					nextSet = true
+				}
+				return true, nil
+			}
+			if nodeid.IsAncestorOrSelf(n.Abs, target) {
+				next = n
+				nextSet = true
+				return false, nil
+			}
+			if nodeid.Compare(n.Abs, target) > 0 {
+				return false, nil
+			}
+			return true, nil
+		})
+		if err != nil {
+			return Node{}, false, err
+		}
+		if !nextSet {
+			return Node{}, false, nil
+		}
+		cur = next
+	}
+}
+
+// Intervals computes the record's contiguous node-ID intervals, returning
+// the ascending list of interval upper endpoints and the record's minimum
+// node ID. Proxies break intervals: the nodes they stand for live in another
+// record (§3.1: "for each contiguous interval of node IDs for nodes within a
+// record in document order, only one entry is in the node ID index").
+func (r *Record) Intervals() ([]nodeid.ID, nodeid.ID, error) {
+	var uppers []nodeid.ID
+	var minID nodeid.ID
+	var last nodeid.ID // last real node ID in the current interval
+	inInterval := false
+
+	var walk func(off int, parentAbs nodeid.ID, entries int) (int, error)
+	walk = func(off int, parentAbs nodeid.ID, entries int) (int, error) {
+		for i := 0; i < entries; i++ {
+			n, err := r.DecodeNodeAt(off, parentAbs)
+			if err != nil {
+				return 0, err
+			}
+			if n.IsProxy() {
+				if inInterval {
+					uppers = append(uppers, nodeid.Clone(last))
+					inInterval = false
+				}
+			} else {
+				if minID == nil {
+					minID = nodeid.Clone(n.Abs)
+				}
+				last = n.Abs
+				inInterval = true
+				if n.Kind == xml.Element && n.EntryCount > 0 {
+					if _, err := walk(n.bodyStart, n.Abs, n.EntryCount); err != nil {
+						return 0, err
+					}
+				}
+			}
+			off = n.end
+		}
+		return off, nil
+	}
+	if _, err := walk(0, r.ContextID, r.SubtreeCount); err != nil {
+		return nil, nil, err
+	}
+	if inInterval {
+		uppers = append(uppers, nodeid.Clone(last))
+	}
+	return uppers, minID, nil
+}
+
+// CountNodes returns the number of real nodes stored in the record.
+func (r *Record) CountNodes() (int, error) {
+	count := 0
+	var walk func(off int, parentAbs nodeid.ID, entries int) error
+	walk = func(off int, parentAbs nodeid.ID, entries int) error {
+		for i := 0; i < entries; i++ {
+			n, err := r.DecodeNodeAt(off, parentAbs)
+			if err != nil {
+				return err
+			}
+			if !n.IsProxy() {
+				count++
+				if n.Kind == xml.Element && n.EntryCount > 0 {
+					if err := walk(n.bodyStart, n.Abs, n.EntryCount); err != nil {
+						return err
+					}
+				}
+			}
+			off = n.end
+		}
+		return nil
+	}
+	err := walk(0, r.ContextID, r.SubtreeCount)
+	return count, err
+}

@@ -1,0 +1,484 @@
+// Package pack implements the tree-packing storage scheme of §3.1 (Figure
+// 3): XML trees are packed into variable-length records ("XMLData"
+// VARBINARY values) using structure nesting for parent-child relationships.
+// Each non-leaf node carries its entry count and subtree byte length so a
+// traversal can do firstChild/nextSibling and skip whole subtrees without
+// decoding them. When a tree outgrows one record, consecutive subtrees that
+// share a parent are packed into a separate record bottom-up and replaced by
+// a proxy node in the containing record; records are linked only logically,
+// through node IDs and the NodeID index — never by physical pointers.
+//
+// Record layout (all integers uvarint, node IDs self-terminating):
+//
+//	header:
+//	  context node absolute ID (len + bytes) — the common parent of the
+//	      record's top-level subtrees ("context node", §3.1)
+//	  context path: count, then (uri, local) name IDs from root to context
+//	  in-scope namespaces at context: count, then (prefix, uri) ID pairs
+//	  top-level subtree entry count
+//	body: node encodings, recursively nested
+//
+// Node encodings:
+//
+//	element:   kind, relID, uri, local, type, entryCount, bodyLen, body
+//	attribute: kind, relID, uri, local, type, valueLen, value
+//	text:      kind, relID, type, valueLen, value
+//	comment:   kind, relID, valueLen, value
+//	pi:        kind, relID, target, valueLen, value
+//	namespace: kind, relID, prefix, uri
+//	proxy:     kind, relID (of first subtree root), subtree count
+//
+// A proxy stands for a maximal run of consecutive sibling subtrees that were
+// packed into exactly one other record.
+package pack
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rx/internal/nodeid"
+	"rx/internal/tokens"
+	"rx/internal/xml"
+)
+
+// DefaultThreshold is the default target record payload size. It leaves room
+// for the heap's per-record overhead within an 8 KiB page.
+const DefaultThreshold = 7700
+
+// NSBinding is one in-scope namespace binding (dictionary-encoded).
+type NSBinding struct {
+	Prefix xml.NameID
+	URI    xml.NameID
+}
+
+// EncodedRecord is one packed record ready for storage, along with the
+// NodeID-index information derived from it (§3.1: interval upper endpoints).
+type EncodedRecord struct {
+	// MinNodeID is the smallest node ID contained in the record; together
+	// with DocID it is the paper's clustering key (DocID, minNodeID).
+	MinNodeID nodeid.ID
+	// Intervals holds the upper endpoint of each contiguous node-ID interval
+	// in the record, in ascending order. The NodeID index stores one entry
+	// per interval.
+	Intervals []nodeid.ID
+	// Payload is the record bytes (the XMLData column value).
+	Payload []byte
+}
+
+// Packer packs a token stream into records, emitting completed records
+// bottom-up through the emit callback (child records before their parents,
+// the root record last).
+type Packer struct {
+	threshold int
+	emit      func(EncodedRecord) error
+
+	stack []*openElem
+	err   error
+	done  bool
+}
+
+type openElem struct {
+	name    xml.QName
+	typ     xml.TypeID
+	rel     nodeid.Rel
+	abs     nodeid.ID // absolute ID (concatenated once at start; shared prefix)
+	ns      []NSBinding
+	entries []segment
+	size    int // total bytes of entries
+	next    int // next child ordinal for RelAt
+}
+
+// segment is one completed child entry of an open element: the encoding of a
+// whole subtree, or a proxy for flushed subtrees.
+type segment struct {
+	bytes   []byte
+	isProxy bool
+	rel     nodeid.Rel // rel ID of (first) subtree root
+	count   int        // proxy: number of subtrees represented
+}
+
+// NewPacker creates a Packer with the given record-size threshold (the
+// packing-factor control of §3.1's analysis; <= 0 means DefaultThreshold).
+func NewPacker(threshold int, emit func(EncodedRecord) error) *Packer {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Packer{threshold: threshold, emit: emit}
+}
+
+// PackStream packs a whole token stream (one document) with a fresh Packer.
+func PackStream(stream []byte, threshold int, emit func(EncodedRecord) error) error {
+	p := NewPacker(threshold, emit)
+	r := tokens.NewReader(stream)
+	for r.More() {
+		t, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if err := p.Feed(t); err != nil {
+			return err
+		}
+	}
+	return p.Close()
+}
+
+// Feed consumes one token.
+func (p *Packer) Feed(t *tokens.Token) error {
+	if p.err != nil {
+		return p.err
+	}
+	switch t.Kind {
+	case tokens.StartDocument:
+		if len(p.stack) != 0 {
+			return p.fail(errors.New("pack: nested StartDocument"))
+		}
+		// The document node is the implicit root: open a pseudo-element with
+		// the empty absolute ID.
+		p.stack = append(p.stack, &openElem{abs: nodeid.Root})
+	case tokens.EndDocument:
+		if len(p.stack) != 1 {
+			return p.fail(errors.New("pack: EndDocument with open elements"))
+		}
+		root := p.stack[0]
+		p.stack = p.stack[:0]
+		p.done = true
+		return p.emitRecord(root, root.entries)
+	case tokens.StartElement:
+		parent := p.top()
+		if parent == nil {
+			return p.fail(errors.New("pack: element outside document"))
+		}
+		rel := nodeid.RelAt(parent.next)
+		parent.next++
+		e := &openElem{
+			name: t.Name,
+			rel:  rel,
+			abs:  nodeid.Append(parent.abs, rel),
+		}
+		p.stack = append(p.stack, e)
+	case tokens.EndElement:
+		if len(p.stack) < 2 {
+			return p.fail(errors.New("pack: unmatched EndElement"))
+		}
+		e := p.stack[len(p.stack)-1]
+		p.stack = p.stack[:len(p.stack)-1]
+		// If the element's accumulated content exceeds the threshold, flush
+		// runs of leading entries into separate records (bottom-up packing).
+		if err := p.reduce(e); err != nil {
+			return err
+		}
+		enc := encodeElement(e)
+		parent := p.top()
+		parent.entries = append(parent.entries, segment{bytes: enc, rel: e.rel})
+		parent.size += len(enc)
+	case tokens.Attr:
+		e := p.top()
+		if e == nil || len(p.stack) < 2 {
+			return p.fail(errors.New("pack: attribute outside element"))
+		}
+		rel := nodeid.RelAt(e.next)
+		e.next++
+		enc := encodeLeaf(xml.Attribute, rel, t.Name, t.Type, t.Value, 0, 0)
+		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
+		e.size += len(enc)
+	case tokens.NSDecl:
+		e := p.top()
+		if e == nil || len(p.stack) < 2 {
+			return p.fail(errors.New("pack: namespace outside element"))
+		}
+		e.ns = append(e.ns, NSBinding{Prefix: t.Prefix, URI: t.URI})
+		rel := nodeid.RelAt(e.next)
+		e.next++
+		enc := encodeNamespace(rel, t.Prefix, t.URI)
+		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
+		e.size += len(enc)
+	case tokens.Text:
+		e := p.top()
+		if e == nil {
+			return p.fail(errors.New("pack: text outside document"))
+		}
+		rel := nodeid.RelAt(e.next)
+		e.next++
+		enc := encodeLeaf(xml.Text, rel, xml.QName{}, t.Type, t.Value, 0, 0)
+		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
+		e.size += len(enc)
+	case tokens.Comment:
+		e := p.top()
+		if e == nil {
+			return p.fail(errors.New("pack: comment outside document"))
+		}
+		rel := nodeid.RelAt(e.next)
+		e.next++
+		enc := encodeLeaf(xml.Comment, rel, xml.QName{}, 0, t.Value, 0, 0)
+		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
+		e.size += len(enc)
+	case tokens.PI:
+		e := p.top()
+		if e == nil {
+			return p.fail(errors.New("pack: PI outside document"))
+		}
+		rel := nodeid.RelAt(e.next)
+		e.next++
+		enc := encodeLeaf(xml.ProcessingInstruction, rel, t.Name, 0, t.Value, 0, 0)
+		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
+		e.size += len(enc)
+	default:
+		return p.fail(fmt.Errorf("pack: unexpected token %v", t.Kind))
+	}
+	return nil
+}
+
+// Close verifies the stream completed. (EndDocument emits the root record.)
+func (p *Packer) Close() error {
+	if p.err != nil {
+		return p.err
+	}
+	if !p.done {
+		return errors.New("pack: incomplete document")
+	}
+	return nil
+}
+
+func (p *Packer) top() *openElem {
+	if len(p.stack) == 0 {
+		return nil
+	}
+	return p.stack[len(p.stack)-1]
+}
+
+func (p *Packer) fail(err error) error {
+	p.err = err
+	return err
+}
+
+// maxRunBytes bounds a flushed record so it always fits a heap page even
+// when the threshold is tiny.
+const maxRunBytes = 7600
+
+// reduce flushes leading runs of e's entries into separate records until the
+// remaining encoded size fits the threshold. Flushed runs are replaced by
+// proxy segments. This is the paper's "simple size-based grouping method".
+//
+// For extreme fan-outs the run size is scaled up beyond the threshold so
+// that the kept proxy list itself stays well under a page (at most ~1000
+// proxies): a record must hold either the content or a proxy per run, so a
+// parent with hundreds of thousands of children forces larger runs
+// regardless of the configured threshold.
+func (p *Packer) reduce(e *openElem) error {
+	if e.size <= p.threshold {
+		return nil
+	}
+	runTarget := p.threshold
+	if t := e.size / 1000; t > runTarget {
+		runTarget = t
+	}
+	if runTarget > maxRunBytes {
+		runTarget = maxRunBytes
+	}
+	var kept []segment
+	keptSize, consumed := 0, 0
+	i := 0
+	for i < len(e.entries) {
+		seg := e.entries[i]
+		if seg.isProxy {
+			kept = append(kept, seg)
+			keptSize += len(seg.bytes)
+			consumed += len(seg.bytes)
+			i++
+			continue
+		}
+		// Stop flushing once what's kept plus what's left already fits.
+		remaining := e.size - consumed
+		if keptSize+remaining <= p.threshold {
+			kept = append(kept, e.entries[i:]...)
+			for _, s := range e.entries[i:] {
+				keptSize += len(s.bytes)
+			}
+			break
+		}
+		// Greedily extend a run of consecutive non-proxy entries up to the
+		// run target and flush it as one record.
+		runStart := i
+		runBytes := 0
+		for i < len(e.entries) && !e.entries[i].isProxy && runBytes+len(e.entries[i].bytes) <= runTarget {
+			runBytes += len(e.entries[i].bytes)
+			i++
+		}
+		if i == runStart {
+			// A single entry larger than the threshold: it cannot be split
+			// further (its own subtrees were already reduced), so keep it
+			// and let the heap reject it if it exceeds the page.
+			kept = append(kept, e.entries[i])
+			keptSize += len(e.entries[i].bytes)
+			consumed += len(e.entries[i].bytes)
+			i++
+			continue
+		}
+		run := e.entries[runStart:i]
+		consumed += runBytes
+		if err := p.flushRun(e, run); err != nil {
+			return err
+		}
+		proxy := makeProxy(run)
+		kept = append(kept, proxy)
+		keptSize += len(proxy.bytes)
+	}
+	e.entries = kept
+	e.size = keptSize
+	return nil
+}
+
+// flushRun emits one record containing the run's subtrees with e as context.
+func (p *Packer) flushRun(e *openElem, run []segment) error {
+	var payload []byte
+	payload = appendHeader(payload, e.abs, p.pathTo(e), p.inScopeNS(e), len(run))
+	for _, s := range run {
+		payload = append(payload, s.bytes...)
+	}
+	rec, err := finishRecord(e.abs, payload)
+	if err != nil {
+		return p.fail(err)
+	}
+	return p.emit(rec)
+}
+
+// emitRecord emits the root record: context is the document node.
+func (p *Packer) emitRecord(root *openElem, entries []segment) error {
+	var payload []byte
+	payload = appendHeader(payload, nodeid.Root, nil, nil, len(entries))
+	for _, s := range entries {
+		payload = append(payload, s.bytes...)
+	}
+	rec, err := finishRecord(nodeid.Root, payload)
+	if err != nil {
+		return p.fail(err)
+	}
+	return p.emit(rec)
+}
+
+// pathTo returns the element names from the root element down to e.
+func (p *Packer) pathTo(e *openElem) []xml.QName {
+	var path []xml.QName
+	for _, oe := range p.stack[1:] { // stack[0] is the document pseudo-element
+		path = append(path, oe.name)
+	}
+	return append(path, e.name)
+}
+
+// inScopeNS returns the namespace bindings in scope at e (innermost wins).
+func (p *Packer) inScopeNS(e *openElem) []NSBinding {
+	seen := map[xml.NameID]bool{}
+	var out []NSBinding
+	add := func(bs []NSBinding) {
+		for i := len(bs) - 1; i >= 0; i-- {
+			if !seen[bs[i].Prefix] {
+				seen[bs[i].Prefix] = true
+				out = append(out, bs[i])
+			}
+		}
+	}
+	add(e.ns)
+	for i := len(p.stack) - 1; i >= 1; i-- {
+		add(p.stack[i].ns)
+	}
+	return out
+}
+
+func makeProxy(run []segment) segment {
+	count := 0
+	for _, s := range run {
+		if s.isProxy {
+			count += s.count
+		} else {
+			count++
+		}
+	}
+	var b []byte
+	b = append(b, byte(xml.Proxy))
+	b = append(b, run[0].rel...)
+	b = appendUvarint(b, uint64(count))
+	return segment{bytes: b, isProxy: true, rel: run[0].rel, count: count}
+}
+
+// finishRecord computes MinNodeID and the node-ID intervals of a payload.
+func finishRecord(contextID nodeid.ID, payload []byte) (EncodedRecord, error) {
+	rec, err := Decode(payload)
+	if err != nil {
+		return EncodedRecord{}, err
+	}
+	intervals, minID, err := rec.Intervals()
+	if err != nil {
+		return EncodedRecord{}, err
+	}
+	return EncodedRecord{MinNodeID: minID, Intervals: intervals, Payload: payload}, nil
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(b, tmp[:n]...)
+}
+
+func appendHeader(b []byte, ctx nodeid.ID, path []xml.QName, ns []NSBinding, count int) []byte {
+	b = appendUvarint(b, uint64(len(ctx)))
+	b = append(b, ctx...)
+	b = appendUvarint(b, uint64(len(path)))
+	for _, q := range path {
+		b = appendUvarint(b, uint64(q.URI))
+		b = appendUvarint(b, uint64(q.Local))
+	}
+	b = appendUvarint(b, uint64(len(ns)))
+	for _, n := range ns {
+		b = appendUvarint(b, uint64(n.Prefix))
+		b = appendUvarint(b, uint64(n.URI))
+	}
+	return appendUvarint(b, uint64(count))
+}
+
+// encodeElement assembles an element's encoding from its reduced entries.
+func encodeElement(e *openElem) []byte {
+	var b []byte
+	b = append(b, byte(xml.Element))
+	b = append(b, e.rel...)
+	b = appendUvarint(b, uint64(e.name.URI))
+	b = appendUvarint(b, uint64(e.name.Local))
+	b = appendUvarint(b, uint64(e.typ))
+	b = appendUvarint(b, uint64(len(e.entries)))
+	b = appendUvarint(b, uint64(e.size))
+	for _, s := range e.entries {
+		b = append(b, s.bytes...)
+	}
+	return b
+}
+
+// encodeLeaf encodes attribute, text, comment and PI nodes.
+func encodeLeaf(kind xml.Kind, rel nodeid.Rel, name xml.QName, typ xml.TypeID, value []byte, _, _ int) []byte {
+	var b []byte
+	b = append(b, byte(kind))
+	b = append(b, rel...)
+	switch kind {
+	case xml.Attribute:
+		b = appendUvarint(b, uint64(name.URI))
+		b = appendUvarint(b, uint64(name.Local))
+		b = appendUvarint(b, uint64(typ))
+	case xml.Text:
+		b = appendUvarint(b, uint64(typ))
+	case xml.ProcessingInstruction:
+		b = appendUvarint(b, uint64(name.Local))
+	case xml.Comment:
+	default:
+		panic("pack: encodeLeaf bad kind")
+	}
+	b = appendUvarint(b, uint64(len(value)))
+	return append(b, value...)
+}
+
+func encodeNamespace(rel nodeid.Rel, prefix, uri xml.NameID) []byte {
+	var b []byte
+	b = append(b, byte(xml.Namespace))
+	b = append(b, rel...)
+	b = appendUvarint(b, uint64(prefix))
+	b = appendUvarint(b, uint64(uri))
+	return b
+}

@@ -1,0 +1,91 @@
+package pack
+
+import (
+	"fmt"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+)
+
+// Fetch resolves a proxy: given the absolute node ID of the first subtree in
+// a packed-away run, it returns the record holding that run. Implementations
+// search the NodeID index (§3.4).
+type Fetch func(first nodeid.ID) (*Record, error)
+
+// Visitor receives document-order traversal events. Enter is called for
+// every real node; Leave is called for elements after their content. Either
+// may return false to stop the walk early.
+type Visitor interface {
+	Enter(n Node, r *Record) (bool, error)
+	Leave(n Node, r *Record) (bool, error)
+}
+
+// Walk traverses the subtrees of rec in document order, fetching proxied
+// records as needed. This is the stored-data traversal of §3.4: the records
+// form a block-based tree walked depth-first, with fetch order matching the
+// (DocID, minNodeID) clustering order.
+func Walk(rec *Record, fetch Fetch, v Visitor) error {
+	_, err := walkEntries(rec, 0, rec.ContextID, rec.SubtreeCount, fetch, v)
+	return err
+}
+
+// walkEntries walks a run of sibling entries; returns false to stop.
+func walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int, fetch Fetch, v Visitor) (bool, error) {
+	for i := 0; i < entries; i++ {
+		n, err := rec.DecodeNodeAt(off, parentAbs)
+		if err != nil {
+			return false, err
+		}
+		off = n.end
+		if n.IsProxy() {
+			child, err := fetch(n.Abs)
+			if err != nil {
+				return false, fmt.Errorf("pack: resolving proxy %s: %w", n.Abs, err)
+			}
+			cont, err := walkEntries(child, 0, child.ContextID, child.SubtreeCount, fetch, v)
+			if err != nil || !cont {
+				return cont, err
+			}
+			continue
+		}
+		cont, err := v.Enter(n, rec)
+		if err != nil || !cont {
+			return cont, err
+		}
+		if n.Kind == xml.Element && n.EntryCount > 0 {
+			cont, err := walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount, fetch, v)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		if n.Kind == xml.Element {
+			cont, err := v.Leave(n, rec)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
+// WalkSubtree traverses one node's subtree (the node itself included),
+// resolving proxies. Used for node-scoped serialization and string-value
+// computation of query results reached through the NodeID index.
+func WalkSubtree(rec *Record, n Node, fetch Fetch, v Visitor) error {
+	cont, err := v.Enter(n, rec)
+	if err != nil || !cont {
+		return err
+	}
+	if n.Kind == xml.Element && n.EntryCount > 0 {
+		cont, err := walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount, fetch, v)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	if n.Kind == xml.Element {
+		if _, err := v.Leave(n, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

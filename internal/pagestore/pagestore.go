@@ -1,0 +1,175 @@
+// Package pagestore provides the lowest storage layer of the engine: a flat,
+// addressable array of fixed-size pages, backed either by a file or by
+// memory. It corresponds to the "external storage management" box of the
+// paper's Figure 1 — infrastructure reused unchanged from the relational
+// engine. Everything above (buffer pool, heap tables, B+trees) sees only
+// page reads and writes.
+package pagestore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// PageSize is the fixed size of every page in bytes.
+const PageSize = 8192
+
+// PageID addresses a page within a store. Page 0 is valid and owned by the
+// layer that formats the store (typically a meta page).
+type PageID uint32
+
+// InvalidPage is a sentinel PageID that never addresses a real page.
+const InvalidPage PageID = ^PageID(0)
+
+// ErrPageRange reports access to a page beyond the allocated extent.
+var ErrPageRange = errors.New("pagestore: page out of range")
+
+// Store is a flat array of pages.
+type Store interface {
+	// ReadPage fills buf (len PageSize) with the page's contents.
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists buf (len PageSize) as the page's contents.
+	WritePage(id PageID, buf []byte) error
+	// Allocate extends the store by one zeroed page and returns its ID.
+	Allocate() (PageID, error)
+	// NumPages returns the current number of allocated pages.
+	NumPages() PageID
+	// Sync forces written pages to stable storage.
+	Sync() error
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// MemStore is an in-memory Store, used for tests, benchmarks, and purely
+// transient databases.
+type MemStore struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore { return &MemStore{} }
+
+// ReadPage implements Store.
+func (m *MemStore) ReadPage(id PageID, buf []byte) error {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageRange, id, len(m.pages))
+	}
+	copy(buf, m.pages[id])
+	return nil
+}
+
+// WritePage implements Store.
+func (m *MemStore) WritePage(id PageID, buf []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if int(id) >= len(m.pages) {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, len(m.pages))
+	}
+	copy(m.pages[id], buf)
+	return nil
+}
+
+// Allocate implements Store.
+func (m *MemStore) Allocate() (PageID, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pages = append(m.pages, make([]byte, PageSize))
+	return PageID(len(m.pages) - 1), nil
+}
+
+// NumPages implements Store.
+func (m *MemStore) NumPages() PageID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return PageID(len(m.pages))
+}
+
+// Sync implements Store.
+func (m *MemStore) Sync() error { return nil }
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// FileStore is a Store backed by a single file of concatenated pages.
+type FileStore struct {
+	mu    sync.Mutex
+	f     *os.File
+	pages PageID
+}
+
+// OpenFile opens (or creates) a file-backed store at path. An existing file
+// must contain a whole number of pages.
+func OpenFile(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size()%PageSize != 0 {
+		f.Close()
+		return nil, fmt.Errorf("pagestore: %s size %d is not a multiple of page size", path, st.Size())
+	}
+	return &FileStore{f: f, pages: PageID(st.Size() / PageSize)}, nil
+}
+
+// ReadPage implements Store.
+func (s *FileStore) ReadPage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	n := s.pages
+	s.mu.Unlock()
+	if id >= n {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageRange, id, n)
+	}
+	_, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err == io.EOF {
+		err = nil // a page allocated but never written reads as zeros
+	}
+	return err
+}
+
+// WritePage implements Store.
+func (s *FileStore) WritePage(id PageID, buf []byte) error {
+	s.mu.Lock()
+	n := s.pages
+	s.mu.Unlock()
+	if id >= n {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, n)
+	}
+	_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
+	return err
+}
+
+// Allocate implements Store.
+func (s *FileStore) Allocate() (PageID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.pages
+	if err := s.f.Truncate(int64(id+1) * PageSize); err != nil {
+		return InvalidPage, err
+	}
+	s.pages++
+	return id, nil
+}
+
+// NumPages implements Store.
+func (s *FileStore) NumPages() PageID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pages
+}
+
+// Sync implements Store.
+func (s *FileStore) Sync() error { return s.f.Sync() }
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }

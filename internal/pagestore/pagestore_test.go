@@ -1,0 +1,88 @@
+package pagestore
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func testStore(t *testing.T, s Store) {
+	t.Helper()
+	id0, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id0 == id1 {
+		t.Fatal("duplicate page IDs")
+	}
+	if s.NumPages() != 2 {
+		t.Fatalf("NumPages = %d", s.NumPages())
+	}
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	if err := s.WritePage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, PageSize)
+	if err := s.ReadPage(id1, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, got) {
+		t.Error("read back mismatch")
+	}
+	// Fresh page reads as zeros.
+	if err := s.ReadPage(id0, got); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("fresh page not zeroed")
+		}
+	}
+	// Out-of-range access fails.
+	if err := s.ReadPage(99, got); err == nil {
+		t.Error("out-of-range read should fail")
+	}
+	if err := s.WritePage(99, buf); err == nil {
+		t.Error("out-of-range write should fail")
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+
+func TestFileStore(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen preserves contents.
+	s2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.NumPages() != 2 {
+		t.Fatalf("reopened NumPages = %d", s2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := s2.ReadPage(1, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[100] != 100 {
+		t.Error("reopened contents lost")
+	}
+}

@@ -1,0 +1,67 @@
+package quickxscan
+
+import (
+	"rx/internal/nodeid"
+	"rx/internal/tokens"
+)
+
+// EvalTokens runs the evaluator over a buffered token stream, synthesizing
+// node IDs exactly as the packer assigns them (so matches against streamed
+// documents and stored documents carry identical IDs). The evaluator is
+// Reset first, so one compiled query can scan many documents — this is also
+// the value-index key generation path of §3.3, which evaluates "a simplified
+// version of our streaming XPath algorithm" per inserted document.
+func EvalTokens(e *Eval, stream []byte) ([]Match, error) {
+	e.Reset()
+	r := tokens.NewReader(stream)
+	// One shared path buffer holds the current node's absolute ID; event
+	// consumers only read IDs during the event (candidates are cloned at
+	// finalize), so no per-node allocation is needed.
+	path := make([]byte, 0, 64)
+	lens := []int{0}     // path length per open depth
+	counters := []int{0} // next child slot per open depth
+	extend := func() nodeid.ID {
+		d := len(counters) - 1
+		rel := nodeid.RelAt(counters[d])
+		counters[d]++
+		path = append(path[:lens[d]], rel...)
+		return nodeid.ID(path)
+	}
+	for r.More() {
+		t, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case tokens.StartDocument:
+			e.StartDocument()
+			path = path[:0]
+			lens = append(lens[:0], 0)
+			counters = append(counters[:0], 0)
+		case tokens.EndDocument:
+			return e.EndDocument()
+		case tokens.StartElement:
+			id := extend()
+			e.StartElement(t.Name, id)
+			lens = append(lens, len(path))
+			counters = append(counters, 0)
+		case tokens.EndElement:
+			idLen := lens[len(lens)-1]
+			lens = lens[:len(lens)-1]
+			counters = counters[:len(counters)-1]
+			path = path[:idLen]
+			e.EndElement(nodeid.ID(path))
+		case tokens.Attr:
+			e.Attribute(t.Name, t.Value, extend())
+		case tokens.NSDecl:
+			counters[len(counters)-1]++ // namespace nodes occupy an ID slot
+		case tokens.Text:
+			e.Text(t.Value, extend())
+		case tokens.Comment:
+			e.Comment(t.Value, extend())
+		case tokens.PI:
+			counters[len(counters)-1]++ // PI nodes are not matched
+		}
+	}
+	return e.EndDocument()
+}

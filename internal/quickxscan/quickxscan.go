@@ -1,0 +1,709 @@
+// Package quickxscan implements QuickXScan (§4.2), the streaming XPath
+// algorithm of System R/X. It evaluates a path expression in a single pass
+// over a document — the XML analogue of a relational scan — using the
+// principles of attribute grammars: inherited attributes decide whether a
+// document node matches a query node (evaluated top-down), and synthesized
+// sequence-valued attributes accumulate candidate results (evaluated
+// bottom-up, with the upward and sideways propagations of Table 1).
+//
+// Each query node keeps a stack of matching instances. A document node is
+// matched against only the stack tops of the previous step (the two
+// transitivity properties of §4.2), which bounds live state by O(|Q|·r) —
+// query size times document recursion depth — instead of the exponential
+// state sets of automaton-based streaming evaluators (Figure 7).
+//
+// Candidate propagation generalizes Table 1 to predicates: each matching
+// instance carries a "raw" sequence (candidates whose validation by this
+// step's predicates is still pending) and a "valid" sequence (candidates
+// already validated at this step by a deeper instance). When an instance
+// pops, its predicates are decided; raw candidates either become valid and
+// cross the step boundary upward through the instance's upward link, or —
+// if this instance fails its predicates and the step's axis is a descendant
+// axis — move sideways to the next instance below on the same stack (the
+// outer matching the candidates are also contained in). Each candidate is
+// held by exactly one instance per step at any time, which is what
+// guarantees duplicate-free results.
+package quickxscan
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+	"rx/internal/xpath"
+)
+
+// Match is one result node.
+type Match struct {
+	ID nodeid.ID
+	// Value is the node's string value, collected when Options.NeedValues
+	// is set (attribute/text value, or concatenated text descendants for
+	// elements).
+	Value []byte
+}
+
+// Options configure an evaluator.
+type Options struct {
+	// NeedValues makes matches carry node string values (used for XPath
+	// value index key generation, §3.3).
+	NeedValues bool
+}
+
+// Stats reports the evaluator's live-state footprint for the Figure-7
+// comparison.
+type Stats struct {
+	// Pushes counts matching instances created.
+	Pushes int
+	// MaxLive is the maximum number of matching instances alive at once
+	// (the paper's O(|Q|·r) bound).
+	MaxLive int
+	// QueryNodes is |Q|.
+	QueryNodes int
+}
+
+// qnode is one query node of the compiled query tree.
+type qnode struct {
+	id     int
+	axis   xpath.Axis
+	test   xpath.TestKind
+	name   xml.QName // resolved name for TestName
+	anyURI bool      // name test with no prefix matches any namespace? (false: no-namespace only)
+	parent *qnode
+
+	// Predicates anchored at this query node.
+	preds     []predExpr
+	numLeaves int
+
+	// Predicate-chain bookkeeping: inPred marks query nodes inside a
+	// predicate path; predSlot is the leaf slot (on every node of the
+	// chain); anchor is the step the predicate belongs to; cmp is the
+	// comparison applied at the chain's terminal.
+	inPred   bool
+	predSlot int
+	anchor   *qnode
+	terminal bool
+	cmp      *cmpInfo
+
+	// makesCand: this node's own matches are candidates (spine result node
+	// or predicate-chain terminal).
+	makesCand bool
+	needValue bool
+	// loose: candidates crossing up from this step may be re-targeted to
+	// outer instances of the parent step (descendant axes).
+	loose bool
+
+	stack []*instance
+}
+
+type cmpInfo struct {
+	op  xpath.CmpOp
+	lit xpath.Literal
+}
+
+// cand is a candidate result flowing up the query tree.
+type cand struct {
+	id    nodeid.ID
+	value []byte
+	loose bool
+}
+
+// instance is a matching instance on a query node's stack.
+type instance struct {
+	q        *qnode
+	depth    int
+	upTarget *instance
+	raw      []cand
+	valid    []cand
+	// rawRemainder holds loose raw candidates of a failed instance, pending
+	// the sideways move to the instance below on the stack.
+	rawRemainder []cand
+	leafVals     []bool
+	value        []byte // accumulated string value when q.needValue
+	closed       bool
+}
+
+type predExpr interface{ eval(leaf []bool) bool }
+
+type peAnd struct{ l, r predExpr }
+type peOr struct{ l, r predExpr }
+type peNot struct{ e predExpr }
+type peLeaf struct{ slot int }
+
+func (e peAnd) eval(l []bool) bool  { return e.l.eval(l) && e.r.eval(l) }
+func (e peOr) eval(l []bool) bool   { return e.l.eval(l) || e.r.eval(l) }
+func (e peNot) eval(l []bool) bool  { return !e.e.eval(l) }
+func (e peLeaf) eval(l []bool) bool { return l[e.slot] }
+
+// Eval is a compiled, reusable streaming evaluator for one query.
+type Eval struct {
+	opts  Options
+	doc   *qnode
+	nodes []*qnode // topological order (parents before children)
+
+	depth     int
+	openElems []openElem
+	valueMIs  []*instance // open instances accumulating string values
+	results   []Match
+	stats     Stats
+	live      int
+	inDoc     bool
+	err       error
+	// free recycles matching instances: an instance popped from its stack
+	// is never referenced again (candidates are copied out at finalize and
+	// upward links only ever point at still-open ancestors).
+	free []*instance
+}
+
+type openElem struct {
+	pushed []*instance // instances pushed for this element, in push order
+}
+
+// Compile builds an evaluator for the query. Names are resolved against the
+// dictionary; nsMap maps the query's prefixes to namespace URIs (nil means
+// prefixes are disallowed).
+func Compile(q *xpath.Query, names xml.Names, nsMap map[string]string, opts Options) (*Eval, error) {
+	if !q.Rooted {
+		return nil, errors.New("quickxscan: only rooted paths are evaluated against documents")
+	}
+	e := &Eval{opts: opts}
+	e.doc = &qnode{id: 0, test: xpath.TestNode}
+	e.nodes = append(e.nodes, e.doc)
+	last, err := e.compileChain(q.Steps, e.doc, names, nsMap, false, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	last.makesCand = true
+	if opts.NeedValues {
+		last.needValue = true
+	}
+	e.stats.QueryNodes = len(e.nodes)
+	return e, nil
+}
+
+// compileChain compiles a linear chain of steps under parent, returning the
+// terminal qnode.
+func (e *Eval) compileChain(s *xpath.Step, parent *qnode, names xml.Names, nsMap map[string]string, inPred bool, slot int, anchor *qnode) (*qnode, error) {
+	cur := parent
+	for ; s != nil; s = s.Next {
+		q := &qnode{
+			id:     len(e.nodes),
+			axis:   s.Axis,
+			test:   s.Test,
+			parent: cur,
+			inPred: inPred,
+			predSlot: func() int {
+				if inPred {
+					return slot
+				}
+				return 0
+			}(),
+			anchor: anchor,
+			loose:  s.Axis == xpath.Descendant || s.Axis == xpath.DescendantOrSelf,
+		}
+		if s.Test == xpath.TestName {
+			uri := ""
+			if s.Prefix != "" {
+				u, ok := nsMap[s.Prefix]
+				if !ok {
+					return nil, fmt.Errorf("quickxscan: unbound prefix %q in query", s.Prefix)
+				}
+				uri = u
+			}
+			uriID, err := names.Intern(uri)
+			if err != nil {
+				return nil, err
+			}
+			localID, err := names.Intern(s.Local)
+			if err != nil {
+				return nil, err
+			}
+			q.name = xml.QName{URI: uriID, Local: localID}
+		}
+		e.nodes = append(e.nodes, q)
+		// Compile this step's predicates.
+		for _, pe := range s.Preds {
+			compiled, err := e.compilePred(pe, q, names, nsMap)
+			if err != nil {
+				return nil, err
+			}
+			q.preds = append(q.preds, compiled)
+		}
+		cur = q
+	}
+	return cur, nil
+}
+
+func (e *Eval) compilePred(pe xpath.Expr, anchor *qnode, names xml.Names, nsMap map[string]string) (predExpr, error) {
+	switch x := pe.(type) {
+	case xpath.And:
+		l, err := e.compilePred(x.L, anchor, names, nsMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compilePred(x.R, anchor, names, nsMap)
+		if err != nil {
+			return nil, err
+		}
+		return peAnd{l, r}, nil
+	case xpath.Or:
+		l, err := e.compilePred(x.L, anchor, names, nsMap)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e.compilePred(x.R, anchor, names, nsMap)
+		if err != nil {
+			return nil, err
+		}
+		return peOr{l, r}, nil
+	case xpath.Not:
+		inner, err := e.compilePred(x.E, anchor, names, nsMap)
+		if err != nil {
+			return nil, err
+		}
+		return peNot{inner}, nil
+	case xpath.Exists:
+		slot := anchor.numLeaves
+		anchor.numLeaves++
+		term, err := e.compileChain(x.Path, anchor, names, nsMap, true, slot, anchor)
+		if err != nil {
+			return nil, err
+		}
+		if term == anchor {
+			return nil, errors.New("quickxscan: empty predicate path")
+		}
+		term.terminal = true
+		term.makesCand = true
+		return peLeaf{slot}, nil
+	case xpath.Cmp:
+		slot := anchor.numLeaves
+		anchor.numLeaves++
+		term, err := e.compileChain(x.Path, anchor, names, nsMap, true, slot, anchor)
+		if err != nil {
+			return nil, err
+		}
+		if term == anchor {
+			// ". = lit" anchored directly: synthesize a self step.
+			term = &qnode{
+				id: len(e.nodes), axis: xpath.Self, test: xpath.TestNode,
+				parent: anchor, inPred: true, predSlot: slot, anchor: anchor,
+			}
+			e.nodes = append(e.nodes, term)
+		}
+		term.terminal = true
+		term.makesCand = true
+		term.cmp = &cmpInfo{op: x.Op, lit: x.Lit}
+		term.needValue = true
+		return peLeaf{slot}, nil
+	default:
+		return nil, fmt.Errorf("quickxscan: unsupported predicate %T", pe)
+	}
+}
+
+// Reset clears per-document state so the evaluator can scan another
+// document.
+func (e *Eval) Reset() {
+	for _, q := range e.nodes {
+		q.stack = q.stack[:0]
+	}
+	e.depth = 0
+	e.openElems = e.openElems[:0]
+	e.valueMIs = e.valueMIs[:0]
+	e.results = nil
+	e.live = 0
+	e.inDoc = false
+	e.err = nil
+}
+
+// Stats returns evaluation statistics (valid after EndDocument).
+func (e *Eval) Stats() Stats { return e.stats }
+
+// StartDocument begins a document.
+func (e *Eval) StartDocument() {
+	e.inDoc = true
+	e.depth = 0
+	docMI := &instance{q: e.doc, depth: 0}
+	e.push(e.doc, docMI)
+	e.openElems = append(e.openElems, openElem{pushed: []*instance{docMI}})
+}
+
+// newInstance takes an instance from the freelist or allocates one.
+func (e *Eval) newInstance(q *qnode, depth int, up *instance) *instance {
+	if n := len(e.free); n > 0 {
+		mi := e.free[n-1]
+		e.free = e.free[:n-1]
+		*mi = instance{q: q, depth: depth, upTarget: up,
+			raw: mi.raw[:0], valid: mi.valid[:0], rawRemainder: mi.rawRemainder[:0],
+			leafVals: mi.leafVals[:0], value: mi.value[:0]}
+		return mi
+	}
+	return &instance{q: q, depth: depth, upTarget: up}
+}
+
+// recycle returns a popped instance to the freelist.
+func (e *Eval) recycle(mi *instance) {
+	mi.upTarget = nil
+	e.free = append(e.free, mi)
+}
+
+func (e *Eval) push(q *qnode, mi *instance) {
+	q.stack = append(q.stack, mi)
+	if q.numLeaves > 0 {
+		if cap(mi.leafVals) >= q.numLeaves {
+			mi.leafVals = mi.leafVals[:q.numLeaves]
+			for i := range mi.leafVals {
+				mi.leafVals[i] = false
+			}
+		} else {
+			mi.leafVals = make([]bool, q.numLeaves)
+		}
+	}
+	e.live++
+	e.stats.Pushes++
+	if e.live > e.stats.MaxLive {
+		e.stats.MaxLive = e.live
+	}
+	if q.needValue {
+		e.valueMIs = append(e.valueMIs, mi)
+	}
+}
+
+// findUpTarget locates the previous-step instance a new match should link
+// to, per the axis. Only stack tops (and, for descendant axes, the top
+// ancestor) are examined — the transitivity shortcut of §4.2.
+func findUpTarget(q *qnode, depth int) *instance {
+	st := q.parent.stack
+	if len(st) == 0 {
+		return nil
+	}
+	// Stack depths are non-decreasing upward, and instances pushed for the
+	// current node during this same event may sit above the ancestor
+	// instance an axis needs — scan down past them.
+	switch q.axis {
+	case xpath.Child, xpath.Attribute:
+		for i := len(st) - 1; i >= 0 && st[i].depth >= depth-1; i-- {
+			if st[i].depth == depth-1 {
+				return st[i]
+			}
+		}
+	case xpath.Self:
+		for i := len(st) - 1; i >= 0 && st[i].depth >= depth; i-- {
+			if st[i].depth == depth {
+				return st[i]
+			}
+		}
+	case xpath.Descendant:
+		for i := len(st) - 1; i >= 0; i-- {
+			if st[i].depth < depth {
+				return st[i]
+			}
+		}
+	case xpath.DescendantOrSelf:
+		if st[len(st)-1].depth <= depth {
+			return st[len(st)-1]
+		}
+	}
+	return nil
+}
+
+// matchElement reports whether q's test accepts an element with this name.
+func (q *qnode) matchElement(name xml.QName) bool {
+	if q.axis == xpath.Attribute {
+		return false
+	}
+	switch q.test {
+	case xpath.TestName:
+		return q.name == name
+	case xpath.TestStar, xpath.TestNode:
+		return true
+	}
+	return false
+}
+
+// StartElement processes an element start. id is the node's ID (assigned by
+// the caller: the packer's IDs for stored data, or stream-synthesized ones).
+func (e *Eval) StartElement(name xml.QName, id nodeid.ID) {
+	if !e.inDoc {
+		return
+	}
+	e.depth++
+	frame := openElem{}
+	// Parents precede children in e.nodes, so self-axis chains see their
+	// parent's instance pushed within this same event.
+	for _, q := range e.nodes[1:] {
+		if !q.matchElement(name) {
+			continue
+		}
+		tp := findUpTarget(q, e.depth)
+		if tp == nil {
+			continue
+		}
+		mi := e.newInstance(q, e.depth, tp)
+		e.push(q, mi)
+		frame.pushed = append(frame.pushed, mi)
+	}
+	e.openElems = append(e.openElems, frame)
+}
+
+// Attribute processes an attribute of the current element.
+func (e *Eval) Attribute(name xml.QName, value []byte, id nodeid.ID) {
+	if !e.inDoc {
+		return
+	}
+	for _, q := range e.nodes[1:] {
+		if q.axis != xpath.Attribute {
+			continue
+		}
+		switch q.test {
+		case xpath.TestName:
+			if q.name != name {
+				continue
+			}
+		case xpath.TestStar, xpath.TestNode:
+		default:
+			continue
+		}
+		tp := findUpTarget(q, e.depth+1) // attribute sits one level below its element
+		if tp == nil {
+			continue
+		}
+		mi := e.newInstance(q, e.depth+1, tp)
+		mi.value = append(mi.value, value...)
+		e.push(q, mi)
+		e.finalize(mi, id)
+		e.popInstant(q)
+		e.recycle(mi)
+	}
+}
+
+// Text processes a text node.
+func (e *Eval) Text(value []byte, id nodeid.ID) {
+	if !e.inDoc {
+		return
+	}
+	// Accumulate into open string values.
+	for _, mi := range e.valueMIs {
+		if !mi.closed && mi.q.needValue {
+			mi.value = append(mi.value, value...)
+		}
+	}
+	e.instantLeaf(value, id, func(q *qnode) bool {
+		return q.test == xpath.TestText || q.test == xpath.TestNode
+	})
+}
+
+// Comment processes a comment node.
+func (e *Eval) Comment(value []byte, id nodeid.ID) {
+	if !e.inDoc {
+		return
+	}
+	e.instantLeaf(value, id, func(q *qnode) bool {
+		return q.test == xpath.TestComment || q.test == xpath.TestNode
+	})
+}
+
+// instantLeaf matches leaf document nodes (text, comments) that live for a
+// single event.
+func (e *Eval) instantLeaf(value []byte, id nodeid.ID, test func(*qnode) bool) {
+	for _, q := range e.nodes[1:] {
+		if q.axis == xpath.Attribute || q.axis == xpath.Self {
+			continue
+		}
+		if !test(q) {
+			continue
+		}
+		tp := findUpTarget(q, e.depth+1)
+		if tp == nil {
+			continue
+		}
+		mi := e.newInstance(q, e.depth+1, tp)
+		mi.value = append(mi.value, value...)
+		e.push(q, mi)
+		e.finalize(mi, id)
+		e.popInstant(q)
+		e.recycle(mi)
+	}
+}
+
+// popInstant removes an instant instance pushed on top of q's stack.
+func (e *Eval) popInstant(q *qnode) {
+	q.stack = q.stack[:len(q.stack)-1]
+	e.live--
+}
+
+// EndElement processes an element end: instances pushed for this element
+// are finalized children-first (reverse push order) and popped.
+func (e *Eval) EndElement(id nodeid.ID) {
+	if !e.inDoc {
+		return
+	}
+	frame := e.openElems[len(e.openElems)-1]
+	e.openElems = e.openElems[:len(e.openElems)-1]
+	for i := len(frame.pushed) - 1; i >= 0; i-- {
+		mi := frame.pushed[i]
+		e.finalize(mi, id)
+		// Pop from its stack (it is necessarily on top).
+		st := mi.q.stack
+		if len(st) == 0 || st[len(st)-1] != mi {
+			e.err = errors.New("quickxscan: stack discipline violated")
+			return
+		}
+		mi.q.stack = st[:len(st)-1]
+		e.live--
+		// Sideways: pending raw candidates move to the next instance below
+		// (they are contained in the outer matching too).
+		if len(mi.rawRemainder) > 0 {
+			if len(mi.q.stack) > 0 {
+				below := mi.q.stack[len(mi.q.stack)-1]
+				below.raw = append(below.raw, mi.rawRemainder...)
+			}
+			mi.rawRemainder = mi.rawRemainder[:0]
+		}
+		e.recycle(mi)
+	}
+	e.depth--
+	// Prune value accumulators that closed.
+	if len(e.valueMIs) > 0 {
+		kept := e.valueMIs[:0]
+		for _, mi := range e.valueMIs {
+			if !mi.closed {
+				kept = append(kept, mi)
+			}
+		}
+		e.valueMIs = kept
+	}
+}
+
+// EndDocument finishes the scan and returns the matches in document order.
+func (e *Eval) EndDocument() ([]Match, error) {
+	if e.err != nil {
+		return nil, e.err
+	}
+	if !e.inDoc {
+		return nil, errors.New("quickxscan: EndDocument without StartDocument")
+	}
+	frame := e.openElems[len(e.openElems)-1]
+	e.openElems = e.openElems[:len(e.openElems)-1]
+	docMI := frame.pushed[0]
+	e.inDoc = false
+	// The document instance is trivially valid: everything raw is a result.
+	out := append(docMI.valid, docMI.raw...)
+	e.doc.stack = e.doc.stack[:0]
+	e.live--
+	sort.Slice(out, func(i, j int) bool { return nodeid.Compare(out[i].id, out[j].id) < 0 })
+	matches := make([]Match, 0, len(out))
+	for i, c := range out {
+		if i > 0 && nodeid.Equal(out[i-1].id, c.id) {
+			continue // defense in depth; propagation should be duplicate-free
+		}
+		matches = append(matches, Match{ID: c.id, Value: c.value})
+	}
+	e.results = matches
+	return matches, nil
+}
+
+// finalize decides an instance's predicates and routes its candidate
+// sequences (the Table-1 propagation, generalized).
+func (e *Eval) finalize(mi *instance, id nodeid.ID) {
+	mi.closed = true
+	q := mi.q
+	selfValid := true
+	for _, p := range q.preds {
+		if !p.eval(mi.leafVals) {
+			selfValid = false
+			break
+		}
+	}
+	var validOut []cand
+	validOut = append(validOut, mi.valid...)
+	if selfValid {
+		validOut = append(validOut, mi.raw...)
+		mi.raw = nil
+		if q.makesCand {
+			ok := true
+			if q.cmp != nil {
+				ok = compare(mi.value, q.cmp)
+			}
+			if ok {
+				c := cand{id: nodeid.Clone(id)}
+				if e.opts.NeedValues && !q.inPred {
+					c.value = append([]byte(nil), mi.value...)
+				}
+				validOut = append(validOut, c)
+			}
+		}
+	} else {
+		// Keep only re-targetable (loose) raw candidates for sideways moves.
+		var rem []cand
+		for _, c := range mi.raw {
+			if c.loose {
+				rem = append(rem, c)
+			}
+		}
+		mi.rawRemainder = rem
+		mi.raw = nil
+	}
+	if len(validOut) == 0 {
+		return
+	}
+	// Cross the step boundary upward.
+	if q.inPred && q.parent == q.anchor {
+		// Delivery into the anchor's predicate leaf.
+		mi.upTarget.leafVals[q.predSlot] = true
+		return
+	}
+	for i := range validOut {
+		validOut[i].loose = q.loose
+	}
+	mi.upTarget.raw = append(mi.upTarget.raw, validOut...)
+}
+
+// compare applies the terminal comparison to a node's string value.
+// Numeric literals compare numerically (unparsable values compare false,
+// XPath's NaN behaviour); string literals compare lexicographically.
+func compare(value []byte, c *cmpInfo) bool {
+	if c.lit.IsNum {
+		v, err := strconv.ParseFloat(strings.TrimSpace(string(value)), 64)
+		if err != nil {
+			return false
+		}
+		return cmpOrd(c.op, compareFloat(v, c.lit.Num))
+	}
+	return cmpOrd(c.op, strings.Compare(string(value), c.lit.Str))
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpOrd(op xpath.CmpOp, ord int) bool {
+	switch op {
+	case xpath.EQ:
+		return ord == 0
+	case xpath.NE:
+		return ord != 0
+	case xpath.LT:
+		return ord < 0
+	case xpath.LE:
+		return ord <= 0
+	case xpath.GT:
+		return ord > 0
+	case xpath.GE:
+		return ord >= 0
+	}
+	return false
+}
+
+// Live returns the number of matching instances currently alive (for the
+// Figure-7 experiment).
+func (e *Eval) Live() int { return e.live }

@@ -1,0 +1,290 @@
+// Package serialize renders virtual SAX events back into XML text — the
+// serialization service of Figure 8. It is one shared routine regardless of
+// whether the events come from a token stream, stored records, constructed
+// data, or an in-memory sequence.
+//
+// Start tags are buffered until the first content event so that the
+// element's own namespace declarations (which follow the StartElement event)
+// can be used when choosing prefixes; prefixes are invented only for URIs
+// with no in-scope binding.
+package serialize
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+)
+
+// Serializer implements vsax.Handler, writing XML text to an io.Writer.
+type Serializer struct {
+	w     io.Writer
+	names xml.Names
+
+	err      error
+	depth    int
+	nsStack  []nsFrame
+	genCount int
+	openTags []string // rendered tag names for end tags
+	tagOpen  bool     // a flushed start tag still needs its '>'
+
+	pending *startTag
+}
+
+type nsFrame struct {
+	depth  int
+	prefix string
+	uri    xml.NameID
+}
+
+type startTag struct {
+	name  xml.QName
+	decls []nsFrame
+	attrs []pendingAttr
+}
+
+type pendingAttr struct {
+	name  xml.QName
+	value string
+}
+
+// New creates a serializer writing to w, resolving name IDs via names.
+func New(w io.Writer, names xml.Names) *Serializer {
+	return &Serializer{w: w, names: names}
+}
+
+// Err returns the first error encountered.
+func (s *Serializer) Err() error { return s.err }
+
+func (s *Serializer) write(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+// findPrefix locates an unshadowed in-scope prefix for uri. For attributes
+// the empty (default) prefix is not usable.
+func (s *Serializer) findPrefix(uri xml.NameID, forAttr bool) (string, bool) {
+	for i := len(s.nsStack) - 1; i >= 0; i-- {
+		f := s.nsStack[i]
+		if f.uri != uri || (forAttr && f.prefix == "") {
+			continue
+		}
+		shadowed := false
+		for j := len(s.nsStack) - 1; j > i; j-- {
+			if s.nsStack[j].prefix == f.prefix {
+				shadowed = true
+				break
+			}
+		}
+		if !shadowed {
+			return f.prefix, true
+		}
+	}
+	return "", false
+}
+
+// defaultNS returns the URI bound to the default prefix (NoName if none).
+func (s *Serializer) defaultNS() xml.NameID {
+	for i := len(s.nsStack) - 1; i >= 0; i-- {
+		if s.nsStack[i].prefix == "" {
+			return s.nsStack[i].uri
+		}
+	}
+	return xml.NoName
+}
+
+// flush writes the buffered start tag, if any, leaving it open for '>' or
+// '/>' at the next content or end event.
+func (s *Serializer) flush() {
+	st := s.pending
+	if st == nil || s.err != nil {
+		return
+	}
+	s.pending = nil
+	local, err := s.names.Lookup(st.name.Local)
+	if err != nil {
+		s.err = err
+		return
+	}
+	var extra []nsFrame
+	var prefix string
+	switch {
+	case st.name.URI == xml.NoName:
+		// No namespace: the default namespace must not be bound here.
+		if s.defaultNS() != xml.NoName {
+			extra = append(extra, nsFrame{depth: s.depth, prefix: "", uri: xml.NoName})
+			s.nsStack = append(s.nsStack, extra[len(extra)-1])
+		}
+	default:
+		p, ok := s.findPrefix(st.name.URI, false)
+		if !ok {
+			s.genCount++
+			p = fmt.Sprintf("ns%d", s.genCount)
+			f := nsFrame{depth: s.depth, prefix: p, uri: st.name.URI}
+			extra = append(extra, f)
+			s.nsStack = append(s.nsStack, f)
+		}
+		prefix = p
+	}
+	tag := local
+	if prefix != "" {
+		tag = prefix + ":" + local
+	}
+	s.write("<" + tag)
+	// Original declarations, then invented ones.
+	for _, d := range st.decls {
+		s.writeDecl(d)
+	}
+	for _, d := range extra {
+		s.writeDecl(d)
+	}
+	// Attributes (prefix resolution may invent further declarations).
+	for _, a := range st.attrs {
+		alocal, err := s.names.Lookup(a.name.Local)
+		if err != nil {
+			s.err = err
+			return
+		}
+		qn := alocal
+		if a.name.URI != xml.NoName {
+			p, ok := s.findPrefix(a.name.URI, true)
+			if !ok {
+				s.genCount++
+				p = fmt.Sprintf("ns%d", s.genCount)
+				f := nsFrame{depth: s.depth, prefix: p, uri: a.name.URI}
+				s.nsStack = append(s.nsStack, f)
+				s.writeDecl(f)
+			}
+			qn = p + ":" + alocal
+		}
+		s.write(" " + qn + `="` + escapeAttr(a.value) + `"`)
+	}
+	s.openTags = append(s.openTags, tag)
+	s.tagOpen = true
+}
+
+func (s *Serializer) writeDecl(d nsFrame) {
+	u, err := s.names.Lookup(d.uri)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if d.prefix == "" {
+		s.write(` xmlns="` + escapeAttr(u) + `"`)
+	} else {
+		s.write(` xmlns:` + d.prefix + `="` + escapeAttr(u) + `"`)
+	}
+}
+
+// content prepares for writing element content: flush the pending tag and
+// emit the '>' if the innermost start tag is still open.
+func (s *Serializer) content() {
+	if s.pending != nil {
+		s.flush()
+	}
+	if s.tagOpen {
+		s.write(">")
+		s.tagOpen = false
+	}
+}
+
+// StartDocument implements vsax.Handler.
+func (s *Serializer) StartDocument() error { return s.err }
+
+// EndDocument implements vsax.Handler.
+func (s *Serializer) EndDocument() error { return s.err }
+
+// StartElement implements vsax.Handler.
+func (s *Serializer) StartElement(name xml.QName, _ nodeid.ID) error {
+	s.content()
+	s.depth++
+	s.pending = &startTag{name: name}
+	return s.err
+}
+
+// EndElement implements vsax.Handler.
+func (s *Serializer) EndElement(nodeid.ID) error {
+	if s.pending != nil {
+		s.flush()
+		s.tagOpen = false
+		s.write("/>")
+		s.openTags = s.openTags[:len(s.openTags)-1]
+	} else {
+		if s.tagOpen {
+			s.write(">")
+			s.tagOpen = false
+		}
+		tag := s.openTags[len(s.openTags)-1]
+		s.openTags = s.openTags[:len(s.openTags)-1]
+		s.write("</" + tag + ">")
+	}
+	for len(s.nsStack) > 0 && s.nsStack[len(s.nsStack)-1].depth == s.depth {
+		s.nsStack = s.nsStack[:len(s.nsStack)-1]
+	}
+	s.depth--
+	return s.err
+}
+
+// NSDecl implements vsax.Handler.
+func (s *Serializer) NSDecl(prefix, uri xml.NameID, _ nodeid.ID) error {
+	p, err := s.names.Lookup(prefix)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	f := nsFrame{depth: s.depth, prefix: p, uri: uri}
+	s.nsStack = append(s.nsStack, f)
+	if s.pending != nil {
+		s.pending.decls = append(s.pending.decls, f)
+	}
+	return s.err
+}
+
+// Attribute implements vsax.Handler.
+func (s *Serializer) Attribute(name xml.QName, value []byte, _ xml.TypeID, _ nodeid.ID) error {
+	if s.pending == nil {
+		return fmt.Errorf("serialize: attribute outside a start tag")
+	}
+	s.pending.attrs = append(s.pending.attrs, pendingAttr{name: name, value: string(value)})
+	return s.err
+}
+
+// Text implements vsax.Handler.
+func (s *Serializer) Text(value []byte, _ xml.TypeID, _ nodeid.ID) error {
+	s.content()
+	s.write(escapeText(string(value)))
+	return s.err
+}
+
+// Comment implements vsax.Handler.
+func (s *Serializer) Comment(value []byte, _ nodeid.ID) error {
+	s.content()
+	s.write("<!--" + string(value) + "-->")
+	return s.err
+}
+
+// PI implements vsax.Handler.
+func (s *Serializer) PI(target xml.NameID, value []byte, _ nodeid.ID) error {
+	s.content()
+	t, err := s.names.Lookup(target)
+	if err != nil {
+		s.err = err
+		return err
+	}
+	if len(value) > 0 {
+		s.write("<?" + t + " " + string(value) + "?>")
+	} else {
+		s.write("<?" + t + "?>")
+	}
+	return s.err
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+var attrEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", `"`, "&quot;")
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }

@@ -1,0 +1,104 @@
+package serialize
+
+import (
+	"strings"
+	"testing"
+
+	"rx/internal/vsax"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+)
+
+// roundTrip parses doc, serializes the token stream through vsax, and
+// returns the output.
+func roundTrip(t *testing.T, doc string) string {
+	t.Helper()
+	dict := xml.NewDict()
+	stream, err := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{PreserveWhitespace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s := New(&sb, dict)
+	if err := vsax.FromTokens(stream, s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	return sb.String()
+}
+
+// stable asserts that serialize(parse(x)) re-parses to the same token trace
+// (logical equivalence rather than byte equality: attribute order is
+// canonicalized).
+func stable(t *testing.T, doc string) string {
+	t.Helper()
+	out1 := roundTrip(t, doc)
+	out2 := roundTrip(t, out1)
+	if out1 != out2 {
+		t.Errorf("serialization not stable:\n 1: %s\n 2: %s", out1, out2)
+	}
+	return out1
+}
+
+func TestSimple(t *testing.T) {
+	out := stable(t, `<a><b>hi</b><c/></a>`)
+	if out != `<a><b>hi</b><c/></a>` {
+		t.Errorf("got %s", out)
+	}
+}
+
+func TestAttributesAndEscaping(t *testing.T) {
+	out := stable(t, `<a x="1 &lt; 2 &quot;q&quot;">a &amp; b &lt; c</a>`)
+	if !strings.Contains(out, `x="1 &lt; 2 &quot;q&quot;"`) {
+		t.Errorf("attr escaping: %s", out)
+	}
+	if !strings.Contains(out, "a &amp; b &lt; c") {
+		t.Errorf("text escaping: %s", out)
+	}
+}
+
+func TestNamespaces(t *testing.T) {
+	out := stable(t, `<p:a xmlns:p="urn:one"><p:b/><c/></p:a>`)
+	if !strings.Contains(out, `xmlns:p="urn:one"`) {
+		t.Errorf("missing decl: %s", out)
+	}
+	if !strings.Contains(out, "<p:a") || !strings.Contains(out, "<p:b/>") || !strings.Contains(out, "<c/>") {
+		t.Errorf("prefixes wrong: %s", out)
+	}
+}
+
+func TestDefaultNamespace(t *testing.T) {
+	out := stable(t, `<a xmlns="urn:d"><b/></a>`)
+	if !strings.Contains(out, `xmlns="urn:d"`) {
+		t.Errorf("missing default decl: %s", out)
+	}
+}
+
+func TestCommentPI(t *testing.T) {
+	out := stable(t, `<a><!-- note --><?app data?></a>`)
+	if !strings.Contains(out, "<!-- note -->") || !strings.Contains(out, "<?app data?>") {
+		t.Errorf("got %s", out)
+	}
+}
+
+func TestMixedContent(t *testing.T) {
+	out := stable(t, `<p>one <b>two</b> three</p>`)
+	if out != `<p>one <b>two</b> three</p>` {
+		t.Errorf("got %s", out)
+	}
+}
+
+func TestNestedNamespaceShadowing(t *testing.T) {
+	doc := `<a xmlns:p="urn:one"><b xmlns:p="urn:two"><p:c/></b><p:d/></a>`
+	out := stable(t, doc)
+	// Re-parse and check the namespaces survived.
+	dict := xml.NewDict()
+	if _, err := xmlparse.Parse([]byte(out), dict, xmlparse.Options{}); err != nil {
+		t.Fatalf("output does not re-parse: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, `xmlns:p="urn:two"`) || !strings.Contains(out, `xmlns:p="urn:one"`) {
+		t.Errorf("got %s", out)
+	}
+}

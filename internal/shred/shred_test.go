@@ -1,0 +1,88 @@
+package shred
+
+import (
+	"math/rand"
+	"testing"
+
+	"rx/internal/buffer"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+	"rx/internal/xmlgen"
+	"rx/internal/xmlparse"
+)
+
+func TestInsertTraverse(t *testing.T) {
+	pool := buffer.New(pagestore.NewMemStore(), 512)
+	s, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := xml.NewDict()
+	doc := xmlgen.Catalog(rand.New(rand.NewSource(1)), 300, 100)
+	stream, err := xmlparse.Parse(doc, dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Insert(7, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1800 { // 300 products × (Product + pid + 3 children + 3 texts) + wrappers
+		t.Errorf("node count = %d", n)
+	}
+	rows, pages, entries, err := s.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(rows) != n || entries != n {
+		t.Errorf("rows=%d entries=%d, want %d each (one per node)", rows, entries, n)
+	}
+	if pages < 2 {
+		t.Errorf("pages = %d", pages)
+	}
+
+	// Traversal visits every node in document order.
+	var prev nodeid.ID
+	count := 0
+	err = s.Traverse(7, func(node Node) error {
+		if prev != nil && nodeid.Compare(prev, node.ID) >= 0 {
+			t.Fatal("traversal out of order")
+		}
+		prev = nodeid.Clone(node.ID)
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Errorf("traversed %d, want %d", count, n)
+	}
+
+	// Point navigation.
+	first, err := s.Get(7, nodeid.ID{0x02})
+	if err != nil || first.Kind != xml.Element {
+		t.Errorf("Get root elem: %+v, %v", first, err)
+	}
+	if _, err := s.Get(7, nodeid.ID{0xEE}); err == nil {
+		t.Error("missing node should fail")
+	}
+}
+
+func TestMultipleDocsIsolated(t *testing.T) {
+	pool := buffer.New(pagestore.NewMemStore(), 256)
+	s, _ := Create(pool)
+	dict := xml.NewDict()
+	for d := xml.DocID(1); d <= 3; d++ {
+		stream, _ := xmlparse.Parse([]byte(`<a><b>x</b></a>`), dict, xmlparse.Options{})
+		if _, err := s.Insert(d, stream); err != nil {
+			t.Fatal(err)
+		}
+	}
+	count := 0
+	s.Traverse(2, func(Node) error { count++; return nil })
+	if count != 3 { // a, b, text
+		t.Errorf("doc 2 traversal = %d nodes", count)
+	}
+}

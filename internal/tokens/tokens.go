@@ -1,0 +1,267 @@
+// Package tokens implements the buffered token stream of §3.2: the binary
+// interface between parsing/validation and every consumer (tree
+// construction, serialization, streaming XPath). Tokens carry namespace-
+// resolved integer names, adjusted attribute order, and optional type
+// annotations from schema validation. Buffering a whole stream of tokens
+// amortizes the per-event call cost that makes SAX/DOM interfaces slow
+// (the paper's token stream follows BEA/XQRL).
+//
+// Encoding: a token is a kind byte followed by kind-specific fields; integer
+// fields are uvarints and byte strings are length-prefixed. The stream is a
+// flat byte slice, so handing it between pipeline stages is a pointer copy.
+package tokens
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"rx/internal/xml"
+)
+
+// Kind identifies a token.
+type Kind uint8
+
+// Token kinds. A StartElement is followed by its namespace declarations and
+// attributes (adjusted order: sorted by name), then its content, then
+// EndElement.
+const (
+	StartDocument Kind = iota + 1
+	EndDocument
+	StartElement
+	EndElement
+	Attr
+	NSDecl
+	Text
+	Comment
+	PI
+)
+
+var kindNames = [...]string{
+	StartDocument: "StartDocument",
+	EndDocument:   "EndDocument",
+	StartElement:  "StartElement",
+	EndElement:    "EndElement",
+	Attr:          "Attr",
+	NSDecl:        "NSDecl",
+	Text:          "Text",
+	Comment:       "Comment",
+	PI:            "PI",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) && kindNames[k] != "" {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Token is one decoded token. Value and the name fields are only valid until
+// the next call to Reader.Next (they alias the stream buffer).
+type Token struct {
+	Kind  Kind
+	Name  xml.QName  // element/attribute name; PI target in Name.Local
+	Value []byte     // text, comment, PI data, attribute value
+	Type  xml.TypeID // type annotation for Attr/Text when validated
+	// Prefix/URI IDs for NSDecl tokens.
+	Prefix xml.NameID
+	URI    xml.NameID
+}
+
+// Writer appends tokens to a buffered stream.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a Writer with an optional initial capacity.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded stream (valid until the next Write/Reset).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the stream for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Len returns the encoded size in bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+func (w *Writer) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf = append(w.buf, tmp[:n]...)
+}
+
+func (w *Writer) bytes(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// StartDocument appends a document start token.
+func (w *Writer) StartDocument() { w.buf = append(w.buf, byte(StartDocument)) }
+
+// EndDocument appends a document end token.
+func (w *Writer) EndDocument() { w.buf = append(w.buf, byte(EndDocument)) }
+
+// StartElement appends an element start token.
+func (w *Writer) StartElement(name xml.QName) {
+	w.buf = append(w.buf, byte(StartElement))
+	w.uvarint(uint64(name.URI))
+	w.uvarint(uint64(name.Local))
+}
+
+// EndElement appends an element end token.
+func (w *Writer) EndElement() { w.buf = append(w.buf, byte(EndElement)) }
+
+// Attribute appends an attribute token (must follow StartElement/NSDecl/Attr).
+func (w *Writer) Attribute(name xml.QName, value []byte, typ xml.TypeID) {
+	w.buf = append(w.buf, byte(Attr))
+	w.uvarint(uint64(name.URI))
+	w.uvarint(uint64(name.Local))
+	w.uvarint(uint64(typ))
+	w.bytes(value)
+}
+
+// Namespace appends a namespace declaration token.
+func (w *Writer) Namespace(prefix, uri xml.NameID) {
+	w.buf = append(w.buf, byte(NSDecl))
+	w.uvarint(uint64(prefix))
+	w.uvarint(uint64(uri))
+}
+
+// Text appends a text token.
+func (w *Writer) Text(value []byte, typ xml.TypeID) {
+	w.buf = append(w.buf, byte(Text))
+	w.uvarint(uint64(typ))
+	w.bytes(value)
+}
+
+// Comment appends a comment token.
+func (w *Writer) Comment(value []byte) {
+	w.buf = append(w.buf, byte(Comment))
+	w.bytes(value)
+}
+
+// ProcessingInstruction appends a PI token.
+func (w *Writer) ProcessingInstruction(target xml.NameID, value []byte) {
+	w.buf = append(w.buf, byte(PI))
+	w.uvarint(uint64(target))
+	w.bytes(value)
+}
+
+// ErrCorrupt reports a malformed token stream.
+var ErrCorrupt = errors.New("tokens: corrupt stream")
+
+// Reader decodes a token stream.
+type Reader struct {
+	buf []byte
+	pos int
+	tok Token
+}
+
+// NewReader returns a Reader over an encoded stream.
+func NewReader(stream []byte) *Reader { return &Reader{buf: stream} }
+
+// More reports whether tokens remain.
+func (r *Reader) More() bool { return r.pos < len(r.buf) }
+
+func (r *Reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *Reader) bytesField() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if r.pos+int(n) > len(r.buf) {
+		return nil, ErrCorrupt
+	}
+	b := r.buf[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b, nil
+}
+
+// Next decodes the next token. The returned pointer is reused across calls.
+func (r *Reader) Next() (*Token, error) {
+	if r.pos >= len(r.buf) {
+		return nil, errors.New("tokens: end of stream")
+	}
+	k := Kind(r.buf[r.pos])
+	r.pos++
+	t := &r.tok
+	*t = Token{Kind: k}
+	var err error
+	switch k {
+	case StartDocument, EndDocument, EndElement:
+	case StartElement:
+		var uri, local uint64
+		if uri, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if local, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		t.Name = xml.QName{URI: xml.NameID(uri), Local: xml.NameID(local)}
+	case Attr:
+		var uri, local, typ uint64
+		if uri, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if local, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if typ, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		t.Name = xml.QName{URI: xml.NameID(uri), Local: xml.NameID(local)}
+		t.Type = xml.TypeID(typ)
+		if t.Value, err = r.bytesField(); err != nil {
+			return nil, err
+		}
+	case NSDecl:
+		var p, u uint64
+		if p, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		if u, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		t.Prefix = xml.NameID(p)
+		t.URI = xml.NameID(u)
+	case Text:
+		var typ uint64
+		if typ, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		t.Type = xml.TypeID(typ)
+		if t.Value, err = r.bytesField(); err != nil {
+			return nil, err
+		}
+	case Comment:
+		if t.Value, err = r.bytesField(); err != nil {
+			return nil, err
+		}
+	case PI:
+		var target uint64
+		if target, err = r.uvarint(); err != nil {
+			return nil, err
+		}
+		t.Name = xml.QName{Local: xml.NameID(target)}
+		if t.Value, err = r.bytesField(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("%w: kind %d at %d", ErrCorrupt, k, r.pos-1)
+	}
+	return t, nil
+}
+
+// Rewind resets the reader to the start of the stream.
+func (r *Reader) Rewind() { r.pos = 0 }

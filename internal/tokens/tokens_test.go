@@ -1,0 +1,112 @@
+package tokens
+
+import (
+	"testing"
+
+	"rx/internal/xml"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter(0)
+	w.StartDocument()
+	w.StartElement(xml.QName{URI: 3, Local: 7})
+	w.Namespace(1, 3)
+	w.Attribute(xml.QName{Local: 9}, []byte("v1"), xml.TDouble)
+	w.Text([]byte("hello"), xml.Untyped)
+	w.Comment([]byte("c"))
+	w.ProcessingInstruction(12, []byte("data"))
+	w.EndElement()
+	w.EndDocument()
+
+	r := NewReader(w.Bytes())
+	expect := func(k Kind) *Token {
+		t.Helper()
+		if !r.More() {
+			t.Fatal("stream ended early")
+		}
+		tok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tok.Kind != k {
+			t.Fatalf("kind = %v, want %v", tok.Kind, k)
+		}
+		return tok
+	}
+	expect(StartDocument)
+	se := expect(StartElement)
+	if se.Name != (xml.QName{URI: 3, Local: 7}) {
+		t.Errorf("element name %v", se.Name)
+	}
+	ns := expect(NSDecl)
+	if ns.Prefix != 1 || ns.URI != 3 {
+		t.Errorf("ns %d %d", ns.Prefix, ns.URI)
+	}
+	at := expect(Attr)
+	if at.Name.Local != 9 || string(at.Value) != "v1" || at.Type != xml.TDouble {
+		t.Errorf("attr %v %q %v", at.Name, at.Value, at.Type)
+	}
+	tx := expect(Text)
+	if string(tx.Value) != "hello" {
+		t.Errorf("text %q", tx.Value)
+	}
+	c := expect(Comment)
+	if string(c.Value) != "c" {
+		t.Errorf("comment %q", c.Value)
+	}
+	pi := expect(PI)
+	if pi.Name.Local != 12 || string(pi.Value) != "data" {
+		t.Errorf("pi %v %q", pi.Name, pi.Value)
+	}
+	expect(EndElement)
+	expect(EndDocument)
+	if r.More() {
+		t.Error("extra tokens")
+	}
+}
+
+func TestRewind(t *testing.T) {
+	w := NewWriter(0)
+	w.Text([]byte("a"), 0)
+	r := NewReader(w.Bytes())
+	r.Next()
+	if r.More() {
+		t.Fatal("expected end")
+	}
+	r.Rewind()
+	tok, err := r.Next()
+	if err != nil || string(tok.Value) != "a" {
+		t.Fatalf("rewind broken: %v %q", err, tok.Value)
+	}
+}
+
+func TestCorruptStream(t *testing.T) {
+	r := NewReader([]byte{0xEE})
+	if _, err := r.Next(); err == nil {
+		t.Error("bad kind should fail")
+	}
+	// Truncated attribute.
+	w := NewWriter(0)
+	w.Attribute(xml.QName{Local: 1}, []byte("long value here"), 0)
+	r = NewReader(w.Bytes()[:4])
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated token should fail")
+	}
+	// Next past end.
+	r = NewReader(nil)
+	if _, err := r.Next(); err == nil {
+		t.Error("Next at end should fail")
+	}
+}
+
+func TestReset(t *testing.T) {
+	w := NewWriter(0)
+	w.Text([]byte("abc"), 0)
+	if w.Len() == 0 {
+		t.Fatal("empty after write")
+	}
+	w.Reset()
+	if w.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}

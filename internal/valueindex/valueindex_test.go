@@ -1,0 +1,160 @@
+package valueindex
+
+import (
+	"fmt"
+	"testing"
+
+	"rx/internal/buffer"
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+	"rx/internal/xpath"
+)
+
+func newIndex(t *testing.T, path string, typ xml.TypeID) *Index {
+	t.Helper()
+	pool := buffer.New(pagestore.NewMemStore(), 256)
+	ix, err := Create(pool, path, typ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func nid(i int) nodeid.ID { return nodeid.Append(nodeid.Root, nodeid.RelAt(i)) }
+
+func rid(i int) heap.RID { return heap.RID{Page: pagestore.PageID(i), Slot: 0} }
+
+func TestCreateValidation(t *testing.T) {
+	pool := buffer.New(pagestore.NewMemStore(), 64)
+	if _, err := Create(pool, "/a/b[c]", xml.TDouble); err == nil {
+		t.Error("predicate in index path should fail")
+	}
+	if _, err := Create(pool, "a/b", xml.TDouble); err == nil {
+		t.Error("relative index path should fail")
+	}
+	if _, err := Create(pool, "/a/b", xml.TBoolean); err == nil {
+		t.Error("unsupported type should fail")
+	}
+	if _, err := Create(pool, "/catalog//productname", xml.TString); err != nil {
+		t.Errorf("the paper's example path should be accepted: %v", err)
+	}
+}
+
+func TestDoubleRangeScans(t *testing.T) {
+	ix := newIndex(t, "//price", xml.TDouble)
+	vals := []string{"10", "25.5", "99.99", "100", "100.01", "250", "-5"}
+	for i, v := range vals {
+		if err := ix.Put([]byte(v), xml.DocID(i/3+1), nid(i), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Unparsable values are rejected, not stored.
+	if err := ix.Put([]byte("n/a"), 9, nid(99), rid(99)); err == nil {
+		t.Error("unparsable double should be ErrNotIndexable")
+	}
+
+	scan := func(op xpath.CmpOp, lit float64) []string {
+		r, err := ix.RangeForOp(op, xpath.Literal{IsNum: true, Num: lit})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		ix.Scan(r, func(e Entry) bool {
+			got = append(got, fmt.Sprintf("%d/%s", e.Doc, e.Node))
+			return true
+		})
+		return got
+	}
+	if got := scan(xpath.GT, 100); len(got) != 2 {
+		t.Errorf("GT 100: %v", got)
+	}
+	if got := scan(xpath.GE, 100); len(got) != 3 {
+		t.Errorf("GE 100: %v", got)
+	}
+	if got := scan(xpath.EQ, 100); len(got) != 1 {
+		t.Errorf("EQ 100: %v", got)
+	}
+	if got := scan(xpath.LT, 10); len(got) != 1 {
+		t.Errorf("LT 10: %v", got)
+	}
+	if got := scan(xpath.LE, 10); len(got) != 2 {
+		t.Errorf("LE 10: %v", got)
+	}
+}
+
+func TestStringIndex(t *testing.T) {
+	ix := newIndex(t, "/catalog//productname", xml.TString)
+	names := []string{"anvil", "widget", "gadget", "anvil"}
+	for i, n := range names {
+		if err := ix.Put([]byte(n), xml.DocID(i+1), nid(0), rid(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, _ := ix.RangeForOp(xpath.EQ, xpath.Literal{Str: "anvil"})
+	var docs []xml.DocID
+	ix.Scan(r, func(e Entry) bool { docs = append(docs, e.Doc); return true })
+	if len(docs) != 2 || docs[0] != 1 || docs[1] != 4 {
+		t.Errorf("EQ anvil: %v", docs)
+	}
+}
+
+func TestDateAndDecimal(t *testing.T) {
+	dix := newIndex(t, "//hire", xml.TDate)
+	dix.Put([]byte("2005-06-16"), 1, nid(0), rid(0))
+	dix.Put([]byte("1999-01-01"), 2, nid(0), rid(1))
+	r, err := dix.RangeForOp(xpath.GT, xpath.Literal{Str: "2000-01-01"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	dix.Scan(r, func(e Entry) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("date GT: %d", n)
+	}
+
+	cix := newIndex(t, "//amount", xml.TDecimal)
+	cix.Put([]byte("10.50"), 1, nid(0), rid(0))
+	cix.Put([]byte("10.05"), 2, nid(0), rid(1))
+	cix.Put([]byte("-3"), 3, nid(0), rid(2))
+	r2, _ := cix.RangeForOp(xpath.GE, xpath.Literal{IsNum: true, Num: 10.05})
+	var docs []xml.DocID
+	cix.Scan(r2, func(e Entry) bool { docs = append(docs, e.Doc); return true })
+	if len(docs) != 2 {
+		t.Errorf("decimal GE: %v", docs)
+	}
+}
+
+func TestDeleteAndDocDelete(t *testing.T) {
+	ix := newIndex(t, "//v", xml.TDouble)
+	for i := 0; i < 10; i++ {
+		ix.Put([]byte(fmt.Sprint(i)), xml.DocID(i%2+1), nid(i), rid(i))
+	}
+	if err := ix.Delete([]byte("4"), 1, nid(4)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ix.DeleteDocEntries(2)
+	if err != nil || n != 5 {
+		t.Fatalf("DeleteDocEntries = %d, %v", n, err)
+	}
+	total, _ := ix.Count()
+	if total != 4 {
+		t.Errorf("Count = %d", total)
+	}
+}
+
+func TestStringTruncation(t *testing.T) {
+	ix := newIndex(t, "//s", xml.TString)
+	long := make([]byte, MaxStringKey+50)
+	for i := range long {
+		long[i] = 'a'
+	}
+	if err := ix.Put(long, 1, nid(0), rid(0)); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := ix.Count()
+	if n != 1 {
+		t.Errorf("Count = %d", n)
+	}
+}

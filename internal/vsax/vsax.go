@@ -1,0 +1,198 @@
+// Package vsax defines the "virtual SAX" event interface of §4.4 (Figure
+// 8): one set of event routines shared by every task (serialization, tree
+// construction, XPath evaluation), with an iterator per data format (token
+// stream, persistent packed records, constructed data, in-memory DOM)
+// converting its items into events. This is how the engine avoids building
+// a unified in-memory tree and avoids copying between formats.
+package vsax
+
+import (
+	"rx/internal/dom"
+	"rx/internal/nodeid"
+	"rx/internal/tokens"
+	"rx/internal/xml"
+)
+
+// Handler receives virtual SAX events. Node IDs accompany every node event:
+// iterators over stored data pass real IDs, iterators over transient data
+// synthesize packer-identical ones.
+type Handler interface {
+	StartDocument() error
+	EndDocument() error
+	StartElement(name xml.QName, id nodeid.ID) error
+	EndElement(id nodeid.ID) error
+	NSDecl(prefix, uri xml.NameID, id nodeid.ID) error
+	Attribute(name xml.QName, value []byte, typ xml.TypeID, id nodeid.ID) error
+	Text(value []byte, typ xml.TypeID, id nodeid.ID) error
+	Comment(value []byte, id nodeid.ID) error
+	PI(target xml.NameID, value []byte, id nodeid.ID) error
+}
+
+// FromTokens drives a handler from a buffered token stream, synthesizing
+// node IDs exactly as the packer assigns them.
+func FromTokens(stream []byte, h Handler) error {
+	r := tokens.NewReader(stream)
+	type frame struct {
+		abs  nodeid.ID
+		next int
+	}
+	stack := []frame{{abs: nodeid.Root}}
+	cur := &stack[0]
+	alloc := func() nodeid.ID {
+		rel := nodeid.RelAt(cur.next)
+		cur.next++
+		return nodeid.Append(cur.abs, rel)
+	}
+	for r.More() {
+		t, err := r.Next()
+		if err != nil {
+			return err
+		}
+		switch t.Kind {
+		case tokens.StartDocument:
+			if err := h.StartDocument(); err != nil {
+				return err
+			}
+		case tokens.EndDocument:
+			if err := h.EndDocument(); err != nil {
+				return err
+			}
+		case tokens.StartElement:
+			id := alloc()
+			if err := h.StartElement(t.Name, id); err != nil {
+				return err
+			}
+			stack = append(stack, frame{abs: id})
+			cur = &stack[len(stack)-1]
+		case tokens.EndElement:
+			id := cur.abs
+			stack = stack[:len(stack)-1]
+			cur = &stack[len(stack)-1]
+			if err := h.EndElement(id); err != nil {
+				return err
+			}
+		case tokens.NSDecl:
+			if err := h.NSDecl(t.Prefix, t.URI, alloc()); err != nil {
+				return err
+			}
+		case tokens.Attr:
+			if err := h.Attribute(t.Name, t.Value, t.Type, alloc()); err != nil {
+				return err
+			}
+		case tokens.Text:
+			if err := h.Text(t.Value, t.Type, alloc()); err != nil {
+				return err
+			}
+		case tokens.Comment:
+			if err := h.Comment(t.Value, alloc()); err != nil {
+				return err
+			}
+		case tokens.PI:
+			if err := h.PI(t.Name.Local, t.Value, alloc()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// FromDOM drives a handler from an in-memory tree (a document or any
+// subtree).
+func FromDOM(n *dom.Node, h Handler) error {
+	if n.Kind == xml.Document {
+		if err := h.StartDocument(); err != nil {
+			return err
+		}
+		for _, k := range n.Kids {
+			if err := FromDOM(k, h); err != nil {
+				return err
+			}
+		}
+		return h.EndDocument()
+	}
+	switch n.Kind {
+	case xml.Element:
+		if err := h.StartElement(n.Name, n.ID); err != nil {
+			return err
+		}
+		for _, a := range n.Attrs {
+			switch a.Kind {
+			case xml.Namespace:
+				if err := h.NSDecl(a.Name.Local, a.Name.URI, a.ID); err != nil {
+					return err
+				}
+			case xml.Attribute:
+				if err := h.Attribute(a.Name, a.Value, a.Type, a.ID); err != nil {
+					return err
+				}
+			}
+		}
+		for _, k := range n.Kids {
+			if err := FromDOM(k, h); err != nil {
+				return err
+			}
+		}
+		return h.EndElement(n.ID)
+	case xml.Text:
+		return h.Text(n.Value, n.Type, n.ID)
+	case xml.Comment:
+		return h.Comment(n.Value, n.ID)
+	case xml.ProcessingInstruction:
+		return h.PI(n.Name.Local, n.Value, n.ID)
+	case xml.Attribute:
+		return h.Attribute(n.Name, n.Value, n.Type, n.ID)
+	}
+	return nil
+}
+
+// TokenSink is a Handler that re-encodes events as a token stream — the
+// shared tree-construction routine of Figure 8 (its output feeds the
+// packer).
+type TokenSink struct {
+	W *tokens.Writer
+}
+
+// StartDocument implements Handler.
+func (s *TokenSink) StartDocument() error { s.W.StartDocument(); return nil }
+
+// EndDocument implements Handler.
+func (s *TokenSink) EndDocument() error { s.W.EndDocument(); return nil }
+
+// StartElement implements Handler.
+func (s *TokenSink) StartElement(name xml.QName, _ nodeid.ID) error {
+	s.W.StartElement(name)
+	return nil
+}
+
+// EndElement implements Handler.
+func (s *TokenSink) EndElement(nodeid.ID) error { s.W.EndElement(); return nil }
+
+// NSDecl implements Handler.
+func (s *TokenSink) NSDecl(prefix, uri xml.NameID, _ nodeid.ID) error {
+	s.W.Namespace(prefix, uri)
+	return nil
+}
+
+// Attribute implements Handler.
+func (s *TokenSink) Attribute(name xml.QName, value []byte, typ xml.TypeID, _ nodeid.ID) error {
+	s.W.Attribute(name, value, typ)
+	return nil
+}
+
+// Text implements Handler.
+func (s *TokenSink) Text(value []byte, typ xml.TypeID, _ nodeid.ID) error {
+	s.W.Text(value, typ)
+	return nil
+}
+
+// Comment implements Handler.
+func (s *TokenSink) Comment(value []byte, _ nodeid.ID) error {
+	s.W.Comment(value)
+	return nil
+}
+
+// PI implements Handler.
+func (s *TokenSink) PI(target xml.NameID, value []byte, _ nodeid.ID) error {
+	s.W.ProcessingInstruction(target, value)
+	return nil
+}

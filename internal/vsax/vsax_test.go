@@ -1,0 +1,101 @@
+package vsax
+
+import (
+	"strings"
+	"testing"
+
+	"rx/internal/dom"
+	"rx/internal/nodeid"
+	"rx/internal/serialize"
+	"rx/internal/tokens"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+)
+
+// TestTokensToSerializer: the token iterator drives the shared serializer.
+func TestTokensToSerializer(t *testing.T) {
+	dict := xml.NewDict()
+	doc := `<a x="1"><b>hi</b><!--c--></a>`
+	stream, err := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s := serialize.New(&sb, dict)
+	if err := FromTokens(stream, s); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != doc {
+		t.Errorf("got %s", sb.String())
+	}
+}
+
+// TestDOMToSerializer: the in-memory iterator drives the same serializer.
+func TestDOMToSerializer(t *testing.T) {
+	dict := xml.NewDict()
+	doc := `<r><p a="v">text</p></r>`
+	stream, _ := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+	tree, err := dom.Build(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	s := serialize.New(&sb, dict)
+	if err := FromDOM(tree, s); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != doc {
+		t.Errorf("got %s", sb.String())
+	}
+}
+
+// TestTokenSinkRoundTrip: tokens → events → tokens is the identity (the
+// shared tree-construction input of Figure 8).
+func TestTokenSinkRoundTrip(t *testing.T) {
+	dict := xml.NewDict()
+	doc := `<p:r xmlns:p="urn:x"><p:a k="1">v</p:a><?pi data?></p:r>`
+	stream, _ := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+	w := tokens.NewWriter(len(stream))
+	sink := &TokenSink{W: w}
+	if err := FromTokens(stream, sink); err != nil {
+		t.Fatal(err)
+	}
+	if string(w.Bytes()) != string(stream) {
+		t.Error("token round trip through virtual SAX is not the identity")
+	}
+}
+
+// TestIDsSynthesized: the token iterator assigns packer-identical IDs.
+func TestIDsSynthesized(t *testing.T) {
+	dict := xml.NewDict()
+	stream, _ := xmlparse.Parse([]byte(`<a><b/><c/></a>`), dict, xmlparse.Options{})
+	var ids []string
+	h := &idCollector{ids: &ids}
+	if err := FromTokens(stream, h); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"02", "0202", "0204"}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Errorf("id %d = %s, want %s", i, ids[i], want[i])
+		}
+	}
+}
+
+type idCollector struct{ ids *[]string }
+
+func (c *idCollector) StartDocument() error { return nil }
+func (c *idCollector) EndDocument() error   { return nil }
+func (c *idCollector) StartElement(_ xml.QName, id nodeid.ID) error {
+	*c.ids = append(*c.ids, id.String())
+	return nil
+}
+func (c *idCollector) EndElement(nodeid.ID) error                               { return nil }
+func (c *idCollector) NSDecl(_, _ xml.NameID, _ nodeid.ID) error                { return nil }
+func (c *idCollector) Attribute(xml.QName, []byte, xml.TypeID, nodeid.ID) error { return nil }
+func (c *idCollector) Text([]byte, xml.TypeID, nodeid.ID) error                 { return nil }
+func (c *idCollector) Comment([]byte, nodeid.ID) error                          { return nil }
+func (c *idCollector) PI(xml.NameID, []byte, nodeid.ID) error                   { return nil }

@@ -1,0 +1,438 @@
+// Package wal implements write-ahead logging and crash recovery — the
+// "logging, backup and recovery" infrastructure of Figure 1 that the XML
+// engine reuses unchanged: because packed XML records live on ordinary heap
+// and index pages, a single physiological redo log covers relational and
+// XML data alike.
+//
+// Design (ARIES-flavoured, scoped to this engine):
+//
+//   - Physical redo: every page mutation made through buffer.Pool.Modify is
+//     logged as a (page, offset, before, after) delta. Page LSNs stamped
+//     into the first 8 bytes of each page make redo idempotent.
+//   - Logical undo: transactions additionally log logical operation records
+//     (insert document X, delete subtree Y ...); recovery first repeats
+//     history physically, then compensates loser transactions by running
+//     inverse engine operations (which are themselves logged).
+//   - Checkpoints: the buffer pool is flushed, then a checkpoint record
+//     marks the redo low-water mark.
+//
+// Record framing: [length u32][crc32 u32][kind u8][payload]; a record's LSN
+// is its byte offset in the log plus one (so LSN 0 means "none").
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+
+	"rx/internal/buffer"
+	"rx/internal/pagestore"
+)
+
+// Kind tags a log record.
+type Kind uint8
+
+// Log record kinds.
+const (
+	KindPageDelta Kind = iota + 1
+	KindBegin
+	KindCommit
+	KindAbort
+	KindLogical
+	KindCheckpoint
+)
+
+// Record is one decoded log record.
+type Record struct {
+	LSN  buffer.LSN
+	Kind Kind
+	// PageDelta fields.
+	Page          pagestore.PageID
+	Off           int
+	Before, After []byte
+	// Transaction fields.
+	Txn uint64
+	// Logical operation payload (opaque to the WAL; the engine encodes it).
+	Payload []byte
+}
+
+// Device abstracts the log storage (file or memory).
+type Device interface {
+	io.WriterAt
+	io.ReaderAt
+	Size() (int64, error)
+	Sync() error
+	Close() error
+}
+
+// FileDevice is a file-backed log device.
+type FileDevice struct{ f *os.File }
+
+// OpenFileDevice opens (or creates) a log file.
+func OpenFileDevice(path string) (*FileDevice, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileDevice{f: f}, nil
+}
+
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error)  { return d.f.ReadAt(p, off) }
+func (d *FileDevice) Size() (int64, error) {
+	st, err := d.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+func (d *FileDevice) Sync() error  { return d.f.Sync() }
+func (d *FileDevice) Close() error { return d.f.Close() }
+
+// MemDevice is an in-memory log device (tests, benchmarks).
+type MemDevice struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (d *MemDevice) WriteAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	end := int(off) + len(p)
+	if end > len(d.buf) {
+		d.buf = append(d.buf, make([]byte, end-len(d.buf))...)
+	}
+	copy(d.buf[off:], p)
+	return len(p), nil
+}
+
+func (d *MemDevice) ReadAt(p []byte, off int64) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(off) >= len(d.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (d *MemDevice) Size() (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return int64(len(d.buf)), nil
+}
+func (d *MemDevice) Sync() error  { return nil }
+func (d *MemDevice) Close() error { return nil }
+
+// Log is an open write-ahead log.
+type Log struct {
+	dev Device
+
+	// flushMu serializes Flush so the durable watermark never runs ahead of
+	// an in-flight write.
+	flushMu sync.Mutex
+
+	mu      sync.Mutex
+	tail    int64  // next append offset
+	pending []byte // buffered, unflushed bytes starting at tail
+	flushed int64  // device bytes durable through this offset
+}
+
+// Open attaches to a log device, positioning at its end.
+func Open(dev Device) (*Log, error) {
+	size, err := dev.Size()
+	if err != nil {
+		return nil, err
+	}
+	// Trim a torn tail: scan records from 0 and stop at the first bad one.
+	end, err := scanEnd(dev, size)
+	if err != nil {
+		return nil, err
+	}
+	return &Log{dev: dev, tail: end, flushed: end}, nil
+}
+
+// scanEnd walks frames until EOF or corruption, returning the valid length.
+func scanEnd(dev Device, size int64) (int64, error) {
+	var off int64
+	hdr := make([]byte, 8)
+	for off+9 <= size {
+		if _, err := dev.ReadAt(hdr, off); err != nil {
+			break
+		}
+		l := binary.BigEndian.Uint32(hdr[0:4])
+		crc := binary.BigEndian.Uint32(hdr[4:8])
+		if off+8+int64(l) > size {
+			break
+		}
+		body := make([]byte, l)
+		if _, err := dev.ReadAt(body, off+8); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			break
+		}
+		off += 8 + int64(l)
+	}
+	return off, nil
+}
+
+func (l *Log) appendLocked(kind Kind, payload []byte) buffer.LSN {
+	lsn := buffer.LSN(l.tail + int64(len(l.pending)) + 1)
+	frame := make([]byte, 8, 8+1+len(payload))
+	frame = append(frame, byte(kind))
+	frame = append(frame, payload...)
+	binary.BigEndian.PutUint32(frame[0:4], uint32(1+len(payload)))
+	binary.BigEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	l.pending = append(l.pending, frame...)
+	return lsn
+}
+
+// LogPageDelta implements buffer.PageLogger.
+func (l *Log) LogPageDelta(id pagestore.PageID, off int, before, after []byte) (buffer.LSN, error) {
+	payload := make([]byte, 0, 12+len(before)+len(after))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(id))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(off))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(before)))
+	payload = append(payload, before...)
+	payload = append(payload, after...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(KindPageDelta, payload), nil
+}
+
+// Begin logs a transaction start.
+func (l *Log) Begin(txn uint64) buffer.LSN {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(KindBegin, binary.BigEndian.AppendUint64(nil, txn))
+}
+
+// Commit logs and makes durable a transaction commit (force at commit).
+func (l *Log) Commit(txn uint64) (buffer.LSN, error) {
+	l.mu.Lock()
+	lsn := l.appendLocked(KindCommit, binary.BigEndian.AppendUint64(nil, txn))
+	l.mu.Unlock()
+	return lsn, l.Flush(lsn)
+}
+
+// Abort logs a transaction abort (after its compensations).
+func (l *Log) Abort(txn uint64) (buffer.LSN, error) {
+	l.mu.Lock()
+	lsn := l.appendLocked(KindAbort, binary.BigEndian.AppendUint64(nil, txn))
+	l.mu.Unlock()
+	return lsn, l.Flush(lsn)
+}
+
+// Logical logs an engine-level operation record for txn.
+func (l *Log) Logical(txn uint64, op []byte) buffer.LSN {
+	payload := binary.BigEndian.AppendUint64(nil, txn)
+	payload = append(payload, op...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(KindLogical, payload)
+}
+
+// Checkpoint records a redo low-water mark. The caller must have flushed
+// the buffer pool first.
+func (l *Log) Checkpoint() (buffer.LSN, error) {
+	l.mu.Lock()
+	lsn := l.appendLocked(KindCheckpoint, nil)
+	l.mu.Unlock()
+	return lsn, l.Flush(lsn)
+}
+
+// Flush makes the log durable at least through lsn.
+func (l *Log) Flush(lsn buffer.LSN) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	if int64(lsn) <= l.flushed {
+		l.mu.Unlock()
+		return nil
+	}
+	data := l.pending
+	at := l.tail
+	l.pending = nil
+	l.tail += int64(len(data))
+	l.mu.Unlock()
+	if len(data) > 0 {
+		if _, err := l.dev.WriteAt(data, at); err != nil {
+			return err
+		}
+	}
+	if err := l.dev.Sync(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.tail > l.flushed {
+		l.flushed = l.tail
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// FlushAll forces everything buffered to the device.
+func (l *Log) FlushAll() error {
+	l.mu.Lock()
+	lsn := buffer.LSN(l.tail + int64(len(l.pending)))
+	l.mu.Unlock()
+	return l.Flush(lsn)
+}
+
+// Records decodes every durable record in order. Call after FlushAll (or on
+// a freshly opened log).
+func (l *Log) Records() ([]Record, error) {
+	l.mu.Lock()
+	size := l.tail
+	l.mu.Unlock()
+	var out []Record
+	hdr := make([]byte, 8)
+	var off int64
+	for off+9 <= size {
+		if _, err := l.dev.ReadAt(hdr, off); err != nil {
+			return nil, err
+		}
+		length := binary.BigEndian.Uint32(hdr[0:4])
+		body := make([]byte, length)
+		if _, err := l.dev.ReadAt(body, off+8); err != nil {
+			return nil, err
+		}
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(hdr[4:8]) {
+			return nil, fmt.Errorf("wal: bad crc at offset %d", off)
+		}
+		rec, err := decode(buffer.LSN(off+1), body)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+		off += 8 + int64(length)
+	}
+	return out, nil
+}
+
+func decode(lsn buffer.LSN, body []byte) (Record, error) {
+	if len(body) < 1 {
+		return Record{}, errors.New("wal: empty record")
+	}
+	r := Record{LSN: lsn, Kind: Kind(body[0])}
+	p := body[1:]
+	switch r.Kind {
+	case KindPageDelta:
+		if len(p) < 12 {
+			return Record{}, errors.New("wal: short page delta")
+		}
+		r.Page = pagestore.PageID(binary.BigEndian.Uint32(p[0:4]))
+		r.Off = int(binary.BigEndian.Uint32(p[4:8]))
+		bl := int(binary.BigEndian.Uint32(p[8:12]))
+		if 12+bl > len(p) {
+			return Record{}, errors.New("wal: short page delta body")
+		}
+		r.Before = p[12 : 12+bl]
+		r.After = p[12+bl:]
+	case KindBegin, KindCommit, KindAbort:
+		if len(p) < 8 {
+			return Record{}, errors.New("wal: short txn record")
+		}
+		r.Txn = binary.BigEndian.Uint64(p)
+	case KindLogical:
+		if len(p) < 8 {
+			return Record{}, errors.New("wal: short logical record")
+		}
+		r.Txn = binary.BigEndian.Uint64(p)
+		r.Payload = p[8:]
+	case KindCheckpoint:
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", r.Kind)
+	}
+	return r, nil
+}
+
+// RecoveryResult reports what recovery found and redid.
+type RecoveryResult struct {
+	// Redone counts page deltas applied.
+	Redone int
+	// Skipped counts deltas skipped by the page-LSN check.
+	Skipped int
+	// Losers maps each uncommitted transaction to its logical operations in
+	// log order; the engine compensates them in reverse.
+	Losers map[uint64][][]byte
+}
+
+// Recover repeats history against the store: every page delta after the
+// last checkpoint is re-applied unless the page already carries a newer LSN.
+// The caller then opens the database and compensates the losers.
+func Recover(l *Log, store pagestore.Store) (*RecoveryResult, error) {
+	recs, err := l.Records()
+	if err != nil {
+		return nil, err
+	}
+	lastCP := -1
+	for i, r := range recs {
+		if r.Kind == KindCheckpoint {
+			lastCP = i
+		}
+	}
+	res := &RecoveryResult{Losers: map[uint64][][]byte{}}
+	committed := map[uint64]bool{}
+	aborted := map[uint64]bool{}
+	for _, r := range recs {
+		switch r.Kind {
+		case KindCommit:
+			committed[r.Txn] = true
+		case KindAbort:
+			aborted[r.Txn] = true
+		}
+	}
+	buf := make([]byte, pagestore.PageSize)
+	for i, r := range recs {
+		switch r.Kind {
+		case KindPageDelta:
+			if i <= lastCP {
+				continue
+			}
+			// Ensure the page exists (it may have been allocated after the
+			// last store sync).
+			for store.NumPages() <= r.Page {
+				if _, err := store.Allocate(); err != nil {
+					return nil, err
+				}
+			}
+			if err := store.ReadPage(r.Page, buf); err != nil {
+				return nil, err
+			}
+			if buffer.PageLSN(buf) >= r.LSN {
+				res.Skipped++
+				continue
+			}
+			copy(buf[r.Off:], r.After)
+			stampLSN(buf, r.LSN)
+			if err := store.WritePage(r.Page, buf); err != nil {
+				return nil, err
+			}
+			res.Redone++
+		case KindLogical:
+			if !committed[r.Txn] && !aborted[r.Txn] {
+				res.Losers[r.Txn] = append(res.Losers[r.Txn], append([]byte(nil), r.Payload...))
+			}
+		case KindBegin:
+			if !committed[r.Txn] && !aborted[r.Txn] {
+				if _, ok := res.Losers[r.Txn]; !ok {
+					res.Losers[r.Txn] = nil
+				}
+			}
+		}
+	}
+	return res, store.Sync()
+}
+
+func stampLSN(d []byte, lsn buffer.LSN) {
+	binary.BigEndian.PutUint64(d[0:8], uint64(lsn))
+}

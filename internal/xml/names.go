@@ -1,0 +1,71 @@
+package xml
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Names is the database-wide name dictionary: element/attribute local names,
+// namespace URIs and PI targets are interned to integer NameIDs so that
+// stored XML records and index keys carry integers, never strings (§3.1).
+// The catalog provides a persistent implementation; Dict is the in-memory
+// one used for parsing outside a database and in tests.
+type Names interface {
+	// Intern returns the ID for name, assigning a new one if needed.
+	Intern(name string) (NameID, error)
+	// Lookup returns the name for id.
+	Lookup(id NameID) (string, error)
+}
+
+// Dict is an in-memory Names implementation. The zero value is not usable;
+// call NewDict.
+type Dict struct {
+	mu    sync.RWMutex
+	byStr map[string]NameID
+	byID  []string // byID[0] is the reserved empty name (NoName)
+}
+
+// NewDict returns an empty in-memory dictionary.
+func NewDict() *Dict {
+	return &Dict{
+		byStr: map[string]NameID{"": NoName},
+		byID:  []string{""},
+	}
+}
+
+// Intern implements Names.
+func (d *Dict) Intern(name string) (NameID, error) {
+	d.mu.RLock()
+	id, ok := d.byStr[name]
+	d.mu.RUnlock()
+	if ok {
+		return id, nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.byStr[name]; ok {
+		return id, nil
+	}
+	id = NameID(len(d.byID))
+	d.byID = append(d.byID, name)
+	d.byStr[name] = id
+	return id, nil
+}
+
+// Lookup implements Names.
+func (d *Dict) Lookup(id NameID) (string, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.byID) {
+		return "", fmt.Errorf("xml: unknown name ID %d", id)
+	}
+	return d.byID[id], nil
+}
+
+// Len returns the number of interned names (including the reserved empty
+// name).
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}

@@ -1,0 +1,79 @@
+package xml
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	id1, err := d.Intern("product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, _ := d.Intern("price")
+	if id1 == id2 || id1 == NoName {
+		t.Errorf("ids: %d %d", id1, id2)
+	}
+	again, _ := d.Intern("product")
+	if again != id1 {
+		t.Error("re-intern changed the ID")
+	}
+	s, err := d.Lookup(id2)
+	if err != nil || s != "price" {
+		t.Errorf("Lookup = %q, %v", s, err)
+	}
+	if _, err := d.Lookup(NameID(99)); err == nil {
+		t.Error("unknown ID should fail")
+	}
+	if s, err := d.Lookup(NoName); err != nil || s != "" {
+		t.Errorf("NoName = %q, %v", s, err)
+	}
+	if d.Len() != 3 { // "", product, price
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDictConcurrent(t *testing.T) {
+	d := NewDict()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				name := string(rune('a' + (g+i)%16))
+				id, err := d.Intern(name)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := d.Lookup(id)
+				if err != nil || got != name {
+					t.Errorf("%q -> %d -> %q (%v)", name, id, got, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != 17 { // "" + 16 names
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Element.String() != "element" || Proxy.String() != "proxy" {
+		t.Error("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+	if TDouble.String() != "double" || TypeID(99).String() == "" {
+		t.Error("type names wrong")
+	}
+	q := QName{URI: 2, Local: 5}
+	if q.String() == "" || (QName{Local: 5}).String() == "" {
+		t.Error("QName string empty")
+	}
+}

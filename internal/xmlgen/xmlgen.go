@@ -1,0 +1,108 @@
+// Package xmlgen generates the synthetic workloads of the experiments
+// (DESIGN.md: "the analytic claims depend only on shape parameters — node
+// count k, node size n, packing factor p, recursion degree r — all of which
+// the generator controls").
+package xmlgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Catalog generates a product catalog matching the paper's Table-2 queries:
+// /Catalog/Categories/Product with ProductName, RegPrice, Discount.
+// Prices are uniform in [10, 10+priceRange); discounts cycle through
+// {0, 0.05, 0.15, 0.25}.
+func Catalog(rng *rand.Rand, products int, priceRange float64) []byte {
+	var sb strings.Builder
+	sb.WriteString(`<Catalog><Categories>`)
+	for i := 0; i < products; i++ {
+		price := 10 + rng.Float64()*priceRange
+		discount := []string{"0.00", "0.05", "0.15", "0.25"}[i%4]
+		fmt.Fprintf(&sb,
+			`<Product pid="%d"><ProductName>%s</ProductName><RegPrice>%.2f</RegPrice><Discount>%s</Discount></Product>`,
+			i, ProductName(rng), price, discount)
+	}
+	sb.WriteString(`</Categories></Catalog>`)
+	return []byte(sb.String())
+}
+
+var nameParts1 = []string{"Acme", "Global", "Prime", "Ultra", "Hyper", "Micro", "Mega", "Turbo"}
+var nameParts2 = []string{"Widget", "Anvil", "Gadget", "Sprocket", "Gizmo", "Flange", "Rotor", "Valve"}
+
+// ProductName generates a plausible product name.
+func ProductName(rng *rand.Rand) string {
+	return nameParts1[rng.Intn(len(nameParts1))] + " " +
+		nameParts2[rng.Intn(len(nameParts2))] + " " +
+		fmt.Sprint(rng.Intn(1000))
+}
+
+// Recursive generates a document whose recursion degree is exactly depth:
+// <a> nested depth times with one small payload leaf — the Figure-7 /E5
+// workload for //a//a//a-class queries.
+func Recursive(depth int) []byte {
+	var sb strings.Builder
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<a>")
+	}
+	sb.WriteString("<b>x</b>")
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</a>")
+	}
+	return []byte(sb.String())
+}
+
+// Shaped generates a flat document of k element nodes, each with a text
+// value of n bytes — the (k, n) storage-model workload of E1/E2/E3.
+// The real node count is 2k+1 (k elements, k text nodes, one root).
+func Shaped(k, n int) []byte {
+	var sb strings.Builder
+	sb.Grow(k*(n+16) + 16)
+	sb.WriteString("<r>")
+	val := strings.Repeat("v", n)
+	for i := 0; i < k; i++ {
+		sb.WriteString("<e>")
+		sb.WriteString(val)
+		sb.WriteString("</e>")
+	}
+	sb.WriteString("</r>")
+	return []byte(sb.String())
+}
+
+// Deep generates a document of the given depth and fanout (elements per
+// level), for shape sweeps.
+func Deep(rng *rand.Rand, depth, fanout int) []byte {
+	var sb strings.Builder
+	var rec func(d int)
+	rec = func(d int) {
+		if d == 0 {
+			fmt.Fprintf(&sb, "<leaf>%d</leaf>", rng.Intn(1000))
+			return
+		}
+		fmt.Fprintf(&sb, `<n d="%d">`, d)
+		for i := 0; i < fanout; i++ {
+			rec(d - 1)
+		}
+		sb.WriteString("</n>")
+	}
+	rec(depth)
+	return []byte(sb.String())
+}
+
+// Orders generates an order document (the order-processing workload of the
+// examples): customer, line items with parts and quantities.
+func Orders(rng *rand.Rand, lines int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<Order id="%d"><Customer>%s</Customer><Items>`, rng.Intn(100000), ProductName(rng))
+	total := 0.0
+	for i := 0; i < lines; i++ {
+		qty := 1 + rng.Intn(9)
+		price := 5 + rng.Float64()*95
+		total += float64(qty) * price
+		fmt.Fprintf(&sb, `<Item line="%d"><Part>%s</Part><Qty>%d</Qty><Price>%.2f</Price></Item>`,
+			i+1, ProductName(rng), qty, price)
+	}
+	fmt.Fprintf(&sb, `</Items><Total>%.2f</Total></Order>`, total)
+	return []byte(sb.String())
+}

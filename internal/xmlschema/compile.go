@@ -1,0 +1,355 @@
+package xmlschema
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"rx/internal/dom"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+)
+
+// Compile parses an XML Schema document (the supported subset) and compiles
+// it to the in-memory form. Register the Encode()d binary in the catalog.
+func Compile(schemaDoc []byte) (*Schema, error) {
+	dict := xml.NewDict()
+	stream, err := xmlparse.Parse(schemaDoc, dict, xmlparse.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("xmlschema: parsing schema: %w", err)
+	}
+	tree, err := dom.Build(stream)
+	if err != nil {
+		return nil, err
+	}
+	if len(tree.Kids) != 1 {
+		return nil, errors.New("xmlschema: schema document must have one root")
+	}
+	root := tree.Kids[0]
+	name := func(id xml.NameID) string {
+		s, _ := dict.Lookup(id)
+		return s
+	}
+	if name(root.Name.Local) != "schema" {
+		return nil, fmt.Errorf("xmlschema: root element is %q, want xs:schema", name(root.Name.Local))
+	}
+	c := &compiler{dict: dict, sch: &Schema{Global: map[string]int{}}, name: name}
+	// Pass 1: allocate slots for global elements so refs resolve.
+	for _, k := range root.Kids {
+		if k.Kind != xml.Element || c.name(k.Name.Local) != "element" {
+			continue
+		}
+		n := c.attr(k, "name")
+		if n == "" {
+			return nil, errors.New("xmlschema: global element without name")
+		}
+		if _, dup := c.sch.Global[n]; dup {
+			return nil, fmt.Errorf("xmlschema: duplicate global element %q", n)
+		}
+		c.sch.Global[n] = len(c.sch.Elems)
+		c.sch.Elems = append(c.sch.Elems, ElemDecl{Name: n})
+	}
+	if len(c.sch.Global) == 0 {
+		return nil, errors.New("xmlschema: no global element declarations")
+	}
+	// Pass 2: compile each global element.
+	for _, k := range root.Kids {
+		if k.Kind != xml.Element || c.name(k.Name.Local) != "element" {
+			continue
+		}
+		idx := c.sch.Global[c.attr(k, "name")]
+		if err := c.compileElement(k, idx); err != nil {
+			return nil, err
+		}
+	}
+	return c.sch, nil
+}
+
+type compiler struct {
+	dict *xml.Dict
+	sch  *Schema
+	name func(xml.NameID) string
+}
+
+func (c *compiler) attr(n *dom.Node, local string) string {
+	for _, a := range n.Attrs {
+		if a.Kind == xml.Attribute && c.name(a.Name.Local) == local {
+			return string(a.Value)
+		}
+	}
+	return ""
+}
+
+func (c *compiler) child(n *dom.Node, local string) *dom.Node {
+	for _, k := range n.Kids {
+		if k.Kind == xml.Element && c.name(k.Name.Local) == local {
+			return k
+		}
+	}
+	return nil
+}
+
+// compileElement fills Elems[idx] from an xs:element node. The declaration
+// is built locally and assigned at the end: compiling local particles
+// appends to Elems, so a pointer into the slice must not be held across it.
+func (c *compiler) compileElement(n *dom.Node, idx int) error {
+	decl := &ElemDecl{Name: c.sch.Elems[idx].Name}
+	defer func() { c.sch.Elems[idx] = *decl }()
+	if t := c.attr(n, "type"); t != "" {
+		st, ok := simpleTypes[t]
+		if !ok {
+			return fmt.Errorf("xmlschema: element %q: unsupported type %q", decl.Name, t)
+		}
+		decl.Simple = st
+		return nil
+	}
+	ct := c.child(n, "complexType")
+	if ct == nil {
+		// No type: any simple content as string.
+		decl.Simple = xml.TString
+		return nil
+	}
+	for _, k := range ct.Kids {
+		if k.Kind != xml.Element {
+			continue
+		}
+		switch c.name(k.Name.Local) {
+		case "attribute":
+			an := c.attr(k, "name")
+			at := c.attr(k, "type")
+			st, ok := simpleTypes[at]
+			if at == "" {
+				st = xml.TString
+				ok = true
+			}
+			if !ok {
+				return fmt.Errorf("xmlschema: element %q attribute %q: unsupported type %q", decl.Name, an, at)
+			}
+			decl.Attrs = append(decl.Attrs, AttrDecl{
+				Name:     an,
+				Type:     st,
+				Required: c.attr(k, "use") == "required",
+			})
+		case "sequence", "choice":
+			p, err := c.compileParticle(k, decl.Name)
+			if err != nil {
+				return err
+			}
+			dfa, err := buildDFA(p)
+			if err != nil {
+				return err
+			}
+			decl.DFA = dfa
+		default:
+			return fmt.Errorf("xmlschema: element %q: unsupported construct xs:%s", decl.Name, c.name(k.Name.Local))
+		}
+	}
+	return nil
+}
+
+// compileParticle builds the particle tree, allocating declarations for
+// local elements.
+func (c *compiler) compileParticle(n *dom.Node, owner string) (*particle, error) {
+	p := &particle{}
+	switch c.name(n.Name.Local) {
+	case "sequence":
+		p.kind = 's'
+	case "choice":
+		p.kind = 'c'
+	case "element":
+		p.kind = 'e'
+		if ref := c.attr(n, "ref"); ref != "" {
+			idx, ok := c.sch.Global[ref]
+			if !ok {
+				return nil, fmt.Errorf("xmlschema: element %q: unresolved ref %q", owner, ref)
+			}
+			p.elem = idx
+		} else {
+			ename := c.attr(n, "name")
+			if ename == "" {
+				return nil, fmt.Errorf("xmlschema: element %q: particle without name or ref", owner)
+			}
+			idx := len(c.sch.Elems)
+			c.sch.Elems = append(c.sch.Elems, ElemDecl{Name: ename})
+			if err := c.compileElement(n, idx); err != nil {
+				return nil, err
+			}
+			p.elem = idx
+		}
+	default:
+		return nil, fmt.Errorf("xmlschema: element %q: unsupported particle xs:%s", owner, c.name(n.Name.Local))
+	}
+	switch c.attr(n, "minOccurs") {
+	case "", "1":
+	case "0":
+		p.optional = true
+	default:
+		return nil, fmt.Errorf("xmlschema: element %q: minOccurs must be 0 or 1", owner)
+	}
+	switch c.attr(n, "maxOccurs") {
+	case "", "1":
+	case "unbounded":
+		p.repeat = true
+	default:
+		return nil, fmt.Errorf("xmlschema: element %q: maxOccurs must be 1 or unbounded", owner)
+	}
+	if p.kind != 'e' {
+		for _, k := range n.Kids {
+			if k.Kind != xml.Element {
+				continue
+			}
+			ch, err := c.compileParticle(k, owner)
+			if err != nil {
+				return nil, err
+			}
+			p.children = append(p.children, ch)
+		}
+		if len(p.children) == 0 {
+			return nil, fmt.Errorf("xmlschema: element %q: empty content group", owner)
+		}
+	}
+	return p, nil
+}
+
+// Encode serializes the compiled schema into the catalog binary format.
+func (s *Schema) Encode() []byte {
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(len(s.Elems)))
+	for _, e := range s.Elems {
+		b = binary.AppendUvarint(b, uint64(len(e.Name)))
+		b = append(b, e.Name...)
+		b = binary.AppendUvarint(b, uint64(e.Simple))
+		b = binary.AppendUvarint(b, uint64(len(e.Attrs)))
+		for _, a := range e.Attrs {
+			b = binary.AppendUvarint(b, uint64(len(a.Name)))
+			b = append(b, a.Name...)
+			b = binary.AppendUvarint(b, uint64(a.Type))
+			if a.Required {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+		}
+		if e.DFA == nil {
+			b = binary.AppendUvarint(b, 0)
+			continue
+		}
+		b = binary.AppendUvarint(b, uint64(len(e.DFA.Accept)))
+		for i, acc := range e.DFA.Accept {
+			if acc {
+				b = append(b, 1)
+			} else {
+				b = append(b, 0)
+			}
+			b = binary.AppendUvarint(b, uint64(len(e.DFA.Trans[i])))
+			for elem, to := range e.DFA.Trans[i] {
+				b = binary.AppendUvarint(b, uint64(elem))
+				b = binary.AppendUvarint(b, uint64(to))
+			}
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(len(s.Global)))
+	for n, idx := range s.Global {
+		b = binary.AppendUvarint(b, uint64(len(n)))
+		b = append(b, n...)
+		b = binary.AppendUvarint(b, uint64(idx))
+	}
+	return b
+}
+
+// Decode loads a schema from its binary form.
+func Decode(b []byte) (*Schema, error) {
+	d := &decoder{b: b}
+	n := d.uvarint()
+	s := &Schema{Global: map[string]int{}}
+	for i := 0; i < int(n); i++ {
+		var e ElemDecl
+		e.Name = d.str()
+		e.Simple = xml.TypeID(d.uvarint())
+		na := d.uvarint()
+		for j := 0; j < int(na); j++ {
+			var a AttrDecl
+			a.Name = d.str()
+			a.Type = xml.TypeID(d.uvarint())
+			a.Required = d.byte() == 1
+			e.Attrs = append(e.Attrs, a)
+		}
+		ns := d.uvarint()
+		if ns > 0 {
+			dfa := &DFA{}
+			for st := 0; st < int(ns); st++ {
+				dfa.Accept = append(dfa.Accept, d.byte() == 1)
+				nt := d.uvarint()
+				tr := map[int]int{}
+				for k := 0; k < int(nt); k++ {
+					elem := int(d.uvarint())
+					to := int(d.uvarint())
+					tr[elem] = to
+				}
+				dfa.Trans = append(dfa.Trans, tr)
+			}
+			e.DFA = dfa
+		}
+		s.Elems = append(s.Elems, e)
+	}
+	ng := d.uvarint()
+	for i := 0; i < int(ng); i++ {
+		name := d.str()
+		idx := int(d.uvarint())
+		s.Global[name] = idx
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return s, nil
+}
+
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.err = errors.New("xmlschema: corrupt binary schema")
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) str() string {
+	l := d.uvarint()
+	if d.err != nil || d.pos+int(l) > len(d.b) {
+		d.err = errors.New("xmlschema: corrupt binary schema")
+		return ""
+	}
+	s := string(d.b[d.pos : d.pos+int(l)])
+	d.pos += int(l)
+	return s
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil || d.pos >= len(d.b) {
+		d.err = errors.New("xmlschema: corrupt binary schema")
+		return 0
+	}
+	c := d.b[d.pos]
+	d.pos++
+	return c
+}
+
+// String renders a summary (debugging).
+func (s *Schema) String() string {
+	var sb strings.Builder
+	for name, idx := range s.Global {
+		fmt.Fprintf(&sb, "element %s -> #%d\n", name, idx)
+	}
+	return sb.String()
+}

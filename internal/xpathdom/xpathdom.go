@@ -1,0 +1,252 @@
+// Package xpathdom evaluates the supported XPath subset navigationally over
+// a materialized DOM tree. It is the comparison baseline of §4.2 (QuickXScan
+// is "orders of magnitude better than some DOM-based algorithm") and doubles
+// as the semantic oracle for QuickXScan's tests: both must agree on every
+// query over every document.
+package xpathdom
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rx/internal/dom"
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+	"rx/internal/xpath"
+)
+
+// Compiled is a query resolved against a name dictionary.
+type Compiled struct {
+	q     *xpath.Query
+	names map[*xpath.Step]xml.QName
+}
+
+// Compile resolves the query's name tests. nsMap maps the query's prefixes
+// to URIs.
+func Compile(q *xpath.Query, names xml.Names, nsMap map[string]string) (*Compiled, error) {
+	c := &Compiled{q: q, names: map[*xpath.Step]xml.QName{}}
+	var compileSteps func(s *xpath.Step) error
+	var compileExpr func(e xpath.Expr) error
+	compileSteps = func(s *xpath.Step) error {
+		for ; s != nil; s = s.Next {
+			if s.Test == xpath.TestName {
+				uri := ""
+				if s.Prefix != "" {
+					u, ok := nsMap[s.Prefix]
+					if !ok {
+						return fmt.Errorf("xpathdom: unbound prefix %q", s.Prefix)
+					}
+					uri = u
+				}
+				uriID, err := names.Intern(uri)
+				if err != nil {
+					return err
+				}
+				localID, err := names.Intern(s.Local)
+				if err != nil {
+					return err
+				}
+				c.names[s] = xml.QName{URI: uriID, Local: localID}
+			}
+			for _, p := range s.Preds {
+				if err := compileExpr(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	compileExpr = func(e xpath.Expr) error {
+		switch x := e.(type) {
+		case xpath.And:
+			if err := compileExpr(x.L); err != nil {
+				return err
+			}
+			return compileExpr(x.R)
+		case xpath.Or:
+			if err := compileExpr(x.L); err != nil {
+				return err
+			}
+			return compileExpr(x.R)
+		case xpath.Not:
+			return compileExpr(x.E)
+		case xpath.Exists:
+			return compileSteps(x.Path)
+		case xpath.Cmp:
+			return compileSteps(x.Path)
+		}
+		return nil
+	}
+	if err := compileSteps(q.Steps); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Evaluate runs the query over the document, returning matches in document
+// order without duplicates.
+func (c *Compiled) Evaluate(doc *dom.Node) []*dom.Node {
+	nodes := c.evalPath(c.q.Steps, []*dom.Node{doc})
+	sort.Slice(nodes, func(i, j int) bool { return nodeid.Compare(nodes[i].ID, nodes[j].ID) < 0 })
+	var out []*dom.Node
+	for i, n := range nodes {
+		if i > 0 && nodes[i-1] == n {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// evalPath applies a step chain to a context set.
+func (c *Compiled) evalPath(s *xpath.Step, ctx []*dom.Node) []*dom.Node {
+	cur := ctx
+	for ; s != nil; s = s.Next {
+		seen := map[*dom.Node]bool{}
+		var next []*dom.Node
+		for _, n := range cur {
+			c.applyStep(s, n, func(m *dom.Node) {
+				if !seen[m] {
+					seen[m] = true
+					next = append(next, m)
+				}
+			})
+		}
+		// Filter by predicates.
+		if len(s.Preds) > 0 {
+			var kept []*dom.Node
+			for _, n := range next {
+				ok := true
+				for _, p := range s.Preds {
+					if !c.evalExpr(p, n) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, n)
+				}
+			}
+			next = kept
+		}
+		cur = next
+	}
+	return cur
+}
+
+func (c *Compiled) applyStep(s *xpath.Step, n *dom.Node, emit func(*dom.Node)) {
+	switch s.Axis {
+	case xpath.Child:
+		for _, k := range n.Kids {
+			if c.testNode(s, k) {
+				emit(k)
+			}
+		}
+	case xpath.Attribute:
+		for _, a := range n.Attrs {
+			if a.Kind == xml.Attribute && c.testAttr(s, a) {
+				emit(a)
+			}
+		}
+	case xpath.Self:
+		if c.testNode(s, n) || n.Kind == xml.Document && s.Test == xpath.TestNode {
+			emit(n)
+		}
+	case xpath.Descendant, xpath.DescendantOrSelf:
+		if s.Axis == xpath.DescendantOrSelf && (c.testNode(s, n) || n.Kind == xml.Document && s.Test == xpath.TestNode) {
+			emit(n)
+		}
+		var rec func(*dom.Node)
+		rec = func(x *dom.Node) {
+			for _, k := range x.Kids {
+				if c.testNode(s, k) {
+					emit(k)
+				}
+				rec(k)
+			}
+		}
+		rec(n)
+	}
+}
+
+func (c *Compiled) testNode(s *xpath.Step, n *dom.Node) bool {
+	switch s.Test {
+	case xpath.TestName:
+		return n.Kind == xml.Element && n.Name == c.names[s]
+	case xpath.TestStar:
+		return n.Kind == xml.Element
+	case xpath.TestText:
+		return n.Kind == xml.Text
+	case xpath.TestComment:
+		return n.Kind == xml.Comment
+	case xpath.TestNode:
+		return n.Kind == xml.Element || n.Kind == xml.Text || n.Kind == xml.Comment
+	}
+	return false
+}
+
+func (c *Compiled) testAttr(s *xpath.Step, a *dom.Node) bool {
+	switch s.Test {
+	case xpath.TestName:
+		return a.Name == c.names[s]
+	case xpath.TestStar, xpath.TestNode:
+		return true
+	}
+	return false
+}
+
+func (c *Compiled) evalExpr(e xpath.Expr, n *dom.Node) bool {
+	switch x := e.(type) {
+	case xpath.And:
+		return c.evalExpr(x.L, n) && c.evalExpr(x.R, n)
+	case xpath.Or:
+		return c.evalExpr(x.L, n) || c.evalExpr(x.R, n)
+	case xpath.Not:
+		return !c.evalExpr(x.E, n)
+	case xpath.Exists:
+		return len(c.evalPath(x.Path, []*dom.Node{n})) > 0
+	case xpath.Cmp:
+		for _, m := range c.evalPath(x.Path, []*dom.Node{n}) {
+			if compareValue(m.StringValue(), x.Op, x.Lit) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+func compareValue(value []byte, op xpath.CmpOp, lit xpath.Literal) bool {
+	var ord int
+	if lit.IsNum {
+		v, err := strconv.ParseFloat(strings.TrimSpace(string(value)), 64)
+		if err != nil {
+			return false
+		}
+		switch {
+		case v < lit.Num:
+			ord = -1
+		case v > lit.Num:
+			ord = 1
+		}
+	} else {
+		ord = strings.Compare(string(value), lit.Str)
+	}
+	switch op {
+	case xpath.EQ:
+		return ord == 0
+	case xpath.NE:
+		return ord != 0
+	case xpath.LT:
+		return ord < 0
+	case xpath.LE:
+		return ord <= 0
+	case xpath.GT:
+		return ord > 0
+	case xpath.GE:
+		return ord >= 0
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package xpathdom
+
+import (
+	"testing"
+
+	"rx/internal/dom"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+	"rx/internal/xpath"
+)
+
+func eval(t *testing.T, doc, query string) []*dom.Node {
+	t.Helper()
+	dict := xml.NewDict()
+	stream, err := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dom.Build(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xpath.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(q, dict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c.Evaluate(tree)
+}
+
+func TestBasicAxes(t *testing.T) {
+	doc := `<a><b k="1">x</b><c><b k="2">y</b></c></a>`
+	if got := eval(t, doc, "/a/b"); len(got) != 1 {
+		t.Errorf("/a/b = %d", len(got))
+	}
+	if got := eval(t, doc, "//b"); len(got) != 2 {
+		t.Errorf("//b = %d", len(got))
+	}
+	if got := eval(t, doc, "//b/@k"); len(got) != 2 {
+		t.Errorf("//b/@k = %d", len(got))
+	}
+	if got := eval(t, doc, "//b/text()"); len(got) != 2 {
+		t.Errorf("//b/text() = %d", len(got))
+	}
+	if got := eval(t, doc, "/a/descendant-or-self::b"); len(got) != 2 {
+		t.Errorf("desc-or-self = %d", len(got))
+	}
+	if got := eval(t, doc, "/a/b/self::b"); len(got) != 1 {
+		t.Errorf("self = %d", len(got))
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	doc := `<r><p><v>10</v></p><p><v>20</v></p><p/></r>`
+	if got := eval(t, doc, "/r/p[v > 15]"); len(got) != 1 {
+		t.Errorf("v>15 = %d", len(got))
+	}
+	if got := eval(t, doc, "/r/p[v]"); len(got) != 2 {
+		t.Errorf("[v] = %d", len(got))
+	}
+	if got := eval(t, doc, "/r/p[not(v)]"); len(got) != 1 {
+		t.Errorf("not(v) = %d", len(got))
+	}
+	if got := eval(t, doc, "/r/p[v = 10 or v = 20]"); len(got) != 2 {
+		t.Errorf("or = %d", len(got))
+	}
+}
+
+func TestDocumentOrderDedup(t *testing.T) {
+	// //a//b can find the same b through multiple a ancestors; the result
+	// must be deduplicated and in document order.
+	doc := `<a><a><b>1</b></a><b>2</b></a>`
+	got := eval(t, doc, "//a//b")
+	if len(got) != 2 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if string(got[0].StringValue()) != "1" || string(got[1].StringValue()) != "2" {
+		t.Errorf("order: %s, %s", got[0].StringValue(), got[1].StringValue())
+	}
+}
+
+func TestUnboundPrefixRejected(t *testing.T) {
+	dict := xml.NewDict()
+	q, _ := xpath.Parse("//p:x")
+	if _, err := Compile(q, dict, nil); err == nil {
+		t.Error("unbound prefix should fail to compile")
+	}
+	if _, err := Compile(q, dict, map[string]string{"p": "urn:x"}); err != nil {
+		t.Errorf("bound prefix should compile: %v", err)
+	}
+}

@@ -1,0 +1,233 @@
+// Package xpathnaive is the streaming-automaton baseline QuickXScan is
+// compared against in Figure 7. It evaluates the predicate-free path subset
+// (name/kind tests over child and descendant axes) by keeping the full set
+// of active partial matches: every distinct way a prefix of the path can be
+// bound to open ancestors is a separate state. On recursively nested
+// documents a query like //a//a//a therefore accumulates a number of active
+// states polynomial of degree |Q| in the recursion depth — the blow-up the
+// paper contrasts with QuickXScan's stack tops ("from potentially
+// exponential ... to the number of query nodes at maximum").
+package xpathnaive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rx/internal/nodeid"
+	"rx/internal/tokens"
+	"rx/internal/xml"
+	"rx/internal/xpath"
+)
+
+// Match is one result node.
+type Match struct {
+	ID nodeid.ID
+}
+
+// Stats reports the automaton's state footprint.
+type Stats struct {
+	MaxActive   int // maximum live partial matches
+	TotalSpawns int // partial matches ever created
+}
+
+type step struct {
+	axis xpath.Axis
+	test xpath.TestKind
+	name xml.QName
+}
+
+// Eval is a compiled evaluator.
+type Eval struct {
+	steps []step
+
+	active  []pm
+	depth   int
+	results []nodeid.ID
+	stats   Stats
+}
+
+// pm is a partial match: the next step to match and the depth at which the
+// previous step bound.
+type pm struct {
+	next      int
+	bindDepth int
+	ownDepth  int // depth of the element that created this pm (for removal)
+}
+
+// Compile builds an evaluator. Predicates, attributes and self axes are not
+// part of the baseline's subset.
+func Compile(q *xpath.Query, names xml.Names, nsMap map[string]string) (*Eval, error) {
+	if !q.Rooted {
+		return nil, errors.New("xpathnaive: only rooted paths")
+	}
+	e := &Eval{}
+	for s := q.Steps; s != nil; s = s.Next {
+		if len(s.Preds) > 0 {
+			return nil, errors.New("xpathnaive: predicates unsupported in baseline")
+		}
+		if s.Axis != xpath.Child && s.Axis != xpath.Descendant {
+			return nil, fmt.Errorf("xpathnaive: axis %v unsupported in baseline", s.Axis)
+		}
+		st := step{axis: s.Axis, test: s.Test}
+		if s.Test == xpath.TestName {
+			uri := ""
+			if s.Prefix != "" {
+				u, ok := nsMap[s.Prefix]
+				if !ok {
+					return nil, fmt.Errorf("xpathnaive: unbound prefix %q", s.Prefix)
+				}
+				uri = u
+			}
+			uriID, err := names.Intern(uri)
+			if err != nil {
+				return nil, err
+			}
+			localID, err := names.Intern(s.Local)
+			if err != nil {
+				return nil, err
+			}
+			st.name = xml.QName{URI: uriID, Local: localID}
+		}
+		e.steps = append(e.steps, st)
+	}
+	return e, nil
+}
+
+func (e *Eval) reset() {
+	e.active = e.active[:0]
+	e.depth = 0
+	e.results = nil
+	e.stats = Stats{}
+	// The initial state: next step 0, bound at the document (depth 0).
+	e.active = append(e.active, pm{next: 0, bindDepth: 0, ownDepth: 0})
+}
+
+func (s step) matches(name xml.QName) bool {
+	switch s.test {
+	case xpath.TestName:
+		return s.name == name
+	case xpath.TestStar, xpath.TestNode:
+		return true
+	}
+	return false
+}
+
+// EvalTokens evaluates the query over a token stream, synthesizing packer
+// node IDs so results are comparable with QuickXScan's.
+func (e *Eval) EvalTokens(stream []byte) ([]Match, error) {
+	e.reset()
+	r := tokens.NewReader(stream)
+	type frame struct {
+		abs  nodeid.ID
+		next int
+	}
+	stack := []frame{{abs: nodeid.Root}}
+	cur := &stack[0]
+	alloc := func() nodeid.ID {
+		rel := nodeid.RelAt(cur.next)
+		cur.next++
+		return nodeid.Append(cur.abs, rel)
+	}
+	for r.More() {
+		t, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case tokens.StartDocument:
+		case tokens.StartElement:
+			id := alloc()
+			e.depth++
+			// Every active partial match can try to consume this element.
+			n := len(e.active)
+			for i := 0; i < n; i++ {
+				p := e.active[i]
+				s := e.steps[p.next]
+				ok := s.matches(t.Name)
+				if ok {
+					switch s.axis {
+					case xpath.Child:
+						ok = p.bindDepth == e.depth-1
+					case xpath.Descendant:
+						ok = p.bindDepth < e.depth
+					}
+				}
+				if !ok {
+					continue
+				}
+				if p.next+1 == len(e.steps) {
+					e.results = append(e.results, nodeid.Clone(id))
+					continue
+				}
+				e.active = append(e.active, pm{next: p.next + 1, bindDepth: e.depth, ownDepth: e.depth})
+				e.stats.TotalSpawns++
+			}
+			if len(e.active) > e.stats.MaxActive {
+				e.stats.MaxActive = len(e.active)
+			}
+			stack = append(stack, frame{abs: id})
+			cur = &stack[len(stack)-1]
+		case tokens.EndElement:
+			// Remove partial matches bound at this depth.
+			kept := e.active[:0]
+			for _, p := range e.active {
+				if p.ownDepth < e.depth {
+					kept = append(kept, p)
+				}
+			}
+			e.active = kept
+			e.depth--
+			stack = stack[:len(stack)-1]
+			cur = &stack[len(stack)-1]
+		case tokens.Attr, tokens.NSDecl, tokens.Text, tokens.Comment, tokens.PI:
+			// All non-element nodes consume an ID slot; only text can match
+			// in the baseline's subset.
+			if t.Kind == tokens.Text && e.matchText() {
+				e.results = append(e.results, nodeid.Clone(alloc()))
+				continue
+			}
+			alloc()
+		case tokens.EndDocument:
+		}
+	}
+	// Sort into document order and deduplicate (multiple derivations of the
+	// same node are inherent to the state-set approach).
+	sort.Slice(e.results, func(i, j int) bool { return nodeid.Compare(e.results[i], e.results[j]) < 0 })
+	var out []Match
+	for i, id := range e.results {
+		if i > 0 && nodeid.Equal(e.results[i-1], id) {
+			continue
+		}
+		out = append(out, Match{ID: id})
+	}
+	return out, nil
+}
+
+// matchText reports whether any active state's next step is a text() test
+// applicable at the current position.
+func (e *Eval) matchText() bool {
+	for _, p := range e.active {
+		s := e.steps[p.next]
+		if s.test != xpath.TestText && s.test != xpath.TestNode {
+			continue
+		}
+		if p.next+1 != len(e.steps) {
+			continue
+		}
+		switch s.axis {
+		case xpath.Child:
+			if p.bindDepth == e.depth {
+				return true
+			}
+		case xpath.Descendant:
+			if p.bindDepth <= e.depth {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats returns the state-count statistics of the last evaluation.
+func (e *Eval) Stats() Stats { return e.stats }

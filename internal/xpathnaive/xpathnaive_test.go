@@ -1,0 +1,140 @@
+package xpathnaive
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"rx/internal/quickxscan"
+	"rx/internal/xml"
+	"rx/internal/xmlparse"
+	"rx/internal/xpath"
+)
+
+func runBoth(t *testing.T, doc, query string) (naive, quick []string, st Stats) {
+	t.Helper()
+	dict := xml.NewDict()
+	stream, err := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := xpath.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ne, err := Compile(q, dict, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, err := ne.EvalTokens(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nm {
+		naive = append(naive, m.ID.String())
+	}
+	qe, err := quickxscan.Compile(q, dict, nil, quickxscan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qm, err := quickxscan.EvalTokens(qe, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range qm {
+		quick = append(quick, m.ID.String())
+	}
+	return naive, quick, ne.Stats()
+}
+
+func TestAgreesWithQuickXScan(t *testing.T) {
+	docs := []string{
+		`<a><b>one</b><c><b>two</b></c><b>three</b></a>`,
+		`<a><a><a><b>x</b></a><b>y</b></a></a>`,
+		`<r><x><y><z/></y></x><y/></r>`,
+	}
+	queries := []string{"//b", "/a/b", "//a//b", "//a//a", "/a/c/b", "//b/text()", "//*", "/r/y"}
+	for _, doc := range docs {
+		for _, q := range queries {
+			naive, quick, _ := runBoth(t, doc, q)
+			if len(naive) != len(quick) {
+				t.Errorf("doc %q query %q: naive %v vs quick %v", doc, q, naive, quick)
+				continue
+			}
+			for i := range naive {
+				if naive[i] != quick[i] {
+					t.Errorf("doc %q query %q: naive %v vs quick %v", doc, q, naive, quick)
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestAgreesOnRandomDocs(t *testing.T) {
+	queries := []string{"//e0", "//e0//e1", "//e1/e2", "/e0/e1/e2", "//e0//e0//e0", "//e2//text()"}
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		doc := randomDoc(rng, 0, 5)
+		for _, q := range queries {
+			naive, quick, _ := runBoth(t, doc, q)
+			if strings.Join(naive, ",") != strings.Join(quick, ",") {
+				t.Fatalf("seed %d query %q: naive %v vs quick %v\ndoc %s", seed, q, naive, quick, doc)
+			}
+		}
+	}
+}
+
+func randomDoc(rng *rand.Rand, depth, maxDepth int) string {
+	var sb strings.Builder
+	name := fmt.Sprintf("e%d", rng.Intn(3))
+	sb.WriteString("<" + name + ">")
+	if depth < maxDepth {
+		for k := 0; k < rng.Intn(4); k++ {
+			if rng.Intn(4) == 0 {
+				fmt.Fprintf(&sb, "t%d", rng.Intn(10))
+			} else {
+				sb.WriteString(randomDoc(rng, depth+1, maxDepth))
+			}
+		}
+	}
+	sb.WriteString("</" + name + ">")
+	return sb.String()
+}
+
+// TestStateBlowup reproduces the Figure-7 contrast: on recursively nested
+// documents, the naive automaton's active-state count grows superlinearly
+// with recursion depth while QuickXScan's live instances stay O(|Q|·r).
+func TestStateBlowup(t *testing.T) {
+	dict := xml.NewDict()
+	q, _ := xpath.Parse("//a//a//a")
+	naiveAt := func(depth int) int {
+		doc := strings.Repeat("<a>", depth) + "x" + strings.Repeat("</a>", depth)
+		stream, _ := xmlparse.Parse([]byte(doc), dict, xmlparse.Options{})
+		ne, _ := Compile(q, dict, nil)
+		if _, err := ne.EvalTokens(stream); err != nil {
+			t.Fatal(err)
+		}
+		return ne.Stats().MaxActive
+	}
+	s8, s16, s32 := naiveAt(8), naiveAt(16), naiveAt(32)
+	// Quadratic-or-worse growth: doubling depth should much more than
+	// double the states.
+	if s16 < 3*s8 || s32 < 3*s16 {
+		t.Errorf("expected superlinear state growth, got %d, %d, %d", s8, s16, s32)
+	}
+}
+
+func TestUnsupportedConstructs(t *testing.T) {
+	dict := xml.NewDict()
+	for _, src := range []string{"//a[b]", "//a/@id", "/a/self::a"} {
+		q, err := xpath.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Compile(q, dict, nil); err == nil {
+			t.Errorf("Compile(%q) should fail in the baseline", src)
+		}
+	}
+}

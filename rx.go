@@ -1,0 +1,104 @@
+// Package rx is System R/X reproduced in Go: a native XML database engine
+// built on relational-database infrastructure (Zhang, "Building a Scalable
+// Native XML Database Engine on Infrastructure for a Relational Database",
+// SIGMOD/XIME-P 2005).
+//
+// XML documents are stored in tree-packed records inside ordinary heap
+// table spaces, addressed logically by prefix-encoded Dewey node IDs and
+// physically through a NodeID B+tree index; XPath value indexes map typed
+// node values to (DocID, NodeID, RID) positions; queries run either as
+// QuickXScan streaming scans over stored documents or through the §4.3
+// index access methods (DocID/NodeID lists, filtering, ANDing/ORing).
+// Subdocument updates, write-ahead logging with crash recovery, document
+// locking and document-level multiversioning complete the engine.
+//
+// Quick start:
+//
+//	db, _ := rx.OpenMemory()
+//	col, _ := db.CreateCollection("catalog", rx.CollectionOptions{})
+//	id, _ := col.Insert([]byte(`<product><price>9.99</price></product>`))
+//	col.CreateValueIndex("by_price", "/product/price", rx.TypeDouble)
+//	results, plan, _ := col.Query("/product[price < 10]")
+//	_ = col.Serialize(id, os.Stdout)
+//	_, _, _ = results, plan, id
+package rx
+
+import (
+	"rx/internal/core"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/wal"
+	"rx/internal/xml"
+)
+
+// Core engine types, re-exported.
+type (
+	// DB is an open database.
+	DB = core.DB
+	// Collection is a base table with one XML column.
+	Collection = core.Collection
+	// Options configure the engine.
+	Options = core.Options
+	// CollectionOptions configure a collection.
+	CollectionOptions = core.CollectionOptions
+	// Result is one query match.
+	Result = core.Result
+	// Plan describes the access method a query used.
+	Plan = core.Plan
+	// Txn is a transaction.
+	Txn = core.Txn
+	// Position selects where InsertFragment places a fragment.
+	Position = core.Position
+	// DocID identifies a document within a collection.
+	DocID = xml.DocID
+	// NodeID is a prefix-encoded Dewey node ID.
+	NodeID = nodeid.ID
+)
+
+// Fragment insertion positions.
+const (
+	AsLastChild = core.AsLastChild
+	BeforeNode  = core.BeforeNode
+	AfterNode   = core.AfterNode
+)
+
+// Value index key types (§3.3: "a few simple types supported, such as
+// double, string, and date" plus the §4.3 decimal).
+const (
+	TypeString  = xml.TString
+	TypeDouble  = xml.TDouble
+	TypeDate    = xml.TDate
+	TypeDecimal = xml.TDecimal
+)
+
+// OpenMemory opens a fresh in-memory database.
+func OpenMemory() (*DB, error) { return core.OpenMemory() }
+
+// OpenFile opens (creating if needed) a file-backed database.
+func OpenFile(path string, opts Options) (*DB, error) {
+	store, err := pagestore.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.Open(store, opts)
+}
+
+// OpenFileLogged opens a file-backed database with a write-ahead log at
+// walPath, enabling transactions and crash recovery. If the log is
+// non-empty, recovery runs first: committed work is redone and losers are
+// compensated.
+func OpenFileLogged(dbPath, walPath string, opts Options) (*DB, error) {
+	store, err := pagestore.OpenFile(dbPath)
+	if err != nil {
+		return nil, err
+	}
+	dev, err := wal.OpenFileDevice(walPath)
+	if err != nil {
+		return nil, err
+	}
+	log, err := wal.Open(dev)
+	if err != nil {
+		return nil, err
+	}
+	return core.Recover(store, log, opts)
+}

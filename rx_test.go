@@ -1,0 +1,120 @@
+package rx
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the facade end to end on a file-backed,
+// logged database: insert, index, query, update, reopen with recovery.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "t.rxdb")
+	walPath := filepath.Join(dir, "t.wal")
+
+	db, err := OpenFileLogged(dbPath, walPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("books", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.CreateValueIndex("by_price", "/book/price", TypeDouble); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := db.Begin()
+	id, err := tx.Insert(col, []byte(`<book><title>Native XML</title><price>25.50</price></book>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	res, plan, err := col.QueryValues("/book[price < 30]/title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || string(res[0].Value) != "Native XML" {
+		t.Fatalf("res = %+v (plan %s)", res, plan.Method)
+	}
+
+	// An uncommitted insert, then simulated crash (close without commit).
+	tx2 := db.Begin()
+	id2, err := tx2.Insert(col, []byte(`<book><title>Ghost</title><price>1</price></book>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crash: flush nothing, drop the handles.
+	db.Checkpoint() // persists committed state; tx2's logical record is in the WAL
+	_ = id2
+
+	db2, err := OpenFileLogged(dbPath, walPath, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	col2, err := db2.Collection("books")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := col2.Serialize(id, &buf); err != nil {
+		t.Fatalf("committed doc lost after recovery: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("Native XML")) {
+		t.Errorf("doc = %s", buf.String())
+	}
+	res2, _, err := col2.Query("/book[title = 'Ghost']")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2) != 0 {
+		t.Error("uncommitted insert visible after recovery")
+	}
+}
+
+// TestVersionedFacade exercises MVCC through the facade.
+func TestVersionedFacade(t *testing.T) {
+	db, err := OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := db.CreateCollection("v", CollectionOptions{Versioned: true})
+	id, _ := col.Insert([]byte(`<d><v>1</v></d>`))
+	v1, _ := col.SnapshotVersion(id)
+	res, _, _ := col.Query("/d/v/text()")
+	if err := col.UpdateText(id, res[0].Node, []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	var old, cur bytes.Buffer
+	if err := col.SerializeAt(id, v1, &old); err != nil {
+		t.Fatal(err)
+	}
+	col.Serialize(id, &cur)
+	if old.String() == cur.String() {
+		t.Error("snapshot should differ from current")
+	}
+}
+
+// TestFragmentPositions exercises the re-exported position constants.
+func TestFragmentPositions(t *testing.T) {
+	db, _ := OpenMemory()
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	id, _ := col.Insert([]byte(`<r><a/></r>`))
+	aRes, _, _ := col.Query("/r/a")
+	if _, err := col.InsertFragment(id, aRes[0].Node, AfterNode, []byte(`<b/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.InsertFragment(id, aRes[0].Node, BeforeNode, []byte(`<z/>`)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	col.Serialize(id, &buf)
+	if buf.String() != `<r><z/><a/><b/></r>` {
+		t.Errorf("got %s", buf.String())
+	}
+}
