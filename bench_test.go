@@ -442,3 +442,42 @@ const benchXSD = `
 func newDiscardSerializer(dict xml.Names) *serialize.Serializer {
 	return serialize.New(io.Discard, dict)
 }
+
+// ---- E13: parallel scan speedup ----
+
+// BenchmarkParallelScan measures the parallel query executor against the
+// same scan run serially: 64 catalog documents, a predicate scan that
+// re-evaluates every document, worker counts 1/2/4/8.
+func BenchmarkParallelScan(b *testing.B) {
+	db, err := core.OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := db.CreateCollection("bench", core.CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 64; i++ {
+		if _, err := col.Insert(xmlgen.Catalog(rng, 200, 1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	const query = "/Catalog/Categories/Product[RegPrice > 500]/ProductName"
+	want := -1
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rs, _, err := col.QueryOpts(query, core.QueryOptions{Parallelism: par})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want < 0 {
+					want = len(rs)
+				} else if len(rs) != want {
+					b.Fatalf("workers=%d returned %d results, want %d", par, len(rs), want)
+				}
+			}
+		})
+	}
+}

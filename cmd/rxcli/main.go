@@ -29,19 +29,19 @@ import (
 func main() {
 	dbPath := flag.String("db", "rx.rxdb", "database file")
 	walPath := flag.String("wal", "", "write-ahead log file (enables logging + recovery)")
+	jobs := flag.Int("j", 0, "query parallelism (0 = one worker per CPU)")
+	limit := flag.Int("limit", 0, "stop after this many query results (0 = all)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		usage()
 	}
 
-	var db *rx.DB
-	var err error
+	var opts []rx.Option
 	if *walPath != "" {
-		db, err = rx.OpenFileLogged(*dbPath, *walPath, rx.Options{})
-	} else {
-		db, err = rx.OpenFile(*dbPath, rx.Options{})
+		opts = append(opts, rx.WithWAL(*walPath))
 	}
+	db, err := rx.Open(*dbPath, opts...)
 	fatal(err)
 	defer db.Close()
 
@@ -83,18 +83,28 @@ func main() {
 	case "query":
 		need(rest, 2, "query <collection> <xpath>")
 		col := collection(db, rest[0])
-		results, plan, err := col.QueryValues(rest[1])
+		cur, err := col.Cursor(rest[1], rx.QueryOptions{
+			NeedValues:  true,
+			Parallelism: *jobs,
+			Limit:       *limit,
+		})
 		fatal(err)
-		fmt.Printf("-- access method: %s (exact=%v, indexes=%v, candidate docs=%d)\n",
-			plan.Method, plan.Exact, plan.Indexes, plan.CandidateDocs)
-		for _, r := range results {
+		defer cur.Close()
+		plan := cur.Plan()
+		fmt.Printf("-- access method: %s (exact=%v, indexes=%v, candidate docs=%d, parallelism=%d)\n",
+			plan.Method, plan.Exact, plan.Indexes, plan.CandidateDocs, plan.Parallelism)
+		n := 0
+		for cur.Next() {
+			r := cur.Result()
 			v := string(r.Value)
 			if len(v) > 60 {
 				v = v[:60] + "..."
 			}
 			fmt.Printf("doc %-6d node %-14s %s\n", r.Doc, r.Node, v)
+			n++
 		}
-		fmt.Printf("-- %d results\n", len(results))
+		fatal(cur.Err())
+		fmt.Printf("-- %d results\n", n)
 	case "get":
 		need(rest, 2, "get <collection> <docid>")
 		col := collection(db, rest[0])
@@ -165,7 +175,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: rxcli [-db file] [-wal file] <command> ...
+	fmt.Fprintln(os.Stderr, `usage: rxcli [-db file] [-wal file] [-j n] [-limit n] <command> ...
 commands: create, insert, index, query, get, delete, ls, stats, backup`)
 	os.Exit(2)
 }

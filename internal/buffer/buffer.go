@@ -7,6 +7,14 @@
 // Write-ahead logging is integrated through FlushLSN: before a dirty page is
 // evicted or flushed, the pool asks the log to be durable up to the page's
 // LSN.
+//
+// Concurrency: the pool is safe for concurrent readers and writers. The
+// pool mutex guards the frame table, pin counts and the LRU list; each
+// frame carries its own latch guarding Data. Lock order is pool mutex →
+// frame latch (never the reverse): a miss fills the frame under its
+// exclusive latch so concurrent fetchers of the same page block until the
+// read completes, and write-back latches the frame in shared mode so a
+// concurrent Modify can never tear the page image being written out.
 package buffer
 
 import (
@@ -14,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rx/internal/pagestore"
 )
@@ -29,9 +38,11 @@ type Frame struct {
 	Data []byte
 
 	mu      sync.RWMutex
+	loadErr error // set under mu by the filling Fetch; nil once loaded
+	dirty   atomic.Bool
+	pageLSN atomic.Uint64
+	// pins and lruElem are guarded by the pool mutex.
 	pins    int
-	dirty   bool
-	pageLSN LSN
 	lruElem *list.Element
 }
 
@@ -51,8 +62,11 @@ func (f *Frame) RUnlock() { f.mu.RUnlock() }
 // page; the pool will not write the page out before the log is flushed past
 // it.
 func (f *Frame) SetLSN(l LSN) {
-	if l > f.pageLSN {
-		f.pageLSN = l
+	for {
+		cur := f.pageLSN.Load()
+		if uint64(l) <= cur || f.pageLSN.CompareAndSwap(cur, uint64(l)) {
+			return
+		}
 	}
 }
 
@@ -118,9 +132,7 @@ func (p *Pool) Modify(f *Frame, fn func(data []byte) error) error {
 		if err := fn(f.Data); err != nil {
 			return err
 		}
-		p.mu.Lock()
-		f.dirty = true
-		p.mu.Unlock()
+		f.dirty.Store(true)
 		return nil
 	}
 	var before [pagestore.PageSize]byte
@@ -139,9 +151,7 @@ func (p *Pool) Modify(f *Frame, fn func(data []byte) error) error {
 	}
 	putLSN(f.Data, lsn)
 	f.SetLSN(lsn)
-	p.mu.Lock()
-	f.dirty = true
-	p.mu.Unlock()
+	f.dirty.Store(true)
 	return nil
 }
 
@@ -182,12 +192,23 @@ func diffRange(a, b []byte) (int, int) {
 }
 
 // Fetch pins the page in the pool, reading it from the store on a miss.
+// On a miss the store read happens under the frame's exclusive latch, so a
+// concurrent Fetch of the same page returns only after the data is valid.
 func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
 	p.mu.Lock()
 	if f, ok := p.frames[id]; ok {
 		p.hits++
 		p.pinLocked(f)
 		p.mu.Unlock()
+		// Wait out a concurrent loader: the filling Fetch holds the
+		// exclusive latch until the store read completes.
+		f.mu.RLock()
+		err := f.loadErr
+		f.mu.RUnlock()
+		if err != nil {
+			p.Unpin(f, false)
+			return nil, err
+		}
 		return f, nil
 	}
 	p.misses++
@@ -196,15 +217,20 @@ func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
 		p.mu.Unlock()
 		return nil, err
 	}
+	// Latch before publishing the release of p.mu: the frame is already in
+	// the map, but no other goroutine can have reached it yet, so this
+	// cannot block. Concurrent fetchers will queue on the latch above.
+	f.mu.Lock()
 	p.mu.Unlock()
-	// Read outside the pool lock; the frame is pinned so it cannot be
-	// evicted, and it is not yet visible as clean data to others because we
-	// hold no latch — callers latch before use, and concurrent Fetch of the
-	// same id is serialized by the map insert above.
-	if err := p.store.ReadPage(id, f.Data); err != nil {
+	err = p.store.ReadPage(id, f.Data)
+	f.loadErr = err
+	f.mu.Unlock()
+	if err != nil {
 		p.mu.Lock()
+		if p.frames[id] == f {
+			delete(p.frames, id)
+		}
 		f.pins--
-		delete(p.frames, id)
 		p.mu.Unlock()
 		return nil, err
 	}
@@ -255,43 +281,59 @@ func (p *Pool) evictLocked() error {
 		return fmt.Errorf("%w (capacity %d)", ErrPoolFull, p.capacity)
 	}
 	f := e.Value.(*Frame)
-	if f.dirty {
+	if f.dirty.Load() {
 		if err := p.writeBackLocked(f); err != nil {
 			return err
 		}
 	}
 	p.lru.Remove(e)
-	delete(p.frames, f.ID)
+	f.lruElem = nil
+	// A failed load may have replaced this ID's map entry with a newer
+	// frame; only remove the entry if it is still ours.
+	if p.frames[f.ID] == f {
+		delete(p.frames, f.ID)
+	}
 	p.evictions++
 	return nil
 }
 
 // writeBackLocked flushes f's contents to the store, honoring WAL ordering.
+// Called with p.mu held; takes the frame latch in shared mode so a
+// concurrent Modify cannot tear the image being written (Modify never takes
+// p.mu, so the p.mu → f.mu order here cannot deadlock). The dirty bit is
+// cleared before the write: a Modify that lands mid-flight re-marks the
+// frame dirty and the page is simply written again later.
 func (p *Pool) writeBackLocked(f *Frame) error {
-	if p.flushLSN != nil && f.pageLSN > 0 {
-		if err := p.flushLSN(f.pageLSN); err != nil {
+	f.dirty.Store(false)
+	f.mu.RLock()
+	if lsn := LSN(f.pageLSN.Load()); p.flushLSN != nil && lsn > 0 {
+		if err := p.flushLSN(lsn); err != nil {
+			f.mu.RUnlock()
+			f.dirty.Store(true)
 			return err
 		}
 	}
-	if err := p.store.WritePage(f.ID, f.Data); err != nil {
+	err := p.store.WritePage(f.ID, f.Data)
+	f.mu.RUnlock()
+	if err != nil {
+		f.dirty.Store(true)
 		return err
 	}
-	f.dirty = false
 	return nil
 }
 
 // Unpin releases one pin on the frame; dirty marks the page modified.
 func (p *Pool) Unpin(f *Frame, dirty bool) {
+	if dirty {
+		f.dirty.Store(true)
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if dirty {
-		f.dirty = true
-	}
 	f.pins--
 	if f.pins < 0 {
 		panic("buffer: unpin of unpinned frame")
 	}
-	if f.pins == 0 {
+	if f.pins == 0 && f.lruElem == nil {
 		f.lruElem = p.lru.PushBack(f)
 	}
 }
@@ -301,7 +343,7 @@ func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, f := range p.frames {
-		if f.dirty {
+		if f.dirty.Load() {
 			if err := p.writeBackLocked(f); err != nil {
 				return err
 			}

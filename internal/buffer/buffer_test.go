@@ -179,3 +179,78 @@ func TestConcurrentFetch(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestConcurrentFetchModifyEvict hammers a pool far smaller than its
+// working set with mixed readers and writers, so fetch misses, fills,
+// write-backs, and evictions all interleave. Run under -race.
+func TestConcurrentFetchModifyEvict(t *testing.T) {
+	store := pagestore.NewMemStore()
+	// Capacity equals the goroutine count: each goroutine pins at most one
+	// frame, so a victim always exists, while the 32-page working set keeps
+	// constant eviction pressure.
+	p := New(store, 8)
+	var ids []pagestore.PageID
+	for i := 0; i < 32; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Modify(f, func(d []byte) error { d[0] = byte(i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID)
+		p.Unpin(f, false)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				n := (g*37 + i) % len(ids)
+				f, err := p.Fetch(ids[n])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if g%2 == 0 {
+					f.RLock()
+					if f.Data[0] != byte(n) {
+						t.Errorf("page %d holds %d", n, f.Data[0])
+						f.RUnlock()
+						p.Unpin(f, false)
+						return
+					}
+					f.RUnlock()
+					p.Unpin(f, false)
+				} else {
+					err := p.Modify(f, func(d []byte) error {
+						if d[0] != byte(n) {
+							t.Errorf("page %d holds %d before modify", n, d[0])
+						}
+						d[1]++
+						return nil
+					})
+					if err != nil {
+						t.Error(err)
+					}
+					p.Unpin(f, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Every page must have survived the churn with its identity byte intact.
+	buf := make([]byte, pagestore.PageSize)
+	for n, id := range ids {
+		if err := store.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(n) {
+			t.Errorf("page %d persisted %d", n, buf[0])
+		}
+	}
+}

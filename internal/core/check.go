@@ -34,7 +34,7 @@ func (c *Collection) CheckConsistency() error {
 			return fmt.Errorf("doc %d: %w", doc, err)
 		}
 	}
-	for _, ov := range c.valIxs {
+	for _, ov := range c.indexSnapshot() {
 		if err := c.checkValueIndex(ov, docs); err != nil {
 			return fmt.Errorf("index %q: %w", ov.meta.Name, err)
 		}

@@ -36,7 +36,19 @@ type Collection struct {
 	// writeMu serializes structural writers (insert/delete/update/index
 	// DDL). Readers coordinate through the lock manager / MVCC.
 	writeMu sync.Mutex
-	valIxs  []*openValueIndex
+	// ixMu guards valIxs against concurrent readers (query planning) while
+	// CreateValueIndex appends; writers additionally hold writeMu.
+	ixMu   sync.RWMutex
+	valIxs []*openValueIndex
+}
+
+// indexSnapshot returns the current value-index list for read-only use by
+// the query planner; the slice is a copy, so concurrent index DDL cannot
+// race with a query iterating it.
+func (c *Collection) indexSnapshot() []*openValueIndex {
+	c.ixMu.RLock()
+	defer c.ixMu.RUnlock()
+	return append([]*openValueIndex(nil), c.valIxs...)
 }
 
 type openValueIndex struct {

@@ -1,0 +1,286 @@
+package core
+
+// The parallel query executor and streaming cursor. The §4.3 access methods
+// that re-evaluate candidate documents (relation scan, DocID-list
+// filtering) are embarrassingly parallel: per-document evaluation is
+// independent (each worker owns a compiled QuickXScan evaluator and the
+// storage read path is concurrency-safe), so the candidate set is
+// partitioned dynamically across a worker pool and per-document result
+// batches are merged back into document order. Index-only access paths
+// (exact NodeID lists, NodeID filtering) stay serial — they are already
+// narrowed by the index — and the cursor just iterates their materialized
+// results.
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"rx/internal/quickxscan"
+	"rx/internal/xml"
+	"rx/internal/xpath"
+)
+
+// Cursor streams query results in (DocID, NodeID) order without
+// materializing the full result set. Usage:
+//
+//	cur, err := col.Cursor("/a/b", core.QueryOptions{})
+//	if err != nil { ... }
+//	defer cur.Close()
+//	for cur.Next() {
+//		r := cur.Result()
+//		...
+//	}
+//	if err := cur.Err(); err != nil { ... }
+//
+// A Cursor is not safe for concurrent use. Close is idempotent, stops any
+// background workers, and must be called even after Next returned false.
+type Cursor struct {
+	plan   *Plan
+	limit  int
+	count  int
+	cur    Result
+	err    error
+	closed bool
+
+	src   batcher
+	batch []Result
+	bpos  int
+}
+
+// batcher yields per-document result batches in document order. ok=false
+// with a nil error means the source is exhausted.
+type batcher interface {
+	nextBatch() (batch []Result, ok bool, err error)
+	close()
+}
+
+// Next advances to the next result, returning false at the end of the
+// result set, on error, after the Limit is reached, or after Close.
+func (cu *Cursor) Next() bool {
+	if cu.closed || cu.err != nil {
+		return false
+	}
+	if cu.limit > 0 && cu.count >= cu.limit {
+		cu.stop()
+		return false
+	}
+	for {
+		if cu.bpos < len(cu.batch) {
+			cu.cur = cu.batch[cu.bpos]
+			cu.bpos++
+			cu.count++
+			return true
+		}
+		if cu.src == nil {
+			return false
+		}
+		batch, ok, err := cu.src.nextBatch()
+		if err != nil {
+			cu.err = err
+			cu.stop()
+			return false
+		}
+		if !ok {
+			cu.stop()
+			return false
+		}
+		cu.batch, cu.bpos = batch, 0
+	}
+}
+
+// Result returns the match Next advanced to. Only valid after Next returned
+// true.
+func (cu *Cursor) Result() Result { return cu.cur }
+
+// Err returns the error that terminated iteration, or nil if the cursor
+// was exhausted, limited, or closed early.
+func (cu *Cursor) Err() error { return cu.err }
+
+// Plan reports the access method the query used (valid immediately after
+// cursor creation).
+func (cu *Cursor) Plan() *Plan { return cu.plan }
+
+// Close releases the cursor, cancelling and waiting out any background
+// workers. It is safe to call multiple times.
+func (cu *Cursor) Close() error {
+	cu.stop()
+	return nil
+}
+
+func (cu *Cursor) stop() {
+	if cu.closed {
+		return
+	}
+	cu.closed = true
+	cu.batch, cu.bpos = nil, 0
+	if cu.src != nil {
+		cu.src.close()
+		cu.src = nil
+	}
+}
+
+// newSliceCursor wraps already-materialized results (index-only access).
+func newSliceCursor(results []Result, plan *Plan, opts QueryOptions) *Cursor {
+	return &Cursor{plan: plan, limit: opts.Limit, batch: results}
+}
+
+// newDocCursor builds a cursor that evaluates the query over docs, either
+// lazily on the caller's goroutine (serial) or via a worker pool.
+func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, opts QueryOptions) (*Cursor, error) {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(docs) {
+		par = len(docs)
+	}
+	cu := &Cursor{plan: plan, limit: opts.Limit}
+	if len(docs) == 0 {
+		return cu, nil
+	}
+	eopts := quickxscan.Options{NeedValues: opts.NeedValues}
+	if par <= 1 {
+		e, err := quickxscan.Compile(q, c.db.cat, nil, eopts)
+		if err != nil {
+			return nil, err
+		}
+		cu.src = &serialSource{col: c, eval: e, docs: docs, ctx: opts.context()}
+		return cu, nil
+	}
+	plan.Parallelism = par
+	evals := make([]*quickxscan.Eval, par)
+	for i := range evals {
+		e, err := quickxscan.Compile(q, c.db.cat, nil, eopts)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = e
+	}
+	ctx, cancel := context.WithCancel(opts.context())
+	s := &parallelSource{
+		ctx:    ctx,
+		cancel: cancel,
+		// Buffered to the document count so workers never block on send:
+		// an early Close only has to cancel and wait, never drain.
+		ch:      make(chan docBatch, len(docs)),
+		total:   len(docs),
+		pending: make(map[int]docBatch),
+	}
+	var next atomic.Int64
+	s.wg.Add(par)
+	for _, e := range evals {
+		go func(e *quickxscan.Eval) {
+			defer s.wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(docs) || s.ctx.Err() != nil {
+					return
+				}
+				doc := docs[i]
+				matches, err := c.evalStored(doc, e)
+				b := docBatch{idx: i, err: err}
+				if err == nil && len(matches) > 0 {
+					b.res = make([]Result, len(matches))
+					for j, m := range matches {
+						b.res[j] = Result{Doc: doc, Node: m.ID, Value: m.Value}
+					}
+				}
+				s.ch <- b
+			}
+		}(e)
+	}
+	cu.src = s
+	return cu, nil
+}
+
+// serialSource evaluates one document per nextBatch call on the caller's
+// goroutine — fully lazy, no background work.
+type serialSource struct {
+	col  *Collection
+	eval *quickxscan.Eval
+	docs []xml.DocID
+	pos  int
+	ctx  context.Context
+}
+
+func (s *serialSource) nextBatch() ([]Result, bool, error) {
+	for s.pos < len(s.docs) {
+		if err := s.ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		doc := s.docs[s.pos]
+		s.pos++
+		matches, err := s.col.evalStored(doc, s.eval)
+		if err != nil {
+			return nil, false, err
+		}
+		if len(matches) == 0 {
+			continue
+		}
+		rs := make([]Result, len(matches))
+		for j, m := range matches {
+			rs[j] = Result{Doc: doc, Node: m.ID, Value: m.Value}
+		}
+		return rs, true, nil
+	}
+	return nil, false, nil
+}
+
+func (s *serialSource) close() {}
+
+// docBatch is one document's results, tagged with its position in the
+// candidate order.
+type docBatch struct {
+	idx int
+	res []Result
+	err error
+}
+
+// parallelSource merges worker output back into document order: batches
+// arriving early are parked in pending until their turn.
+type parallelSource struct {
+	ctx     context.Context
+	cancel  context.CancelFunc
+	ch      chan docBatch
+	wg      sync.WaitGroup
+	next    int
+	total   int
+	pending map[int]docBatch
+}
+
+func (s *parallelSource) nextBatch() ([]Result, bool, error) {
+	for {
+		if s.next >= s.total {
+			return nil, false, nil
+		}
+		b, ok := s.pending[s.next]
+		if ok {
+			delete(s.pending, s.next)
+		} else {
+			select {
+			case b = <-s.ch:
+			case <-s.ctx.Done():
+				return nil, false, s.ctx.Err()
+			}
+			if b.idx != s.next {
+				s.pending[b.idx] = b
+				continue
+			}
+		}
+		s.next++
+		if b.err != nil {
+			return nil, false, b.err
+		}
+		if len(b.res) == 0 {
+			continue
+		}
+		return b.res, true, nil
+	}
+}
+
+func (s *parallelSource) close() {
+	s.cancel()
+	s.wg.Wait()
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+)
+
+func seedCatalog(t testing.TB, col *Collection, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		doc := catalogDoc(i, float64(100+i*10), 0.1, fmt.Sprintf("Widget %03d", i))
+		if _, err := col.Insert([]byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestParallelScanMatchesSerial checks that the parallel executor returns
+// exactly the serial result set, in the same (DocID, NodeID) order.
+func TestParallelScanMatchesSerial(t *testing.T) {
+	db := newDB(t)
+	col, err := db.CreateCollection("cat", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCatalog(t, col, 40)
+	const q = "/Catalog/Categories/Product[RegPrice > 250]/ProductName"
+
+	serial, plan, err := col.QueryOpts(q, QueryOptions{Parallelism: 1, NeedValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != "scan" {
+		t.Fatalf("expected scan plan, got %s", plan.Method)
+	}
+	if len(serial) == 0 {
+		t.Fatal("serial query returned no results")
+	}
+	par, pplan, err := col.QueryOpts(q, QueryOptions{Parallelism: 8, NeedValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pplan.Parallelism < 2 {
+		t.Fatalf("expected parallel plan, got parallelism=%d", pplan.Parallelism)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel returned %d results, serial %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i].Doc != serial[i].Doc || nodeid.Compare(par[i].Node, serial[i].Node) != 0 ||
+			string(par[i].Value) != string(serial[i].Value) {
+			t.Fatalf("result %d differs: parallel %v serial %v", i, par[i], serial[i])
+		}
+	}
+}
+
+// TestParallelDocListPath checks the parallel executor on the docid-list
+// access method (index narrows candidates, evaluation is re-run per doc).
+func TestParallelDocListPath(t *testing.T) {
+	db := newDB(t)
+	col, err := db.CreateCollection("cat", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCatalog(t, col, 40)
+	if err := col.CreateValueIndex("by_price", "/Catalog/Categories/Product/RegPrice", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+	const q = "/Catalog/Categories/Product[RegPrice > 250]/ProductName"
+	serial, plan, err := col.QueryOpts(q, QueryOptions{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Method != "docid-list" {
+		t.Skipf("planner chose %s, not docid-list", plan.Method)
+	}
+	par, _, err := col.QueryOpts(q, QueryOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(serial) {
+		t.Fatalf("parallel returned %d results, serial %d", len(par), len(serial))
+	}
+	for i := range serial {
+		if par[i].Doc != serial[i].Doc || nodeid.Compare(par[i].Node, serial[i].Node) != 0 {
+			t.Fatalf("result %d differs: parallel %v serial %v", i, par[i], serial[i])
+		}
+	}
+}
+
+// TestConcurrentReadersOneWriter runs parallel queries from several
+// goroutines while a writer keeps inserting — the read path must be
+// race-free (run under -race) and every query must see whole documents.
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	db := newDB(t)
+	col, err := db.CreateCollection("cat", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCatalog(t, col, 10)
+	const q = "/Catalog/Categories/Product[RegPrice > 0]/ProductName"
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	const readers = 4
+	errs := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prev := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rs, _, err := col.QueryOpts(q, QueryOptions{Parallelism: 4})
+				if err != nil {
+					errs <- err
+					return
+				}
+				// Inserts only add matches; counts must never shrink.
+				if len(rs) < prev {
+					errs <- fmt.Errorf("result count shrank: %d -> %d", prev, len(rs))
+					return
+				}
+				prev = len(rs)
+			}
+		}()
+	}
+	for i := 10; i < 60; i++ {
+		doc := catalogDoc(i, float64(100+i*10), 0.1, fmt.Sprintf("Widget %03d", i))
+		if _, err := col.Insert([]byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	rs, _, err := col.QueryOpts(q, QueryOptions{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 60 {
+		t.Fatalf("expected 60 matches after writer finished, got %d", len(rs))
+	}
+}
+
+// TestQueryCtxCancel checks that a cancelled context aborts both the serial
+// and the parallel path promptly with ctx.Err().
+func TestQueryCtxCancel(t *testing.T) {
+	db := newDB(t)
+	col, err := db.CreateCollection("cat", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCatalog(t, col, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	const q = "/Catalog/Categories/Product/ProductName"
+	for _, par := range []int{1, 4} {
+		_, _, err := col.QueryOpts(q, QueryOptions{Ctx: ctx, Parallelism: par})
+		if err != context.Canceled {
+			t.Errorf("parallelism %d: expected context.Canceled, got %v", par, err)
+		}
+	}
+	if _, _, err := col.QueryCtx(ctx, q); err != context.Canceled {
+		t.Errorf("QueryCtx: expected context.Canceled, got %v", err)
+	}
+}
+
+// TestCursorSemantics exercises the streaming contract: empty results,
+// early Close, exhaustion, and Limit.
+func TestCursorSemantics(t *testing.T) {
+	db := newDB(t)
+	col, err := db.CreateCollection("cat", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCatalog(t, col, 12)
+
+	t.Run("empty", func(t *testing.T) {
+		cur, err := col.Cursor("/Nope/Nothing", QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		if cur.Next() {
+			t.Fatal("Next returned true on empty result set")
+		}
+		if cur.Err() != nil {
+			t.Fatalf("Err after exhaustion: %v", cur.Err())
+		}
+	})
+
+	t.Run("early close", func(t *testing.T) {
+		for _, par := range []int{1, 4} {
+			cur, err := col.Cursor("/Catalog/Categories/Product/ProductName",
+				QueryOptions{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cur.Next() {
+				t.Fatalf("parallelism %d: expected at least one result", par)
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if cur.Next() {
+				t.Fatal("Next returned true after Close")
+			}
+			if cur.Err() != nil {
+				t.Fatalf("Err after early Close: %v", cur.Err())
+			}
+			if err := cur.Close(); err != nil {
+				t.Fatal("second Close errored:", err)
+			}
+		}
+	})
+
+	t.Run("exhaustion", func(t *testing.T) {
+		cur, err := col.Cursor("/Catalog/Categories/Product/ProductName",
+			QueryOptions{Parallelism: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cur.Close()
+		n := 0
+		for cur.Next() {
+			if len(cur.Result().Node) == 0 {
+				t.Fatal("result with empty node ID")
+			}
+			n++
+		}
+		if n != 12 {
+			t.Fatalf("expected 12 results, got %d", n)
+		}
+		if cur.Next() {
+			t.Fatal("Next returned true after exhaustion")
+		}
+		if cur.Err() != nil {
+			t.Fatalf("Err after exhaustion: %v", cur.Err())
+		}
+	})
+
+	t.Run("limit", func(t *testing.T) {
+		for _, par := range []int{1, 4} {
+			cur, err := col.Cursor("/Catalog/Categories/Product/ProductName",
+				QueryOptions{Parallelism: par, Limit: 5})
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 0
+			for cur.Next() {
+				n++
+			}
+			if n != 5 {
+				t.Fatalf("parallelism %d: Limit 5 yielded %d results", par, n)
+			}
+			if cur.Err() != nil {
+				t.Fatalf("Err after limit: %v", cur.Err())
+			}
+			cur.Close()
+		}
+	})
+}

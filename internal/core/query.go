@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -34,9 +35,38 @@ type Plan struct {
 	// CandidateDocs is the number of documents re-evaluated (0 for exact
 	// node-level access; the collection size for a scan).
 	CandidateDocs int
+	// Parallelism is the number of workers used for document
+	// re-evaluation (1 for index-only access and serial execution).
+	Parallelism int
 
 	pq *plannedQuery
 }
+
+// QueryOptions tune one query execution.
+type QueryOptions struct {
+	// Parallelism caps the worker goroutines that re-evaluate candidate
+	// documents: 0 picks runtime.NumCPU(), 1 forces serial execution.
+	// Index-only access paths (exact NodeID lists) ignore it.
+	Parallelism int
+	// Limit stops the query after this many results (0 = unlimited).
+	Limit int
+	// Ctx cancels the query between documents; nil means
+	// context.Background().
+	Ctx context.Context
+	// NeedValues includes each result node's string value.
+	NeedValues bool
+}
+
+func (o QueryOptions) context() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// ctxCheckEvery is how many index entries a scan visits between
+// cancellation checks.
+const ctxCheckEvery = 1024
 
 // CreateValueIndex creates an XPath value index (§3.3) and backfills it from
 // the stored documents. The path must be a simple XPath expression without
@@ -79,7 +109,9 @@ func (c *Collection) CreateValueIndex(name, path string, typ xml.TypeID) error {
 			}
 		}
 	}
+	c.ixMu.Lock()
 	c.valIxs = append(c.valIxs, ov)
+	c.ixMu.Unlock()
 	c.meta.Indexes = append(c.meta.Indexes, im)
 	return c.db.cat.UpdateCollection(c.meta)
 }
@@ -87,7 +119,7 @@ func (c *Collection) CreateValueIndex(name, path string, typ xml.TypeID) error {
 // ValueIndexes lists the collection's value index names.
 func (c *Collection) ValueIndexes() []string {
 	var names []string
-	for _, ov := range c.valIxs {
+	for _, ov := range c.indexSnapshot() {
 		names = append(names, ov.meta.Name)
 	}
 	return names
@@ -95,7 +127,7 @@ func (c *Collection) ValueIndexes() []string {
 
 // ValueIndex returns an open value index by name (stats, experiments).
 func (c *Collection) ValueIndex(name string) *valueindex.Index {
-	for _, ov := range c.valIxs {
+	for _, ov := range c.indexSnapshot() {
 		if ov.meta.Name == name {
 			return ov.ix
 		}
@@ -107,36 +139,83 @@ func (c *Collection) ValueIndex(name string) *valueindex.Index {
 // when they apply (§4.3) and falling back to a QuickXScan relation-scan
 // otherwise.
 func (c *Collection) Query(expr string) ([]Result, *Plan, error) {
-	return c.query(expr, false)
+	return c.QueryOpts(expr, QueryOptions{})
 }
 
 // QueryValues is Query with node string values in the results.
 func (c *Collection) QueryValues(expr string) ([]Result, *Plan, error) {
-	return c.query(expr, true)
+	return c.QueryOpts(expr, QueryOptions{NeedValues: true})
 }
 
-func (c *Collection) query(expr string, needValues bool) ([]Result, *Plan, error) {
-	q, err := xpath.Parse(expr)
+// QueryCtx is Query with cancellation: it returns promptly with ctx.Err()
+// when ctx is cancelled between document evaluations.
+func (c *Collection) QueryCtx(ctx context.Context, expr string) ([]Result, *Plan, error) {
+	return c.QueryOpts(expr, QueryOptions{Ctx: ctx})
+}
+
+// QueryOpts evaluates the query with explicit options, materializing every
+// result. Use Cursor to stream results instead.
+func (c *Collection) QueryOpts(expr string, opts QueryOptions) ([]Result, *Plan, error) {
+	cur, err := c.Cursor(expr, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	if !q.Rooted {
-		return nil, nil, errors.New("core: collection queries must be rooted paths")
+	defer cur.Close()
+	var results []Result
+	for cur.Next() {
+		results = append(results, cur.Result())
 	}
-	plan := c.selectAccessPath(q)
+	if err := cur.Err(); err != nil {
+		return nil, nil, err
+	}
+	return results, cur.Plan(), nil
+}
+
+// Cursor plans the query and returns a streaming cursor over its results in
+// (DocID, NodeID) order. Scan and DocID-filtering access paths evaluate
+// candidate documents lazily — in parallel when opts.Parallelism allows —
+// so callers iterate without materializing the full result set. The caller
+// must Close the cursor.
+func (c *Collection) Cursor(expr string, opts QueryOptions) (*Cursor, error) {
+	q, err := xpath.Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	if !q.Rooted {
+		return nil, errors.New("core: collection queries must be rooted paths")
+	}
+	if err := opts.context().Err(); err != nil {
+		return nil, err
+	}
+	valIxs := c.indexSnapshot()
+	plan := c.selectAccessPath(q, valIxs)
+	plan.Parallelism = 1
 	switch plan.Method {
 	case "nodeid-list", "nodeid-anding":
-		results, err := c.execNodeList(q, plan, needValues)
-		return results, plan, err
+		results, err := c.execNodeList(q, plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newSliceCursor(results, plan, opts), nil
 	case "nodeid-filtering":
-		results, err := c.execNodeFilter(q, plan, needValues)
-		return results, plan, err
+		results, err := c.execNodeFilter(q, plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		return newSliceCursor(results, plan, opts), nil
 	case "docid-list", "docid-anding", "docid-oring":
-		results, err := c.execDocList(q, plan, needValues)
-		return results, plan, err
+		docs, err := c.docCandidates(plan, opts)
+		if err != nil {
+			return nil, err
+		}
+		return c.newDocCursor(q, docs, plan, opts)
 	default:
-		results, err := c.execScan(q, plan, needValues)
-		return results, plan, err
+		docs, err := c.DocIDs()
+		if err != nil {
+			return nil, err
+		}
+		plan.CandidateDocs = len(docs)
+		return c.newDocCursor(q, docs, plan, opts)
 	}
 }
 
@@ -160,10 +239,11 @@ type plannedQuery struct {
 // selectAccessPath implements the §4.3 access-path selection: exact
 // DocID/NodeID list when index and predicate match exactly, filtering when
 // the index path merely contains the query path, ANDing/ORing across
-// multiple indexes, scan otherwise.
-func (c *Collection) selectAccessPath(q *xpath.Query) *Plan {
+// multiple indexes, scan otherwise. valIxs is the caller's snapshot of the
+// collection's value indexes.
+func (c *Collection) selectAccessPath(q *xpath.Query, valIxs []*openValueIndex) *Plan {
 	plan := &Plan{Method: "scan"}
-	if len(c.valIxs) == 0 {
+	if len(valIxs) == 0 {
 		return plan
 	}
 	spine := spineSteps(q)
@@ -189,7 +269,7 @@ func (c *Collection) selectAccessPath(q *xpath.Query) *Plan {
 	for _, conj := range conjuncts {
 		switch e := conj.expr.(type) {
 		case xpath.Cmp:
-			if pc, ok := c.matchIndex(spine[:conj.stepIdx+1], e); ok {
+			if pc, ok := matchIndex(valIxs, spine[:conj.stepIdx+1], e); ok {
 				pq.conjuncts = append(pq.conjuncts, pc)
 				if conj.stepIdx != resultIdx {
 					allOnResult = false
@@ -202,8 +282,8 @@ func (c *Collection) selectAccessPath(q *xpath.Query) *Plan {
 			l, lok := e.L.(xpath.Cmp)
 			r, rok := e.R.(xpath.Cmp)
 			if lok && rok && len(pq.conjuncts) == 0 && len(conjuncts) == 1 {
-				pl, okl := c.matchIndex(spine[:conj.stepIdx+1], l)
-				pr, okr := c.matchIndex(spine[:conj.stepIdx+1], r)
+				pl, okl := matchIndex(valIxs, spine[:conj.stepIdx+1], l)
+				pr, okr := matchIndex(valIxs, spine[:conj.stepIdx+1], r)
 				if okl && okr {
 					pq.orParts = []planConjunct{pl, pr}
 					continue
@@ -264,7 +344,7 @@ func (c *Collection) selectAccessPath(q *xpath.Query) *Plan {
 // the last step of prefix: the full predicate path (spine prefix + leaf
 // path) must be covered by the index path and the literal must be
 // comparable under the index's key type.
-func (c *Collection) matchIndex(prefix []*xpath.Step, cmp xpath.Cmp) (planConjunct, bool) {
+func matchIndex(valIxs []*openValueIndex, prefix []*xpath.Step, cmp xpath.Cmp) (planConjunct, bool) {
 	if cmp.Op == xpath.NE {
 		return planConjunct{}, false // no contiguous range
 	}
@@ -273,7 +353,7 @@ func (c *Collection) matchIndex(prefix []*xpath.Step, cmp xpath.Cmp) (planConjun
 		return planConjunct{}, false
 	}
 	var best *planConjunct
-	for _, ov := range c.valIxs {
+	for _, ov := range valIxs {
 		if !typeCompatible(ov.meta.Type, cmp.Lit) {
 			continue
 		}
@@ -374,7 +454,8 @@ func fullPredicatePath(prefix []*xpath.Step, leaf *xpath.Step) *xpath.Query {
 // execNodeList answers the query from index entries alone: the result node
 // is the spine-length prefix of each matching predicate node; multiple
 // exact indexes are ANDed at the node level (§4.3 access methods 1 and 3).
-func (c *Collection) execNodeList(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+func (c *Collection) execNodeList(q *xpath.Query, plan *Plan, opts QueryOptions) ([]Result, error) {
+	ctx := opts.context()
 	pq := plan.pq
 	type key struct {
 		doc  xml.DocID
@@ -382,14 +463,24 @@ func (c *Collection) execNodeList(q *xpath.Query, plan *Plan, needValues bool) (
 	}
 	var sets []map[key]bool
 	for _, pc := range pq.conjuncts {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		set := map[key]bool{}
+		seen := 0
 		err := pc.ov.ix.Scan(pc.rng, func(e valueindex.Entry) bool {
+			if seen++; seen%ctxCheckEvery == 0 && ctx.Err() != nil {
+				return false
+			}
 			prefix, ok := prefixAtLevel(e.Node, pq.spineLen)
 			if ok {
 				set[key{e.Doc, string(prefix)}] = true
 			}
 			return true
 		})
+		if err == nil {
+			err = ctx.Err()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -409,25 +500,36 @@ func (c *Collection) execNodeList(q *xpath.Query, plan *Plan, needValues bool) (
 		results = append(results, Result{Doc: k.doc, Node: nodeid.ID(k.node)})
 	}
 	sortResults(results)
-	if needValues {
-		if err := c.fillValues(results); err != nil {
+	if opts.Limit > 0 && len(results) > opts.Limit {
+		results = results[:opts.Limit]
+	}
+	if opts.NeedValues {
+		if err := c.fillValues(ctx, results); err != nil {
 			return nil, err
 		}
 	}
 	return results, nil
 }
 
-// execDocList: candidate DocIDs from the indexes (intersected for ANDing,
-// unioned for ORing), then re-evaluation of the full query on each
-// candidate document (§4.3 access method 2: filtering).
-func (c *Collection) execDocList(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+// docCandidates computes the candidate DocID set for the filtering access
+// paths: intersected across conjuncts for ANDing, unioned for ORing (§4.3
+// access method 2). The documents come back sorted.
+func (c *Collection) docCandidates(plan *Plan, opts QueryOptions) ([]xml.DocID, error) {
+	ctx := opts.context()
 	pq := plan.pq
 	docSet := func(pc planConjunct) (map[xml.DocID]bool, error) {
 		set := map[xml.DocID]bool{}
+		seen := 0
 		err := pc.ov.ix.Scan(pc.rng, func(e valueindex.Entry) bool {
+			if seen++; seen%ctxCheckEvery == 0 && ctx.Err() != nil {
+				return false
+			}
 			set[e.Doc] = true
 			return true
 		})
+		if err == nil {
+			err = ctx.Err()
+		}
 		return set, err
 	}
 	var candidates map[xml.DocID]bool
@@ -467,36 +569,7 @@ func (c *Collection) execDocList(q *xpath.Query, plan *Plan, needValues bool) ([
 		docs = append(docs, d)
 	}
 	sort.Slice(docs, func(i, j int) bool { return docs[i] < docs[j] })
-	return c.evalDocs(q, docs, needValues)
-}
-
-// execScan evaluates the query over every document: the relational-scan
-// analogue of §4.2.
-func (c *Collection) execScan(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
-	docs, err := c.DocIDs()
-	if err != nil {
-		return nil, err
-	}
-	plan.CandidateDocs = len(docs)
-	return c.evalDocs(q, docs, needValues)
-}
-
-func (c *Collection) evalDocs(q *xpath.Query, docs []xml.DocID, needValues bool) ([]Result, error) {
-	e, err := quickxscan.Compile(q, c.db.cat, nil, quickxscan.Options{NeedValues: needValues})
-	if err != nil {
-		return nil, err
-	}
-	var results []Result
-	for _, doc := range docs {
-		matches, err := c.evalStored(doc, e)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range matches {
-			results = append(results, Result{Doc: doc, Node: m.ID, Value: m.Value})
-		}
-	}
-	return results, nil
+	return docs, nil
 }
 
 // prefixAtLevel returns the first n levels of a node ID.
@@ -522,8 +595,11 @@ func sortResults(rs []Result) {
 }
 
 // fillValues computes string values for exact node-list results.
-func (c *Collection) fillValues(rs []Result) error {
+func (c *Collection) fillValues(ctx context.Context, rs []Result) error {
 	for i := range rs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		v, err := c.NodeString(rs[i].Doc, rs[i].Node)
 		if err != nil {
 			return err
@@ -547,7 +623,8 @@ func (c *Collection) largeDocs() bool {
 // subtrees are derived from the index entries and the query is re-evaluated
 // on each subtree alone, synthesizing ancestor context from the records'
 // headers — the rest of the document is never touched.
-func (c *Collection) execNodeFilter(q *xpath.Query, plan *Plan, needValues bool) ([]Result, error) {
+func (c *Collection) execNodeFilter(q *xpath.Query, plan *Plan, opts QueryOptions) ([]Result, error) {
+	ctx := opts.context()
 	pq := plan.pq
 	pc := pq.conjuncts[0]
 	anchor := pc.level
@@ -561,7 +638,11 @@ func (c *Collection) execNodeFilter(q *xpath.Query, plan *Plan, needValues bool)
 		node nodeid.ID
 	}
 	var cands []cand
+	visited := 0
 	err := pc.ov.ix.Scan(pc.rng, func(e valueindex.Entry) bool {
+		if visited++; visited%ctxCheckEvery == 0 && ctx.Err() != nil {
+			return false
+		}
 		prefix, ok := prefixAtLevel(e.Node, anchor)
 		if !ok {
 			return true
@@ -573,16 +654,22 @@ func (c *Collection) execNodeFilter(q *xpath.Query, plan *Plan, needValues bool)
 		}
 		return true
 	})
+	if err == nil {
+		err = ctx.Err()
+	}
 	if err != nil {
 		return nil, err
 	}
 	plan.CandidateDocs = len(seen)
-	e, err := quickxscan.Compile(q, c.db.cat, nil, quickxscan.Options{NeedValues: needValues})
+	e, err := quickxscan.Compile(q, c.db.cat, nil, quickxscan.Options{NeedValues: opts.NeedValues})
 	if err != nil {
 		return nil, err
 	}
 	var results []Result
 	for _, cd := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		matches, err := c.evalSubtree(cd.doc, cd.node, e)
 		if err != nil {
 			return nil, err

@@ -9,21 +9,29 @@
 // node values to (DocID, NodeID, RID) positions; queries run either as
 // QuickXScan streaming scans over stored documents or through the §4.3
 // index access methods (DocID/NodeID lists, filtering, ANDing/ORing).
-// Subdocument updates, write-ahead logging with crash recovery, document
-// locking and document-level multiversioning complete the engine.
+// Scan-shaped queries evaluate candidate documents on a parallel worker
+// pool and can stream results through a cursor. Subdocument updates,
+// write-ahead logging with crash recovery, document locking and
+// document-level multiversioning complete the engine.
 //
 // Quick start:
 //
-//	db, _ := rx.OpenMemory()
+//	db, _ := rx.Open("")          // in-memory; rx.Open("data.rxdb", ...) for a file
 //	col, _ := db.CreateCollection("catalog", rx.CollectionOptions{})
 //	id, _ := col.Insert([]byte(`<product><price>9.99</price></product>`))
 //	col.CreateValueIndex("by_price", "/product/price", rx.TypeDouble)
-//	results, plan, _ := col.Query("/product[price < 10]")
+//	cur, _ := col.Cursor("/product[price < 10]", rx.QueryOptions{})
+//	defer cur.Close()
+//	for cur.Next() {
+//		fmt.Println(cur.Result().Doc, cur.Result().Node)
+//	}
+//	_ = cur.Err()
 //	_ = col.Serialize(id, os.Stdout)
-//	_, _, _ = results, plan, id
 package rx
 
 import (
+	"time"
+
 	"rx/internal/core"
 	"rx/internal/nodeid"
 	"rx/internal/pagestore"
@@ -45,6 +53,10 @@ type (
 	Result = core.Result
 	// Plan describes the access method a query used.
 	Plan = core.Plan
+	// QueryOptions tune one query execution (parallelism, limit, context).
+	QueryOptions = core.QueryOptions
+	// Cursor streams query results without materializing the full set.
+	Cursor = core.Cursor
 	// Txn is a transaction.
 	Txn = core.Txn
 	// Position selects where InsertFragment places a fragment.
@@ -71,28 +83,65 @@ const (
 	TypeDecimal = xml.TDecimal
 )
 
-// OpenMemory opens a fresh in-memory database.
-func OpenMemory() (*DB, error) { return core.OpenMemory() }
+// Option configures Open. Options compose left to right.
+type Option func(*openConfig)
 
-// OpenFile opens (creating if needed) a file-backed database.
-func OpenFile(path string, opts Options) (*DB, error) {
-	store, err := pagestore.OpenFile(path)
-	if err != nil {
-		return nil, err
-	}
-	return core.Open(store, opts)
+type openConfig struct {
+	core    core.Options
+	walPath string
 }
 
-// OpenFileLogged opens a file-backed database with a write-ahead log at
-// walPath, enabling transactions and crash recovery. If the log is
-// non-empty, recovery runs first: committed work is redone and losers are
-// compensated.
-func OpenFileLogged(dbPath, walPath string, opts Options) (*DB, error) {
-	store, err := pagestore.OpenFile(dbPath)
-	if err != nil {
-		return nil, err
+// WithWAL enables write-ahead logging with the log at path; Open then runs
+// crash recovery first (committed work is redone, losers are compensated).
+func WithWAL(path string) Option {
+	return func(c *openConfig) { c.walPath = path }
+}
+
+// WithPoolPages sets the buffer pool capacity in pages (default 4096 =
+// 32 MiB).
+func WithPoolPages(n int) Option {
+	return func(c *openConfig) { c.core.PoolPages = n }
+}
+
+// WithLockTimeout bounds document lock waits (default 2s).
+func WithLockTimeout(d time.Duration) Option {
+	return func(c *openConfig) { c.core.LockTimeoutMillis = int(d / time.Millisecond) }
+}
+
+// withOptions seeds the configuration from a legacy Options struct; it
+// backs the deprecated Open* constructors.
+func withOptions(o Options) Option {
+	return func(c *openConfig) { c.core = o }
+}
+
+// Open opens a database. An empty path opens a fresh in-memory store;
+// otherwise the file at path is opened, creating it if needed. Behavior is
+// adjusted by functional options: WithWAL enables logging and crash
+// recovery, WithPoolPages and WithLockTimeout size the engine.
+//
+//	db, err := rx.Open("")                                // in-memory
+//	db, err := rx.Open("data.rxdb")                       // file-backed
+//	db, err := rx.Open("data.rxdb", rx.WithWAL("d.wal"),  // logged + recovery
+//	    rx.WithPoolPages(1<<16))
+func Open(path string, opts ...Option) (*DB, error) {
+	var cfg openConfig
+	for _, o := range opts {
+		o(&cfg)
 	}
-	dev, err := wal.OpenFileDevice(walPath)
+	var store pagestore.Store
+	if path == "" {
+		store = pagestore.NewMemStore()
+	} else {
+		s, err := pagestore.OpenFile(path)
+		if err != nil {
+			return nil, err
+		}
+		store = s
+	}
+	if cfg.walPath == "" {
+		return core.Open(store, cfg.core)
+	}
+	dev, err := wal.OpenFileDevice(cfg.walPath)
 	if err != nil {
 		return nil, err
 	}
@@ -100,5 +149,28 @@ func OpenFileLogged(dbPath, walPath string, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.Recover(store, log, opts)
+	cfg.core.WAL = log
+	return core.Recover(store, log, cfg.core)
+}
+
+// OpenMemory opens a fresh in-memory database.
+//
+// Deprecated: use Open("").
+func OpenMemory() (*DB, error) { return Open("") }
+
+// OpenFile opens (creating if needed) a file-backed database.
+//
+// Deprecated: use Open(path, ...).
+func OpenFile(path string, opts Options) (*DB, error) {
+	return Open(path, withOptions(opts))
+}
+
+// OpenFileLogged opens a file-backed database with a write-ahead log at
+// walPath, enabling transactions and crash recovery. If the log is
+// non-empty, recovery runs first: committed work is redone and losers are
+// compensated.
+//
+// Deprecated: use Open(dbPath, WithWAL(walPath), ...).
+func OpenFileLogged(dbPath, walPath string, opts Options) (*DB, error) {
+	return Open(dbPath, withOptions(opts), WithWAL(walPath))
 }
