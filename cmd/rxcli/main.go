@@ -10,9 +10,12 @@
 //	rxcli -db data.rxdb delete <collection> <docid>
 //	rxcli -db data.rxdb ls [collection]
 //	rxcli -db data.rxdb stats <collection>
+//	rxcli -db data.rxdb verify
 //
 // With -wal <path>, the database runs with write-ahead logging and performs
-// crash recovery on open.
+// crash recovery on open. With -checksums, every page carries a CRC32
+// verified on read (torn-page detection); a database must be used with the
+// same -checksums setting it was created with.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 func main() {
 	dbPath := flag.String("db", "rx.rxdb", "database file")
 	walPath := flag.String("wal", "", "write-ahead log file (enables logging + recovery)")
+	checksums := flag.Bool("checksums", false, "page checksums (torn-page detection; fixed at creation)")
 	jobs := flag.Int("j", 0, "query parallelism (0 = one worker per CPU)")
 	limit := flag.Int("limit", 0, "stop after this many query results (0 = all)")
 	flag.Parse()
@@ -40,6 +44,9 @@ func main() {
 	var opts []rx.Option
 	if *walPath != "" {
 		opts = append(opts, rx.WithWAL(*walPath))
+	}
+	if *checksums {
+		opts = append(opts, rx.WithChecksums())
 	}
 	db, err := rx.Open(*dbPath, opts...)
 	fatal(err)
@@ -150,6 +157,9 @@ func main() {
 		fmt.Printf("XML table pages:  %d (%d KiB)\n", pages, pages*8)
 		fmt.Printf("NodeID entries:   %d\n", entries)
 		fmt.Printf("value indexes:    %s\n", strings.Join(col.ValueIndexes(), ", "))
+	case "verify":
+		fatal(db.VerifyPages())
+		fmt.Println("all pages verified")
 	default:
 		usage()
 	}

@@ -21,8 +21,10 @@ import (
 	"container/list"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rx/internal/pagestore"
 )
@@ -86,13 +88,18 @@ type Pool struct {
 	// guarantee WAL durability up to the page's LSN.
 	flushLSN func(LSN) error
 
+	// retryAttempts bounds extra write-back attempts after a store write
+	// error; retryBase is the first backoff (doubled per attempt).
+	retryAttempts int
+	retryBase     time.Duration
+
 	mu       sync.Mutex
 	capacity int
 	frames   map[pagestore.PageID]*Frame
 	lru      *list.List // unpinned frames, front = least recently used
 
 	// statistics
-	hits, misses, evictions uint64
+	hits, misses, evictions, writeRetries uint64
 }
 
 // ErrPoolFull reports that every frame is pinned and no page can be evicted.
@@ -104,11 +111,21 @@ func New(store pagestore.Store, capacity int) *Pool {
 		capacity = 1
 	}
 	return &Pool{
-		store:    store,
-		capacity: capacity,
-		frames:   make(map[pagestore.PageID]*Frame, capacity),
-		lru:      list.New(),
+		store:         store,
+		capacity:      capacity,
+		frames:        make(map[pagestore.PageID]*Frame, capacity),
+		lru:           list.New(),
+		retryAttempts: 2,
+		retryBase:     200 * time.Microsecond,
 	}
+}
+
+// SetWriteRetry tunes write-back retries: up to attempts extra tries after
+// a store write error, sleeping base, 2*base, ... between them. attempts 0
+// disables retrying. Must be called before concurrent use.
+func (p *Pool) SetWriteRetry(attempts int, base time.Duration) {
+	p.retryAttempts = attempts
+	p.retryBase = base
 }
 
 // SetFlushLSN installs the WAL flush hook. Must be called before concurrent
@@ -314,6 +331,15 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 		}
 	}
 	err := p.store.WritePage(f.ID, f.Data)
+	// Bounded retry with backoff: transient write-back errors (a busy or
+	// briefly failing device) should not fail an eviction or checkpoint.
+	// Page-range errors are deterministic and never retried.
+	for attempt := 0; err != nil && attempt < p.retryAttempts &&
+		!errors.Is(err, pagestore.ErrPageRange); attempt++ {
+		time.Sleep(p.retryBase << attempt)
+		p.writeRetries++
+		err = p.store.WritePage(f.ID, f.Data)
+	}
 	f.mu.RUnlock()
 	if err != nil {
 		f.dirty.Store(true)
@@ -338,12 +364,21 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	}
 }
 
-// FlushAll writes back every dirty frame (pinned or not) and syncs the store.
+// FlushAll writes back every dirty frame (pinned or not) in page order —
+// deterministic I/O sequencing matters for reproducing fault schedules —
+// and syncs the store.
 func (p *Pool) FlushAll() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, f := range p.frames {
+	ids := make([]pagestore.PageID, 0, len(p.frames))
+	for id, f := range p.frames {
 		if f.dirty.Load() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		if f, ok := p.frames[id]; ok && f.dirty.Load() {
 			if err := p.writeBackLocked(f); err != nil {
 				return err
 			}
@@ -357,6 +392,14 @@ func (p *Pool) Stats() (hits, misses, evictions uint64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.hits, p.misses, p.evictions
+}
+
+// WriteRetries reports how many write-back attempts were retried after a
+// transient store error.
+func (p *Pool) WriteRetries() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.writeRetries
 }
 
 // Store exposes the underlying page store (for allocation-size queries).

@@ -1,8 +1,10 @@
 package buffer
 
 import (
+	"errors"
 	"sync"
 	"testing"
+	"time"
 
 	"rx/internal/pagestore"
 )
@@ -252,5 +254,64 @@ func TestConcurrentFetchModifyEvict(t *testing.T) {
 		if buf[0] != byte(n) {
 			t.Errorf("page %d persisted %d", n, buf[0])
 		}
+	}
+}
+
+// flakyStore fails WritePage a scripted number of times, then recovers.
+type flakyStore struct {
+	pagestore.Store
+	failures int
+	writes   int
+}
+
+func (s *flakyStore) WritePage(id pagestore.PageID, buf []byte) error {
+	s.writes++
+	if s.failures > 0 {
+		s.failures--
+		return errors.New("transient write error")
+	}
+	return s.Store.WritePage(id, buf)
+}
+
+func TestWriteBackRetriesTransientErrors(t *testing.T) {
+	fs := &flakyStore{Store: pagestore.NewMemStore(), failures: 2}
+	p := New(fs, 4)
+	p.SetWriteRetry(2, time.Microsecond)
+	f, err := p.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Data[100] = 9
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("flush with 2 transient failures: %v", err)
+	}
+	if p.WriteRetries() != 2 {
+		t.Errorf("writeRetries = %d, want 2", p.WriteRetries())
+	}
+	buf := make([]byte, pagestore.PageSize)
+	fs.Store.ReadPage(f.ID, buf)
+	if buf[100] != 9 {
+		t.Error("retried write-back lost data")
+	}
+}
+
+func TestWriteBackRetryExhaustion(t *testing.T) {
+	fs := &flakyStore{Store: pagestore.NewMemStore(), failures: 10}
+	p := New(fs, 4)
+	p.SetWriteRetry(2, time.Microsecond)
+	f, _ := p.NewPage()
+	f.Data[1] = 1
+	p.Unpin(f, true)
+	if err := p.FlushAll(); err == nil {
+		t.Fatal("flush should fail once retries are exhausted")
+	}
+	if fs.writes != 3 { // 1 attempt + 2 retries
+		t.Errorf("write attempts = %d, want 3", fs.writes)
+	}
+	// The frame stays dirty so a later flush (after the device heals) works.
+	fs.failures = 0
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("flush after heal: %v", err)
 	}
 }

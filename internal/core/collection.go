@@ -214,6 +214,24 @@ func (c *Collection) InsertStream(stream []byte) (xml.DocID, error) {
 	return docID, nil
 }
 
+// allocDoc reserves the next DocID without inserting anything. Transactions
+// use it to learn the ID before logging the insert's undo record, which must
+// be durable before any of the insertion's page effects can be (a crash may
+// otherwise redo an uncommitted insert that recovery cannot compensate). An
+// ID reserved but never used is just a gap in the sequence.
+func (c *Collection) allocDoc() (xml.DocID, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.db.cat.AllocDocID(c.meta)
+}
+
+// insertStreamAt stores a document under a pre-reserved DocID.
+func (c *Collection) insertStreamAt(docID xml.DocID, stream []byte) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	return c.insertStreamLocked(docID, stream)
+}
+
 // insertStreamLocked does the insert work for a preallocated DocID.
 // Caller holds writeMu.
 func (c *Collection) insertStreamLocked(docID xml.DocID, stream []byte) error {
@@ -329,7 +347,7 @@ func (c *Collection) fetcher(doc xml.DocID) pack.Fetch {
 func (c *Collection) rootRecord(doc xml.DocID) (*pack.Record, error) {
 	rid, err := c.lookupCur(doc, nodeid.Root)
 	if err != nil {
-		return nil, fmt.Errorf("%w: document %d", ErrNotFound, doc)
+		return nil, lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
 	return c.fetchRecord(rid)
 }
@@ -401,7 +419,7 @@ func (c *Collection) deleteLocked(doc xml.DocID) error {
 	binary.BigEndian.PutUint64(d[:], uint64(doc))
 	baseRIDBytes, err := c.docIx.Get(d[:])
 	if err != nil {
-		return fmt.Errorf("%w: document %d", ErrNotFound, doc)
+		return lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
 	// Value index entries: regenerate keys from the stored document and
 	// delete them exactly (cheaper than scanning whole indexes).
@@ -410,16 +428,14 @@ func (c *Collection) deleteLocked(doc xml.DocID) error {
 			return err
 		}
 	}
-	// XML records: collect distinct RIDs from the NodeID index entries.
-	rids := map[heap.RID]bool{}
-	err = c.nodeIx.ScanDoc(doc, func(upper nodeid.ID, rid heap.RID) bool {
-		rids[rid] = true
-		return true
-	})
+	// XML records: collect distinct RIDs from the NodeID index entries, in
+	// scan order — page mutations must happen in a deterministic sequence or
+	// a fault schedule's operation indices would not reproduce.
+	rids, err := c.docRecordRIDs(doc)
 	if err != nil {
 		return err
 	}
-	for rid := range rids {
+	for _, rid := range rids {
 		if err := c.xmlTbl.Delete(rid); err != nil {
 			return err
 		}
@@ -431,6 +447,75 @@ func (c *Collection) deleteLocked(doc xml.DocID) error {
 		return err
 	}
 	return c.docIx.Delete(d[:])
+}
+
+// docRecordRIDs returns the distinct record RIDs the NodeID index references
+// for a document, in first-appearance scan order (deterministic).
+func (c *Collection) docRecordRIDs(doc xml.DocID) ([]heap.RID, error) {
+	var rids []heap.RID
+	seen := map[heap.RID]bool{}
+	err := c.nodeIx.ScanDoc(doc, func(upper nodeid.ID, rid heap.RID) bool {
+		if !seen[rid] {
+			seen[rid] = true
+			rids = append(rids, rid)
+		}
+		return true
+	})
+	return rids, err
+}
+
+// wipeDoc removes whatever exists of a document — records, NodeID entries,
+// base row, DocID entry, value keys — tolerating partial state. Rollback and
+// recovery compensation use it instead of Delete: after a crash the document
+// may be half-inserted or half-deleted, which the strict path refuses to
+// touch. Wiping an absent document is a no-op.
+func (c *Collection) wipeDoc(doc xml.DocID) error {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.meta.Versioned {
+		// Versioned collections switch whole document versions; compensation
+		// goes through the regular path, tolerating an absent document.
+		err := c.deleteLocked(doc)
+		if errors.Is(err, ErrNotFound) {
+			return nil
+		}
+		return err
+	}
+	// Value keys cannot be re-derived from the tree here: a half-applied
+	// update may leave the stored document walking but stale against the
+	// index (or not walking at all while pre-update keys survive). Scan the
+	// indexes for the document's entries instead — exact regardless of the
+	// tree's state.
+	for _, ov := range c.valIxs {
+		if _, err := ov.ix.DeleteDocEntries(doc); err != nil {
+			return err
+		}
+	}
+	rids, err := c.docRecordRIDs(doc)
+	if err != nil {
+		return err
+	}
+	for _, rid := range rids {
+		// A half-applied delete may have freed the row while its index
+		// entries survive; treat the missing row as already wiped.
+		if err := c.xmlTbl.Delete(rid); err != nil && !errors.Is(err, heap.ErrNotFound) {
+			return err
+		}
+	}
+	if _, err := c.nodeIx.DeleteDoc(doc); err != nil {
+		return err
+	}
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(doc))
+	if baseRIDBytes, err := c.docIx.Get(d[:]); err == nil {
+		if err := c.base.Delete(heap.RIDFromBytes(baseRIDBytes)); err != nil && !errors.Is(err, heap.ErrNotFound) {
+			return err
+		}
+		if err := c.docIx.Delete(d[:]); err != nil && !errors.Is(err, btree.ErrNotFound) {
+			return err
+		}
+	}
+	return nil
 }
 
 // dropValueKeys removes one index's entries for a document by re-deriving

@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"sync"
 
+	"rx/internal/btree"
 	"rx/internal/buffer"
 	"rx/internal/catalog"
 	"rx/internal/lock"
+	"rx/internal/nodeindex"
 	"rx/internal/pagestore"
 	"rx/internal/wal"
 	"rx/internal/xml"
@@ -100,6 +102,23 @@ func (db *DB) Names() xml.Names { return db.cat }
 // Flush writes all dirty pages to the store and syncs it.
 func (db *DB) Flush() error { return db.pool.FlushAll() }
 
+// VerifyPages flushes dirty pages and then reads back every page of the
+// store, returning the first read failure. Over a checksum-enabled store
+// this is a full scrub: any page damaged by a torn write or bit rot is
+// reported as an ErrPageChecksum rather than waiting to be tripped over.
+func (db *DB) VerifyPages() error {
+	if err := db.pool.FlushAll(); err != nil {
+		return err
+	}
+	buf := make([]byte, pagestore.PageSize)
+	for id := pagestore.PageID(0); id < db.store.NumPages(); id++ {
+		if err := db.store.ReadPage(id, buf); err != nil {
+			return fmt.Errorf("core: verify page %d of %d: %w", id, db.store.NumPages(), err)
+		}
+	}
+	return nil
+}
+
 // Close flushes and closes the underlying store.
 func (db *DB) Close() error {
 	if err := db.pool.FlushAll(); err != nil {
@@ -158,6 +177,16 @@ func (db *DB) Collections() []string { return db.cat.Collections() }
 
 // ErrNotFound reports a missing document or node.
 var ErrNotFound = errors.New("core: not found")
+
+// lookupErr maps an index miss onto ErrNotFound while letting every other
+// failure through unchanged: an I/O error or checksum mismatch during a
+// lookup must surface as such, never masquerade as "does not exist".
+func lookupErr(err error, what string) error {
+	if errors.Is(err, btree.ErrNotFound) || errors.Is(err, nodeindex.ErrNotFound) || errors.Is(err, ErrNotFound) {
+		return fmt.Errorf("%w: %s", ErrNotFound, what)
+	}
+	return err
+}
 
 // RegisterSchema compiles an XML schema document to the binary format and
 // stores it in the catalog under name (Figure 4's registration path).

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"rx/internal/btree"
 	"rx/internal/heap"
@@ -49,7 +50,7 @@ func (c *Collection) currentVersion(doc xml.DocID) (uint64, error) {
 	binary.BigEndian.PutUint64(d[:], uint64(doc))
 	ridBytes, err := c.docIx.Get(d[:])
 	if err != nil {
-		return 0, fmt.Errorf("%w: document %d", ErrNotFound, doc)
+		return 0, lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
 	row, err := c.base.Fetch(heap.RIDFromBytes(ridBytes))
 	if err != nil {
@@ -67,7 +68,7 @@ func (c *Collection) setVersion(doc xml.DocID, ver uint64) error {
 	binary.BigEndian.PutUint64(d[:], uint64(doc))
 	ridBytes, err := c.docIx.Get(d[:])
 	if err != nil {
-		return fmt.Errorf("%w: document %d", ErrNotFound, doc)
+		return lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
 	return c.base.Update(heap.RIDFromBytes(ridBytes), c.baseRow(doc, ver))
 }
@@ -382,7 +383,7 @@ func (c *Collection) deleteVersionedDoc(doc xml.DocID) error {
 	binary.BigEndian.PutUint64(d[:], uint64(doc))
 	baseRIDBytes, err := c.docIx.Get(d[:])
 	if err != nil {
-		return fmt.Errorf("%w: document %d", ErrNotFound, doc)
+		return lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
 	for _, ov := range c.valIxs {
 		if err := c.dropValueKeys(ov, doc); err != nil {
@@ -431,7 +432,19 @@ func (c *Collection) Vacuum(doc xml.DocID, keep uint64) error {
 	if err != nil {
 		return err
 	}
+	// Delete in RID order so Vacuum's I/O sequence is deterministic for a
+	// given history (fault schedules are replayed by operation index).
+	rids := make([]heap.RID, 0, len(released))
 	for rid := range released {
+		rids = append(rids, rid)
+	}
+	sort.Slice(rids, func(i, j int) bool {
+		if rids[i].Page != rids[j].Page {
+			return rids[i].Page < rids[j].Page
+		}
+		return rids[i].Slot < rids[j].Slot
+	})
+	for _, rid := range rids {
 		if err := c.xmlTbl.Delete(rid); err != nil && !errors.Is(err, heap.ErrNotFound) {
 			return err
 		}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"rx/internal/lock"
+)
+
+// Graceful degradation under contention: deadlocks are resolved by bounded
+// lock waits (lock.ErrTimeout picks a victim), and RunTxn turns victimhood
+// into a retry instead of a caller-visible failure.
+
+// TxnOption configures RunTxn.
+type TxnOption func(*txnConfig)
+
+type txnConfig struct {
+	deadlockRetries int
+	backoffBase     time.Duration
+}
+
+// WithDeadlockRetry re-runs a transaction aborted as a deadlock victim
+// (lock.ErrTimeout) up to max more times, backing off with jitter between
+// attempts so the competing transactions interleave differently.
+func WithDeadlockRetry(max int) TxnOption {
+	return func(c *txnConfig) { c.deadlockRetries = max }
+}
+
+// withRetryBackoff tunes the first retry backoff (doubled per attempt,
+// jittered ±50%). Exposed for tests.
+func withRetryBackoff(d time.Duration) TxnOption {
+	return func(c *txnConfig) { c.backoffBase = d }
+}
+
+// RunTxn runs fn inside a transaction and commits it. If fn fails, the
+// transaction is rolled back and the error returned. With WithDeadlockRetry,
+// a lock.ErrTimeout abort rolls back, backs off, and re-runs fn in a fresh
+// transaction. fn must not call Commit or Rollback itself, and must be safe
+// to re-run (all engine mutations through the Txn are undone by rollback;
+// side effects outside the engine are fn's problem).
+func (db *DB) RunTxn(fn func(*Txn) error, opts ...TxnOption) error {
+	cfg := txnConfig{backoffBase: 2 * time.Millisecond}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	for attempt := 0; ; attempt++ {
+		t := db.Begin()
+		err := fn(t)
+		if err == nil {
+			if err = t.Commit(); err == nil {
+				return nil
+			}
+		} else if rbErr := t.Rollback(); rbErr != nil {
+			return errors.Join(err, rbErr)
+		}
+		if !errors.Is(err, lock.ErrTimeout) || attempt >= cfg.deadlockRetries {
+			return err
+		}
+		// Jittered exponential backoff: desynchronize the former deadlock
+		// partners before the rematch.
+		backoff := cfg.backoffBase << attempt
+		sleep := backoff/2 + time.Duration(rand.Int63n(int64(backoff)+1))
+		time.Sleep(sleep)
+	}
+}

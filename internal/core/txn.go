@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync/atomic"
 
@@ -13,12 +14,24 @@ import (
 	"rx/internal/vsax"
 	"rx/internal/wal"
 	"rx/internal/xml"
+	"rx/internal/xmlparse"
 )
 
 // Transactions: document-level ACID on top of the shared infrastructure.
 // Physical redo comes for free from the buffer pool's WAL hook; this file
 // adds logical operation records with engine-level inverses (ARIES-style
 // logical undo) and two-phase document locking via the lock manager (§5.1).
+//
+// Undo ordering invariant: every operation logs its logical undo record
+// BEFORE mutating any page. The log is flushed sequentially, and a mid-
+// operation flush (an eviction's WAL-before-data flush, or another
+// transaction's commit) can make a prefix of the log durable at any record
+// boundary — if the undo record trailed the operation's page deltas, a crash
+// inside that window would redo uncommitted effects that recovery has no
+// record to compensate. Logging undo first means any durable prefix that
+// contains an operation's deltas also contains its undo record; compensation
+// in turn tolerates partially-applied operations (the durable prefix may end
+// mid-operation), see compensate.
 
 var txnSeq atomic.Uint64
 
@@ -45,6 +58,12 @@ type logicalOp struct {
 	// Anchor/Pos describe where a deleted subtree is re-inserted on undo.
 	Anchor string
 	Pos    Position
+	// Stream is the full pre-operation document token stream, captured for
+	// in-place mutations of non-versioned collections. Physical redo of a
+	// torn log tail can leave an operation half-applied, beyond what a
+	// targeted inverse can repair; compensation then rebuilds the document
+	// from this snapshot instead.
+	Stream []byte
 }
 
 // Begin starts a transaction.
@@ -68,22 +87,35 @@ func (t *Txn) record(op logicalOp) error {
 	return nil
 }
 
-// Insert stores a document under an X document lock.
+// Insert stores a document under an X document lock. The DocID is reserved
+// (and the undo record logged) before the insertion itself runs.
 func (t *Txn) Insert(col *Collection, doc []byte) (xml.DocID, error) {
 	if t.done {
 		return 0, errTxnDone
 	}
-	id, err := col.Insert(doc)
+	// Parse first: a malformed document must not burn an ID or log anything.
+	stream, err := xmlparse.Parse(doc, col.db.cat, xmlparse.Options{})
+	if err != nil {
+		return 0, err
+	}
+	id, err := col.allocDoc()
 	if err != nil {
 		return 0, err
 	}
 	if err := t.lk.LockDoc(col.Name(), id, lock.X); err != nil {
 		return 0, err
 	}
-	return id, t.record(logicalOp{Kind: "insert", Col: col.Name(), Doc: id})
+	if err := t.record(logicalOp{Kind: "insert", Col: col.Name(), Doc: id}); err != nil {
+		return 0, err
+	}
+	if err := col.insertStreamAt(id, stream); err != nil {
+		return 0, err
+	}
+	return id, nil
 }
 
-// Delete removes a document under an X lock, capturing its content for undo.
+// Delete removes a document under an X lock, capturing its content for undo
+// before the deletion runs.
 func (t *Txn) Delete(col *Collection, doc xml.DocID) error {
 	if t.done {
 		return errTxnDone
@@ -95,10 +127,10 @@ func (t *Txn) Delete(col *Collection, doc xml.DocID) error {
 	if err != nil {
 		return err
 	}
-	if err := col.Delete(doc); err != nil {
+	if err := t.record(logicalOp{Kind: "delete", Col: col.Name(), Doc: doc, Data: stream}); err != nil {
 		return err
 	}
-	return t.record(logicalOp{Kind: "delete", Col: col.Name(), Doc: doc, Data: stream})
+	return col.Delete(doc)
 }
 
 // UpdateText updates a text or attribute node under an X document lock.
@@ -109,17 +141,31 @@ func (t *Txn) UpdateText(col *Collection, doc xml.DocID, id nodeid.ID, newValue 
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return err
 	}
+	// Validate the target before logging: a doomed operation must not leave
+	// an undo record that compensation would then try to apply.
+	kind, _, err := col.NodeKind(doc, id)
+	if err != nil {
+		return err
+	}
+	if kind != xml.Text && kind != xml.Attribute {
+		return fmt.Errorf("core: UpdateText target %s is a %v", id, kind)
+	}
 	old, err := col.NodeString(doc, id)
 	if err != nil {
 		return err
 	}
-	if err := col.UpdateText(doc, id, newValue); err != nil {
+	snap, err := col.undoSnapshot(doc)
+	if err != nil {
 		return err
 	}
-	return t.record(logicalOp{Kind: "update-text", Col: col.Name(), Doc: doc, Node: id.String(), Data: old})
+	if err := t.record(logicalOp{Kind: "update-text", Col: col.Name(), Doc: doc, Node: id.String(), Data: old, Stream: snap}); err != nil {
+		return err
+	}
+	return col.UpdateText(doc, id, newValue)
 }
 
-// InsertFragment inserts a fragment under an X document lock.
+// InsertFragment inserts a fragment under an X document lock. The new node's
+// ID is planned (and the undo record logged) before the insertion runs.
 func (t *Txn) InsertFragment(col *Collection, doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
 	if t.done {
 		return nil, errTxnDone
@@ -127,19 +173,37 @@ func (t *Txn) InsertFragment(col *Collection, doc xml.DocID, anchor nodeid.ID, p
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return nil, err
 	}
-	newID, err := col.InsertFragment(doc, anchor, pos, fragment)
+	newID, err := col.planFragmentID(doc, anchor, pos, fragment)
 	if err != nil {
 		return nil, err
 	}
-	return newID, t.record(logicalOp{Kind: "insert-frag", Col: col.Name(), Doc: doc, Node: newID.String()})
+	snap, err := col.undoSnapshot(doc)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.record(logicalOp{Kind: "insert-frag", Col: col.Name(), Doc: doc, Node: newID.String(), Stream: snap}); err != nil {
+		return nil, err
+	}
+	got, err := col.InsertFragment(doc, anchor, pos, fragment)
+	if err != nil {
+		return nil, err
+	}
+	if !nodeid.Equal(got, newID) {
+		return nil, fmt.Errorf("core: fragment landed at %s, planned %s", got, newID)
+	}
+	return got, nil
 }
 
 // DeleteSubtree deletes a subtree under an X document lock, capturing the
-// fragment and its position for undo. (Undo restores content; the restored
-// nodes get fresh IDs, which no committed state can have observed.)
+// fragment and its position for undo before the deletion runs. (Undo
+// restores content; the restored nodes get fresh IDs, which no committed
+// state can have observed.)
 func (t *Txn) DeleteSubtree(col *Collection, doc xml.DocID, id nodeid.ID) error {
 	if t.done {
 		return errTxnDone
+	}
+	if len(id) == 0 || nodeid.Level(id) == 1 {
+		return errors.New("core: cannot delete the document root; use Delete")
 	}
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return err
@@ -152,13 +216,17 @@ func (t *Txn) DeleteSubtree(col *Collection, doc xml.DocID, id nodeid.ID) error 
 	if err != nil {
 		return err
 	}
-	if err := col.DeleteSubtree(doc, id); err != nil {
+	snap, err := col.undoSnapshot(doc)
+	if err != nil {
 		return err
 	}
-	return t.record(logicalOp{
+	if err := t.record(logicalOp{
 		Kind: "delete-subtree", Col: col.Name(), Doc: doc, Node: id.String(),
-		Data: frag.Bytes(), Anchor: anchor.String(), Pos: pos,
-	})
+		Data: frag.Bytes(), Anchor: anchor.String(), Pos: pos, Stream: snap,
+	}); err != nil {
+		return err
+	}
+	return col.DeleteSubtree(doc, id)
 }
 
 // Serialize reads a document under an S lock (repeatable read at document
@@ -222,7 +290,10 @@ func (t *Txn) Rollback() error {
 
 var errTxnDone = fmt.Errorf("core: transaction already finished")
 
-// compensate runs the inverse of one logical operation.
+// compensate runs the inverse of one logical operation. Because undo records
+// are logged before their operations execute, the durable log may end
+// anywhere inside an operation — compensation therefore tolerates the
+// never-applied and partially-applied states a crash can leave behind.
 func (db *DB) compensate(op logicalOp) error {
 	col, err := db.Collection(op.Col)
 	if err != nil {
@@ -230,24 +301,52 @@ func (db *DB) compensate(op logicalOp) error {
 	}
 	switch op.Kind {
 	case "insert":
-		return col.Delete(op.Doc)
+		// The insert may have applied fully, partially, or not at all; wipe
+		// whatever of the document exists.
+		return col.wipeDoc(op.Doc)
 	case "delete":
-		col.writeMu.Lock()
-		defer col.writeMu.Unlock()
-		return col.insertStreamLocked(op.Doc, op.Data)
+		// Clear any partial remains of the delete first, then restore the
+		// captured content under the same DocID.
+		return col.restoreDoc(op.Doc, op.Data)
 	case "update-text":
+		if len(op.Stream) > 0 {
+			return col.restoreDoc(op.Doc, op.Stream)
+		}
 		id, err := nodeid.Parse(op.Node)
 		if err != nil {
 			return err
 		}
-		return col.UpdateText(op.Doc, id, op.Data)
+		err = col.UpdateText(op.Doc, id, op.Data)
+		if errors.Is(err, ErrNotFound) {
+			// The enclosing document is already compensated away (a loser
+			// that inserted it and then updated it); nothing to restore.
+			return nil
+		}
+		return err
 	case "insert-frag":
+		if len(op.Stream) > 0 {
+			return col.restoreDoc(op.Doc, op.Stream)
+		}
 		id, err := nodeid.Parse(op.Node)
 		if err != nil {
 			return err
 		}
-		return col.DeleteSubtree(op.Doc, id)
+		err = col.DeleteSubtree(op.Doc, id)
+		if errors.Is(err, ErrNotFound) {
+			return nil // the insertion never (durably) applied
+		}
+		return err
 	case "delete-subtree":
+		if len(op.Stream) > 0 {
+			return col.restoreDoc(op.Doc, op.Stream)
+		}
+		id, err := nodeid.Parse(op.Node)
+		if err != nil {
+			return err
+		}
+		if _, _, err := col.findNode(op.Doc, id); err == nil {
+			return nil // the deletion never (durably) applied
+		}
 		anchor, err := nodeid.Parse(op.Anchor)
 		if err != nil {
 			return err
@@ -283,6 +382,30 @@ func (c *Collection) undoAnchor(doc xml.DocID, id nodeid.ID) (nodeid.ID, Positio
 		}
 	}
 	return parentID, AsLastChild, nil
+}
+
+// undoSnapshot captures the pre-operation document state for full-state
+// compensation. Versioned collections return nil: their in-place mutations
+// build a new version and flip the current-version pointer, so compensation
+// keeps the targeted inverse (a snapshot restore would erase history).
+func (c *Collection) undoSnapshot(doc xml.DocID) ([]byte, error) {
+	if c.meta.Versioned {
+		return nil, nil
+	}
+	return c.DocStream(doc)
+}
+
+// restoreDoc rebuilds a document from a captured token stream, first wiping
+// whatever of it exists. Unlike a targeted inverse it is safe against any
+// partially-applied state: redo of a log whose tail was torn mid-operation
+// can replay an arbitrary record-boundary prefix of the operation's page
+// deltas, leaving cross-structure links (NodeID index, value keys, record
+// chains) out of step with each other.
+func (c *Collection) restoreDoc(doc xml.DocID, stream []byte) error {
+	if err := c.wipeDoc(doc); err != nil {
+		return err
+	}
+	return c.insertStreamAt(doc, stream)
 }
 
 // DocStream re-encodes a stored document as a buffered token stream (used

@@ -169,41 +169,32 @@ const (
 	AfterNode
 )
 
-// InsertFragment parses an XML fragment (one element) and inserts it at the
-// given position relative to the anchor node.
-func (c *Collection) InsertFragment(doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
-	c.writeMu.Lock()
-	defer c.writeMu.Unlock()
-	before, err := c.captureValueKeys(doc)
-	if err != nil {
-		return nil, err
-	}
-	stream, err := xmlparse.Parse(fragment, c.db.cat, xmlparse.Options{})
-	if err != nil {
-		return nil, err
-	}
-
-	var parentID nodeid.ID
+// fragmentSite computes where a fragment inserted at (anchor, pos) goes: the
+// parent node, the new node's relative ID, the parent's child entries, and
+// the insertion site index (-1 = first child). It is read-only, so the new
+// node's ID is known before the insertion touches any page — transactions
+// rely on this to log the undo record ahead of the operation's effects.
+// Caller holds writeMu.
+func (c *Collection) fragmentSite(doc xml.DocID, anchor nodeid.ID, pos Position) (parentID nodeid.ID, newRel nodeid.Rel, sibs []childEntry, site int, err error) {
 	switch pos {
 	case AsLastChild:
 		parentID = anchor
 	default:
 		parentID, err = nodeid.Parent(anchor)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, 0, err
 		}
-		if nodeid.Equal(parentID, nodeid.Root) && pos != AsLastChild {
-			return nil, errors.New("core: cannot insert siblings of the document root")
+		if nodeid.Equal(parentID, nodeid.Root) {
+			return nil, nil, nil, 0, errors.New("core: cannot insert siblings of the document root")
 		}
 	}
-
-	sibs, err := c.childEntries(doc, parentID)
+	sibs, err = c.childEntries(doc, parentID)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, 0, err
 	}
 	// Decide the new relative ID and the insertion site.
 	var lo, hi nodeid.Rel
-	site := -1 // index in sibs after which to insert (-1 = first)
+	site = -1 // index in sibs after which to insert (-1 = first)
 	switch pos {
 	case AsLastChild:
 		if len(sibs) > 0 {
@@ -213,7 +204,7 @@ func (c *Collection) InsertFragment(doc xml.DocID, anchor nodeid.ID, pos Positio
 	case BeforeNode, AfterNode:
 		aRel, err := nodeid.LastRel(anchor)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, 0, err
 		}
 		ai := -1
 		for i, s := range sibs {
@@ -223,7 +214,7 @@ func (c *Collection) InsertFragment(doc xml.DocID, anchor nodeid.ID, pos Positio
 			}
 		}
 		if ai < 0 {
-			return nil, fmt.Errorf("%w: anchor %s not found among siblings", ErrNotFound, anchor)
+			return nil, nil, nil, 0, fmt.Errorf("%w: anchor %s not found among siblings", ErrNotFound, anchor)
 		}
 		if pos == BeforeNode {
 			hi = sibs[ai].rel
@@ -239,7 +230,44 @@ func (c *Collection) InsertFragment(doc xml.DocID, anchor nodeid.ID, pos Positio
 			site = ai
 		}
 	}
-	newRel, err := nodeid.Between(lo, hi)
+	newRel, err = nodeid.Between(lo, hi)
+	if err != nil {
+		return nil, nil, nil, 0, err
+	}
+	return parentID, newRel, sibs, site, nil
+}
+
+// planFragmentID predicts the node ID InsertFragment will assign for
+// (anchor, pos), validating the fragment and the anchor without modifying
+// anything. The prediction is exact: the ID depends only on the current
+// sibling layout, which the caller's X document lock holds still.
+func (c *Collection) planFragmentID(doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if _, err := xmlparse.Parse(fragment, c.db.cat, xmlparse.Options{}); err != nil {
+		return nil, err
+	}
+	parentID, newRel, _, _, err := c.fragmentSite(doc, anchor, pos)
+	if err != nil {
+		return nil, err
+	}
+	return nodeid.Append(parentID, newRel), nil
+}
+
+// InsertFragment parses an XML fragment (one element) and inserts it at the
+// given position relative to the anchor node.
+func (c *Collection) InsertFragment(doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	before, err := c.captureValueKeys(doc)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := xmlparse.Parse(fragment, c.db.cat, xmlparse.Options{})
+	if err != nil {
+		return nil, err
+	}
+	parentID, newRel, sibs, site, err := c.fragmentSite(doc, anchor, pos)
 	if err != nil {
 		return nil, err
 	}
@@ -330,9 +358,9 @@ func (c *Collection) childEntries(doc xml.DocID, parentID nodeid.ID) ([]childEnt
 	rid, err := c.lookupCur(doc, parentID)
 	if err != nil {
 		if len(parentID) == 0 {
-			return nil, fmt.Errorf("%w: document %d", ErrNotFound, doc)
+			return nil, lookupErr(err, fmt.Sprintf("document %d", doc))
 		}
-		return nil, fmt.Errorf("%w: node %s", ErrNotFound, parentID)
+		return nil, lookupErr(err, fmt.Sprintf("node %s", parentID))
 	}
 	rec, err := c.fetchRecord(rid)
 	if err != nil {
@@ -523,17 +551,20 @@ func (c *Collection) reconcileValueKeys(doc xml.DocID, before []valueKeySnapshot
 		if err != nil {
 			return err
 		}
+		// Apply the diff by walking the eval-ordered slices (the maps are
+		// membership sets only): index mutations must happen in a
+		// history-determined order so fault schedules replay exactly.
 		key := func(m quickxscan.Match) string { return string(m.ID) + "\x00" + string(m.Value) }
-		oldSet := map[string]quickxscan.Match{}
+		oldSet := map[string]bool{}
 		for _, m := range snap.matches {
-			oldSet[key(m)] = m
+			oldSet[key(m)] = true
 		}
-		newSet := map[string]quickxscan.Match{}
+		newSet := map[string]bool{}
 		for _, m := range after {
-			newSet[key(m)] = m
+			newSet[key(m)] = true
 		}
-		for k, m := range oldSet {
-			if _, ok := newSet[k]; ok {
+		for _, m := range snap.matches {
+			if newSet[key(m)] {
 				continue
 			}
 			err := snap.ov.ix.Delete(m.Value, doc, m.ID)
@@ -541,8 +572,8 @@ func (c *Collection) reconcileValueKeys(doc xml.DocID, before []valueKeySnapshot
 				return err
 			}
 		}
-		for k, m := range newSet {
-			if _, ok := oldSet[k]; ok {
+		for _, m := range after {
+			if oldSet[key(m)] {
 				continue
 			}
 			rid, err := c.lookupCur(doc, m.ID)

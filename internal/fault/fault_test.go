@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"rx/internal/pagestore"
+)
+
+func page(b byte) []byte {
+	p := make([]byte, pagestore.PageSize)
+	for i := range p {
+		p[i] = b
+	}
+	return p
+}
+
+func TestStoreCrashDiscardsUnsyncedWrites(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	inj := NewInjector()
+	st := NewStore(mem, inj)
+
+	id, _ := st.Allocate()
+	if err := st.WritePage(id, page(0xAA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WritePage(id, page(0xBB)); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced write is visible through the wrapper (OS cache semantics)...
+	buf := make([]byte, pagestore.PageSize)
+	if err := st.ReadPage(id, buf); err != nil || buf[100] != 0xBB {
+		t.Fatalf("pre-crash read = %x, %v", buf[100], err)
+	}
+	inj.Crash()
+	if err := st.WritePage(id, page(0xCC)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write err = %v", err)
+	}
+	// ...but the durable state is the last sync.
+	if err := mem.ReadPage(id, buf); err != nil || buf[100] != 0xAA {
+		t.Fatalf("durable read = %x, %v", buf[100], err)
+	}
+}
+
+func TestStoreCrashRevertsAllocations(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	inj := NewInjector()
+	st := NewStore(mem, inj)
+	st.Allocate()
+	st.Sync()
+	st.Allocate()
+	st.Allocate()
+	if st.NumPages() != 3 {
+		t.Fatalf("pre-crash pages = %d", st.NumPages())
+	}
+	inj.Crash()
+	if mem.NumPages() != 1 {
+		t.Fatalf("durable pages = %d, want 1", mem.NumPages())
+	}
+}
+
+func TestStoreTransientWriteError(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	st := NewStore(mem, NewInjector(ErrorOnWrite(1)))
+	id, _ := st.Allocate()
+	err := st.WritePage(id, page(1))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("first write err = %v", err)
+	}
+	// The retry (write #2) succeeds: the error was transient.
+	if err := st.WritePage(id, page(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, pagestore.PageSize)
+	if err := mem.ReadPage(id, buf); err != nil || buf[0] != 1 {
+		t.Fatalf("after retry: %x, %v", buf[0], err)
+	}
+}
+
+func TestStoreTornWritePersistsPrefix(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	inj := NewInjector(TearWrite(2, 512))
+	st := NewStore(mem, inj)
+	id, _ := st.Allocate()
+	if err := st.WritePage(id, page(0x11)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Write #2 is torn: power loss after its first 512 bytes hit the platter.
+	if err := st.WritePage(id, page(0x22)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn write err = %v, want ErrCrashed", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("tear did not crash the injector")
+	}
+	buf := make([]byte, pagestore.PageSize)
+	mem.ReadPage(id, buf)
+	if buf[0] != 0x22 || buf[511] != 0x22 {
+		t.Errorf("torn prefix not persisted: %x %x", buf[0], buf[511])
+	}
+	if buf[512] != 0x11 || buf[pagestore.PageSize-1] != 0x11 {
+		t.Errorf("torn suffix should keep the last durable image: %x %x", buf[512], buf[pagestore.PageSize-1])
+	}
+}
+
+func TestStoreBitFlipOnReadIsTransient(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	st := NewStore(mem, NewInjector(FlipOnRead(1, 8*100)))
+	id, _ := st.Allocate()
+	st.WritePage(id, page(0))
+	st.Sync()
+	buf := make([]byte, pagestore.PageSize)
+	if err := st.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[100] != 1 {
+		t.Errorf("bit not flipped: %x", buf[100])
+	}
+	if err := st.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf[100] != 0 {
+		t.Errorf("flip persisted: %x", buf[100])
+	}
+}
+
+func TestStoreCrashOnNthWrite(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	inj := NewInjector(CrashOnWrite(3))
+	st := NewStore(mem, inj)
+	id, _ := st.Allocate()
+	st.WritePage(id, page(1))
+	st.Sync()
+	st.WritePage(id, page(2))
+	err := st.WritePage(id, page(3))
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("write #3 err = %v", err)
+	}
+	if !inj.Crashed() {
+		t.Fatal("injector not crashed")
+	}
+	buf := make([]byte, pagestore.PageSize)
+	mem.ReadPage(id, buf)
+	if buf[0] != 1 {
+		t.Errorf("durable state = %x, want last-synced 1", buf[0])
+	}
+}
+
+func TestSyncIsAllOrNothing(t *testing.T) {
+	mem := pagestore.NewMemStore()
+	st := NewStore(mem, NewInjector(CrashOnSync(2)))
+	id, _ := st.Allocate()
+	st.WritePage(id, page(1))
+	if err := st.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st.WritePage(id, page(2))
+	if err := st.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("sync #2 err = %v", err)
+	}
+	buf := make([]byte, pagestore.PageSize)
+	mem.ReadPage(id, buf)
+	if buf[0] != 1 {
+		t.Errorf("crashed sync leaked writes: %x", buf[0])
+	}
+}
+
+func TestDeviceCrashDiscardsUnsynced(t *testing.T) {
+	var mem memDevice
+	inj := NewInjector()
+	dev := NewDevice(&mem, inj)
+	if _, err := dev.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.WriteAt([]byte("world"), 5); err != nil {
+		t.Fatal(err)
+	}
+	// Overlay read sees both.
+	buf := make([]byte, 10)
+	if _, err := dev.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "helloworld" {
+		t.Fatalf("overlay read = %q", buf)
+	}
+	inj.Crash()
+	if !bytes.Equal(mem.buf, []byte("hello")) {
+		t.Fatalf("durable device = %q", mem.buf)
+	}
+}
+
+func TestDeviceTornWrite(t *testing.T) {
+	var mem memDevice
+	dev := NewDevice(&mem, NewInjector(TearWrite(1, 3)))
+	if _, err := dev.WriteAt([]byte("abcdef"), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("torn device write err = %v, want ErrCrashed", err)
+	}
+	if !bytes.Equal(mem.buf, []byte("abc")) {
+		t.Fatalf("torn device write = %q", mem.buf)
+	}
+}
+
+// memDevice is a minimal in-memory BlockDevice for tests (mirrors
+// wal.MemDevice without importing it).
+type memDevice struct{ buf []byte }
+
+func (d *memDevice) WriteAt(p []byte, off int64) (int, error) {
+	if end := int(off) + len(p); end > len(d.buf) {
+		d.buf = append(d.buf, make([]byte, end-len(d.buf))...)
+	}
+	copy(d.buf[off:], p)
+	return len(p), nil
+}
+
+func (d *memDevice) ReadAt(p []byte, off int64) (int, error) {
+	if int(off) >= len(d.buf) {
+		return 0, io.EOF
+	}
+	n := copy(p, d.buf[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (d *memDevice) Size() (int64, error) { return int64(len(d.buf)), nil }
+func (d *memDevice) Sync() error          { return nil }
+func (d *memDevice) Close() error         { return nil }

@@ -29,6 +29,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"rx/internal/buffer"
@@ -295,15 +296,23 @@ func (t *Table) insert(flag byte, payload []byte, countIt bool) (RID, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	// First try pages known to have space, then the last page, then extend.
+	// Candidates are visited in page order: record placement must be a pure
+	// function of the operation history so that crash-recovery torture runs
+	// replay the exact I/O sequence profiled for a given seed.
+	var cands []pagestore.PageID
 	for pg, free := range t.freeCache {
 		if free >= len(payload)+1+slotSize {
-			if rid, ok, err := t.tryInsert(pg, flag, payload, countIt); err != nil {
-				return InvalidRID, err
-			} else if ok {
-				return rid, nil
-			}
-			delete(t.freeCache, pg)
+			cands = append(cands, pg)
 		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+	for _, pg := range cands {
+		if rid, ok, err := t.tryInsert(pg, flag, payload, countIt); err != nil {
+			return InvalidRID, err
+		} else if ok {
+			return rid, nil
+		}
+		delete(t.freeCache, pg)
 	}
 	if rid, ok, err := t.tryInsert(t.lastPage, flag, payload, countIt); err != nil {
 		return InvalidRID, err

@@ -181,3 +181,61 @@ func TestConcurrentStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestDeadlockVictimUnderRealContention(t *testing.T) {
+	// Two goroutines acquire the same two resources in opposite order — a
+	// textbook deadlock. Bounded waits must victimize exactly one (it sees
+	// ErrTimeout and releases), after which the survivor completes both
+	// acquisitions. The victim's second lock is requested well before the
+	// survivor's so the victim's deadline expires first, making the outcome
+	// deterministic.
+	m := NewManager(400)
+	r1 := CollectionRes("r1")
+	r2 := CollectionRes("r2")
+	victim, survivor := m.Begin(), m.Begin()
+
+	if err := victim.Lock(r1, X); err != nil {
+		t.Fatal(err)
+	}
+	if err := survivor.Lock(r2, X); err != nil {
+		t.Fatal(err)
+	}
+
+	errs := make(chan error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		err := victim.Lock(r2, X) // blocks on survivor
+		if err != nil {
+			victim.ReleaseAll() // abort: give the survivor its lock
+		}
+		errs <- err
+	}()
+	go func() {
+		defer wg.Done()
+		time.Sleep(150 * time.Millisecond) // request after the victim
+		err := survivor.Lock(r1, X)
+		if err == nil {
+			survivor.ReleaseAll()
+		}
+		errs <- err
+	}()
+	wg.Wait()
+	close(errs)
+
+	var timeouts, successes int
+	for err := range errs {
+		switch {
+		case err == nil:
+			successes++
+		case errors.Is(err, ErrTimeout):
+			timeouts++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if timeouts != 1 || successes != 1 {
+		t.Fatalf("got %d timeouts and %d successes, want exactly 1 of each", timeouts, successes)
+	}
+}

@@ -1,0 +1,255 @@
+package pagestore
+
+import (
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+)
+
+// Torn-page detection: ChecksumStore wraps any Store and maintains a CRC32
+// per data page in sidecar checksum pages, verified on every read. The
+// sidecar layout (rather than a per-page trailer) keeps the full PageSize
+// usable by upper layers: the underlying store interleaves one checksum
+// page before every run of crcPerPage data pages and the wrapper remaps
+// logical page IDs over the gaps, so the engine never sees the sidecars.
+//
+// Crash consistency: checksum entries are buffered in memory and written to
+// their sidecar pages during Sync, immediately before the inner sync. Under
+// the engine's WAL discipline every durability boundary is a Sync, so a
+// data page and its checksum entry always persist in the same sync epoch; a
+// mismatch on read therefore means real corruption (a torn page write, bit
+// rot, or a checksum page lost to a partial sync) — never a benign ordering
+// artifact.
+
+// crcPerPage is the number of CRC32 entries a checksum page holds.
+const crcPerPage = PageSize / 4
+
+// ErrPageChecksum reports a page whose contents do not match its stored
+// CRC32 — a torn write or silent media corruption. Retrieve the page with
+// errors.As.
+type ErrPageChecksum struct {
+	PageID PageID
+}
+
+func (e ErrPageChecksum) Error() string {
+	return fmt.Sprintf("pagestore: checksum mismatch on page %d (torn write or corruption)", e.PageID)
+}
+
+// ChecksumStore is a Store wrapper that checksums every page. It must own
+// the inner store exclusively (all reads and writes go through it).
+type ChecksumStore struct {
+	mu     sync.Mutex
+	inner  Store
+	groups map[PageID]*crcGroup // group index → cached checksum page image
+}
+
+type crcGroup struct {
+	data  []byte // PageSize bytes: crcPerPage big-endian-free uint32 slots
+	dirty bool
+}
+
+// NewChecksumStore wraps inner. An empty inner store is formatted lazily;
+// a non-empty one must have been written through a ChecksumStore (the
+// sidecar layout is not self-identifying — opening a raw store with
+// checksums, or vice versa, fails on first read).
+func NewChecksumStore(inner Store) *ChecksumStore {
+	return &ChecksumStore{inner: inner, groups: map[PageID]*crcGroup{}}
+}
+
+// groupOf maps a logical page to its checksum group.
+func groupOf(id PageID) PageID { return id / crcPerPage }
+
+// physOf maps a logical page ID to its physical ID in the inner store.
+func physOf(id PageID) PageID {
+	g := id / crcPerPage
+	return g*(crcPerPage+1) + 1 + id%crcPerPage
+}
+
+// crcPhys is the physical ID of group g's checksum page.
+func crcPhys(g PageID) PageID { return g * (crcPerPage + 1) }
+
+// logicalPages converts an inner page count to the logical count.
+func logicalPages(phys PageID) PageID {
+	q := phys / (crcPerPage + 1)
+	r := phys % (crcPerPage + 1)
+	n := q * crcPerPage
+	if r > 0 {
+		n += r - 1
+	}
+	return n
+}
+
+// pageCRC is the stored checksum of a page image. CRC32(IEEE) is remapped
+// away from 0: a stored entry of 0 means "never written" and is accepted
+// only for an all-zero page.
+func pageCRC(buf []byte) uint32 {
+	c := crc32.ChecksumIEEE(buf[:PageSize])
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// zeroCRC is the checksum of a freshly allocated (all-zero) page.
+var zeroCRC = pageCRC(make([]byte, PageSize))
+
+// groupLocked returns group g's cached checksum page, loading it from the
+// inner store on first touch.
+func (c *ChecksumStore) groupLocked(g PageID) (*crcGroup, error) {
+	if grp, ok := c.groups[g]; ok {
+		return grp, nil
+	}
+	grp := &crcGroup{data: make([]byte, PageSize)}
+	if crcPhys(g) < c.inner.NumPages() {
+		if err := c.inner.ReadPage(crcPhys(g), grp.data); err != nil {
+			return nil, err
+		}
+	}
+	c.groups[g] = grp
+	return grp, nil
+}
+
+func (g *crcGroup) get(idx PageID) uint32 {
+	d := g.data[idx*4:]
+	return uint32(d[0])<<24 | uint32(d[1])<<16 | uint32(d[2])<<8 | uint32(d[3])
+}
+
+func (g *crcGroup) set(idx PageID, crc uint32) {
+	d := g.data[idx*4:]
+	d[0], d[1], d[2], d[3] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	g.dirty = true
+}
+
+// ReadPage implements Store, verifying the page against its stored CRC.
+func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id >= c.numPagesLocked() {
+		return fmt.Errorf("%w: read page %d of %d", ErrPageRange, id, c.numPagesLocked())
+	}
+	if err := c.inner.ReadPage(physOf(id), buf); err != nil {
+		return err
+	}
+	grp, err := c.groupLocked(groupOf(id))
+	if err != nil {
+		return err
+	}
+	want := grp.get(id % crcPerPage)
+	if want == 0 {
+		// Never checksummed: only an untouched (all-zero) page is acceptable.
+		for _, b := range buf[:PageSize] {
+			if b != 0 {
+				return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
+			}
+		}
+		return nil
+	}
+	if got := pageCRC(buf); got != want {
+		return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
+	}
+	return nil
+}
+
+// WritePage implements Store, updating the page's CRC entry (made durable
+// at the next Sync, in the same epoch as the data page).
+func (c *ChecksumStore) WritePage(id PageID, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id >= c.numPagesLocked() {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, c.numPagesLocked())
+	}
+	if err := c.inner.WritePage(physOf(id), buf); err != nil {
+		return err
+	}
+	grp, err := c.groupLocked(groupOf(id))
+	if err != nil {
+		return err
+	}
+	grp.set(id%crcPerPage, pageCRC(buf))
+	return nil
+}
+
+// Allocate implements Store, interposing a checksum page at the start of
+// each new group.
+func (c *ChecksumStore) Allocate() (PageID, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.numPagesLocked()
+	if id%crcPerPage == 0 {
+		// First page of a new group: allocate its checksum page.
+		cp, err := c.inner.Allocate()
+		if err != nil {
+			return InvalidPage, err
+		}
+		if cp != crcPhys(groupOf(id)) {
+			return InvalidPage, fmt.Errorf("pagestore: checksum layout broken: sidecar at %d, want %d", cp, crcPhys(groupOf(id)))
+		}
+		c.groups[groupOf(id)] = &crcGroup{data: make([]byte, PageSize), dirty: true}
+	}
+	dp, err := c.inner.Allocate()
+	if err != nil {
+		return InvalidPage, err
+	}
+	if dp != physOf(id) {
+		return InvalidPage, fmt.Errorf("pagestore: checksum layout broken: data page at %d, want %d", dp, physOf(id))
+	}
+	grp, err := c.groupLocked(groupOf(id))
+	if err != nil {
+		return InvalidPage, err
+	}
+	grp.set(id%crcPerPage, zeroCRC)
+	return id, nil
+}
+
+// NumPages implements Store (logical pages, sidecars excluded).
+func (c *ChecksumStore) NumPages() PageID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.numPagesLocked()
+}
+
+func (c *ChecksumStore) numPagesLocked() PageID { return logicalPages(c.inner.NumPages()) }
+
+// flushGroupsLocked writes every dirty checksum page to the inner store in
+// group order.
+func (c *ChecksumStore) flushGroupsLocked() error {
+	gs := make([]PageID, 0, len(c.groups))
+	for g, grp := range c.groups {
+		if grp.dirty {
+			gs = append(gs, g)
+		}
+	}
+	sort.Slice(gs, func(a, b int) bool { return gs[a] < gs[b] })
+	for _, g := range gs {
+		if err := c.inner.WritePage(crcPhys(g), c.groups[g].data); err != nil {
+			return err
+		}
+		c.groups[g].dirty = false
+	}
+	return nil
+}
+
+// Sync implements Store: dirty checksum pages are written first so data and
+// checksums persist in the same sync epoch.
+func (c *ChecksumStore) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushGroupsLocked(); err != nil {
+		return err
+	}
+	return c.inner.Sync()
+}
+
+// Close implements Store, flushing checksum pages first.
+func (c *ChecksumStore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushGroupsLocked(); err != nil {
+		return err
+	}
+	return c.inner.Close()
+}
+
+// Inner returns the wrapped store.
+func (c *ChecksumStore) Inner() Store { return c.inner }

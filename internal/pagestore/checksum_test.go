@@ -1,0 +1,224 @@
+package pagestore
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+)
+
+func TestChecksumStoreRoundTrip(t *testing.T) {
+	cs := NewChecksumStore(NewMemStore())
+	testStore(t, cs)
+}
+
+func TestChecksumStoreLayoutMapping(t *testing.T) {
+	for _, tc := range []struct{ logical, phys PageID }{
+		{0, 1}, {1, 2}, {crcPerPage - 1, crcPerPage},
+		{crcPerPage, crcPerPage + 2}, {2 * crcPerPage, 2*(crcPerPage+1) + 1},
+	} {
+		if got := physOf(tc.logical); got != tc.phys {
+			t.Errorf("physOf(%d) = %d, want %d", tc.logical, got, tc.phys)
+		}
+	}
+	for _, tc := range []struct{ phys, logical PageID }{
+		{0, 0}, {1, 0}, {2, 1}, {crcPerPage + 1, crcPerPage},
+		{crcPerPage + 2, crcPerPage}, {2 * (crcPerPage + 1), 2 * crcPerPage},
+	} {
+		if got := logicalPages(tc.phys); got != tc.logical {
+			t.Errorf("logicalPages(%d) = %d, want %d", tc.phys, got, tc.logical)
+		}
+	}
+}
+
+func TestChecksumStoreAcrossGroupBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a full checksum group")
+	}
+	cs := NewChecksumStore(NewMemStore())
+	n := PageID(crcPerPage + 3)
+	buf := make([]byte, PageSize)
+	for i := PageID(0); i < n; i++ {
+		id, err := cs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != i {
+			t.Fatalf("allocate #%d returned %d", i, id)
+		}
+		buf[42] = byte(i)
+		if err := cs.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cs.NumPages() != n {
+		t.Fatalf("NumPages = %d, want %d", cs.NumPages(), n)
+	}
+	for i := PageID(0); i < n; i++ {
+		if err := cs.ReadPage(i, buf); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if buf[42] != byte(i) {
+			t.Fatalf("page %d content = %x", i, buf[42])
+		}
+	}
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	id, _ := cs.Allocate()
+	buf := make([]byte, PageSize)
+	buf[1000] = 0x7F
+	if err := cs.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one bit behind the wrapper's back (silent media corruption).
+	raw := make([]byte, PageSize)
+	mem.ReadPage(physOf(id), raw)
+	raw[1000] ^= 0x01
+	mem.WritePage(physOf(id), raw)
+
+	err := cs.ReadPage(id, buf)
+	var pe ErrPageChecksum
+	if !errors.As(err, &pe) {
+		t.Fatalf("corrupted read err = %v, want ErrPageChecksum", err)
+	}
+	if pe.PageID != id {
+		t.Errorf("ErrPageChecksum.PageID = %d, want %d", pe.PageID, id)
+	}
+}
+
+func TestChecksumDetectsTornWrite(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	id, _ := cs.Allocate()
+	old := make([]byte, PageSize)
+	for i := range old {
+		old[i] = 0xAA
+	}
+	cs.WritePage(id, old)
+	cs.Sync()
+	// A new write tears: only the first 512 bytes reach the store, the CRC
+	// entry already describes the full new image.
+	fresh := make([]byte, PageSize)
+	for i := range fresh {
+		fresh[i] = 0xBB
+	}
+	if err := cs.WritePage(id, fresh); err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, PageSize)
+	copy(torn, old)
+	copy(torn[:512], fresh[:512])
+	mem.WritePage(physOf(id), torn)
+
+	err := cs.ReadPage(id, make([]byte, PageSize))
+	var pe ErrPageChecksum
+	if !errors.As(err, &pe) {
+		t.Fatalf("torn read err = %v, want ErrPageChecksum", err)
+	}
+}
+
+func TestChecksumStorePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cs.rxdb")
+	fs, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewChecksumStore(fs)
+	buf := make([]byte, PageSize)
+	for i := 0; i < 5; i++ {
+		id, _ := cs.Allocate()
+		buf[7] = byte(10 + i)
+		if err := cs.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs2, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs2 := NewChecksumStore(fs2)
+	if cs2.NumPages() != 5 {
+		t.Fatalf("reopened NumPages = %d", cs2.NumPages())
+	}
+	for i := PageID(0); i < 5; i++ {
+		if err := cs2.ReadPage(i, buf); err != nil {
+			t.Fatalf("reopened read %d: %v", i, err)
+		}
+		if buf[7] != byte(10+int(i)) {
+			t.Fatalf("reopened page %d content = %x", i, buf[7])
+		}
+	}
+	cs2.Close()
+}
+
+func TestChecksumFreshPageReadsAsZeros(t *testing.T) {
+	cs := NewChecksumStore(NewMemStore())
+	id, _ := cs.Allocate()
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = 0xFF // stale caller buffer
+	}
+	if err := cs.ReadPage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("fresh page byte %d = %x", i, b)
+		}
+	}
+}
+
+func benchStores(b *testing.B) (raw, checked Store) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(NewMemStore())
+	for i := 0; i < 64; i++ {
+		mem.Allocate()
+		cs.Allocate()
+	}
+	return mem, cs
+}
+
+// BenchmarkChecksumStore measures the CRC32 overhead of the checksummed
+// store against the raw store (E14 in EXPERIMENTS.md).
+func BenchmarkChecksumStore(b *testing.B) {
+	raw, checked := benchStores(b)
+	buf := make([]byte, PageSize)
+	for i := range buf {
+		buf[i] = byte(i)
+	}
+	for _, bench := range []struct {
+		name  string
+		store Store
+	}{{"write/raw", raw}, {"write/checksum", checked}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(PageSize)
+			for i := 0; i < b.N; i++ {
+				if err := bench.store.WritePage(PageID(i%64), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, bench := range []struct {
+		name  string
+		store Store
+	}{{"read/raw", raw}, {"read/checksum", checked}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(PageSize)
+			for i := 0; i < b.N; i++ {
+				if err := bench.store.ReadPage(PageID(i%64), buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -130,9 +130,15 @@ func (s *FileStore) ReadPage(id PageID, buf []byte) error {
 	if id >= n {
 		return fmt.Errorf("%w: read page %d of %d", ErrPageRange, id, n)
 	}
-	_, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	got, err := s.f.ReadAt(buf[:PageSize], int64(id)*PageSize)
 	if err == io.EOF {
-		err = nil // a page allocated but never written reads as zeros
+		// A page allocated but never written reads as zeros. ReadAt may have
+		// filled only a prefix; the remainder would otherwise keep the
+		// caller's previous buffer contents.
+		for i := got; i < PageSize; i++ {
+			buf[i] = 0
+		}
+		err = nil
 	}
 	return err
 }

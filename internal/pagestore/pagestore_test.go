@@ -86,3 +86,42 @@ func TestFileStore(t *testing.T) {
 		t.Error("reopened contents lost")
 	}
 }
+
+func TestFileStoreShortReadZeroFills(t *testing.T) {
+	// Regression: a page allocated but never written sits past EOF (Truncate
+	// only extends the logical size on some filesystems, and a short ReadAt
+	// fills only a prefix). The unread remainder of the caller's buffer must
+	// read as zeros, not keep its previous contents.
+	path := filepath.Join(t.TempDir(), "short.db")
+	s, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	id0, _ := s.Allocate()
+	id1, _ := s.Allocate()
+	full := make([]byte, PageSize)
+	for i := range full {
+		full[i] = 0xEE
+	}
+	if err := s.WritePage(id0, full); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the file so page 1 is entirely past EOF, then write a partial
+	// page so a read of id1 is short rather than empty.
+	if err := s.f.Truncate(PageSize + 512); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse a dirty caller buffer: stale contents must not survive the read.
+	buf := make([]byte, PageSize)
+	copy(buf, full)
+	if err := s.ReadPage(id1, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf[512:] {
+		if b != 0 {
+			t.Fatalf("stale byte %d = %x after short read", 512+i, b)
+		}
+	}
+	_ = id0
+}

@@ -145,13 +145,20 @@ type Log struct {
 	flushed int64  // device bytes durable through this offset
 }
 
-// Open attaches to a log device, positioning at its end.
+// ErrCorrupt reports corruption in the middle of the log: a bad record that
+// is followed by further valid records cannot be a torn tail (a crash only
+// tears the last write) and recovery must not silently skip committed work.
+var ErrCorrupt = errors.New("wal: mid-log corruption")
+
+// Open attaches to a log device, positioning at its end. A torn tail — an
+// incomplete or bad-CRC record at the very end of the log, the normal
+// outcome of a crash mid-append — is truncated; mid-log corruption is a
+// hard ErrCorrupt error.
 func Open(dev Device) (*Log, error) {
 	size, err := dev.Size()
 	if err != nil {
 		return nil, err
 	}
-	// Trim a torn tail: scan records from 0 and stop at the first bad one.
 	end, err := scanEnd(dev, size)
 	if err != nil {
 		return nil, err
@@ -159,29 +166,56 @@ func Open(dev Device) (*Log, error) {
 	return &Log{dev: dev, tail: end, flushed: end}, nil
 }
 
-// scanEnd walks frames until EOF or corruption, returning the valid length.
+// scanEnd walks frames from offset 0 and returns the length of the valid
+// prefix. A bad frame with no valid frame after it is a torn tail (the log
+// ends there); a bad frame followed by a parseable record is mid-log
+// corruption and fails with ErrCorrupt.
 func scanEnd(dev Device, size int64) (int64, error) {
 	var off int64
 	hdr := make([]byte, 8)
 	for off+9 <= size {
 		if _, err := dev.ReadAt(hdr, off); err != nil {
-			break
+			break // unreadable header at tail
 		}
 		l := binary.BigEndian.Uint32(hdr[0:4])
 		crc := binary.BigEndian.Uint32(hdr[4:8])
-		if off+8+int64(l) > size {
-			break
+		if l == 0 || off+8+int64(l) > size {
+			break // frame runs past EOF: torn tail
 		}
 		body := make([]byte, l)
 		if _, err := dev.ReadAt(body, off+8); err != nil {
 			break
 		}
 		if crc32.ChecksumIEEE(body) != crc {
-			break
+			if validFrameAt(dev, off+8+int64(l), size) {
+				return 0, fmt.Errorf("%w: bad record at offset %d followed by valid records", ErrCorrupt, off)
+			}
+			break // nothing valid beyond: torn tail
 		}
 		off += 8 + int64(l)
 	}
 	return off, nil
+}
+
+// validFrameAt reports whether a complete frame with a matching CRC starts
+// at off (used to distinguish a torn tail from mid-log corruption).
+func validFrameAt(dev Device, off, size int64) bool {
+	if off+9 > size {
+		return false
+	}
+	hdr := make([]byte, 8)
+	if _, err := dev.ReadAt(hdr, off); err != nil {
+		return false
+	}
+	l := binary.BigEndian.Uint32(hdr[0:4])
+	if l == 0 || off+8+int64(l) > size {
+		return false
+	}
+	body := make([]byte, l)
+	if _, err := dev.ReadAt(body, off+8); err != nil {
+		return false
+	}
+	return crc32.ChecksumIEEE(body) == binary.BigEndian.Uint32(hdr[4:8])
 }
 
 func (l *Log) appendLocked(kind Kind, payload []byte) buffer.LSN {
@@ -265,6 +299,14 @@ func (l *Log) Flush(lsn buffer.LSN) error {
 	l.mu.Unlock()
 	if len(data) > 0 {
 		if _, err := l.dev.WriteAt(data, at); err != nil {
+			// The write failed (possibly after persisting a prefix). Restore
+			// the un-written bytes at the front of the pending buffer so a
+			// retry rewrites them at the same offset — advancing tail here
+			// would leave a hole that recovery reads as corruption.
+			l.mu.Lock()
+			l.pending = append(append(make([]byte, 0, len(data)+len(l.pending)), data...), l.pending...)
+			l.tail = at
+			l.mu.Unlock()
 			return err
 		}
 	}

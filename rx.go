@@ -65,7 +65,17 @@ type (
 	DocID = xml.DocID
 	// NodeID is a prefix-encoded Dewey node ID.
 	NodeID = nodeid.ID
+	// TxnOption configures DB.RunTxn.
+	TxnOption = core.TxnOption
+	// ErrPageChecksum reports a stored page whose contents fail CRC
+	// verification (torn write or silent corruption); retrieve the page ID
+	// with errors.As. Returned only from databases opened WithChecksums.
+	ErrPageChecksum = pagestore.ErrPageChecksum
 )
+
+// WithDeadlockRetry makes DB.RunTxn re-run a transaction aborted as a
+// deadlock victim up to max more times, with jittered backoff.
+func WithDeadlockRetry(max int) TxnOption { return core.WithDeadlockRetry(max) }
 
 // Fragment insertion positions.
 const (
@@ -87,8 +97,9 @@ const (
 type Option func(*openConfig)
 
 type openConfig struct {
-	core    core.Options
-	walPath string
+	core      core.Options
+	walPath   string
+	checksums bool
 }
 
 // WithWAL enables write-ahead logging with the log at path; Open then runs
@@ -108,6 +119,16 @@ func WithLockTimeout(d time.Duration) Option {
 	return func(c *openConfig) { c.core.LockTimeoutMillis = int(d / time.Millisecond) }
 }
 
+// WithChecksums enables torn-page detection: every page carries a CRC32 in a
+// sidecar checksum page, made durable in the same sync epoch as the data and
+// verified on each read. A page damaged by a torn write or silent media
+// corruption surfaces as ErrPageChecksum instead of decoding as valid data.
+// The layout is fixed at creation: a database created with checksums must
+// always be opened with them, and one created without them never can be.
+func WithChecksums() Option {
+	return func(c *openConfig) { c.checksums = true }
+}
+
 // withOptions seeds the configuration from a legacy Options struct; it
 // backs the deprecated Open* constructors.
 func withOptions(o Options) Option {
@@ -117,7 +138,8 @@ func withOptions(o Options) Option {
 // Open opens a database. An empty path opens a fresh in-memory store;
 // otherwise the file at path is opened, creating it if needed. Behavior is
 // adjusted by functional options: WithWAL enables logging and crash
-// recovery, WithPoolPages and WithLockTimeout size the engine.
+// recovery, WithChecksums enables torn-page detection, WithPoolPages and
+// WithLockTimeout size the engine.
 //
 //	db, err := rx.Open("")                                // in-memory
 //	db, err := rx.Open("data.rxdb")                       // file-backed
@@ -137,6 +159,9 @@ func Open(path string, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 		store = s
+	}
+	if cfg.checksums {
+		store = pagestore.NewChecksumStore(store)
 	}
 	if cfg.walPath == "" {
 		return core.Open(store, cfg.core)
