@@ -254,6 +254,35 @@ func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
 	return f, nil
 }
 
+// FetchZeroed pins the page with an all-zero image, installing the frame
+// without reading the store. This is the repair path for a page whose
+// on-disk image is unreadable (checksum failure): Fetch would fail, but the
+// repairer needs a frame to reformat. The frame is marked dirty so the new
+// image is written back, refreshing the page's sidecar checksum.
+func (p *Pool) FetchZeroed(id pagestore.PageID) (*Frame, error) {
+	p.mu.Lock()
+	if f, ok := p.frames[id]; ok {
+		p.pinLocked(f)
+		p.mu.Unlock()
+		f.mu.Lock()
+		for i := range f.Data {
+			f.Data[i] = 0
+		}
+		f.loadErr = nil
+		f.mu.Unlock()
+		f.dirty.Store(true)
+		return f, nil
+	}
+	f, err := p.newFrameLocked(id)
+	if err != nil {
+		p.mu.Unlock()
+		return nil, err
+	}
+	f.dirty.Store(true)
+	p.mu.Unlock()
+	return f, nil
+}
+
 // NewPage allocates a fresh zeroed page in the store and returns it pinned.
 func (p *Pool) NewPage() (*Frame, error) {
 	id, err := p.store.Allocate()

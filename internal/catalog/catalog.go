@@ -413,3 +413,19 @@ func (c *Catalog) NameCount() int {
 	defer c.mu.RUnlock()
 	return len(c.byID)
 }
+
+// Pages returns every page the catalog owns: the meta page plus the name,
+// collection, and schema heap chains. The chain walks are fault-tolerant
+// (an unreadable chain page is included and truncates that chain), so the
+// scrub subsystem can attribute page corruption to the catalog — which it
+// refuses to repair automatically.
+func (c *Catalog) Pages() []pagestore.PageID {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pages := []pagestore.PageID{0}
+	for _, t := range []*heap.Table{c.names, c.cols, c.schemas} {
+		ps, _ := t.ChainPages()
+		pages = append(pages, ps...)
+	}
+	return pages
+}

@@ -97,14 +97,11 @@ func createCollection(db *DB, name string, opts CollectionOptions) (*Collection,
 }
 
 func openCollection(db *DB, meta *catalog.Collection) (*Collection, error) {
-	base, err := heap.Open(db.pool, meta.BaseTable)
-	if err != nil {
-		return nil, err
-	}
-	xmlTbl, err := heap.Open(db.pool, meta.XMLTable)
-	if err != nil {
-		return nil, err
-	}
+	// Heap opens are tolerant: a damaged chain page must demote only the
+	// documents stored on it (scrub quarantines them; repair relinks the
+	// chain), not make the whole collection unopenable.
+	base := heap.OpenTolerant(db.pool, meta.BaseTable)
+	xmlTbl := heap.OpenTolerant(db.pool, meta.XMLTable)
 	docIx, err := btree.Open(db.pool, meta.DocIDIndex)
 	if err != nil {
 		return nil, err

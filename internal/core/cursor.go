@@ -13,10 +13,13 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"rx/internal/pagestore"
 	"rx/internal/quickxscan"
 	"rx/internal/xml"
 	"rx/internal/xpath"
@@ -44,9 +47,10 @@ type Cursor struct {
 	err    error
 	closed bool
 
-	src   batcher
-	batch []Result
-	bpos  int
+	src     batcher
+	batch   []Result
+	bpos    int
+	skipped atomic.Int64
 }
 
 // batcher yields per-document result batches in document order. ok=false
@@ -102,6 +106,10 @@ func (cu *Cursor) Err() error { return cu.err }
 // cursor creation).
 func (cu *Cursor) Plan() *Plan { return cu.plan }
 
+// Skipped reports how many quarantined documents a Degraded cursor skipped
+// so far. Always 0 without QueryOptions.Degraded.
+func (cu *Cursor) Skipped() int { return int(cu.skipped.Load()) }
+
 // Close releases the cursor, cancelling and waiting out any background
 // workers. It is safe to call multiple times.
 func (cu *Cursor) Close() error {
@@ -146,7 +154,8 @@ func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, 
 		if err != nil {
 			return nil, err
 		}
-		cu.src = &serialSource{col: c, eval: e, docs: docs, ctx: opts.context()}
+		cu.src = &serialSource{col: c, eval: e, docs: docs, ctx: opts.context(),
+			degraded: opts.Degraded, skipped: &cu.skipped}
 		return cu, nil
 	}
 	plan.Parallelism = par
@@ -179,15 +188,11 @@ func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, 
 					return
 				}
 				doc := docs[i]
-				matches, err := c.evalStored(doc, e)
-				b := docBatch{idx: i, err: err}
-				if err == nil && len(matches) > 0 {
-					b.res = make([]Result, len(matches))
-					for j, m := range matches {
-						b.res[j] = Result{Doc: doc, Node: m.ID, Value: m.Value}
-					}
+				res, skip, err := c.evalCursorDoc(doc, e, opts.Degraded)
+				if skip {
+					cu.skipped.Add(1)
 				}
-				s.ch <- b
+				s.ch <- docBatch{idx: i, res: res, err: err}
 			}
 		}(e)
 	}
@@ -195,14 +200,59 @@ func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, 
 	return cu, nil
 }
 
+// evalCursorDoc evaluates one candidate document for a cursor, applying the
+// quarantine policy: a quarantined document is skipped (Degraded) or fails
+// the cursor with a typed ErrQuarantined; a checksum failure during
+// evaluation first quarantines the document — detection-on-read feeds the
+// same registry the scrubber fills — then applies the same policy.
+func (c *Collection) evalCursorDoc(doc xml.DocID, e *quickxscan.Eval, degraded bool) (res []Result, skipped bool, err error) {
+	if q, ok := c.db.quarantined(c.meta.Name, doc); ok {
+		if degraded {
+			return nil, true, nil
+		}
+		return nil, false, q.err()
+	}
+	matches, err := c.evalStored(doc, e)
+	if err != nil {
+		var pe pagestore.ErrPageChecksum
+		if errors.As(err, &pe) {
+			c.db.Quarantine(c.meta.Name, doc,
+				fmt.Sprintf("page %d failed checksum during query", pe.PageID), pe.PageID)
+			if degraded {
+				return nil, true, nil
+			}
+			return nil, false, fmt.Errorf("%w", ErrQuarantined{
+				Col: c.meta.Name, Doc: doc,
+				Reason: fmt.Sprintf("page %d failed checksum during query", pe.PageID),
+			})
+		}
+		return nil, false, err
+	}
+	if len(matches) == 0 {
+		return nil, false, nil
+	}
+	res = make([]Result, len(matches))
+	for j, m := range matches {
+		res[j] = Result{Doc: doc, Node: m.ID, Value: m.Value}
+	}
+	return res, false, nil
+}
+
+// err converts a registry entry into the typed error queries surface.
+func (q QuarantineEntry) err() error {
+	return fmt.Errorf("%w", ErrQuarantined{Col: q.Col, Doc: q.Doc, Reason: q.Reason})
+}
+
 // serialSource evaluates one document per nextBatch call on the caller's
 // goroutine — fully lazy, no background work.
 type serialSource struct {
-	col  *Collection
-	eval *quickxscan.Eval
-	docs []xml.DocID
-	pos  int
-	ctx  context.Context
+	col      *Collection
+	eval     *quickxscan.Eval
+	docs     []xml.DocID
+	pos      int
+	ctx      context.Context
+	degraded bool
+	skipped  *atomic.Int64
 }
 
 func (s *serialSource) nextBatch() ([]Result, bool, error) {
@@ -212,16 +262,16 @@ func (s *serialSource) nextBatch() ([]Result, bool, error) {
 		}
 		doc := s.docs[s.pos]
 		s.pos++
-		matches, err := s.col.evalStored(doc, s.eval)
+		rs, skip, err := s.col.evalCursorDoc(doc, s.eval, s.degraded)
 		if err != nil {
 			return nil, false, err
 		}
-		if len(matches) == 0 {
+		if skip {
+			s.skipped.Add(1)
 			continue
 		}
-		rs := make([]Result, len(matches))
-		for j, m := range matches {
-			rs[j] = Result{Doc: doc, Node: m.ID, Value: m.Value}
+		if len(rs) == 0 {
+			continue
 		}
 		return rs, true, nil
 	}

@@ -50,6 +50,10 @@ type DB struct {
 	mu      sync.Mutex
 	cols    map[string]*Collection
 	schemas map[string]*xmlschema.Schema
+	closers []func()
+
+	quarantine quarantineSet
+	stats      dbStats
 }
 
 // Open opens (bootstrapping if empty) a database over the given store.
@@ -119,8 +123,25 @@ func (db *DB) VerifyPages() error {
 	return nil
 }
 
-// Close flushes and closes the underlying store.
+// RegisterCloser adds fn to the set run at the start of Close, in reverse
+// registration order. Background services attached to the DB (the scrubber)
+// register their shutdown here so Close never races a running pass.
+func (db *DB) RegisterCloser(fn func()) {
+	db.mu.Lock()
+	db.closers = append(db.closers, fn)
+	db.mu.Unlock()
+}
+
+// Close stops registered background services, flushes, and closes the
+// underlying store.
 func (db *DB) Close() error {
+	db.mu.Lock()
+	closers := db.closers
+	db.closers = nil
+	db.mu.Unlock()
+	for i := len(closers) - 1; i >= 0; i-- {
+		closers[i]()
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}

@@ -55,6 +55,12 @@ type QueryOptions struct {
 	Ctx context.Context
 	// NeedValues includes each result node's string value.
 	NeedValues bool
+	// Degraded keeps a query running over a partially damaged collection:
+	// quarantined documents are skipped (counted in Cursor.Skipped) instead
+	// of failing the cursor, and a checksum error during evaluation
+	// auto-quarantines the document and continues. Without it, touching a
+	// quarantined document fails the cursor with a typed ErrQuarantined.
+	Degraded bool
 }
 
 func (o QueryOptions) context() context.Context {

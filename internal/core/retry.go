@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"rx/internal/lock"
@@ -57,6 +58,7 @@ func (db *DB) RunTxn(fn func(*Txn) error, opts ...TxnOption) error {
 		if !errors.Is(err, lock.ErrTimeout) || attempt >= cfg.deadlockRetries {
 			return err
 		}
+		atomic.AddUint64(&db.stats.deadlockReruns, 1)
 		// Jittered exponential backoff: desynchronize the former deadlock
 		// partners before the rematch.
 		backoff := cfg.backoffBase << attempt

@@ -1,0 +1,319 @@
+package core
+
+// The online integrity scrubber: a background-safe pass that reads every
+// page of the store (catching checksum failures and I/O errors), then
+// cross-checks the logical structures — does every NodeID index entry for a
+// document resolve to a decodable heap record? — and quarantines exactly
+// the documents whose data is damaged. Structural damage (an index whose own
+// pages fail) is reported per structure so repair knows what to rebuild.
+//
+// A pass holds no long-lived locks: it reads through the same store/pool
+// paths queries use, so it runs concurrently with readers and writers. The
+// caller-supplied throttle hook is invoked once per page read and once per
+// document cross-checked, which is where a rate limiter plugs in.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"rx/internal/btree"
+	"rx/internal/heap"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+)
+
+// PageError records one page that failed verification during a scan.
+type PageError struct {
+	Page pagestore.PageID
+	Err  error
+}
+
+// StructureRef names an on-disk structure the scrubber found damaged.
+type StructureRef struct {
+	Col  string // collection name ("" for the catalog)
+	Kind string // "catalog", "base", "xml", "docid-index", "nodeid-index", "value-index", "unopenable"
+	Name string // value-index name, otherwise ""
+}
+
+func (s StructureRef) String() string {
+	switch {
+	case s.Kind == "catalog":
+		return "catalog"
+	case s.Name != "":
+		return fmt.Sprintf("%s/%s(%s)", s.Col, s.Kind, s.Name)
+	default:
+		return fmt.Sprintf("%s/%s", s.Col, s.Kind)
+	}
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	PagesScanned      int
+	PageErrors        []PageError
+	NewQuarantined    []QuarantineEntry
+	CorruptStructures []StructureRef
+	CatalogDamaged    bool
+}
+
+// Clean reports whether the pass found nothing wrong.
+func (r *ScrubReport) Clean() bool {
+	return len(r.PageErrors) == 0 && len(r.NewQuarantined) == 0 &&
+		len(r.CorruptStructures) == 0
+}
+
+// ScanPages flushes dirty pages and reads back every page of the store,
+// collecting every failure (VerifyPages stops at the first — this is the
+// scrubber's variant, which needs the full damage picture). throttle, if
+// non-nil, is called before each page read; the scrubber's rate limiter
+// sleeps there.
+func (db *DB) ScanPages(throttle func()) (scanned int, errs []PageError, err error) {
+	if err := db.pool.FlushAll(); err != nil {
+		return 0, nil, err
+	}
+	buf := make([]byte, pagestore.PageSize)
+	n := db.store.NumPages()
+	for id := pagestore.PageID(0); id < n; id++ {
+		if throttle != nil {
+			throttle()
+		}
+		if rerr := db.store.ReadPage(id, buf); rerr != nil {
+			errs = append(errs, PageError{Page: id, Err: rerr})
+		}
+		scanned++
+	}
+	return scanned, errs, nil
+}
+
+// ScrubPass runs one full integrity pass: physical page scan, then a
+// structural cross-check of every collection. Damaged documents are
+// quarantined; damaged structures are reported for repair. The pass itself
+// never mutates data.
+func (db *DB) ScrubPass(throttle func()) (*ScrubReport, error) {
+	rep := &ScrubReport{}
+	scanned, errs, err := db.ScanPages(throttle)
+	if err != nil {
+		return nil, err
+	}
+	rep.PagesScanned = scanned
+	rep.PageErrors = errs
+	atomic.AddUint64(&db.stats.pagesVerified, uint64(scanned))
+	atomic.AddUint64(&db.stats.corruptions, uint64(len(errs)))
+
+	bad := map[pagestore.PageID]bool{}
+	for _, pe := range errs {
+		bad[pe.Page] = true
+	}
+	for _, p := range db.cat.Pages() {
+		if bad[p] {
+			rep.CatalogDamaged = true
+			rep.CorruptStructures = append(rep.CorruptStructures, StructureRef{Kind: "catalog"})
+			break
+		}
+	}
+	for _, name := range db.Collections() {
+		c, err := db.Collection(name)
+		if err != nil {
+			rep.CorruptStructures = append(rep.CorruptStructures,
+				StructureRef{Col: name, Kind: "unopenable"})
+			continue
+		}
+		db.scrubCollection(c, bad, rep, throttle)
+	}
+	atomic.AddUint64(&db.stats.scrubPasses, 1)
+	return rep, nil
+}
+
+// scrubCollection attributes page damage to the collection's structures and
+// cross-checks every document's index entries against its heap records.
+func (db *DB) scrubCollection(c *Collection, bad map[pagestore.PageID]bool, rep *ScrubReport, throttle func()) {
+	name := c.meta.Name
+	sets := c.structurePages()
+	addRef := func(kind, ixName string, pages map[pagestore.PageID]bool) bool {
+		for p := range pages {
+			if bad[p] {
+				rep.CorruptStructures = append(rep.CorruptStructures,
+					StructureRef{Col: name, Kind: kind, Name: ixName})
+				return true
+			}
+		}
+		return false
+	}
+	addRef("base", "", sets.base)
+	addRef("xml", "", sets.xmlT)
+	addRef("docid-index", "", sets.docIx)
+	addRef("nodeid-index", "", sets.nodeIx)
+	for _, ov := range c.indexSnapshot() {
+		if !addRef("value-index", ov.meta.Name, sets.valIx[ov.meta.Name]) {
+			// Pages clean — still walk the index so logical damage (a
+			// scribbled-but-checksummed page) is caught.
+			if err := ov.ix.Tree().Scan(nil, nil, func(e btree.Entry) bool { return true }); err != nil {
+				rep.CorruptStructures = append(rep.CorruptStructures,
+					StructureRef{Col: name, Kind: "value-index", Name: ov.meta.Name})
+			}
+		}
+	}
+
+	for _, doc := range c.scrubDocList() {
+		if throttle != nil {
+			throttle()
+		}
+		if _, ok := db.quarantined(name, doc); ok {
+			continue
+		}
+		reason, page := c.scrubDoc(doc, bad)
+		if reason == "" {
+			continue
+		}
+		if db.Quarantine(name, doc, reason, page) {
+			e, _ := db.quarantined(name, doc)
+			rep.NewQuarantined = append(rep.NewQuarantined, e)
+		}
+	}
+}
+
+// scrubDoc cross-checks one document: every distinct record RID its NodeID
+// index entries reference must fetch and decode. Returns a non-empty reason
+// (and the damaged page, when physical) if the document should be
+// quarantined.
+func (c *Collection) scrubDoc(doc xml.DocID, bad map[pagestore.PageID]bool) (string, pagestore.PageID) {
+	rids, serr := c.scanDocRIDsTolerant(doc)
+	for _, rid := range rids {
+		if bad[rid.Page] {
+			return fmt.Sprintf("record page %d failed verification", rid.Page), rid.Page
+		}
+		if _, ferr := c.fetchRecord(rid); ferr != nil {
+			var pe pagestore.ErrPageChecksum
+			if errors.As(ferr, &pe) {
+				return fmt.Sprintf("record page %d failed checksum", pe.PageID), pe.PageID
+			}
+			return fmt.Sprintf("record %s unreadable: %v", rid, ferr), rid.Page
+		}
+	}
+	if serr != nil {
+		var pe pagestore.ErrPageChecksum
+		if errors.As(serr, &pe) {
+			return fmt.Sprintf("NodeID index entries unreadable (page %d)", pe.PageID), pe.PageID
+		}
+		return fmt.Sprintf("NodeID index entries unreadable: %v", serr), pagestore.InvalidPage
+	}
+	if len(rids) == 0 {
+		return "document has no readable records", pagestore.InvalidPage
+	}
+	return "", pagestore.InvalidPage
+}
+
+// colPageSets is the page-ownership map of one collection's structures,
+// computed tolerantly: unreadable pages are included (they are exactly the
+// interesting ones), broken walks contribute what they reached.
+type colPageSets struct {
+	base   map[pagestore.PageID]bool
+	xmlT   map[pagestore.PageID]bool
+	docIx  map[pagestore.PageID]bool
+	nodeIx map[pagestore.PageID]bool
+	valIx  map[string]map[pagestore.PageID]bool // by index name
+}
+
+// structurePages computes which pages each of the collection's structures
+// owns. Heap membership is the chain walk union every page referenced by
+// the structure's index values (RIDs survive in the indexes even when the
+// chain is severed) union forwarding-stub targets.
+func (c *Collection) structurePages() colPageSets {
+	limit := c.db.store.NumPages()
+	mk := func() map[pagestore.PageID]bool { return map[pagestore.PageID]bool{} }
+	add := func(m map[pagestore.PageID]bool, pages []pagestore.PageID) {
+		for _, p := range pages {
+			if p != pagestore.InvalidPage && p < limit {
+				m[p] = true
+			}
+		}
+	}
+	s := colPageSets{base: mk(), xmlT: mk(), docIx: mk(), nodeIx: mk(),
+		valIx: map[string]map[pagestore.PageID]bool{}}
+
+	pgs, _ := c.docIx.Pages()
+	add(s.docIx, pgs)
+	pgs, _ = c.nodeIx.Tree().Pages()
+	add(s.nodeIx, pgs)
+	for _, ov := range c.indexSnapshot() {
+		m := mk()
+		pgs, _ = ov.ix.Tree().Pages()
+		add(m, pgs)
+		s.valIx[ov.meta.Name] = m
+	}
+
+	// Base heap: chain walk plus DocID-index value RIDs.
+	pgs, _ = c.base.ChainPages()
+	add(s.base, pgs)
+	_ = c.docIx.Scan(nil, nil, func(e btree.Entry) bool {
+		add(s.base, []pagestore.PageID{heap.RIDFromBytes(e.Value).Page})
+		return true
+	})
+
+	// XML heap: chain walk plus NodeID-index value RIDs plus stub targets.
+	pgs, _ = c.xmlTbl.ChainPages()
+	add(s.xmlT, pgs)
+	_ = c.nodeIx.Tree().Scan(nil, nil, func(e btree.Entry) bool {
+		add(s.xmlT, []pagestore.PageID{heap.RIDFromBytes(e.Value).Page})
+		return true
+	})
+	if targets, err := c.xmlTbl.ForwardTargets(); err == nil || len(targets) > 0 {
+		for _, rid := range targets {
+			add(s.xmlT, []pagestore.PageID{rid.Page})
+		}
+	}
+	return s
+}
+
+// scrubDocList enumerates the collection's documents from both the DocID
+// index and the NodeID index (tolerantly — either may be damaged), sorted.
+func (c *Collection) scrubDocList() []xml.DocID {
+	set := map[xml.DocID]bool{}
+	_ = c.docIx.Scan(nil, nil, func(e btree.Entry) bool {
+		if len(e.Key) == 8 {
+			set[xml.DocID(binary.BigEndian.Uint64(e.Key))] = true
+		}
+		return true
+	})
+	_ = c.nodeIx.Tree().Scan(nil, nil, func(e btree.Entry) bool {
+		if len(e.Key) >= 8 {
+			set[xml.DocID(binary.BigEndian.Uint64(e.Key))] = true
+		}
+		return true
+	})
+	out := make([]xml.DocID, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// scanDocRIDsTolerant returns the distinct record RIDs the NodeID index
+// references for a document, in first-appearance order. For versioned
+// collections only the current version's entries are checked. An index read
+// error ends the scan early; the partial list is still returned.
+func (c *Collection) scanDocRIDsTolerant(doc xml.DocID) ([]heap.RID, error) {
+	var rids []heap.RID
+	seen := map[heap.RID]bool{}
+	fn := func(upper nodeid.ID, rid heap.RID) bool {
+		if !seen[rid] {
+			seen[rid] = true
+			rids = append(rids, rid)
+		}
+		return true
+	}
+	var err error
+	if c.meta.Versioned {
+		var ver uint64
+		if ver, err = c.currentVersion(doc); err == nil {
+			err = c.nodeIx.ScanVersion(doc, ver, fn)
+		}
+	} else {
+		err = c.nodeIx.ScanDoc(doc, fn)
+	}
+	return rids, err
+}

@@ -1,0 +1,194 @@
+package heap
+
+// Repair support: the scrub/repair subsystem (internal/core, internal/scrub)
+// reformats heap pages that failed checksum verification and relinks the
+// page chain around them. The helpers here expose just enough of the page
+// format for that, without letting repair code re-implement the layout.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"rx/internal/buffer"
+	"rx/internal/pagestore"
+)
+
+// InitPageImage formats d (PageSize bytes) as an empty heap page with no next
+// pointer. Used by repair to reformat a page whose contents were lost; call
+// it inside buffer.Pool.Modify so the change is logged and checksummed.
+func InitPageImage(d []byte) { initPage(d) }
+
+// PageNextID returns the next-page pointer of a heap page image.
+func PageNextID(d []byte) pagestore.PageID { return pageNext(d) }
+
+// SetPageNextID rewrites the next-page pointer of a heap page image.
+func SetPageNextID(d []byte, id pagestore.PageID) { setPageNext(d, id) }
+
+// ForwardTargetsInPage returns the targets of every forwarding stub on a heap
+// page image. Slot bounds are validated so a garbage page yields an empty
+// list rather than a panic.
+func ForwardTargetsInPage(d []byte) []RID {
+	slots := int(binary.BigEndian.Uint16(d[hdrSlots:]))
+	if slots > (pagestore.PageSize-hdrSize)/slotSize {
+		return nil
+	}
+	var out []RID
+	for i := 0; i < slots; i++ {
+		off, length := slotAt(d, i)
+		if off < hdrSize || off+length > pagestore.PageSize || length < 7 {
+			continue
+		}
+		if d[off] == recForward {
+			out = append(out, RIDFromBytes(d[off+1:off+7]))
+		}
+	}
+	return out
+}
+
+// OpenTolerant opens a table whose chain may contain unreadable pages.
+// The walk stops at the first page that fails to load, leaving lastPage AT
+// that page: reads of intact pages work normally, and appends that would
+// extend the chain fail with the page's error instead of severing the
+// damaged tail (inserts into earlier free space still succeed — the chain
+// is never mutated). After repair reformats and relinks the chain,
+// Reattach re-derives the full insertion state.
+func OpenTolerant(pool *buffer.Pool, first pagestore.PageID) *Table {
+	t := &Table{
+		pool:      pool,
+		firstPage: first,
+		lastPage:  first,
+		freeCache: make(map[pagestore.PageID]int),
+	}
+	seen := map[pagestore.PageID]bool{}
+	pg := first
+	for pg != pagestore.InvalidPage && !seen[pg] {
+		seen[pg] = true
+		f, err := pool.Fetch(pg)
+		if err != nil {
+			t.lastPage = pg
+			return t
+		}
+		f.RLock()
+		next := pageNext(f.Data)
+		free := pageFree(f.Data)
+		slots := int(binary.BigEndian.Uint16(f.Data[hdrSlots:]))
+		f.RUnlock()
+		pool.Unpin(f, false)
+		if free > 64 {
+			t.freeCache[pg] = free
+		}
+		t.count += uint64(slots)
+		t.lastPage = pg
+		pg = next
+	}
+	return t
+}
+
+// ChainPages walks the table's page chain and returns every page it reaches.
+// The walk is fault-tolerant: a page that cannot be read is still included
+// (it belongs to the table) but ends the walk with the error, so the caller
+// sees both the readable prefix and where the chain broke. A cycle (possible
+// only with corrupt next pointers) also ends the walk.
+func (t *Table) ChainPages() ([]pagestore.PageID, error) {
+	var pages []pagestore.PageID
+	seen := map[pagestore.PageID]bool{}
+	pg := t.firstPage
+	for pg != pagestore.InvalidPage && !seen[pg] {
+		seen[pg] = true
+		pages = append(pages, pg)
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return pages, err
+		}
+		f.RLock()
+		next := pageNext(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		pg = next
+	}
+	return pages, nil
+}
+
+// ForwardTargets collects the targets of all forwarding stubs reachable on
+// the chain. Like ChainPages, the walk stops at the first unreadable page and
+// returns the targets found so far along with the error.
+func (t *Table) ForwardTargets() ([]RID, error) {
+	var out []RID
+	seen := map[pagestore.PageID]bool{}
+	pg := t.firstPage
+	for pg != pagestore.InvalidPage && !seen[pg] {
+		seen[pg] = true
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return out, err
+		}
+		f.RLock()
+		out = append(out, ForwardTargetsInPage(f.Data)...)
+		next := pageNext(f.Data)
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		pg = next
+	}
+	return out, nil
+}
+
+// Relink rewrites the table's chain to consist of exactly the given pages in
+// the given order. The first element must be the table's identifying first
+// page and every page must be readable (repair reformats damaged members
+// before calling this). The in-memory insertion state is refreshed from the
+// new chain afterwards.
+func (t *Table) Relink(pages []pagestore.PageID) error {
+	if len(pages) == 0 || pages[0] != t.firstPage {
+		return fmt.Errorf("heap: relink must start at first page %d", t.firstPage)
+	}
+	for i, pg := range pages {
+		next := pagestore.InvalidPage
+		if i+1 < len(pages) {
+			next = pages[i+1]
+		}
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return err
+		}
+		err = t.pool.Modify(f, func(d []byte) error {
+			setPageNext(d, next)
+			return nil
+		})
+		t.pool.Unpin(f, false)
+		if err != nil {
+			return err
+		}
+	}
+	return t.Reattach()
+}
+
+// Reattach re-derives the table's in-memory insertion state (last page, free
+// cache, record count) by re-walking the chain, exactly as Open does. Called
+// after repair has changed the chain underneath an open Table.
+func (t *Table) Reattach() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.freeCache = make(map[pagestore.PageID]int)
+	t.count = 0
+	t.lastPage = t.firstPage
+	pg := t.firstPage
+	for pg != pagestore.InvalidPage {
+		f, err := t.pool.Fetch(pg)
+		if err != nil {
+			return err
+		}
+		f.RLock()
+		next := pageNext(f.Data)
+		free := pageFree(f.Data)
+		slots := int(binary.BigEndian.Uint16(f.Data[hdrSlots:]))
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+		if free > 64 {
+			t.freeCache[pg] = free
+		}
+		t.count += uint64(slots)
+		t.lastPage = pg
+		pg = next
+	}
+	return nil
+}

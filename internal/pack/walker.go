@@ -25,12 +25,24 @@ type Visitor interface {
 // form a block-based tree walked depth-first, with fetch order matching the
 // (DocID, minNodeID) clustering order.
 func Walk(rec *Record, fetch Fetch, v Visitor) error {
-	_, err := walkEntries(rec, 0, rec.ContextID, rec.SubtreeCount, fetch, v)
+	_, err := walkEntries(rec, 0, rec.ContextID, rec.SubtreeCount, fetch, v, nil)
 	return err
 }
 
-// walkEntries walks a run of sibling entries; returns false to stop.
-func walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int, fetch Fetch, v Visitor) (bool, error) {
+// WalkPartial is Walk, except that a proxy whose record cannot be fetched is
+// skipped (its whole subtree is omitted from the traversal) instead of
+// failing the walk. It returns the number of subtrees lost this way. This is
+// the best-effort salvage traversal: when a heap page is gone, everything
+// still reachable is recovered and the loss is reported, never silent.
+func WalkPartial(rec *Record, fetch Fetch, v Visitor) (lost int, err error) {
+	_, err = walkEntries(rec, 0, rec.ContextID, rec.SubtreeCount, fetch, v, &lost)
+	return lost, err
+}
+
+// walkEntries walks a run of sibling entries; returns false to stop. A
+// non-nil lost pointer makes proxy-resolution failures non-fatal: the
+// failure is counted and the proxied subtree skipped.
+func walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int, fetch Fetch, v Visitor, lost *int) (bool, error) {
 	for i := 0; i < entries; i++ {
 		n, err := rec.DecodeNodeAt(off, parentAbs)
 		if err != nil {
@@ -40,9 +52,13 @@ func walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int, fetch F
 		if n.IsProxy() {
 			child, err := fetch(n.Abs)
 			if err != nil {
+				if lost != nil {
+					*lost++
+					continue
+				}
 				return false, fmt.Errorf("pack: resolving proxy %s: %w", n.Abs, err)
 			}
-			cont, err := walkEntries(child, 0, child.ContextID, child.SubtreeCount, fetch, v)
+			cont, err := walkEntries(child, 0, child.ContextID, child.SubtreeCount, fetch, v, lost)
 			if err != nil || !cont {
 				return cont, err
 			}
@@ -53,7 +69,7 @@ func walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int, fetch F
 			return cont, err
 		}
 		if n.Kind == xml.Element && n.EntryCount > 0 {
-			cont, err := walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount, fetch, v)
+			cont, err := walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount, fetch, v, lost)
 			if err != nil || !cont {
 				return cont, err
 			}
@@ -77,7 +93,7 @@ func WalkSubtree(rec *Record, n Node, fetch Fetch, v Visitor) error {
 		return err
 	}
 	if n.Kind == xml.Element && n.EntryCount > 0 {
-		cont, err := walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount, fetch, v)
+		cont, err := walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount, fetch, v, nil)
 		if err != nil || !cont {
 			return err
 		}

@@ -8,11 +8,12 @@ import (
 )
 
 // Torn-page detection: ChecksumStore wraps any Store and maintains a CRC32
-// per data page in sidecar checksum pages, verified on every read. The
-// sidecar layout (rather than a per-page trailer) keeps the full PageSize
-// usable by upper layers: the underlying store interleaves one checksum
-// page before every run of crcPerPage data pages and the wrapper remaps
-// logical page IDs over the gaps, so the engine never sees the sidecars.
+// plus a "written" bit per data page in sidecar checksum pages, verified on
+// every read. The sidecar layout (rather than a per-page trailer) keeps the
+// full PageSize usable by upper layers: the underlying store interleaves one
+// checksum page before every run of crcPerPage data pages and the wrapper
+// remaps logical page IDs over the gaps, so the engine never sees the
+// sidecars.
 //
 // Crash consistency: checksum entries are buffered in memory and written to
 // their sidecar pages during Sync, immediately before the inner sync. Under
@@ -21,9 +22,20 @@ import (
 // mismatch on read therefore means real corruption (a torn page write, bit
 // rot, or a checksum page lost to a partial sync) — never a benign ordering
 // artifact.
+//
+// The written bit distinguishes a never-written page (which legitimately
+// reads as zeros) from a written page torn back to zeros: once a page's
+// first write is durable its bit stays set, so an all-zero read of that
+// page — or a corruption that zeroes its CRC entry — fails verification
+// instead of masquerading as a fresh page.
 
-// crcPerPage is the number of CRC32 entries a checksum page holds.
-const crcPerPage = PageSize / 4
+// crcPerPage is the number of data pages a sidecar page covers. Each entry
+// needs 4 CRC bytes plus one bit in the written bitmap, so the count is the
+// largest multiple of 8 with 4*n + n/8 <= PageSize.
+const crcPerPage = 1984
+
+// crcBytes is the size of the CRC entry array; the written bitmap follows.
+const crcBytes = 4 * crcPerPage
 
 // ErrPageChecksum reports a page whose contents do not match its stored
 // CRC32 — a torn write or silent media corruption. Retrieve the page with
@@ -45,7 +57,7 @@ type ChecksumStore struct {
 }
 
 type crcGroup struct {
-	data  []byte // PageSize bytes: crcPerPage big-endian-free uint32 slots
+	data  []byte // PageSize bytes: crcPerPage uint32 CRCs, then the written bitmap
 	dirty bool
 }
 
@@ -69,6 +81,15 @@ func physOf(id PageID) PageID {
 // crcPhys is the physical ID of group g's checksum page.
 func crcPhys(g PageID) PageID { return g * (crcPerPage + 1) }
 
+// PhysicalPage maps a logical page ID to its physical ID in the inner
+// store. Exported for fault-injection adversaries and scrub tooling that
+// corrupt or inspect the raw store underneath the wrapper.
+func PhysicalPage(id PageID) PageID { return physOf(id) }
+
+// SidecarPage returns the physical inner-store ID of the sidecar checksum
+// page covering the given logical page.
+func SidecarPage(id PageID) PageID { return crcPhys(groupOf(id)) }
+
 // logicalPages converts an inner page count to the logical count.
 func logicalPages(phys PageID) PageID {
 	q := phys / (crcPerPage + 1)
@@ -81,8 +102,8 @@ func logicalPages(phys PageID) PageID {
 }
 
 // pageCRC is the stored checksum of a page image. CRC32(IEEE) is remapped
-// away from 0: a stored entry of 0 means "never written" and is accepted
-// only for an all-zero page.
+// away from 0 so a stored entry of 0 (zero-filled sidecar region, or a
+// corruption that zeroed the entry) can never verify a written page.
 func pageCRC(buf []byte) uint32 {
 	c := crc32.ChecksumIEEE(buf[:PageSize])
 	if c == 0 {
@@ -90,9 +111,6 @@ func pageCRC(buf []byte) uint32 {
 	}
 	return c
 }
-
-// zeroCRC is the checksum of a freshly allocated (all-zero) page.
-var zeroCRC = pageCRC(make([]byte, PageSize))
 
 // groupLocked returns group g's cached checksum page, loading it from the
 // inner store on first touch.
@@ -121,6 +139,20 @@ func (g *crcGroup) set(idx PageID, crc uint32) {
 	g.dirty = true
 }
 
+// written reports the page's written bit from the bitmap after the CRC array.
+func (g *crcGroup) written(idx PageID) bool {
+	return g.data[crcBytes+idx/8]&(1<<(idx%8)) != 0
+}
+
+func (g *crcGroup) setWritten(idx PageID, w bool) {
+	if w {
+		g.data[crcBytes+idx/8] |= 1 << (idx % 8)
+	} else {
+		g.data[crcBytes+idx/8] &^= 1 << (idx % 8)
+	}
+	g.dirty = true
+}
+
 // ReadPage implements Store, verifying the page against its stored CRC.
 func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 	c.mu.Lock()
@@ -135,9 +167,10 @@ func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 	if err != nil {
 		return err
 	}
-	want := grp.get(id % crcPerPage)
-	if want == 0 {
-		// Never checksummed: only an untouched (all-zero) page is acceptable.
+	idx := id % crcPerPage
+	if !grp.written(idx) {
+		// Never durably written: only an untouched (all-zero) page is
+		// acceptable. Anything else is a write that escaped its sync epoch.
 		for _, b := range buf[:PageSize] {
 			if b != 0 {
 				return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
@@ -145,14 +178,14 @@ func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 		}
 		return nil
 	}
-	if got := pageCRC(buf); got != want {
+	if got := pageCRC(buf); got != grp.get(idx) {
 		return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
 	}
 	return nil
 }
 
-// WritePage implements Store, updating the page's CRC entry (made durable
-// at the next Sync, in the same epoch as the data page).
+// WritePage implements Store, updating the page's CRC entry and written bit
+// (made durable at the next Sync, in the same epoch as the data page).
 func (c *ChecksumStore) WritePage(id PageID, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -167,6 +200,7 @@ func (c *ChecksumStore) WritePage(id PageID, buf []byte) error {
 		return err
 	}
 	grp.set(id%crcPerPage, pageCRC(buf))
+	grp.setWritten(id%crcPerPage, true)
 	return nil
 }
 
@@ -198,7 +232,8 @@ func (c *ChecksumStore) Allocate() (PageID, error) {
 	if err != nil {
 		return InvalidPage, err
 	}
-	grp.set(id%crcPerPage, zeroCRC)
+	grp.set(id%crcPerPage, 0)
+	grp.setWritten(id%crcPerPage, false)
 	return id, nil
 }
 
@@ -210,6 +245,47 @@ func (c *ChecksumStore) NumPages() PageID {
 }
 
 func (c *ChecksumStore) numPagesLocked() PageID { return logicalPages(c.inner.NumPages()) }
+
+// Rederive rebuilds every sidecar page from the current contents of the
+// inner store: each data page's CRC is recomputed from its on-disk image,
+// with an all-zero page marked unwritten. This is the repair path for a
+// lost or corrupted sidecar page. It blesses whatever the data pages
+// currently hold — torn-write history in the rederived groups is gone — so
+// a structural consistency check must follow.
+func (c *ChecksumStore) Rederive() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.numPagesLocked()
+	buf := make([]byte, PageSize)
+	for id := PageID(0); id < n; id++ {
+		if id%crcPerPage == 0 {
+			c.groups[groupOf(id)] = &crcGroup{data: make([]byte, PageSize), dirty: true}
+		}
+		if err := c.inner.ReadPage(physOf(id), buf); err != nil {
+			return err
+		}
+		grp := c.groups[groupOf(id)]
+		idx := id % crcPerPage
+		zero := true
+		for _, b := range buf[:PageSize] {
+			if b != 0 {
+				zero = false
+				break
+			}
+		}
+		if zero {
+			grp.set(idx, 0)
+			grp.setWritten(idx, false)
+		} else {
+			grp.set(idx, pageCRC(buf))
+			grp.setWritten(idx, true)
+		}
+	}
+	if err := c.flushGroupsLocked(); err != nil {
+		return err
+	}
+	return c.inner.Sync()
+}
 
 // flushGroupsLocked writes every dirty checksum page to the inner store in
 // group order.

@@ -1,0 +1,161 @@
+// Package scrub runs the core engine's integrity scrubber as a background
+// service: periodic passes over every page and every document at a bounded
+// I/O rate, feeding the corruption registry, with optional automatic repair.
+//
+// The scrubber is deliberately thin — detection, attribution, and healing
+// live in core (DB.ScrubPass, DB.Repair); this package owns the cadence and
+// the rate limit, which are operational policy rather than engine logic.
+package scrub
+
+import (
+	"sync"
+	"time"
+
+	"rx/internal/core"
+)
+
+// Options configure a Scrubber.
+type Options struct {
+	// Interval between the end of one pass and the start of the next
+	// (default 10 minutes).
+	Interval time.Duration
+	// Rate bounds the pass to about this many page/record reads per second;
+	// 0 means unthrottled. The bound keeps a background pass from starving
+	// foreground queries of buffer-pool and I/O bandwidth.
+	Rate int
+	// AutoRepair runs core.DB.Repair after any pass that found damage.
+	AutoRepair bool
+}
+
+// Scrubber drives periodic scrub passes over a DB.
+type Scrubber struct {
+	db   *core.DB
+	opts Options
+
+	mu      sync.Mutex
+	last    *core.ScrubReport
+	lastErr error
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// New builds a scrubber; call Start to begin background passes, or RunPass
+// for a synchronous one-shot.
+func New(db *core.DB, opts Options) *Scrubber {
+	if opts.Interval <= 0 {
+		opts.Interval = 10 * time.Minute
+	}
+	return &Scrubber{
+		db:   db,
+		opts: opts,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// limiter spaces operations to a target rate using an accumulated deadline:
+// each wait advances the deadline by one interval and sleeps off whatever of
+// it is in the future, so bursts borrow from idle time instead of being lost
+// to per-operation rounding.
+type limiter struct {
+	interval time.Duration
+	next     time.Time
+}
+
+func newLimiter(rate int) *limiter {
+	if rate <= 0 {
+		return nil
+	}
+	return &limiter{interval: time.Second / time.Duration(rate)}
+}
+
+func (l *limiter) wait() {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	if l.next.Before(now) {
+		l.next = now
+	}
+	l.next = l.next.Add(l.interval)
+	if d := l.next.Sub(now); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// throttle returns the per-operation hook a pass plugs into core (nil when
+// unthrottled).
+func (s *Scrubber) throttle() func() {
+	l := newLimiter(s.opts.Rate)
+	if l == nil {
+		return nil
+	}
+	return l.wait
+}
+
+// RunPass runs one scrub pass synchronously (honoring the rate limit) and,
+// under AutoRepair, a repair if the pass found damage.
+func (s *Scrubber) RunPass() (*core.ScrubReport, error) {
+	rep, err := s.db.ScrubPass(s.throttle())
+	if err == nil && s.opts.AutoRepair && !rep.Clean() {
+		_, err = s.db.Repair(s.throttle())
+	}
+	s.mu.Lock()
+	s.last, s.lastErr = rep, err
+	s.mu.Unlock()
+	return rep, err
+}
+
+// Repair runs core.DB.Repair under the scrubber's rate limit.
+func (s *Scrubber) Repair() (*core.RepairReport, error) {
+	return s.db.Repair(s.throttle())
+}
+
+// LastReport returns the most recent pass's report and error (nil, nil
+// before the first pass completes).
+func (s *Scrubber) LastReport() (*core.ScrubReport, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.last, s.lastErr
+}
+
+// Start launches the background loop: one pass every Interval until Stop.
+func (s *Scrubber) Start() {
+	s.startOnce.Do(func() {
+		go s.loop()
+	})
+}
+
+// Stop halts the background loop and waits for an in-flight pass to finish.
+// Safe to call multiple times, and a no-op if Start was never called.
+func (s *Scrubber) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	select {
+	case <-s.done:
+	default:
+		s.startOnce.Do(func() { close(s.done) }) // never started: nothing to wait for
+		<-s.done
+	}
+}
+
+func (s *Scrubber) loop() {
+	defer close(s.done)
+	t := time.NewTimer(s.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+		}
+		if _, err := s.RunPass(); err != nil {
+			// Keep running: a failed pass (transient I/O) is recorded in
+			// LastReport and retried next interval.
+			_ = err
+		}
+		t.Reset(s.opts.Interval)
+	}
+}

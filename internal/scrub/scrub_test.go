@@ -1,0 +1,189 @@
+package scrub_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rx/internal/core"
+	"rx/internal/pagestore"
+	"rx/internal/scrub"
+	"rx/internal/xml"
+)
+
+func buildDB(t testing.TB, ndocs int) (*core.DB, *core.Collection) {
+	t.Helper()
+	db, err := core.Open(pagestore.NewChecksumStore(pagestore.NewMemStore()), core.Options{PoolPages: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := db.CreateCollection("c", core.CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.CreateValueIndex("kix", "/doc/k", xml.TString); err != nil {
+		t.Fatal(err)
+	}
+	pad := strings.Repeat("x", 2000)
+	for i := 0; i < ndocs; i++ {
+		if _, err := col.Insert([]byte(fmt.Sprintf("<doc><k>k%d</k><body>%s</body></doc>", i, pad))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return db, col
+}
+
+func TestRunPassCleanDB(t *testing.T) {
+	db, _ := buildDB(t, 4)
+	defer db.Close()
+	s := scrub.New(db, scrub.Options{})
+	rep, err := s.RunPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("clean database failed scrub: %+v", rep)
+	}
+	if rep.PagesScanned == 0 {
+		t.Fatal("pass scanned no pages")
+	}
+	last, lastErr := s.LastReport()
+	if last != rep || lastErr != nil {
+		t.Fatalf("LastReport = %v, %v", last, lastErr)
+	}
+}
+
+// TestBackgroundScrubConcurrentWithCursors runs the background scrubber at a
+// tight interval while parallel cursors stream results and a writer keeps
+// inserting — the race detector referees.
+func TestBackgroundScrubConcurrentWithCursors(t *testing.T) {
+	db, col := buildDB(t, 8)
+	defer db.Close()
+	s := scrub.New(db, scrub.Options{Interval: time.Millisecond})
+	s.Start()
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	errCh := make(chan error, 8)
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				cur, err := col.Cursor("/doc/k", core.QueryOptions{Parallelism: 2, Degraded: true})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				for cur.Next() {
+				}
+				err = cur.Err()
+				cur.Close()
+				if err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; time.Now().Before(deadline); i++ {
+			if _, err := col.Insert([]byte(fmt.Sprintf("<doc><k>w%d</k></doc>", i))); err != nil {
+				errCh <- err
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	s.Stop()
+	s.Stop() // idempotent
+	close(errCh)
+	for err := range errCh {
+		t.Errorf("concurrent workload: %v", err)
+	}
+	if q := db.Quarantined(); len(q) != 0 {
+		t.Fatalf("scrub quarantined healthy documents under concurrency: %v", q)
+	}
+	if db.Stats().ScrubPasses == 0 {
+		t.Fatal("background scrubber never completed a pass")
+	}
+}
+
+func TestStopWithoutStart(t *testing.T) {
+	db, _ := buildDB(t, 1)
+	defer db.Close()
+	done := make(chan struct{})
+	go func() {
+		s := scrub.New(db, scrub.Options{})
+		s.Stop()
+		s.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop without Start hangs")
+	}
+}
+
+// TestRateLimiterHonored bounds a throttled pass from below: at rate r the
+// pass must take at least about ops/r seconds (half, to stay robust against
+// scheduler jitter in the other direction there is no upper assertion).
+func TestRateLimiterHonored(t *testing.T) {
+	db, _ := buildDB(t, 4)
+	defer db.Close()
+
+	fast := scrub.New(db, scrub.Options{})
+	rep, err := fast.RunPass()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := rep.PagesScanned // throttle fires at least once per page scanned
+
+	const rate = 1000
+	slow := scrub.New(db, scrub.Options{Rate: rate})
+	start := time.Now()
+	if _, err := slow.RunPass(); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	min := time.Duration(ops) * time.Second / rate / 2
+	if elapsed < min {
+		t.Fatalf("throttled pass over %d ops at %d ops/s took %v, want >= %v", ops, rate, elapsed, min)
+	}
+}
+
+func BenchmarkScrubPass(b *testing.B) {
+	db, _ := buildDB(b, 32)
+	defer db.Close()
+	s := scrub.New(db, scrub.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunPass(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScrubPassThrottled measures limiter overhead at a rate high
+// enough that no sleeping occurs — the cost of the deadline arithmetic
+// itself.
+func BenchmarkScrubPassThrottled(b *testing.B) {
+	db, _ := buildDB(b, 32)
+	defer db.Close()
+	s := scrub.New(db, scrub.Options{Rate: 50_000_000})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.RunPass(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

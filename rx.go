@@ -35,6 +35,7 @@ import (
 	"rx/internal/core"
 	"rx/internal/nodeid"
 	"rx/internal/pagestore"
+	"rx/internal/scrub"
 	"rx/internal/wal"
 	"rx/internal/xml"
 )
@@ -71,6 +72,23 @@ type (
 	// verification (torn write or silent corruption); retrieve the page ID
 	// with errors.As. Returned only from databases opened WithChecksums.
 	ErrPageChecksum = pagestore.ErrPageChecksum
+	// ErrQuarantined reports an operation touching a document the corruption
+	// registry has quarantined; retrieve details with errors.As.
+	ErrQuarantined = core.ErrQuarantined
+	// QuarantineEntry is one quarantined document in the corruption registry.
+	QuarantineEntry = core.QuarantineEntry
+	// LossyDoc is a document salvaged by repair with subtree loss.
+	LossyDoc = core.LossyDoc
+	// Stats is a snapshot of the engine's observability counters.
+	Stats = core.Stats
+	// ScrubReport summarizes one integrity scrub pass.
+	ScrubReport = core.ScrubReport
+	// RepairReport summarizes a repair run.
+	RepairReport = core.RepairReport
+	// Scrubber is the background integrity scrubber service.
+	Scrubber = scrub.Scrubber
+	// ScrubOptions configure the background scrubber.
+	ScrubOptions = scrub.Options
 )
 
 // WithDeadlockRetry makes DB.RunTxn re-run a transaction aborted as a
@@ -100,6 +118,7 @@ type openConfig struct {
 	core      core.Options
 	walPath   string
 	checksums bool
+	scrub     *scrub.Options
 }
 
 // WithWAL enables write-ahead logging with the log at path; Open then runs
@@ -127,6 +146,44 @@ func WithLockTimeout(d time.Duration) Option {
 // always be opened with them, and one created without them never can be.
 func WithChecksums() Option {
 	return func(c *openConfig) { c.checksums = true }
+}
+
+// WithScrub starts a background integrity scrubber on the opened database:
+// one full scrub pass (every page plus a structural cross-check of every
+// document) per interval, throttled to about rate page/record reads per
+// second (0 = unthrottled). Damaged documents are quarantined rather than
+// failing queries wholesale; pass results land in the engine counters
+// (DB.Stats) and the scrubber's LastReport. The scrubber stops automatically
+// when the DB is closed. Use NewScrubber for manual control (one-shot
+// passes, auto-repair).
+func WithScrub(interval time.Duration, rate int) Option {
+	return func(c *openConfig) { c.scrub = &scrub.Options{Interval: interval, Rate: rate} }
+}
+
+// NewScrubber builds a scrubber service over an open database without
+// starting it: call RunPass for a synchronous pass, Repair for a throttled
+// repair, or Start/Stop for the background loop.
+func NewScrubber(db *DB, opts ScrubOptions) *Scrubber { return scrub.New(db, opts) }
+
+// RederiveChecksums rebuilds the sidecar checksum pages of a checksummed,
+// file-backed database from the data pages themselves — the recovery path
+// when a lost or corrupted sidecar page makes the database unopenable
+// (Open fails with ErrPageChecksum). A dense checksum-failure cluster on an
+// *openable* database is handled by DB.Repair directly; this entry exists
+// for damage that reaches the catalog's own checksum entries. It blesses
+// the current page images, so run a scrub afterwards to confirm structural
+// integrity. The database must not be open elsewhere.
+func RederiveChecksums(path string) error {
+	s, err := pagestore.OpenFile(path)
+	if err != nil {
+		return err
+	}
+	cs := pagestore.NewChecksumStore(s)
+	if err := cs.Rederive(); err != nil {
+		cs.Close()
+		return err
+	}
+	return cs.Close()
 }
 
 // withOptions seeds the configuration from a legacy Options struct; it
@@ -163,19 +220,33 @@ func Open(path string, opts ...Option) (*DB, error) {
 	if cfg.checksums {
 		store = pagestore.NewChecksumStore(store)
 	}
+	var db *DB
+	var err error
 	if cfg.walPath == "" {
-		return core.Open(store, cfg.core)
+		db, err = core.Open(store, cfg.core)
+	} else {
+		var dev wal.Device
+		dev, err = wal.OpenFileDevice(cfg.walPath)
+		if err != nil {
+			return nil, err
+		}
+		var log *wal.Log
+		log, err = wal.Open(dev)
+		if err != nil {
+			return nil, err
+		}
+		cfg.core.WAL = log
+		db, err = core.Recover(store, log, cfg.core)
 	}
-	dev, err := wal.OpenFileDevice(cfg.walPath)
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(dev)
-	if err != nil {
-		return nil, err
+	if cfg.scrub != nil {
+		s := scrub.New(db, *cfg.scrub)
+		s.Start()
+		db.RegisterCloser(s.Stop)
 	}
-	cfg.core.WAL = log
-	return core.Recover(store, log, cfg.core)
+	return db, nil
 }
 
 // OpenMemory opens a fresh in-memory database.
