@@ -8,7 +8,10 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"rx/internal/buffer"
 	"rx/internal/construct"
@@ -18,6 +21,7 @@ import (
 	"rx/internal/quickxscan"
 	"rx/internal/serialize"
 	"rx/internal/shred"
+	"rx/internal/wal"
 	"rx/internal/xml"
 	"rx/internal/xmlgen"
 	"rx/internal/xmlparse"
@@ -477,6 +481,127 @@ func BenchmarkParallelScan(b *testing.B) {
 				} else if len(rs) != want {
 					b.Fatalf("workers=%d returned %d results, want %d", par, len(rs), want)
 				}
+			}
+		})
+	}
+}
+
+// ---- E15/E16: write-path throughput ----
+
+// walBenchDB opens a memory-paged database logged to a file device in the
+// benchmark's temp dir, so log syncs pay a real fsync.
+func walBenchDB(b *testing.B, groupDelay time.Duration) (*core.DB, *wal.Log) {
+	b.Helper()
+	dev, err := wal.OpenFileDevice(filepath.Join(b.TempDir(), "bench.wal"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var wopts []wal.Option
+	if groupDelay > 0 {
+		wopts = append(wopts, wal.WithGroupCommit(groupDelay))
+	}
+	log, err := wal.Open(dev, wopts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := core.Open(pagestore.NewMemStore(), core.Options{WAL: log})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, log
+}
+
+// BenchmarkGroupCommit measures commit throughput with 8 concurrent writers,
+// without and with a group-commit window (E15; rxbench e15 prints the full
+// writer sweep with syncs-per-commit ratios).
+func BenchmarkGroupCommit(b *testing.B) {
+	const writers = 8
+	for _, bench := range []struct {
+		name  string
+		delay time.Duration
+	}{{"sync-per-commit", 0}, {"group-2ms", 2 * time.Millisecond}} {
+		b.Run(bench.name, func(b *testing.B) {
+			db, log := walBenchDB(b, bench.delay)
+			defer db.Close()
+			col, err := db.CreateCollection("bench", core.CollectionOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			c0, s0 := log.CommitCount(), log.SyncCount()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						tx := db.Begin()
+						if _, err := tx.Insert(col, []byte(fmt.Sprintf("<r><w>%d</w></r>", w))); err != nil {
+							b.Error(err)
+							return
+						}
+						if err := tx.Commit(); err != nil {
+							b.Error(err)
+						}
+					}(w)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			commits, syncs := log.CommitCount()-c0, log.SyncCount()-s0
+			if commits > 0 {
+				b.ReportMetric(float64(syncs)/float64(commits), "syncs/commit")
+			}
+		})
+	}
+}
+
+// BenchmarkBulkLoad measures document ingest throughput: one transaction
+// (and one log sync) per document versus InsertBatch with 1000-document
+// batches (E16). The batch path must beat per-document ingest by at least
+// 2x; rxbench e16 prints the MB/s table.
+func BenchmarkBulkLoad(b *testing.B) {
+	const docsPerIter = 1000
+	docs := make([][]byte, docsPerIter)
+	var total int
+	for i := range docs {
+		docs[i] = []byte(fmt.Sprintf(
+			"<item><sku>SKU-%06d</sku><qty>%d</qty><note>ingest corpus member %d</note></item>",
+			i, i%97, i))
+		total += len(docs[i])
+	}
+	for _, bench := range []struct {
+		name  string
+		batch bool
+	}{{"per-doc", false}, {"batch-1000", true}} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.SetBytes(int64(total))
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				db, _ := walBenchDB(b, 0)
+				col, err := db.CreateCollection("bench", core.CollectionOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if bench.batch {
+					if _, err := col.InsertBatch(docs, core.BatchOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				} else {
+					for _, d := range docs {
+						tx := db.Begin()
+						if _, err := tx.Insert(col, d); err != nil {
+							b.Fatal(err)
+						}
+						if err := tx.Commit(); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.StopTimer()
+				db.Close()
+				b.StartTimer()
 			}
 		})
 	}

@@ -55,6 +55,12 @@ func main() {
 			return experiments.E11(4, time.Duration(scale(1000, 300))*time.Millisecond)
 		}},
 		{"e11b", experiments.E11Locks},
+		{"e15", func() (*experiments.Table, error) {
+			return experiments.E15(scale(50, 10), 2*time.Millisecond)
+		}},
+		{"e16", func() (*experiments.Table, error) {
+			return experiments.E16(scale(5000, 500), 1000)
+		}},
 	}
 
 	fmt.Println("System R/X reproduction — experiment harness")

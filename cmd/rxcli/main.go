@@ -4,6 +4,7 @@
 //
 //	rxcli -db data.rxdb create <collection>
 //	rxcli -db data.rxdb insert <collection> <file.xml>...
+//	rxcli -db data.rxdb load [-batch n] <collection> <file.xml>...
 //	rxcli -db data.rxdb index <collection> <name> <xpath> <string|double|date|decimal>
 //	rxcli -db data.rxdb query <collection> <xpath>
 //	rxcli -db data.rxdb get <collection> <docid>
@@ -17,9 +18,15 @@
 //	rxcli -db data.rxdb quarantine clear <collection> <docid>
 //
 // With -wal <path>, the database runs with write-ahead logging and performs
-// crash recovery on open. With -checksums, every page carries a CRC32
-// verified on read (torn-page detection); a database must be used with the
-// same -checksums setting it was created with.
+// crash recovery on open; -group-commit <dur> additionally batches
+// concurrent commits into shared log syncs (each commit may wait up to that
+// long for company). With -checksums, every page carries a CRC32 verified on
+// read (torn-page detection); a database must be used with the same
+// -checksums setting it was created with.
+//
+// load is the bulk path: files are ingested in batches of -batch documents,
+// each batch stored with sorted index insertion and one WAL commit. insert
+// remains the one-document-one-commit path.
 //
 // verify scans every page and reports each failure; it exits 0 when the
 // database is clean, 2 when it found corruption (checksum failures), and 1
@@ -45,6 +52,8 @@ import (
 func main() {
 	dbPath := flag.String("db", "rx.rxdb", "database file")
 	walPath := flag.String("wal", "", "write-ahead log file (enables logging + recovery)")
+	groupCommit := flag.Duration("group-commit", 0, "WAL group-commit window (0 = sync per commit; needs -wal)")
+	batch := flag.Int("batch", 1000, "documents per load batch")
 	checksums := flag.Bool("checksums", false, "page checksums (torn-page detection; fixed at creation)")
 	jobs := flag.Int("j", 0, "query parallelism (0 = one worker per CPU)")
 	limit := flag.Int("limit", 0, "stop after this many query results (0 = all)")
@@ -59,6 +68,9 @@ func main() {
 	var opts []rx.Option
 	if *walPath != "" {
 		opts = append(opts, rx.WithWAL(*walPath))
+		if *groupCommit > 0 {
+			opts = append(opts, rx.WithGroupCommit(*groupCommit))
+		}
 	}
 	if *checksums {
 		opts = append(opts, rx.WithChecksums())
@@ -101,6 +113,34 @@ func main() {
 			fatal(err)
 			fmt.Printf("%s → doc %d\n", path, id)
 		}
+	case "load":
+		need(rest, 2, "load <collection> <file.xml>...")
+		col := collection(db, rest[0])
+		if *batch < 1 {
+			fatal(fmt.Errorf("-batch must be at least 1"))
+		}
+		files := rest[1:]
+		loaded := 0
+		for len(files) > 0 {
+			n := *batch
+			if n > len(files) {
+				n = len(files)
+			}
+			docs := make([][]byte, n)
+			for i, path := range files[:n] {
+				data, err := os.ReadFile(path)
+				fatal(err)
+				docs[i] = data
+			}
+			ids, err := col.InsertBatch(docs, rx.BatchOptions{})
+			fatal(err)
+			for i, path := range files[:n] {
+				fmt.Printf("%s → doc %d\n", path, ids[i])
+			}
+			loaded += n
+			files = files[n:]
+		}
+		fmt.Printf("-- %d documents loaded in batches of up to %d\n", loaded, *batch)
 	case "index":
 		need(rest, 4, "index <collection> <name> <xpath> <type>")
 		col := collection(db, rest[0])
@@ -341,7 +381,15 @@ func printDBStats(db *rx.DB) {
 	fmt.Printf("indexes rebuilt:     %d\n", s.IndexesRebuilt)
 	fmt.Printf("write-back retries:  %d\n", s.WriteBackRetries)
 	fmt.Printf("deadlock re-runs:    %d\n", s.DeadlockReruns)
-	fmt.Printf("pool hits/misses:    %d/%d (evictions: %d)\n", s.PoolHits, s.PoolMisses, s.PoolEvictions)
+	fmt.Printf("pool hits/misses:    %d/%d (evictions: %d, write-backs: %d)\n",
+		s.PoolHits, s.PoolMisses, s.PoolEvictions, s.PoolWriteBacks)
+	occ := make([]string, len(s.PoolShardOccupancy))
+	for i, n := range s.PoolShardOccupancy {
+		occ[i] = strconv.Itoa(n)
+	}
+	fmt.Printf("pool residency:      %d frames over %d shards [%s]\n",
+		s.PoolResident, s.PoolShards, strings.Join(occ, " "))
+	fmt.Printf("WAL commits/syncs:   %d/%d\n", s.WALCommits, s.WALSyncs)
 }
 
 func collection(db *rx.DB, name string) *rx.Collection {
@@ -365,7 +413,7 @@ func fatal(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rxcli [-db file] [-wal file] [-j n] [-limit n] <command> ...
-commands: create, insert, index, query, get, delete, ls, stats, backup,
+commands: create, insert, load, index, query, get, delete, ls, stats, backup,
           verify, scrub, repair, quarantine`)
 	os.Exit(2)
 }

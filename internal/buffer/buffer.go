@@ -9,18 +9,21 @@
 // LSN.
 //
 // Concurrency: the pool is safe for concurrent readers and writers. The
-// pool mutex guards the frame table, pin counts and the LRU list; each
-// frame carries its own latch guarding Data. Lock order is pool mutex →
-// frame latch (never the reverse): a miss fills the frame under its
-// exclusive latch so concurrent fetchers of the same page block until the
-// read completes, and write-back latches the frame in shared mode so a
-// concurrent Modify can never tear the page image being written out.
+// frame table and LRU are partitioned into shards keyed by PageID; each
+// shard's mutex guards its frame table, pin counts and LRU list, and each
+// frame carries its own latch guarding Data. Lock order is one shard mutex
+// → frame latch (never the reverse, and never two shard mutexes): a miss
+// fills the frame under its exclusive latch so concurrent fetchers of the
+// same page block until the read completes, and write-back latches the
+// frame in shared mode so a concurrent Modify can never tear the page
+// image being written out.
 package buffer
 
 import (
 	"container/list"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -80,7 +83,13 @@ type PageLogger interface {
 	LogPageDelta(id pagestore.PageID, off int, before, after []byte) (LSN, error)
 }
 
-// Pool is a buffer pool of page frames.
+// Pool is a buffer pool of page frames, partitioned into shards so that
+// concurrent fetchers of unrelated pages do not serialize on one mutex. A
+// page's shard is fixed by its PageID; each shard owns a frame table and an
+// LRU list under its own mutex. Capacity is global: a shard that has no
+// local victim steals one from another shard (never holding two shard
+// mutexes at once), so ErrPoolFull means every frame in the whole pool is
+// pinned, exactly as with the unsharded pool.
 type Pool struct {
 	store  pagestore.Store
 	logger PageLogger
@@ -93,32 +102,84 @@ type Pool struct {
 	retryAttempts int
 	retryBase     time.Duration
 
-	mu       sync.Mutex
 	capacity int
-	frames   map[pagestore.PageID]*Frame
-	lru      *list.List // unpinned frames, front = least recently used
+	shards   []*shard
+	mask     uint32       // len(shards)-1; shard count is a power of two
+	resident atomic.Int64 // frames currently installed, across all shards
 
-	// statistics
-	hits, misses, evictions, writeRetries uint64
+	writeRetries atomic.Uint64
+}
+
+// shard is one partition of the pool: a frame table plus the LRU list of
+// its unpinned frames, under a dedicated mutex.
+type shard struct {
+	mu     sync.Mutex
+	frames map[pagestore.PageID]*Frame
+	lru    *list.List // unpinned frames, front = least recently used
+
+	// statistics, guarded by mu
+	hits, misses, evictions, writeBacks uint64
 }
 
 // ErrPoolFull reports that every frame is pinned and no page can be evicted.
 var ErrPoolFull = errors.New("buffer: all frames pinned")
 
-// New creates a pool of the given capacity (in pages) over store.
+// New creates a pool of the given capacity (in pages) over store, with the
+// default shard count: 2*GOMAXPROCS rounded up to a power of two, capped at
+// 64 and never exceeding the capacity.
 func New(store pagestore.Store, capacity int) *Pool {
+	return NewSharded(store, capacity, 0)
+}
+
+// NewSharded creates a pool with an explicit shard count (rounded up to a
+// power of two; 0 selects the default).
+func NewSharded(store pagestore.Store, capacity, shards int) *Pool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &Pool{
+	if shards <= 0 {
+		shards = 2 * runtime.GOMAXPROCS(0)
+		if shards > 64 {
+			shards = 64
+		}
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	for n > capacity {
+		n >>= 1
+	}
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
 		store:         store,
 		capacity:      capacity,
-		frames:        make(map[pagestore.PageID]*Frame, capacity),
-		lru:           list.New(),
+		shards:        make([]*shard, n),
+		mask:          uint32(n - 1),
 		retryAttempts: 2,
 		retryBase:     200 * time.Microsecond,
 	}
+	per := capacity/n + 1
+	for i := range p.shards {
+		p.shards[i] = &shard{
+			frames: make(map[pagestore.PageID]*Frame, per),
+			lru:    list.New(),
+		}
+	}
+	return p
 }
+
+// shardOf maps a page to its owning shard. Identity-mod keeps neighbouring
+// pages in different shards (sequential scans spread out) and is
+// deterministic across runs.
+func (p *Pool) shardOf(id pagestore.PageID) *shard {
+	return p.shards[uint32(id)&p.mask]
+}
+
+// ShardCount reports how many shards the pool was built with.
+func (p *Pool) ShardCount() int { return len(p.shards) }
 
 // SetWriteRetry tunes write-back retries: up to attempts extra tries after
 // a store write error, sleeping base, 2*base, ... between them. attempts 0
@@ -158,13 +219,21 @@ func (p *Pool) Modify(f *Frame, fn func(data []byte) error) error {
 		copy(f.Data, before[:]) // roll the page back; mutation failed
 		return err
 	}
-	lo, hi := diffRange(before[:], f.Data)
-	if lo < 0 {
+	runs := diffRuns(before[:], f.Data)
+	if len(runs) == 0 {
 		return nil // no change
 	}
-	lsn, err := p.logger.LogPageDelta(f.ID, lo, before[lo:hi], f.Data[lo:hi])
-	if err != nil {
-		return err
+	// One delta record per changed run. The page LSN is the last run's LSN,
+	// so forcing the WAL up to the page LSN before write-back (the flushLSN
+	// coupling) covers every run of this mutation; redo applies the runs in
+	// log order, each gated on the page LSN it finds.
+	var lsn LSN
+	var err error
+	for _, r := range runs {
+		lsn, err = p.logger.LogPageDelta(f.ID, r.lo, before[r.lo:r.hi], f.Data[r.lo:r.hi])
+		if err != nil {
+			return err
+		}
 	}
 	putLSN(f.Data, lsn)
 	f.SetLSN(lsn)
@@ -208,47 +277,86 @@ func diffRange(a, b []byte) (int, int) {
 	return lo, hi
 }
 
+// diffGapMin is the unchanged-byte stretch that splits a delta into separate
+// runs. Below it, the per-record framing overhead outweighs the bytes saved;
+// above it, logging the gap is pure write amplification. The slotted page
+// layouts make the amplification severe: an insert touches the header/slot
+// array near the page start and cell content near the free-space pointer, so
+// a single covering range drags the untouched free space in the middle —
+// frequently kilobytes — into every before/after image.
+const diffGapMin = 64
+
+// byteRun is one changed region of a page.
+type byteRun struct{ lo, hi int }
+
+// diffRuns returns the changed regions of the page as maximal runs, merging
+// runs separated by fewer than diffGapMin unchanged bytes. The LSN field
+// [0,8) is excluded, as in diffRange.
+func diffRuns(a, b []byte) []byteRun {
+	var runs []byteRun
+	i := 8
+	for {
+		for i < len(a) && a[i] == b[i] {
+			i++
+		}
+		if i == len(a) {
+			return runs
+		}
+		lo := i
+		// Extend the run, absorbing unchanged gaps shorter than diffGapMin.
+		hi := i + 1
+		for j := hi; j < len(a); j++ {
+			if a[j] != b[j] {
+				hi = j + 1
+			} else if j-hi >= diffGapMin {
+				break
+			}
+		}
+		runs = append(runs, byteRun{lo: lo, hi: hi})
+		i = hi
+	}
+}
+
 // Fetch pins the page in the pool, reading it from the store on a miss.
 // On a miss the store read happens under the frame's exclusive latch, so a
 // concurrent Fetch of the same page returns only after the data is valid.
 func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
-		p.hits++
-		p.pinLocked(f)
-		p.mu.Unlock()
+	s := p.shardOf(id)
+	f, hit, err := p.frameFor(s, id)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.hits++
+		s.mu.Unlock()
 		// Wait out a concurrent loader: the filling Fetch holds the
 		// exclusive latch until the store read completes.
 		f.mu.RLock()
-		err := f.loadErr
+		lerr := f.loadErr
 		f.mu.RUnlock()
-		if err != nil {
+		if lerr != nil {
 			p.Unpin(f, false)
-			return nil, err
+			return nil, lerr
 		}
 		return f, nil
 	}
-	p.misses++
-	f, err := p.newFrameLocked(id)
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
-	// Latch before publishing the release of p.mu: the frame is already in
+	s.misses++
+	// Latch before publishing the release of s.mu: the frame is already in
 	// the map, but no other goroutine can have reached it yet, so this
 	// cannot block. Concurrent fetchers will queue on the latch above.
 	f.mu.Lock()
-	p.mu.Unlock()
+	s.mu.Unlock()
 	err = p.store.ReadPage(id, f.Data)
 	f.loadErr = err
 	f.mu.Unlock()
 	if err != nil {
-		p.mu.Lock()
-		if p.frames[id] == f {
-			delete(p.frames, id)
+		s.mu.Lock()
+		if s.frames[id] == f {
+			delete(s.frames, id)
+			p.resident.Add(-1)
 		}
 		f.pins--
-		p.mu.Unlock()
+		s.mu.Unlock()
 		return nil, err
 	}
 	return f, nil
@@ -260,10 +368,13 @@ func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
 // repairer needs a frame to reformat. The frame is marked dirty so the new
 // image is written back, refreshing the page's sidecar checksum.
 func (p *Pool) FetchZeroed(id pagestore.PageID) (*Frame, error) {
-	p.mu.Lock()
-	if f, ok := p.frames[id]; ok {
-		p.pinLocked(f)
-		p.mu.Unlock()
+	s := p.shardOf(id)
+	f, hit, err := p.frameFor(s, id)
+	if err != nil {
+		return nil, err
+	}
+	if hit {
+		s.mu.Unlock()
 		f.mu.Lock()
 		for i := range f.Data {
 			f.Data[i] = 0
@@ -273,13 +384,8 @@ func (p *Pool) FetchZeroed(id pagestore.PageID) (*Frame, error) {
 		f.dirty.Store(true)
 		return f, nil
 	}
-	f, err := p.newFrameLocked(id)
-	if err != nil {
-		p.mu.Unlock()
-		return nil, err
-	}
 	f.dirty.Store(true)
-	p.mu.Unlock()
+	s.mu.Unlock()
 	return f, nil
 }
 
@@ -289,67 +395,123 @@ func (p *Pool) NewPage() (*Frame, error) {
 	if err != nil {
 		return nil, err
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	f, err := p.newFrameLocked(id)
+	s := p.shardOf(id)
+	f, _, err := p.frameFor(s, id)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Unlock()
 	return f, nil
 }
 
-// newFrameLocked installs a pinned frame for id, evicting if necessary.
-// Called with p.mu held.
-func (p *Pool) newFrameLocked(id pagestore.PageID) (*Frame, error) {
-	for len(p.frames) >= p.capacity {
-		if err := p.evictLocked(); err != nil {
-			return nil, err
+// frameFor returns a pinned frame for id in its shard: either the existing
+// one (hit=true, possibly still being filled by a concurrent Fetch) or a
+// freshly installed, not-yet-filled one (hit=false). On success s.mu is
+// HELD on return — the caller publishes the release. Capacity is enforced
+// globally: the shard evicts its own LRU victim first and steals one from
+// a sibling shard when it has none, temporarily dropping s.mu (so the
+// frame-table lookup is re-run after every steal).
+func (p *Pool) frameFor(s *shard, id pagestore.PageID) (*Frame, bool, error) {
+	s.mu.Lock()
+	for {
+		if f, ok := s.frames[id]; ok {
+			s.pinLocked(f)
+			return f, true, nil
 		}
+		if int(p.resident.Load()) < p.capacity {
+			break
+		}
+		if s.lru.Len() > 0 {
+			if err := p.evictLocked(s); err != nil {
+				s.mu.Unlock()
+				return nil, false, err
+			}
+			continue
+		}
+		// No local victim. Steal one from a sibling shard — never holding
+		// two shard mutexes at once (the uniform lock order "one shard at a
+		// time" is what makes cross-shard eviction deadlock-free).
+		s.mu.Unlock()
+		stole, err := p.evictOther(s)
+		if err != nil {
+			return nil, false, err
+		}
+		if !stole {
+			return nil, false, fmt.Errorf("%w (capacity %d)", ErrPoolFull, p.capacity)
+		}
+		s.mu.Lock()
 	}
 	f := &Frame{ID: id, Data: make([]byte, pagestore.PageSize), pins: 1}
-	p.frames[id] = f
-	return f, nil
+	s.frames[id] = f
+	p.resident.Add(1)
+	return f, false, nil
 }
 
-// pinLocked pins an existing frame, removing it from the LRU list.
-func (p *Pool) pinLocked(f *Frame) {
+// pinLocked pins an existing frame, removing it from the shard's LRU list.
+func (s *shard) pinLocked(f *Frame) {
 	f.pins++
 	if f.lruElem != nil {
-		p.lru.Remove(f.lruElem)
+		s.lru.Remove(f.lruElem)
 		f.lruElem = nil
 	}
 }
 
-// evictLocked writes back and removes the least recently used unpinned frame.
-func (p *Pool) evictLocked() error {
-	e := p.lru.Front()
+// evictLocked writes back and removes the shard's least recently used
+// unpinned frame. Called with s.mu held.
+func (p *Pool) evictLocked(s *shard) error {
+	e := s.lru.Front()
 	if e == nil {
 		return fmt.Errorf("%w (capacity %d)", ErrPoolFull, p.capacity)
 	}
 	f := e.Value.(*Frame)
 	if f.dirty.Load() {
-		if err := p.writeBackLocked(f); err != nil {
+		if err := p.writeBack(f); err != nil {
 			return err
 		}
+		s.writeBacks++
 	}
-	p.lru.Remove(e)
+	s.lru.Remove(e)
 	f.lruElem = nil
 	// A failed load may have replaced this ID's map entry with a newer
-	// frame; only remove the entry if it is still ours.
-	if p.frames[f.ID] == f {
-		delete(p.frames, f.ID)
+	// frame; only remove the entry (and release its capacity slot) if it is
+	// still ours.
+	if s.frames[f.ID] == f {
+		delete(s.frames, f.ID)
+		p.resident.Add(-1)
 	}
-	p.evictions++
+	s.evictions++
 	return nil
 }
 
-// writeBackLocked flushes f's contents to the store, honoring WAL ordering.
-// Called with p.mu held; takes the frame latch in shared mode so a
-// concurrent Modify cannot tear the image being written (Modify never takes
-// p.mu, so the p.mu → f.mu order here cannot deadlock). The dirty bit is
-// cleared before the write: a Modify that lands mid-flight re-marks the
-// frame dirty and the page is simply written again later.
-func (p *Pool) writeBackLocked(f *Frame) error {
+// evictOther evicts one frame from any sibling shard with an unpinned
+// victim, in deterministic shard order. Returns false if no sibling has one.
+func (p *Pool) evictOther(exclude *shard) (bool, error) {
+	for _, t := range p.shards {
+		if t == exclude {
+			continue
+		}
+		t.mu.Lock()
+		if t.lru.Len() == 0 {
+			t.mu.Unlock()
+			continue
+		}
+		err := p.evictLocked(t)
+		t.mu.Unlock()
+		if err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+// writeBack flushes f's contents to the store, honoring WAL ordering.
+// Called with f's shard mutex held; takes the frame latch in shared mode so
+// a concurrent Modify cannot tear the image being written (Modify never
+// takes shard mutexes, so the shard → frame order here cannot deadlock).
+// The dirty bit is cleared before the write: a Modify that lands mid-flight
+// re-marks the frame dirty and the page is simply written again later.
+func (p *Pool) writeBack(f *Frame) error {
 	f.dirty.Store(false)
 	f.mu.RLock()
 	if lsn := LSN(f.pageLSN.Load()); p.flushLSN != nil && lsn > 0 {
@@ -366,7 +528,7 @@ func (p *Pool) writeBackLocked(f *Frame) error {
 	for attempt := 0; err != nil && attempt < p.retryAttempts &&
 		!errors.Is(err, pagestore.ErrPageRange); attempt++ {
 		time.Sleep(p.retryBase << attempt)
-		p.writeRetries++
+		p.writeRetries.Add(1)
 		err = p.store.WritePage(f.ID, f.Data)
 	}
 	f.mu.RUnlock()
@@ -382,53 +544,85 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if dirty {
 		f.dirty.Store(true)
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	s := p.shardOf(f.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	f.pins--
 	if f.pins < 0 {
 		panic("buffer: unpin of unpinned frame")
 	}
 	if f.pins == 0 && f.lruElem == nil {
-		f.lruElem = p.lru.PushBack(f)
+		f.lruElem = s.lru.PushBack(f)
 	}
 }
 
-// FlushAll writes back every dirty frame (pinned or not) in page order —
-// deterministic I/O sequencing matters for reproducing fault schedules —
-// and syncs the store.
+// FlushAll writes back every dirty frame (pinned or not) in global page
+// order — deterministic I/O sequencing matters for reproducing fault
+// schedules — and syncs the store.
 func (p *Pool) FlushAll() error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	ids := make([]pagestore.PageID, 0, len(p.frames))
-	for id, f := range p.frames {
-		if f.dirty.Load() {
-			ids = append(ids, id)
+	var ids []pagestore.PageID
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for id, f := range s.frames {
+			if f.dirty.Load() {
+				ids = append(ids, id)
+			}
 		}
+		s.mu.Unlock()
 	}
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	for _, id := range ids {
-		if f, ok := p.frames[id]; ok && f.dirty.Load() {
-			if err := p.writeBackLocked(f); err != nil {
+		s := p.shardOf(id)
+		s.mu.Lock()
+		if f, ok := s.frames[id]; ok && f.dirty.Load() {
+			if err := p.writeBack(f); err != nil {
+				s.mu.Unlock()
 				return err
 			}
+			s.writeBacks++
 		}
+		s.mu.Unlock()
 	}
 	return p.store.Sync()
 }
 
-// Stats reports hit/miss/eviction counters.
-func (p *Pool) Stats() (hits, misses, evictions uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.hits, p.misses, p.evictions
+// Stats is a point-in-time snapshot of the pool's counters and occupancy.
+type Stats struct {
+	Hits, Misses, Evictions uint64
+	WriteBacks              uint64 // dirty pages written to the store
+	WriteRetries            uint64 // write-back attempts retried after errors
+	Shards                  int
+	Capacity                int
+	Resident                int   // frames currently installed
+	ShardOccupancy          []int // resident frames per shard
+}
+
+// Stats reports the pool's counters, summed across shards, plus per-shard
+// occupancy.
+func (p *Pool) Stats() Stats {
+	st := Stats{
+		Shards:         len(p.shards),
+		Capacity:       p.capacity,
+		WriteRetries:   p.writeRetries.Load(),
+		ShardOccupancy: make([]int, len(p.shards)),
+	}
+	for i, s := range p.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.WriteBacks += s.writeBacks
+		st.ShardOccupancy[i] = len(s.frames)
+		st.Resident += len(s.frames)
+		s.mu.Unlock()
+	}
+	return st
 }
 
 // WriteRetries reports how many write-back attempts were retried after a
 // transient store error.
 func (p *Pool) WriteRetries() uint64 {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.writeRetries
+	return p.writeRetries.Load()
 }
 
 // Store exposes the underlying page store (for allocation-size queries).

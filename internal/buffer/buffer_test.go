@@ -28,9 +28,9 @@ func TestFetchMissRead(t *testing.T) {
 	// Second fetch is a hit.
 	f2, _ := p.Fetch(id)
 	p.Unpin(f2, false)
-	hits, misses, _ := p.Stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("hits=%d misses=%d", hits, misses)
+	st := p.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", st.Hits, st.Misses)
 	}
 }
 
@@ -61,8 +61,7 @@ func TestEvictionWritesDirty(t *testing.T) {
 	if buf[10] != 9 {
 		t.Error("dirty page not written back on eviction")
 	}
-	_, _, ev := p.Stats()
-	if ev == 0 {
+	if st := p.Stats(); st.Evictions == 0 {
 		t.Error("expected evictions")
 	}
 }
@@ -246,6 +245,141 @@ func TestConcurrentFetchModifyEvict(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Every page must have survived the churn with its identity byte intact.
+	buf := make([]byte, pagestore.PageSize)
+	for n, id := range ids {
+		if err := store.ReadPage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		if buf[0] != byte(n) {
+			t.Errorf("page %d persisted %d", n, buf[0])
+		}
+	}
+}
+
+// TestCrossShardSteal: a shard whose frames are all pinned must claim a
+// capacity slot by evicting a victim from a sibling shard instead of
+// reporting the pool full.
+func TestCrossShardSteal(t *testing.T) {
+	store := pagestore.NewMemStore()
+	p := NewSharded(store, 4, 4)
+	if p.ShardCount() != 4 {
+		t.Fatalf("shards = %d, want 4", p.ShardCount())
+	}
+	frames := make([]*Frame, 4)
+	for i := range frames {
+		f, err := p.NewPage() // pages 0..3 land in shards 0..3
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames[i] = f
+	}
+	for _, f := range frames[1:] {
+		p.Unpin(f, false)
+	}
+	// Page 4 maps to shard 0, whose only frame (page 0) is pinned; the pool
+	// is at capacity, so the slot must come from a sibling shard's LRU.
+	f4, err := p.NewPage()
+	if err != nil {
+		t.Fatalf("new page with cross-shard victims available: %v", err)
+	}
+	if f4.ID != 4 {
+		t.Fatalf("allocated page %d, want 4", f4.ID)
+	}
+	st := p.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Resident != 4 || st.ShardOccupancy[0] != 2 {
+		t.Errorf("resident = %d, shard occupancy = %v", st.Resident, st.ShardOccupancy)
+	}
+	// With every frame pinned again, the pool really is full.
+	p.Unpin(frames[0], false)
+	f0, err := p.Fetch(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []pagestore.PageID{1, 2} {
+		f, err := p.Fetch(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer p.Unpin(f, false)
+	}
+	if _, err := p.NewPage(); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("err = %v, want ErrPoolFull", err)
+	}
+	p.Unpin(f0, false)
+	p.Unpin(f4, false)
+}
+
+// TestShardedChurnStats drives heavy concurrent churn across many shards
+// (run under -race) and then checks the Stats snapshot is coherent: counters
+// flowing, occupancy summing to residency, residency within capacity.
+func TestShardedChurnStats(t *testing.T) {
+	store := pagestore.NewMemStore()
+	p := NewSharded(store, 16, 8)
+	var ids []pagestore.PageID
+	for i := 0; i < 64; i++ {
+		f, err := p.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Modify(f, func(d []byte) error { d[0] = byte(i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, f.ID)
+		p.Unpin(f, false)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				n := (g*53 + i*7) % len(ids)
+				f, err := p.Fetch(ids[n])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if g%2 == 0 {
+					f.RLock()
+					if f.Data[0] != byte(n) {
+						t.Errorf("page %d holds %d", n, f.Data[0])
+					}
+					f.RUnlock()
+					p.Unpin(f, false)
+				} else {
+					if err := p.Modify(f, func(d []byte) error { d[2]++; return nil }); err != nil {
+						t.Error(err)
+					}
+					p.Unpin(f, true)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Shards != 8 || len(st.ShardOccupancy) != 8 {
+		t.Fatalf("shards = %d, occupancy = %v", st.Shards, st.ShardOccupancy)
+	}
+	if st.Misses == 0 || st.Evictions == 0 || st.WriteBacks == 0 {
+		t.Errorf("expected churn: %+v", st)
+	}
+	if st.Resident > st.Capacity {
+		t.Errorf("resident %d exceeds capacity %d at quiescence", st.Resident, st.Capacity)
+	}
+	sum := 0
+	for _, n := range st.ShardOccupancy {
+		sum += n
+	}
+	if sum != st.Resident {
+		t.Errorf("occupancy sum %d != resident %d", sum, st.Resident)
+	}
+	// Data integrity after the churn.
 	buf := make([]byte, pagestore.PageSize)
 	for n, id := range ids {
 		if err := store.ReadPage(id, buf); err != nil {

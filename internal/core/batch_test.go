@@ -1,0 +1,242 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"rx/internal/btree"
+	"rx/internal/pagestore"
+	"rx/internal/wal"
+	"rx/internal/xml"
+)
+
+func batchDoc(i int) []byte {
+	return []byte(fmt.Sprintf(
+		`<item><sku>SKU-%03d</sku><qty>%d</qty><note>doc number %d</note></item>`,
+		i, i*3, i))
+}
+
+// dumpTree flattens a B+tree to its logical (key, value) entry list.
+func dumpTree(t *testing.T, tr *btree.Tree) []btree.Entry {
+	t.Helper()
+	var out []btree.Entry
+	err := tr.Scan(nil, nil, func(e btree.Entry) bool {
+		out = append(out, btree.Entry{
+			Key:   append([]byte(nil), e.Key...),
+			Value: append([]byte(nil), e.Value...),
+		})
+		return true
+	})
+	if err != nil {
+		t.Fatalf("tree scan: %v", err)
+	}
+	return out
+}
+
+func treesEqual(t *testing.T, name string, a, b []btree.Entry) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: entry count %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		if !bytes.Equal(a[i].Key, b[i].Key) || !bytes.Equal(a[i].Value, b[i].Value) {
+			t.Fatalf("%s: entry %d differs:\n  %x=%x\n  %x=%x",
+				name, i, a[i].Key, a[i].Value, b[i].Key, b[i].Value)
+		}
+	}
+}
+
+// setupBatchCol builds the reference collection shape used by the
+// equivalence tests: two typed value indexes over the batchDoc schema.
+func setupBatchCol(t *testing.T, db *DB, versioned bool) *Collection {
+	t.Helper()
+	col, err := db.CreateCollection("c", CollectionOptions{Versioned: versioned, PackThreshold: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := col.CreateValueIndex("ix_qty", "//qty", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.CreateValueIndex("ix_sku", "//sku", xml.TString); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+// TestInsertBatchMatchesSequentialInserts is the bulk-loader correctness
+// anchor: a batch insert must leave byte-identical logical index contents
+// (DocID index, NodeID index, every value index) to N sequential Inserts of
+// the same documents, and the batch database must pass full physical and
+// structural verification.
+func TestInsertBatchMatchesSequentialInserts(t *testing.T) {
+	for _, versioned := range []bool{false, true} {
+		t.Run(fmt.Sprintf("versioned=%v", versioned), func(t *testing.T) {
+			const n = 40
+			docs := make([][]byte, n)
+			for i := range docs {
+				docs[i] = batchDoc(i)
+			}
+
+			seqDB, batchDB := newDB(t), newDB(t)
+			seqCol := setupBatchCol(t, seqDB, versioned)
+			batchCol := setupBatchCol(t, batchDB, versioned)
+
+			seqIDs := make([]xml.DocID, n)
+			for i, d := range docs {
+				id, err := seqCol.Insert(d)
+				if err != nil {
+					t.Fatalf("sequential insert %d: %v", i, err)
+				}
+				seqIDs[i] = id
+			}
+			batchIDs, err := batchCol.InsertBatch(docs, BatchOptions{})
+			if err != nil {
+				t.Fatalf("InsertBatch: %v", err)
+			}
+			if len(batchIDs) != n {
+				t.Fatalf("InsertBatch returned %d ids, want %d", len(batchIDs), n)
+			}
+			for i := range seqIDs {
+				if seqIDs[i] != batchIDs[i] {
+					t.Fatalf("DocID %d: sequential %d vs batch %d", i, seqIDs[i], batchIDs[i])
+				}
+			}
+
+			// Logical index contents must match byte for byte. (Physical page
+			// layouts may differ — sorted insertion packs leaves differently —
+			// which is exactly why the comparison is over entries, not pages.)
+			treesEqual(t, "docIx", dumpTree(t, seqCol.docIx), dumpTree(t, batchCol.docIx))
+			treesEqual(t, "nodeIx", dumpTree(t, seqCol.nodeIx.Tree()), dumpTree(t, batchCol.nodeIx.Tree()))
+			if len(seqCol.valIxs) != 2 || len(batchCol.valIxs) != 2 {
+				t.Fatalf("value index count: %d vs %d", len(seqCol.valIxs), len(batchCol.valIxs))
+			}
+			for i := range seqCol.valIxs {
+				treesEqual(t, "valIx "+seqCol.valIxs[i].meta.Name,
+					dumpTree(t, seqCol.valIxs[i].ix.Tree()),
+					dumpTree(t, batchCol.valIxs[i].ix.Tree()))
+			}
+
+			// Documents round-trip from the batch store.
+			for i, id := range batchIDs {
+				var buf bytes.Buffer
+				if err := batchCol.Serialize(id, &buf); err != nil {
+					t.Fatalf("serialize batch doc %d: %v", i, err)
+				}
+				if buf.String() != string(docs[i]) {
+					t.Fatalf("batch doc %d round-trip:\n got %s\nwant %s", i, buf.String(), docs[i])
+				}
+			}
+
+			// Queries resolve through the value indexes.
+			hits, plan, err := batchCol.Query("/item[qty = 21]")
+			if err != nil || len(hits) != 1 || hits[0].Doc != batchIDs[7] {
+				t.Fatalf("indexed query after batch: hits=%v plan=%v err=%v", hits, plan, err)
+			}
+
+			// Physical + structural cross-check of the batch database.
+			if err := batchDB.VerifyPages(); err != nil {
+				t.Fatalf("VerifyPages after batch: %v", err)
+			}
+			rep, err := batchDB.ScrubPass(nil)
+			if err != nil {
+				t.Fatalf("ScrubPass after batch: %v", err)
+			}
+			if !rep.Clean() {
+				t.Fatalf("scrub found damage after batch: %+v", rep)
+			}
+		})
+	}
+}
+
+// TestInsertBatchSingleCommit verifies the WAL half of the bulk-load win:
+// a 10-document batch costs exactly one transaction commit (and is durable).
+func TestInsertBatchSingleCommit(t *testing.T) {
+	store := pagestore.NewMemStore()
+	log, err := wal.Open(&wal.MemDevice{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := Open(store, Options{WAL: log})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	db.Checkpoint()
+
+	docs := make([][]byte, 10)
+	for i := range docs {
+		docs[i] = batchDoc(i)
+	}
+	before := log.CommitCount()
+	ids, err := col.InsertBatch(docs, BatchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := log.CommitCount() - before; got != 1 {
+		t.Errorf("batch of %d docs issued %d commits, want 1", len(docs), got)
+	}
+
+	// Crash without flushing pages: recovery must redo the whole batch.
+	log.FlushAll()
+	db2, err := Recover(store, log, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col2, err := db2.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		var buf bytes.Buffer
+		if err := col2.Serialize(id, &buf); err != nil {
+			t.Fatalf("batch doc %d lost across recovery: %v", i, err)
+		}
+		if buf.String() != string(docs[i]) {
+			t.Fatalf("batch doc %d after recovery = %s", i, buf.String())
+		}
+	}
+}
+
+// TestInsertBatchRejectsBadDocument verifies all-or-nothing parsing: a
+// malformed document anywhere in the batch fails the whole batch before any
+// mutation, and a later batch starts at an uncontaminated state.
+func TestInsertBatchRejectsBadDocument(t *testing.T) {
+	db := newDB(t)
+	col := setupBatchCol(t, db, false)
+
+	docs := [][]byte{batchDoc(0), []byte(`<broken><unclosed>`), batchDoc(2)}
+	if _, err := col.InsertBatch(docs, BatchOptions{}); err == nil {
+		t.Fatal("batch with malformed document succeeded")
+	} else if !strings.Contains(err.Error(), "batch document 1") {
+		t.Errorf("error should name the offending document: %v", err)
+	}
+	if n, _ := col.Count(); n != 0 {
+		t.Fatalf("failed batch left %d documents behind", n)
+	}
+	if cnt, _ := col.nodeIx.Count(); cnt != 0 {
+		t.Fatalf("failed batch left %d node index entries", cnt)
+	}
+
+	ids, err := col.InsertBatch([][]byte{batchDoc(0), batchDoc(1)}, BatchOptions{})
+	if err != nil {
+		t.Fatalf("clean batch after failed batch: %v", err)
+	}
+	if len(ids) != 2 || !col.Has(ids[0]) || !col.Has(ids[1]) {
+		t.Fatalf("clean batch not fully stored: %v", ids)
+	}
+	if err := db.VerifyPages(); err != nil {
+		t.Fatalf("VerifyPages: %v", err)
+	}
+}
+
+// TestInsertBatchEmpty: a zero-length batch is a no-op, not an error.
+func TestInsertBatchEmpty(t *testing.T) {
+	db := newDB(t)
+	col := setupBatchCol(t, db, false)
+	ids, err := col.InsertBatch(nil, BatchOptions{})
+	if err != nil || ids != nil {
+		t.Fatalf("empty batch: ids=%v err=%v", ids, err)
+	}
+}

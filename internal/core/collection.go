@@ -469,6 +469,12 @@ func (c *Collection) docRecordRIDs(doc xml.DocID) ([]heap.RID, error) {
 func (c *Collection) wipeDoc(doc xml.DocID) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
+	return c.wipeDocLocked(doc)
+}
+
+// wipeDocLocked is wipeDoc for callers already holding writeMu (batch
+// rollback wipes many documents under one lock acquisition).
+func (c *Collection) wipeDocLocked(doc xml.DocID) error {
 	if c.meta.Versioned {
 		// Versioned collections switch whole document versions; compensation
 		// goes through the regular path, tolerating an absent document.

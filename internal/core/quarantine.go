@@ -189,9 +189,17 @@ type Stats struct {
 	DeadlockReruns   uint64 // transactions re-run after a deadlock abort
 
 	// Buffer pool.
-	PoolHits      uint64
-	PoolMisses    uint64
-	PoolEvictions uint64
+	PoolHits           uint64
+	PoolMisses         uint64
+	PoolEvictions      uint64
+	PoolWriteBacks     uint64
+	PoolShards         int
+	PoolResident       int
+	PoolShardOccupancy []int
+
+	// WAL (zero when the database runs without a log).
+	WALCommits uint64 // transactions committed
+	WALSyncs   uint64 // device syncs issued; < WALCommits means group commit batched
 }
 
 // dbStats holds the DB's atomic counters behind Stats().
@@ -209,20 +217,28 @@ type dbStats struct {
 // Stats returns a consistent-enough snapshot of the engine counters (each
 // counter is read atomically; the set is not cross-counter atomic).
 func (db *DB) Stats() Stats {
-	hits, misses, evictions := db.pool.Stats()
+	ps := db.pool.Stats()
 	s := Stats{
-		ScrubPasses:      atomic.LoadUint64(&db.stats.scrubPasses),
-		PagesVerified:    atomic.LoadUint64(&db.stats.pagesVerified),
-		CorruptionsFound: atomic.LoadUint64(&db.stats.corruptions),
-		DocsQuarantined:  atomic.LoadUint64(&db.stats.docsQuarantined),
-		DocsRepaired:     atomic.LoadUint64(&db.stats.docsRepaired),
-		DocsLossy:        atomic.LoadUint64(&db.stats.docsLossy),
-		IndexesRebuilt:   atomic.LoadUint64(&db.stats.indexesRebuilt),
-		WriteBackRetries: db.pool.WriteRetries(),
-		DeadlockReruns:   atomic.LoadUint64(&db.stats.deadlockReruns),
-		PoolHits:         hits,
-		PoolMisses:       misses,
-		PoolEvictions:    evictions,
+		ScrubPasses:        atomic.LoadUint64(&db.stats.scrubPasses),
+		PagesVerified:      atomic.LoadUint64(&db.stats.pagesVerified),
+		CorruptionsFound:   atomic.LoadUint64(&db.stats.corruptions),
+		DocsQuarantined:    atomic.LoadUint64(&db.stats.docsQuarantined),
+		DocsRepaired:       atomic.LoadUint64(&db.stats.docsRepaired),
+		DocsLossy:          atomic.LoadUint64(&db.stats.docsLossy),
+		IndexesRebuilt:     atomic.LoadUint64(&db.stats.indexesRebuilt),
+		WriteBackRetries:   ps.WriteRetries,
+		DeadlockReruns:     atomic.LoadUint64(&db.stats.deadlockReruns),
+		PoolHits:           ps.Hits,
+		PoolMisses:         ps.Misses,
+		PoolEvictions:      ps.Evictions,
+		PoolWriteBacks:     ps.WriteBacks,
+		PoolShards:         ps.Shards,
+		PoolResident:       ps.Resident,
+		PoolShardOccupancy: ps.ShardOccupancy,
+	}
+	if db.log != nil {
+		s.WALCommits = db.log.CommitCount()
+		s.WALSyncs = db.log.SyncCount()
 	}
 	q := &db.quarantine
 	q.mu.Lock()

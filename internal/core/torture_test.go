@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"rx/internal/fault"
 	"rx/internal/nodeid"
@@ -135,7 +136,15 @@ func tortureWorkload(t *testing.T, seed int64, rules []fault.Rule, checksums boo
 	if checksums {
 		st = pagestore.NewChecksumStore(st)
 	}
-	log, err := wal.Open(fault.NewDevice(env.dev, env.inj))
+	// TORTURE_GROUPCOMMIT reruns every schedule with commit batching armed:
+	// the workloads are single-writer, so the window must change no
+	// durability outcome — only add bounded wait. The fault layer sits under
+	// the group-commit logic, so injected sync crashes land mid-group too.
+	var wopts []wal.Option
+	if os.Getenv("TORTURE_GROUPCOMMIT") != "" {
+		wopts = append(wopts, wal.WithGroupCommit(200*time.Microsecond))
+	}
+	log, err := wal.Open(fault.NewDevice(env.dev, env.inj), wopts...)
 	if err != nil {
 		t.Fatalf("wal open: %v", err)
 	}

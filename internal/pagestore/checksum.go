@@ -50,9 +50,15 @@ func (e ErrPageChecksum) Error() string {
 
 // ChecksumStore is a Store wrapper that checksums every page. It must own
 // the inner store exclusively (all reads and writes go through it).
+//
+// Reads take mu only shared: verification reads the cached group image, which
+// writers mutate exclusively, so concurrent reads proceed in parallel and the
+// read path never re-derives the page count from the inner store (pages is
+// authoritative because the store is owned exclusively).
 type ChecksumStore struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	inner  Store
+	pages  PageID               // cached logical page count
 	groups map[PageID]*crcGroup // group index → cached checksum page image
 }
 
@@ -66,7 +72,11 @@ type crcGroup struct {
 // sidecar layout is not self-identifying — opening a raw store with
 // checksums, or vice versa, fails on first read).
 func NewChecksumStore(inner Store) *ChecksumStore {
-	return &ChecksumStore{inner: inner, groups: map[PageID]*crcGroup{}}
+	return &ChecksumStore{
+		inner:  inner,
+		pages:  logicalPages(inner.NumPages()),
+		groups: map[PageID]*crcGroup{},
+	}
 }
 
 // groupOf maps a logical page to its checksum group.
@@ -155,16 +165,28 @@ func (g *crcGroup) setWritten(idx PageID, w bool) {
 
 // ReadPage implements Store, verifying the page against its stored CRC.
 func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if id >= c.numPagesLocked() {
-		return fmt.Errorf("%w: read page %d of %d", ErrPageRange, id, c.numPagesLocked())
+	c.mu.RLock()
+	if id >= c.pages {
+		n := c.pages
+		c.mu.RUnlock()
+		return fmt.Errorf("%w: read page %d of %d", ErrPageRange, id, n)
 	}
+	grp, ok := c.groups[groupOf(id)]
+	if !ok {
+		// First touch of this group: load its sidecar page exclusively, then
+		// resume shared. Groups are never evicted, so the reload can't miss.
+		c.mu.RUnlock()
+		c.mu.Lock()
+		_, err := c.groupLocked(groupOf(id))
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		c.mu.RLock()
+		grp = c.groups[groupOf(id)]
+	}
+	defer c.mu.RUnlock()
 	if err := c.inner.ReadPage(physOf(id), buf); err != nil {
-		return err
-	}
-	grp, err := c.groupLocked(groupOf(id))
-	if err != nil {
 		return err
 	}
 	idx := id % crcPerPage
@@ -189,8 +211,8 @@ func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 func (c *ChecksumStore) WritePage(id PageID, buf []byte) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if id >= c.numPagesLocked() {
-		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, c.numPagesLocked())
+	if id >= c.pages {
+		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, c.pages)
 	}
 	if err := c.inner.WritePage(physOf(id), buf); err != nil {
 		return err
@@ -209,7 +231,7 @@ func (c *ChecksumStore) WritePage(id PageID, buf []byte) error {
 func (c *ChecksumStore) Allocate() (PageID, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	id := c.numPagesLocked()
+	id := c.pages
 	if id%crcPerPage == 0 {
 		// First page of a new group: allocate its checksum page.
 		cp, err := c.inner.Allocate()
@@ -234,17 +256,16 @@ func (c *ChecksumStore) Allocate() (PageID, error) {
 	}
 	grp.set(id%crcPerPage, 0)
 	grp.setWritten(id%crcPerPage, false)
+	c.pages++
 	return id, nil
 }
 
 // NumPages implements Store (logical pages, sidecars excluded).
 func (c *ChecksumStore) NumPages() PageID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.numPagesLocked()
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.pages
 }
-
-func (c *ChecksumStore) numPagesLocked() PageID { return logicalPages(c.inner.NumPages()) }
 
 // Rederive rebuilds every sidecar page from the current contents of the
 // inner store: each data page's CRC is recomputed from its on-disk image,
@@ -255,7 +276,7 @@ func (c *ChecksumStore) numPagesLocked() PageID { return logicalPages(c.inner.Nu
 func (c *ChecksumStore) Rederive() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := c.numPagesLocked()
+	n := c.pages
 	buf := make([]byte, PageSize)
 	for id := PageID(0); id < n; id++ {
 		if id%crcPerPage == 0 {

@@ -313,4 +313,19 @@ func BenchmarkChecksumStore(b *testing.B) {
 			}
 		})
 	}
+	// Concurrent readers: verification holds the store lock only shared, so
+	// this should scale with cores instead of serializing on verification.
+	b.Run("read/checksum-parallel", func(b *testing.B) {
+		b.SetBytes(PageSize)
+		b.RunParallel(func(pb *testing.PB) {
+			pbuf := make([]byte, PageSize)
+			i := 0
+			for pb.Next() {
+				if err := checked.ReadPage(PageID(i%64), pbuf); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
 }

@@ -159,6 +159,18 @@ func entryKey(encVal []byte, doc xml.DocID, id nodeid.ID) []byte {
 	return append(k, id...)
 }
 
+// EntryKey assembles the full (encoded value, DocID, NodeID) entry key.
+// Exported for the bulk loader, which sorts assembled keys before insertion
+// so B+tree puts run in key order.
+func EntryKey(encVal []byte, doc xml.DocID, id nodeid.ID) []byte {
+	return entryKey(encVal, doc, id)
+}
+
+// PutKey inserts a pre-assembled entry key (see EntryKey).
+func (ix *Index) PutKey(key []byte, rid heap.RID) error {
+	return ix.tree.Put(key, rid.Bytes())
+}
+
 // Put inserts an entry for a node's value. Unconvertible values return
 // ErrNotIndexable (callers skip them).
 func (ix *Index) Put(raw []byte, doc xml.DocID, id nodeid.ID, rid heap.RID) error {

@@ -28,6 +28,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"rx/internal/buffer"
 	"rx/internal/pagestore"
@@ -136,13 +138,36 @@ type Log struct {
 	dev Device
 
 	// flushMu serializes Flush so the durable watermark never runs ahead of
-	// an in-flight write.
+	// an in-flight write. Under group commit it doubles as leader election:
+	// the first committer to take it syncs on behalf of everyone whose
+	// record is buffered by the time the device write starts; the rest find
+	// their LSN already durable and return without touching the device.
 	flushMu sync.Mutex
+
+	// groupDelay > 0 enables group commit: the flush leader waits up to this
+	// long (adaptively, in quarter-delay slices) for more committers to
+	// buffer their records before issuing the single Sync.
+	groupDelay time.Duration
+
+	commits atomic.Uint64 // Commit calls
+	syncs   atomic.Uint64 // dev.Sync calls issued by Flush
 
 	mu      sync.Mutex
 	tail    int64  // next append offset
 	pending []byte // buffered, unflushed bytes starting at tail
 	flushed int64  // device bytes durable through this offset
+}
+
+// Option configures a Log at Open.
+type Option func(*Log)
+
+// WithGroupCommit enables group commit: a committer that becomes the flush
+// leader waits up to maxDelay for other committers to buffer their records,
+// then makes them all durable with one device sync. The wait is adaptive —
+// it ends early as soon as a quarter-delay slice passes with no new log
+// traffic — so a lone writer pays at most one slice, not the full window.
+func WithGroupCommit(maxDelay time.Duration) Option {
+	return func(l *Log) { l.groupDelay = maxDelay }
 }
 
 // ErrCorrupt reports corruption in the middle of the log: a bad record that
@@ -154,7 +179,7 @@ var ErrCorrupt = errors.New("wal: mid-log corruption")
 // incomplete or bad-CRC record at the very end of the log, the normal
 // outcome of a crash mid-append — is truncated; mid-log corruption is a
 // hard ErrCorrupt error.
-func Open(dev Device) (*Log, error) {
+func Open(dev Device, opts ...Option) (*Log, error) {
 	size, err := dev.Size()
 	if err != nil {
 		return nil, err
@@ -163,7 +188,11 @@ func Open(dev Device) (*Log, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Log{dev: dev, tail: end, flushed: end}, nil
+	l := &Log{dev: dev, tail: end, flushed: end}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
 }
 
 // scanEnd walks frames from offset 0 and returns the length of the valid
@@ -250,12 +279,24 @@ func (l *Log) Begin(txn uint64) buffer.LSN {
 }
 
 // Commit logs and makes durable a transaction commit (force at commit).
+// With group commit enabled, the sync that makes this record durable may be
+// issued by another committer; either way Commit does not return success
+// until the record is on stable storage.
 func (l *Log) Commit(txn uint64) (buffer.LSN, error) {
 	l.mu.Lock()
 	lsn := l.appendLocked(KindCommit, binary.BigEndian.AppendUint64(nil, txn))
 	l.mu.Unlock()
+	l.commits.Add(1)
 	return lsn, l.Flush(lsn)
 }
+
+// CommitCount reports how many commits have been logged. Together with
+// SyncCount it makes commit batching observable: syncs/commit < 1 means
+// group commit is amortizing device syncs across committers.
+func (l *Log) CommitCount() uint64 { return l.commits.Load() }
+
+// SyncCount reports how many device syncs Flush has issued.
+func (l *Log) SyncCount() uint64 { return l.syncs.Load() }
 
 // Abort logs a transaction abort (after its compensations).
 func (l *Log) Abort(txn uint64) (buffer.LSN, error) {
@@ -285,13 +326,25 @@ func (l *Log) Checkpoint() (buffer.LSN, error) {
 
 // Flush makes the log durable at least through lsn.
 func (l *Log) Flush(lsn buffer.LSN) error {
+	l.mu.Lock()
+	done := int64(lsn) <= l.flushed
+	l.mu.Unlock()
+	if done {
+		return nil
+	}
 	l.flushMu.Lock()
 	defer l.flushMu.Unlock()
 	l.mu.Lock()
 	if int64(lsn) <= l.flushed {
+		// A leader synced while we queued on flushMu; our record rode along.
 		l.mu.Unlock()
 		return nil
 	}
+	l.mu.Unlock()
+	if l.groupDelay > 0 {
+		l.awaitGroup()
+	}
+	l.mu.Lock()
 	data := l.pending
 	at := l.tail
 	l.pending = nil
@@ -303,14 +356,20 @@ func (l *Log) Flush(lsn buffer.LSN) error {
 			// the un-written bytes at the front of the pending buffer so a
 			// retry rewrites them at the same offset — advancing tail here
 			// would leave a hole that recovery reads as corruption.
-			l.mu.Lock()
-			l.pending = append(append(make([]byte, 0, len(data)+len(l.pending)), data...), l.pending...)
-			l.tail = at
-			l.mu.Unlock()
+			l.restoreUnflushed(data, at)
 			return err
 		}
 	}
+	l.syncs.Add(1)
 	if err := l.dev.Sync(); err != nil {
+		// A failed sync means the bytes written above may or may not have
+		// reached stable storage — the device is allowed to have dropped
+		// them. Put them back in pending (tail rolled back to the same
+		// offset) so a retry rewrites and re-syncs them; if instead we left
+		// tail advanced, a later successful Flush of unrelated records would
+		// set flushed = tail and the durable watermark would cover bytes
+		// whose sync failed.
+		l.restoreUnflushed(data, at)
 		return err
 	}
 	l.mu.Lock()
@@ -319,6 +378,42 @@ func (l *Log) Flush(lsn buffer.LSN) error {
 	}
 	l.mu.Unlock()
 	return nil
+}
+
+// restoreUnflushed puts a swapped-out-but-not-durable byte run back at the
+// front of pending and rolls tail back to its offset. Record LSNs are
+// offsets, so anything appended concurrently keeps its position: it sits
+// after data in pending, exactly where its LSN says.
+func (l *Log) restoreUnflushed(data []byte, at int64) {
+	l.mu.Lock()
+	l.pending = append(append(make([]byte, 0, len(data)+len(l.pending)), data...), l.pending...)
+	l.tail = at
+	l.mu.Unlock()
+}
+
+// awaitGroup is the group-commit wait window: the flush leader gives other
+// committers up to groupDelay to buffer their records, checking in
+// quarter-delay slices and ending the wait as soon as a slice passes with
+// no new appends.
+func (l *Log) awaitGroup() {
+	slice := l.groupDelay / 4
+	if slice <= 0 {
+		slice = l.groupDelay
+	}
+	deadline := time.Now().Add(l.groupDelay)
+	l.mu.Lock()
+	last := len(l.pending)
+	l.mu.Unlock()
+	for {
+		time.Sleep(slice)
+		l.mu.Lock()
+		n := len(l.pending)
+		l.mu.Unlock()
+		if n == last || !time.Now().Before(deadline) {
+			return
+		}
+		last = n
+	}
 }
 
 // FlushAll forces everything buffered to the device.
