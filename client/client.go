@@ -1,0 +1,342 @@
+// Package client is the Go client for rxserver. DB implements the same
+// session.API as an embedded session, so programs written against the
+// interface run unchanged in-process or over the network: queries stream in
+// cursor-sized batches, errors keep their errors.Is identity (rx.ErrNotFound,
+// rx.ErrQuarantined, rx.ErrBusy, ...), and cancelling a context mid-query
+// cancels the server-side cursor too.
+//
+// One DB is one connection and therefore one session: safe for concurrent
+// use, but requests serialize and Begin/Commit/Rollback scope a single
+// transaction. Open one DB per concurrent transactional worker, exactly as
+// you would open one session per worker embedded.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"rx/internal/core"
+	"rx/internal/session"
+	"rx/internal/wire"
+	"rx/internal/xml"
+)
+
+// Option configures a Dial.
+type Option func(*DB)
+
+// WithDialTimeout bounds the TCP connect and hello exchange (default 10s).
+func WithDialTimeout(d time.Duration) Option {
+	return func(c *DB) { c.dialTimeout = d }
+}
+
+// WithBatchRows sets how many rows each cursor fetch requests (default 256).
+// Smaller batches cancel faster; larger batches round-trip less.
+func WithBatchRows(n int) Option {
+	return func(c *DB) { c.batchRows = n }
+}
+
+// cancelGrace is how long after sending a cancel frame the client waits for
+// the server's (error) response before declaring the connection dead.
+const cancelGrace = 10 * time.Second
+
+// DB is a connection to an rxserver, implementing session.API remotely.
+type DB struct {
+	dialTimeout time.Duration
+	batchRows   int
+
+	mu         sync.Mutex // serializes request/response round trips
+	nc         net.Conn
+	bw         *bufio.Writer
+	closed     bool
+	nextCursor uint32
+}
+
+var _ session.API = (*DB)(nil)
+
+// ErrClosed reports use of a closed client.
+var ErrClosed = session.ErrClosed
+
+// Dial connects to an rxserver and performs the protocol handshake. A server
+// at its connection limit answers with rx.ErrBusy instead of hanging.
+func Dial(addr string, opts ...Option) (*DB, error) {
+	c := &DB{dialTimeout: 10 * time.Second, batchRows: 256}
+	for _, o := range opts {
+		o(c)
+	}
+	nc, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.nc = nc
+	c.bw = bufio.NewWriter(nc)
+
+	nc.SetDeadline(time.Now().Add(c.dialTimeout))
+	var w wire.Writer
+	w.U32(wire.ProtocolVersion)
+	if err := c.writeFrame(wire.MsgHello, w.Bytes()); err != nil {
+		nc.Close()
+		return nil, err
+	}
+	typ, payload, err := wire.ReadFrame(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	switch typ {
+	case wire.MsgHelloOK:
+		return c, nil
+	case wire.MsgErr:
+		nc.Close()
+		return nil, wire.DecodeError(payload)
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected frame 0x%02x", typ)
+	}
+}
+
+func (c *DB) writeFrame(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// roundTrip sends one request and reads its response under the connection
+// lock. If ctx is cancelled while the response is outstanding, a cancel
+// frame goes out out-of-band; the server cancels the in-flight operation and
+// its response (normally the cancellation error) completes the round trip.
+func (c *DB) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, nil, ErrClosed
+	}
+	if err := c.writeFrame(typ, payload); err != nil {
+		c.teardownLocked()
+		return 0, nil, err
+	}
+
+	watchDone := make(chan struct{})
+	var watched sync.WaitGroup
+	if ctx.Done() != nil {
+		watched.Add(1)
+		go func() {
+			defer watched.Done()
+			select {
+			case <-ctx.Done():
+				// Out-of-band: the server's reader handles cancel frames
+				// while the worker is busy. Write directly (one buffered
+				// frame) — the round-trip holder is blocked reading.
+				_ = wire.WriteFrame(c.nc, wire.MsgCancel, nil)
+				// Backstop: if the server never answers, fail the read.
+				c.nc.SetReadDeadline(time.Now().Add(cancelGrace))
+			case <-watchDone:
+			}
+		}()
+	}
+
+	rtyp, resp, err := wire.ReadFrame(c.nc)
+	close(watchDone)
+	watched.Wait()
+	c.nc.SetReadDeadline(time.Time{})
+	if err != nil {
+		c.teardownLocked()
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr
+		}
+		return 0, nil, err
+	}
+	if rtyp == wire.MsgErr {
+		return 0, nil, wire.DecodeError(resp)
+	}
+	return rtyp, resp, nil
+}
+
+// teardownLocked marks the connection dead after a transport error; the
+// stream position is unknown, so no further request can be trusted.
+func (c *DB) teardownLocked() {
+	if !c.closed {
+		c.closed = true
+		c.nc.Close()
+	}
+}
+
+// expect runs a round trip whose response must be exactly want.
+func (c *DB) expect(ctx context.Context, typ byte, payload []byte, want byte) ([]byte, error) {
+	rtyp, resp, err := c.roundTrip(ctx, typ, payload)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp != want {
+		return nil, fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, want)
+	}
+	return resp, nil
+}
+
+// CreateCollection creates a collection.
+func (c *DB) CreateCollection(ctx context.Context, name string) error {
+	var w wire.Writer
+	w.Str(name)
+	_, err := c.expect(ctx, wire.MsgCreateCollection, w.Bytes(), wire.MsgOK)
+	return err
+}
+
+// Collections lists collection names.
+func (c *DB) Collections(ctx context.Context) ([]string, error) {
+	resp, err := c.expect(ctx, wire.MsgCollections, nil, wire.MsgStrings)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeStrings(resp)
+}
+
+// DocIDs lists the documents of a collection.
+func (c *DB) DocIDs(ctx context.Context, col string) ([]xml.DocID, error) {
+	var w wire.Writer
+	w.Str(col)
+	resp, err := c.expect(ctx, wire.MsgListDocs, w.Bytes(), wire.MsgDocIDs)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeDocIDs(resp)
+}
+
+// CreateValueIndex creates an XPath value index on a collection.
+func (c *DB) CreateValueIndex(ctx context.Context, col, name, path string, typ xml.TypeID) error {
+	var w wire.Writer
+	w.Str(col)
+	w.Str(name)
+	w.Str(path)
+	w.U16(uint16(typ))
+	_, err := c.expect(ctx, wire.MsgCreateIndex, w.Bytes(), wire.MsgOK)
+	return err
+}
+
+// Insert stores one document and returns its DocID.
+func (c *DB) Insert(ctx context.Context, col string, doc []byte) (xml.DocID, error) {
+	var w wire.Writer
+	w.Str(col)
+	w.Blob(doc)
+	resp, err := c.expect(ctx, wire.MsgInsert, w.Bytes(), wire.MsgInserted)
+	if err != nil {
+		return 0, err
+	}
+	r := wire.NewReader(resp)
+	id := xml.DocID(r.U64())
+	if err := r.Done(); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// InsertBatch stores many documents as one atomic batch.
+func (c *DB) InsertBatch(ctx context.Context, col string, docs [][]byte) ([]xml.DocID, error) {
+	var w wire.Writer
+	w.Str(col)
+	w.U32(uint32(len(docs)))
+	for _, d := range docs {
+		w.Blob(d)
+	}
+	resp, err := c.expect(ctx, wire.MsgInsertBatch, w.Bytes(), wire.MsgInsertedBatch)
+	if err != nil {
+		return nil, err
+	}
+	return wire.DecodeDocIDs(resp)
+}
+
+// Delete removes a document.
+func (c *DB) Delete(ctx context.Context, col string, doc xml.DocID) error {
+	var w wire.Writer
+	w.Str(col)
+	w.U64(uint64(doc))
+	_, err := c.expect(ctx, wire.MsgDelete, w.Bytes(), wire.MsgOK)
+	return err
+}
+
+// Get serializes a document back to XML.
+func (c *DB) Get(ctx context.Context, col string, doc xml.DocID) ([]byte, error) {
+	var w wire.Writer
+	w.Str(col)
+	w.U64(uint64(doc))
+	resp, err := c.expect(ctx, wire.MsgGet, w.Bytes(), wire.MsgDoc)
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	data := r.Blob()
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Query opens a server-side cursor and streams its results in batches.
+// Cancelling ctx cancels the query end to end: in flight, a cancel frame
+// interrupts the server between documents; between fetches, the next call
+// fails fast and the server-side cursor is closed.
+func (c *DB) Query(ctx context.Context, col, expr string, opts ...session.QueryOption) (session.Cursor, error) {
+	var qo core.QueryOptions
+	for _, o := range opts {
+		o(&qo)
+	}
+	c.mu.Lock()
+	c.nextCursor++
+	id := c.nextCursor
+	c.mu.Unlock()
+	req := wire.QueryReq{
+		Cursor:      id,
+		Col:         col,
+		Expr:        expr,
+		Limit:       uint32(qo.Limit),
+		Parallelism: uint32(qo.Parallelism),
+		NeedValues:  qo.NeedValues,
+		Degraded:    qo.Degraded,
+	}
+	resp, err := c.expect(ctx, wire.MsgQuery, req.Encode(), wire.MsgQueryOK)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := wire.DecodePlanInfo(resp)
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{db: c, ctx: ctx, id: id, plan: pi.Plan(), batch: c.batchRows}, nil
+}
+
+// Begin opens a transaction on the connection's session.
+func (c *DB) Begin(ctx context.Context) error {
+	_, err := c.expect(ctx, wire.MsgBegin, nil, wire.MsgOK)
+	return err
+}
+
+// Commit makes the open transaction durable.
+func (c *DB) Commit(ctx context.Context) error {
+	_, err := c.expect(ctx, wire.MsgCommit, nil, wire.MsgOK)
+	return err
+}
+
+// Rollback undoes the open transaction.
+func (c *DB) Rollback(ctx context.Context) error {
+	_, err := c.expect(ctx, wire.MsgRollback, nil, wire.MsgOK)
+	return err
+}
+
+// Close drops the connection. The server closes the session, rolling back
+// any open transaction.
+func (c *DB) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	return c.nc.Close()
+}

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"context"
+
+	"rx/internal/core"
+	"rx/internal/wire"
+)
+
+// Cursor streams a remote query's results, fetching rows in batches on
+// demand. It satisfies session.Cursor, so code iterating an embedded cursor
+// iterates a remote one unchanged. Not safe for concurrent use (like
+// *core.Cursor).
+type Cursor struct {
+	db    *DB
+	ctx   context.Context
+	id    uint32
+	plan  *core.Plan
+	batch int
+
+	rows    []core.Result
+	pos     int
+	cur     core.Result
+	skipped int
+	done    bool // server has closed the cursor (exhausted, failed, or Close sent)
+	err     error
+}
+
+// Next fetches the next result, pulling another batch from the server when
+// the local one is drained. It returns false at the end of the results or on
+// error (see Err).
+func (cu *Cursor) Next() bool {
+	if cu.err != nil {
+		return false
+	}
+	if cu.pos < len(cu.rows) {
+		cu.cur = cu.rows[cu.pos]
+		cu.pos++
+		return true
+	}
+	if cu.done {
+		return false
+	}
+	var w wire.Writer
+	w.U32(cu.id)
+	w.U32(uint32(cu.batch))
+	resp, err := cu.db.expect(cu.ctx, wire.MsgFetch, w.Bytes(), wire.MsgRows)
+	if err != nil {
+		cu.err = err
+		// The server closes the cursor itself when a fetch fails in flight;
+		// if the context died between fetches, close it proactively so a
+		// cancelled client doesn't strand cursors until Close.
+		if cu.ctx.Err() != nil {
+			cu.remoteClose()
+		}
+		cu.done = true
+		return false
+	}
+	rr, err := wire.DecodeRowsResp(resp)
+	if err != nil {
+		cu.err = err
+		cu.done = true
+		return false
+	}
+	cu.rows, cu.pos = rr.Rows, 0
+	cu.skipped = int(rr.Skipped)
+	if rr.Done {
+		cu.done = true
+	}
+	if len(cu.rows) == 0 {
+		return false
+	}
+	cu.cur = cu.rows[0]
+	cu.pos = 1
+	return true
+}
+
+// Result returns the current result. Valid after Next returns true.
+func (cu *Cursor) Result() core.Result { return cu.cur }
+
+// Err returns the error that stopped iteration, nil after a clean end.
+// Cancellation surfaces here as the context's error.
+func (cu *Cursor) Err() error {
+	if cu.err != nil && cu.ctx.Err() != nil {
+		return cu.ctx.Err()
+	}
+	return cu.err
+}
+
+// Plan reports how the server's planner chose to run the query.
+func (cu *Cursor) Plan() *core.Plan { return cu.plan }
+
+// Skipped reports quarantined documents skipped so far (Degraded queries).
+func (cu *Cursor) Skipped() int { return cu.skipped }
+
+// Close releases the server-side cursor. Harmless after exhaustion.
+func (cu *Cursor) Close() error {
+	if cu.done {
+		return nil
+	}
+	cu.done = true
+	cu.remoteClose()
+	return nil
+}
+
+// remoteClose tells the server to drop the cursor. Best effort and
+// context-free: it must work exactly when the caller's context is dead.
+func (cu *Cursor) remoteClose() {
+	var w wire.Writer
+	w.U32(cu.id)
+	_, _ = cu.db.expect(context.Background(), wire.MsgCloseCursor, w.Bytes(), wire.MsgOK)
+}

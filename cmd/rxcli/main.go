@@ -17,6 +17,12 @@
 //	rxcli -db data.rxdb quarantine ls
 //	rxcli -db data.rxdb quarantine clear <collection> <docid>
 //
+// With -remote host:port, the session commands (create, insert, load, index,
+// query, get, delete, ls) run against an rxserver over the wire instead of a
+// local file — same handlers, same output, the session API is just remote.
+// The admin commands (stats, backup, verify, scrub, repair, quarantine)
+// operate on storage directly and always need a local -db.
+//
 // With -wal <path>, the database runs with write-ahead logging and performs
 // crash recovery on open; -group-commit <dur> additionally batches
 // concurrent commits into shared log syncs (each commit may wait up to that
@@ -37,6 +43,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -46,11 +53,13 @@ import (
 	"time"
 
 	"rx"
+	"rx/client"
 	"rx/internal/xml"
 )
 
 func main() {
 	dbPath := flag.String("db", "rx.rxdb", "database file")
+	remote := flag.String("remote", "", "rxserver address (host:port); session commands run over the wire")
 	walPath := flag.String("wal", "", "write-ahead log file (enables logging + recovery)")
 	groupCommit := flag.Duration("group-commit", 0, "WAL group-commit window (0 = sync per commit; needs -wal)")
 	batch := flag.Int("batch", 1000, "documents per load batch")
@@ -65,6 +74,23 @@ func main() {
 		usage()
 	}
 
+	cmdArgs := sessionArgs{
+		jobs:     *jobs,
+		limit:    *limit,
+		batch:    *batch,
+		degraded: *degraded,
+	}
+
+	if *remote != "" {
+		api, err := client.Dial(*remote)
+		fatal(err)
+		defer api.Close()
+		if !runSession(api, args[0], args[1:], cmdArgs) {
+			fatal(fmt.Errorf("command %q operates on storage directly and needs a local database (drop -remote)", args[0]))
+		}
+		return
+	}
+
 	var opts []rx.Option
 	if *walPath != "" {
 		opts = append(opts, rx.WithWAL(*walPath))
@@ -77,7 +103,7 @@ func main() {
 	}
 	db, err := rx.Open(*dbPath, opts...)
 	if err != nil {
-		var pc rx.ErrPageChecksum
+		var pc rx.PageChecksumError
 		if errors.As(err, &pc) && *checksums && args[0] == "repair" {
 			// A lost sidecar checksum page can make the database unopenable
 			// (the catalog's own checksum entry is gone). Under an explicit
@@ -97,124 +123,10 @@ func main() {
 	defer db.Close()
 
 	cmd, rest := args[0], args[1:]
+	if runSession(db.Session(), cmd, rest, cmdArgs) {
+		return
+	}
 	switch cmd {
-	case "create":
-		need(rest, 1, "create <collection>")
-		_, err := db.CreateCollection(rest[0], rx.CollectionOptions{})
-		fatal(err)
-		fmt.Printf("created collection %q\n", rest[0])
-	case "insert":
-		need(rest, 2, "insert <collection> <file.xml>...")
-		col := collection(db, rest[0])
-		for _, path := range rest[1:] {
-			data, err := os.ReadFile(path)
-			fatal(err)
-			id, err := col.Insert(data)
-			fatal(err)
-			fmt.Printf("%s → doc %d\n", path, id)
-		}
-	case "load":
-		need(rest, 2, "load <collection> <file.xml>...")
-		col := collection(db, rest[0])
-		if *batch < 1 {
-			fatal(fmt.Errorf("-batch must be at least 1"))
-		}
-		files := rest[1:]
-		loaded := 0
-		for len(files) > 0 {
-			n := *batch
-			if n > len(files) {
-				n = len(files)
-			}
-			docs := make([][]byte, n)
-			for i, path := range files[:n] {
-				data, err := os.ReadFile(path)
-				fatal(err)
-				docs[i] = data
-			}
-			ids, err := col.InsertBatch(docs, rx.BatchOptions{})
-			fatal(err)
-			for i, path := range files[:n] {
-				fmt.Printf("%s → doc %d\n", path, ids[i])
-			}
-			loaded += n
-			files = files[n:]
-		}
-		fmt.Printf("-- %d documents loaded in batches of up to %d\n", loaded, *batch)
-	case "index":
-		need(rest, 4, "index <collection> <name> <xpath> <type>")
-		col := collection(db, rest[0])
-		var typ xml.TypeID
-		switch rest[3] {
-		case "string":
-			typ = rx.TypeString
-		case "double":
-			typ = rx.TypeDouble
-		case "date":
-			typ = rx.TypeDate
-		case "decimal":
-			typ = rx.TypeDecimal
-		default:
-			fatal(fmt.Errorf("unknown index type %q", rest[3]))
-		}
-		fatal(col.CreateValueIndex(rest[1], rest[2], typ))
-		fmt.Printf("index %q on %s created\n", rest[1], rest[2])
-	case "query":
-		need(rest, 2, "query <collection> <xpath>")
-		col := collection(db, rest[0])
-		cur, err := col.Cursor(rest[1], rx.QueryOptions{
-			NeedValues:  true,
-			Parallelism: *jobs,
-			Limit:       *limit,
-			Degraded:    *degraded,
-		})
-		fatal(err)
-		defer cur.Close()
-		plan := cur.Plan()
-		fmt.Printf("-- access method: %s (exact=%v, indexes=%v, candidate docs=%d, parallelism=%d)\n",
-			plan.Method, plan.Exact, plan.Indexes, plan.CandidateDocs, plan.Parallelism)
-		n := 0
-		for cur.Next() {
-			r := cur.Result()
-			v := string(r.Value)
-			if len(v) > 60 {
-				v = v[:60] + "..."
-			}
-			fmt.Printf("doc %-6d node %-14s %s\n", r.Doc, r.Node, v)
-			n++
-		}
-		fatal(cur.Err())
-		fmt.Printf("-- %d results\n", n)
-		if skipped := cur.Skipped(); skipped > 0 {
-			fmt.Printf("-- %d quarantined documents skipped (degraded)\n", skipped)
-		}
-	case "get":
-		need(rest, 2, "get <collection> <docid>")
-		col := collection(db, rest[0])
-		id, err := strconv.ParseUint(rest[1], 10, 64)
-		fatal(err)
-		fatal(col.Serialize(rx.DocID(id), os.Stdout))
-		fmt.Println()
-	case "delete":
-		need(rest, 2, "delete <collection> <docid>")
-		col := collection(db, rest[0])
-		id, err := strconv.ParseUint(rest[1], 10, 64)
-		fatal(err)
-		fatal(col.Delete(rx.DocID(id)))
-		fmt.Printf("doc %d deleted\n", id)
-	case "ls":
-		if len(rest) == 0 {
-			for _, name := range db.Collections() {
-				fmt.Println(name)
-			}
-			return
-		}
-		col := collection(db, rest[0])
-		ids, err := col.DocIDs()
-		fatal(err)
-		for _, id := range ids {
-			fmt.Println(id)
-		}
 	case "backup":
 		need(rest, 1, "backup <file>")
 		f, err := os.Create(rest[0])
@@ -319,6 +231,143 @@ func main() {
 	}
 }
 
+// sessionArgs carry the flag values the session commands use.
+type sessionArgs struct {
+	jobs     int
+	limit    int
+	batch    int
+	degraded bool
+}
+
+// runSession executes the commands that speak the session API — the same
+// handler code serves a local database (db.Session()) and a remote rxserver
+// (client.Dial), which is the point of the session layer. It reports whether
+// cmd was one of its commands.
+func runSession(api rx.SessionAPI, cmd string, rest []string, a sessionArgs) bool {
+	ctx := context.Background()
+	switch cmd {
+	case "create":
+		need(rest, 1, "create <collection>")
+		fatal(api.CreateCollection(ctx, rest[0]))
+		fmt.Printf("created collection %q\n", rest[0])
+	case "insert":
+		need(rest, 2, "insert <collection> <file.xml>...")
+		for _, path := range rest[1:] {
+			data, err := os.ReadFile(path)
+			fatal(err)
+			id, err := api.Insert(ctx, rest[0], data)
+			fatal(err)
+			fmt.Printf("%s → doc %d\n", path, id)
+		}
+	case "load":
+		need(rest, 2, "load <collection> <file.xml>...")
+		if a.batch < 1 {
+			fatal(fmt.Errorf("-batch must be at least 1"))
+		}
+		files := rest[1:]
+		loaded := 0
+		for len(files) > 0 {
+			n := a.batch
+			if n > len(files) {
+				n = len(files)
+			}
+			docs := make([][]byte, n)
+			for i, path := range files[:n] {
+				data, err := os.ReadFile(path)
+				fatal(err)
+				docs[i] = data
+			}
+			ids, err := api.InsertBatch(ctx, rest[0], docs)
+			fatal(err)
+			for i, path := range files[:n] {
+				fmt.Printf("%s → doc %d\n", path, ids[i])
+			}
+			loaded += n
+			files = files[n:]
+		}
+		fmt.Printf("-- %d documents loaded in batches of up to %d\n", loaded, a.batch)
+	case "index":
+		need(rest, 4, "index <collection> <name> <xpath> <type>")
+		var typ xml.TypeID
+		switch rest[3] {
+		case "string":
+			typ = rx.TypeString
+		case "double":
+			typ = rx.TypeDouble
+		case "date":
+			typ = rx.TypeDate
+		case "decimal":
+			typ = rx.TypeDecimal
+		default:
+			fatal(fmt.Errorf("unknown index type %q", rest[3]))
+		}
+		fatal(api.CreateValueIndex(ctx, rest[0], rest[1], rest[2], typ))
+		fmt.Printf("index %q on %s created\n", rest[1], rest[2])
+	case "query":
+		need(rest, 2, "query <collection> <xpath>")
+		opts := []rx.QueryOption{
+			rx.WithValues(),
+			rx.WithParallelism(a.jobs),
+			rx.WithLimit(a.limit),
+		}
+		if a.degraded {
+			opts = append(opts, rx.WithDegraded())
+		}
+		cur, err := api.Query(ctx, rest[0], rest[1], opts...)
+		fatal(err)
+		defer cur.Close()
+		plan := cur.Plan()
+		fmt.Printf("-- access method: %s (exact=%v, indexes=%v, candidate docs=%d, parallelism=%d)\n",
+			plan.Method, plan.Exact, plan.Indexes, plan.CandidateDocs, plan.Parallelism)
+		n := 0
+		for cur.Next() {
+			r := cur.Result()
+			v := string(r.Value)
+			if len(v) > 60 {
+				v = v[:60] + "..."
+			}
+			fmt.Printf("doc %-6d node %-14s %s\n", r.Doc, r.Node, v)
+			n++
+		}
+		fatal(cur.Err())
+		fmt.Printf("-- %d results\n", n)
+		if skipped := cur.Skipped(); skipped > 0 {
+			fmt.Printf("-- %d quarantined documents skipped (degraded)\n", skipped)
+		}
+	case "get":
+		need(rest, 2, "get <collection> <docid>")
+		id, err := strconv.ParseUint(rest[1], 10, 64)
+		fatal(err)
+		data, err := api.Get(ctx, rest[0], rx.DocID(id))
+		fatal(err)
+		os.Stdout.Write(data)
+		fmt.Println()
+	case "delete":
+		need(rest, 2, "delete <collection> <docid>")
+		id, err := strconv.ParseUint(rest[1], 10, 64)
+		fatal(err)
+		fatal(api.Delete(ctx, rest[0], rx.DocID(id)))
+		fmt.Printf("doc %d deleted\n", id)
+	case "ls":
+		if len(rest) == 0 {
+			names, err := api.Collections(ctx)
+			fatal(err)
+			for _, name := range names {
+				fmt.Println(name)
+			}
+			return true
+		}
+		ids, err := api.DocIDs(ctx, rest[0])
+		fatal(err)
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+	default:
+		return false
+	}
+	return true
+}
+
 // throttle builds the page-read pacing hook for verify (nil = unthrottled).
 func throttle(rate int) func() {
 	if rate <= 0 {
@@ -349,7 +398,7 @@ func verify(db *rx.DB, throttle func()) int {
 	}
 	corrupt, ioErrs := 0, 0
 	for _, pe := range errs {
-		var pc rx.ErrPageChecksum
+		var pc rx.PageChecksumError
 		if errors.As(pe.Err, &pc) {
 			corrupt++
 		} else {

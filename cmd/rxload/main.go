@@ -18,7 +18,6 @@ import (
 	"time"
 
 	"rx"
-	"rx/internal/core"
 	"rx/internal/xmlgen"
 	"rx/internal/xmlparse"
 )
@@ -30,13 +29,7 @@ func main() {
 	dbPath := flag.String("db", "", "database file (default: in-memory)")
 	flag.Parse()
 
-	var db *rx.DB
-	var err error
-	if *dbPath != "" {
-		db, err = rx.OpenFile(*dbPath, rx.Options{})
-	} else {
-		db, err = core.OpenMemory()
-	}
+	db, err := rx.Open(*dbPath)
 	fatal(err)
 	defer db.Close()
 

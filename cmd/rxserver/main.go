@@ -1,0 +1,102 @@
+// Command rxserver serves an rx database over TCP. Each connection gets its
+// own session (transaction scope); queries stream back in cursor-sized
+// batches; SIGTERM/SIGINT drains gracefully: in-flight requests finish, open
+// transactions of dropped clients roll back, and the process exits 0.
+//
+//	rxserver -db data.rxdb -wal data.wal -addr :7345
+//	rxcli -remote localhost:7345 query books '/book[price < 10]'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rx"
+	"rx/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:7345", "listen address")
+		dbPath       = flag.String("db", "", "database file (empty = in-memory)")
+		walPath      = flag.String("wal", "", "write-ahead log file (enables transactions + crash recovery)")
+		poolPages    = flag.Int("pool", 0, "buffer pool pages (0 = default)")
+		checksums    = flag.Bool("checksums", false, "enable torn-page detection (CRC per page)")
+		groupCommit  = flag.Duration("group-commit", 0, "WAL group-commit window (0 = off)")
+		lockTimeout  = flag.Duration("lock-timeout", 0, "lock wait timeout (0 = default)")
+		maxConns     = flag.Int("max-conns", 64, "connection limit; beyond it clients get a busy error")
+		maxWaiters   = flag.Int("max-lock-waiters", 128, "shed writes while this many lock requests wait")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown limit before force close")
+	)
+	flag.Parse()
+
+	var opts []rx.Option
+	if *walPath != "" {
+		opts = append(opts, rx.WithWAL(*walPath))
+	}
+	if *poolPages > 0 {
+		opts = append(opts, rx.WithPoolPages(*poolPages))
+	}
+	if *checksums {
+		opts = append(opts, rx.WithChecksums())
+	}
+	if *groupCommit > 0 {
+		opts = append(opts, rx.WithGroupCommit(*groupCommit))
+	}
+	if *lockTimeout > 0 {
+		opts = append(opts, rx.WithLockTimeout(*lockTimeout))
+	}
+	db, err := rx.Open(*dbPath, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxserver: open:", err)
+		os.Exit(1)
+	}
+
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rxserver: listen:", err)
+		os.Exit(1)
+	}
+	srv := server.New(db.Engine(), server.Options{
+		MaxConns:       *maxConns,
+		MaxLockWaiters: *maxWaiters,
+	})
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "rxserver: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "rxserver: drain:", err)
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "rxserver: serving %s on %s\n", describe(*dbPath), lis.Addr())
+	serveErr := srv.Serve(lis)
+	closeErr := db.Close()
+	if serveErr != nil {
+		fmt.Fprintln(os.Stderr, "rxserver: serve:", serveErr)
+		os.Exit(1)
+	}
+	if closeErr != nil {
+		fmt.Fprintln(os.Stderr, "rxserver: close:", closeErr)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "rxserver: drained")
+}
+
+func describe(path string) string {
+	if path == "" {
+		return "in-memory database"
+	}
+	return path
+}

@@ -41,7 +41,7 @@ const catalogXSD = `
 </xs:schema>`
 
 func main() {
-	db, err := rx.OpenMemory()
+	db, err := rx.Open("")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -11,7 +12,7 @@ import (
 )
 
 func main() {
-	db, err := rx.OpenMemory()
+	db, err := rx.Open("")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,13 +38,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Query: the planner picks the exact-match NodeID-list access method.
-	results, plan, err := col.QueryValues("/book[price < 40]/title")
+	// Query through the session API: context-first, streamed through a
+	// cursor; the planner picks the exact-match NodeID-list access method.
+	// The same code runs against a remote rxserver via client.Dial.
+	cur, err := db.Session().Query(context.Background(),
+		"books", "/book[price < 40]/title", rx.WithValues())
 	if err != nil {
 		log.Fatal(err)
 	}
+	var results []rx.Result
+	for cur.Next() {
+		results = append(results, cur.Result())
+	}
+	if err := cur.Err(); err != nil {
+		log.Fatal(err)
+	}
+	cur.Close()
 	fmt.Printf("query /book[price < 40]/title → %d matches (access method: %s)\n",
-		len(results), plan.Method)
+		len(results), cur.Plan().Method)
 	for _, r := range results {
 		fmt.Printf("  doc %d node %s: %s\n", r.Doc, r.Node, r.Value)
 	}
@@ -68,6 +80,6 @@ func main() {
 	fmt.Println()
 
 	// The index followed the update.
-	results, plan, _ = col.Query("/book[price < 20]")
-	fmt.Printf("query /book[price < 20] → %d match via %s\n", len(results), plan.Method)
+	hits, plan, _ := col.Query("/book[price < 20]")
+	fmt.Printf("query /book[price < 20] → %d match via %s\n", len(hits), plan.Method)
 }

@@ -18,7 +18,7 @@ import (
 
 func main() {
 	// A logged database (in-memory store + in-memory WAL for the demo; use
-	// rx.OpenFileLogged for a durable one).
+	// rx.Open(path, rx.WithWAL(walPath)) for a durable one).
 	logDev := &wal.MemDevice{}
 	walLog, err := wal.Open(logDev)
 	if err != nil {

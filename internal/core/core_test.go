@@ -223,7 +223,7 @@ func TestQueryValues(t *testing.T) {
 	db := newDB(t)
 	col, _ := db.CreateCollection("c", CollectionOptions{})
 	col.Insert([]byte(`<r><p><name>anvil</name><price>10</price></p><p><name>rocket</name><price>99</price></p></r>`))
-	res, _, err := col.QueryValues("/r/p[price > 50]/name")
+	res, _, err := col.QueryOpts("/r/p[price > 50]/name", QueryOptions{NeedValues: true})
 	if err != nil {
 		t.Fatal(err)
 	}

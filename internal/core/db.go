@@ -23,6 +23,7 @@ import (
 	"rx/internal/lock"
 	"rx/internal/nodeindex"
 	"rx/internal/pagestore"
+	"rx/internal/rxerr"
 	"rx/internal/wal"
 	"rx/internal/xml"
 	"rx/internal/xmlschema"
@@ -183,7 +184,7 @@ func (db *DB) Collection(name string) (*Collection, error) {
 	}
 	meta := db.cat.GetCollection(name)
 	if meta == nil {
-		return nil, fmt.Errorf("core: no collection %q", name)
+		return nil, fmt.Errorf("core: no collection %q: %w", name, ErrNotFound)
 	}
 	col, err := openCollection(db, meta)
 	if err != nil {
@@ -196,8 +197,10 @@ func (db *DB) Collection(name string) (*Collection, error) {
 // Collections lists collection names.
 func (db *DB) Collections() []string { return db.cat.Collections() }
 
-// ErrNotFound reports a missing document or node.
-var ErrNotFound = errors.New("core: not found")
+// ErrNotFound reports a missing document or node. It is the taxonomy
+// sentinel rxerr.ErrNotFound, so errors.Is matches it across the engine,
+// the facade, and the wire protocol alike.
+var ErrNotFound = rxerr.ErrNotFound
 
 // lookupErr maps an index miss onto ErrNotFound while letting every other
 // failure through unchanged: an I/O error or checksum mismatch during a

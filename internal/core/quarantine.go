@@ -19,11 +19,13 @@ import (
 	"sync/atomic"
 
 	"rx/internal/pagestore"
+	"rx/internal/rxerr"
 	"rx/internal/xml"
 )
 
 // ErrQuarantined reports an operation touching a document quarantined by the
-// corruption registry. Retrieve details with errors.As.
+// corruption registry. Retrieve details with errors.As; it matches
+// rxerr.ErrQuarantined under errors.Is.
 type ErrQuarantined struct {
 	Col    string
 	Doc    xml.DocID
@@ -33,6 +35,8 @@ type ErrQuarantined struct {
 func (e ErrQuarantined) Error() string {
 	return fmt.Sprintf("core: document %d in %q quarantined: %s", e.Doc, e.Col, e.Reason)
 }
+
+func (e ErrQuarantined) Is(target error) bool { return target == rxerr.ErrQuarantined }
 
 // QuarantineEntry is one quarantined document in the corruption registry.
 type QuarantineEntry struct {

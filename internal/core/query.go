@@ -143,20 +143,11 @@ func (c *Collection) ValueIndex(name string) *valueindex.Index {
 
 // Query evaluates an XPath query over the collection, using value indexes
 // when they apply (§4.3) and falling back to a QuickXScan relation-scan
-// otherwise.
+// otherwise. It is the legacy convenience shim kept for a release; new code
+// uses the context-first session API (session.Session.Query) or, inside the
+// engine, QueryOpts/Cursor with explicit options.
 func (c *Collection) Query(expr string) ([]Result, *Plan, error) {
 	return c.QueryOpts(expr, QueryOptions{})
-}
-
-// QueryValues is Query with node string values in the results.
-func (c *Collection) QueryValues(expr string) ([]Result, *Plan, error) {
-	return c.QueryOpts(expr, QueryOptions{NeedValues: true})
-}
-
-// QueryCtx is Query with cancellation: it returns promptly with ctx.Err()
-// when ctx is cancelled between document evaluations.
-func (c *Collection) QueryCtx(ctx context.Context, expr string) ([]Result, *Plan, error) {
-	return c.QueryOpts(expr, QueryOptions{Ctx: ctx})
 }
 
 // QueryOpts evaluates the query with explicit options, materializing every

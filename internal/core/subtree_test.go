@@ -61,7 +61,7 @@ func TestNodeIDFilteringOnLargeDocs(t *testing.T) {
 		}
 	}
 	// Values come from the subtree evaluation.
-	resV, _, err := col.QueryValues("/order/items/item[qty = 7]/sku")
+	resV, _, err := col.QueryOpts("/order/items/item[qty = 7]/sku", QueryOptions{NeedValues: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -252,6 +252,20 @@ func (t *Txn) Query(col *Collection, expr string) ([]Result, *Plan, error) {
 	return col.Query(expr)
 }
 
+// Cursor opens a streaming cursor under an S collection lock. The lock is
+// held until the transaction finishes (two-phase locking), not until the
+// cursor closes, so the result set stays stable for the transaction's
+// lifetime.
+func (t *Txn) Cursor(col *Collection, expr string, opts QueryOptions) (*Cursor, error) {
+	if t.done {
+		return nil, errTxnDone
+	}
+	if err := t.lk.Lock(lock.CollectionRes(col.Name()), lock.S); err != nil {
+		return nil, err
+	}
+	return col.Cursor(expr, opts)
+}
+
 // Commit makes the transaction durable and releases its locks.
 func (t *Txn) Commit() error {
 	if t.done {

@@ -11,12 +11,12 @@
 package lock
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"rx/internal/nodeid"
+	"rx/internal/rxerr"
 	"rx/internal/xml"
 )
 
@@ -90,17 +90,26 @@ func NodeRes(col string, doc xml.DocID, id nodeid.ID) Resource {
 }
 
 // ErrTimeout reports a lock wait that exceeded the manager's bound; the
-// caller should treat it as a deadlock victim and abort.
-var ErrTimeout = errors.New("lock: wait timeout (possible deadlock)")
+// caller should treat it as a deadlock victim and abort. It matches
+// rxerr.ErrLockTimeout under errors.Is, linking it into the engine-wide
+// error taxonomy.
+var ErrTimeout error = &timeoutError{}
+
+type timeoutError struct{}
+
+func (*timeoutError) Error() string { return "lock: wait timeout (possible deadlock)" }
+
+func (*timeoutError) Is(target error) bool { return target == rxerr.ErrLockTimeout }
 
 // Manager is the lock manager.
 type Manager struct {
 	timeout time.Duration
 
-	mu    sync.Mutex
-	cond  *sync.Cond
-	table map[Resource]map[*Txn]Mode
-	seq   uint64
+	mu      sync.Mutex
+	cond    *sync.Cond
+	table   map[Resource]map[*Txn]Mode
+	seq     uint64
+	waiters int
 }
 
 // NewManager creates a manager with the given wait timeout in milliseconds.
@@ -150,7 +159,9 @@ func (t *Txn) Lock(res Resource, mode Mode) error {
 			return fmt.Errorf("%w: %s %s by txn %d", ErrTimeout, mode, res, t.id)
 		}
 		// Bounded wait: wake on any release, re-check, give up at deadline.
+		m.waiters++
 		waitWithDeadline(m.cond, deadline)
+		m.waiters--
 	}
 	g := m.table[res]
 	if g == nil {
@@ -267,6 +278,16 @@ func (t *Txn) ReleaseAll() {
 	t.held = map[Resource]Mode{}
 	m.cond.Broadcast()
 	m.mu.Unlock()
+}
+
+// Waiting reports how many lock requests are currently blocked waiting for
+// a grant. It is the manager's saturation signal: a deep wait queue means
+// the workload is lock-bound, and admission control can shed new work
+// instead of queuing more waiters behind the same conflicts.
+func (m *Manager) Waiting() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.waiters
 }
 
 // Held returns the number of locks the owner holds (tests).

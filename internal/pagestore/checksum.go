@@ -5,6 +5,8 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+
+	"rx/internal/rxerr"
 )
 
 // Torn-page detection: ChecksumStore wraps any Store and maintains a CRC32
@@ -39,7 +41,7 @@ const crcBytes = 4 * crcPerPage
 
 // ErrPageChecksum reports a page whose contents do not match its stored
 // CRC32 — a torn write or silent media corruption. Retrieve the page with
-// errors.As.
+// errors.As; it matches rxerr.ErrChecksum under errors.Is.
 type ErrPageChecksum struct {
 	PageID PageID
 }
@@ -47,6 +49,8 @@ type ErrPageChecksum struct {
 func (e ErrPageChecksum) Error() string {
 	return fmt.Sprintf("pagestore: checksum mismatch on page %d (torn write or corruption)", e.PageID)
 }
+
+func (e ErrPageChecksum) Is(target error) bool { return target == rxerr.ErrChecksum }
 
 // ChecksumStore is a Store wrapper that checksums every page. It must own
 // the inner store exclusively (all reads and writes go through it).

@@ -1,0 +1,33 @@
+// Package rxerr is the engine-wide error taxonomy: one sentinel per
+// caller-visible failure class, matched with errors.Is. The sentinels live in
+// this leaf package (imported by lock, pagestore, core, wire, and the rx
+// facade alike) so that a typed error can cross the wire protocol and come
+// back out the client with its identity intact — errors.Is(err, rx.ErrBusy)
+// holds whether the error was produced in-process or decoded from a server
+// response frame.
+//
+// Detail-carrying error types (core.ErrQuarantined, pagestore.ErrPageChecksum,
+// lock.ErrTimeout) link themselves to these sentinels with Is methods, so
+// callers use errors.Is against the taxonomy for classification and errors.As
+// against the concrete types for details.
+package rxerr
+
+import "errors"
+
+var (
+	// ErrNotFound reports a missing collection, document, or node.
+	ErrNotFound = errors.New("rx: not found")
+	// ErrQuarantined reports an operation touching a document the corruption
+	// registry has quarantined.
+	ErrQuarantined = errors.New("rx: document quarantined")
+	// ErrChecksum reports a stored page whose contents fail CRC verification
+	// (torn write or silent corruption).
+	ErrChecksum = errors.New("rx: page checksum mismatch")
+	// ErrLockTimeout reports a lock wait that exceeded the manager's bound;
+	// the waiter was chosen as a deadlock victim and should abort (or retry).
+	ErrLockTimeout = errors.New("rx: lock wait timeout")
+	// ErrBusy reports admission control shedding load: the server's
+	// connection limit is reached or the engine (lock manager, buffer pool)
+	// is saturated. The request was not executed; retry with backoff.
+	ErrBusy = errors.New("rx: server busy")
+)

@@ -1,0 +1,465 @@
+package server
+
+// Per-connection protocol loop. Two goroutines share a connection: the
+// reader pulls frames off the socket, forwarding requests to the worker and
+// handling MsgCancel out of band by cancelling the in-flight operation's
+// context; the worker executes requests serially against the connection's
+// session and is the only goroutine that writes responses. A dropped
+// connection tears everything down through session.Close, which rolls back
+// whatever transaction the client left open.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"sync"
+
+	"rx/internal/rxerr"
+	"rx/internal/session"
+	"rx/internal/wire"
+	"rx/internal/xml"
+)
+
+type request struct {
+	typ     byte
+	payload []byte
+}
+
+// openCursor is one server-side cursor: the engine cursor plus the cancel
+// half of its private context, so a MsgCancel during a fetch interrupts the
+// engine between documents.
+type openCursor struct {
+	cur    session.Cursor
+	cancel context.CancelFunc
+}
+
+type conn struct {
+	srv  *Server
+	nc   netConn
+	bw   *bufio.Writer
+	sess *session.Session
+
+	// base is the connection's lifetime context; every request and cursor
+	// context descends from it, so forceClose cancels everything in flight.
+	base       context.Context
+	baseCancel context.CancelFunc
+
+	// inflight is the cancel func a MsgCancel frame should invoke: the
+	// current request's context, or the cursor's context during a fetch.
+	inflightMu sync.Mutex
+	inflight   context.CancelFunc
+
+	cursors map[uint32]*openCursor
+	drain   bool
+	drainMu sync.Mutex
+}
+
+// netConn is the slice of net.Conn the connection loop needs; narrowed for
+// clarity, not for substitution.
+type netConn interface {
+	Read([]byte) (int, error)
+	Write([]byte) (int, error)
+	Close() error
+}
+
+func newConn(s *Server, nc netConn) *conn {
+	base, cancel := context.WithCancel(context.Background())
+	return &conn{
+		srv:        s,
+		nc:         nc,
+		bw:         bufio.NewWriter(nc),
+		sess:       s.newSession(),
+		base:       base,
+		baseCancel: cancel,
+		cursors:    map[uint32]*openCursor{},
+	}
+}
+
+// beginDrain marks the connection draining: the worker exits after the
+// in-flight request (if any) finishes. An idle connection is closed
+// immediately, unblocking its reader.
+func (c *conn) beginDrain() {
+	c.drainMu.Lock()
+	c.drain = true
+	c.drainMu.Unlock()
+	c.inflightMu.Lock()
+	busy := c.inflight != nil
+	c.inflightMu.Unlock()
+	if !busy {
+		c.nc.Close()
+	}
+}
+
+func (c *conn) draining() bool {
+	c.drainMu.Lock()
+	defer c.drainMu.Unlock()
+	return c.drain
+}
+
+// forceClose abandons the connection: cancel everything, close the socket.
+func (c *conn) forceClose() {
+	c.baseCancel()
+	c.nc.Close()
+}
+
+func (c *conn) setInflight(cf context.CancelFunc) {
+	c.inflightMu.Lock()
+	c.inflight = cf
+	c.inflightMu.Unlock()
+}
+
+func (c *conn) cancelInflight() {
+	c.inflightMu.Lock()
+	cf := c.inflight
+	c.inflightMu.Unlock()
+	if cf != nil {
+		cf()
+	}
+}
+
+// serve runs the connection to completion. It is the worker goroutine; the
+// reader is spawned inside.
+func (c *conn) serve() {
+	defer func() {
+		c.baseCancel()
+		for id, oc := range c.cursors {
+			c.closeCursor(id, oc)
+		}
+		c.sess.Close()
+		c.nc.Close()
+	}()
+
+	if err := c.hello(); err != nil {
+		return
+	}
+
+	reqCh := make(chan request, 1)
+	go func() {
+		defer close(reqCh)
+		for {
+			typ, payload, err := wire.ReadFrame(c.nc)
+			if err != nil {
+				return
+			}
+			if typ == wire.MsgCancel {
+				c.cancelInflight()
+				continue
+			}
+			select {
+			case reqCh <- request{typ, payload}:
+			case <-c.base.Done():
+				// The worker is gone; don't block forever on the channel.
+				return
+			}
+		}
+	}()
+
+	for req := range reqCh {
+		rctx, rcancel := context.WithCancel(c.base)
+		c.setInflight(rcancel)
+		err := c.handle(rctx, req)
+		c.setInflight(nil)
+		rcancel()
+		c.srv.requests.Add(1)
+		if err != nil {
+			return // write error: the socket is gone
+		}
+		if c.draining() {
+			return
+		}
+	}
+}
+
+// hello performs the version exchange: the first frame must be MsgHello with
+// a version we speak.
+func (c *conn) hello() error {
+	typ, payload, err := wire.ReadFrame(c.nc)
+	if err != nil {
+		return err
+	}
+	if typ != wire.MsgHello {
+		return c.respondErr(fmt.Errorf("%w: expected hello", wire.ErrMalformed))
+	}
+	r := wire.NewReader(payload)
+	version := r.U32()
+	if err := r.Done(); err != nil {
+		return c.respondErr(err)
+	}
+	if version != wire.ProtocolVersion {
+		c.respondErr(fmt.Errorf("wire: protocol version %d not supported (server speaks %d)",
+			version, wire.ProtocolVersion))
+		return fmt.Errorf("unsupported protocol version %d", version)
+	}
+	var w wire.Writer
+	w.U32(wire.ProtocolVersion)
+	return c.respond(wire.MsgHelloOK, w.Bytes())
+}
+
+// respond writes one response frame and flushes.
+func (c *conn) respond(typ byte, payload []byte) error {
+	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+func (c *conn) respondErr(err error) error {
+	return c.respond(wire.MsgErr, wire.EncodeError(err))
+}
+
+func (c *conn) respondOK() error {
+	return c.respond(wire.MsgOK, nil)
+}
+
+// handle executes one request and writes its response. The returned error is
+// a transport (write) failure; application errors travel as MsgErr frames.
+func (c *conn) handle(ctx context.Context, req request) error {
+	switch req.typ {
+	case wire.MsgCreateCollection:
+		r := wire.NewReader(req.payload)
+		name := r.Str()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.shedWrite(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.sess.CreateCollection(ctx, name); err != nil {
+			return c.respondErr(err)
+		}
+		return c.respondOK()
+
+	case wire.MsgCollections:
+		names, err := c.sess.Collections(ctx)
+		if err != nil {
+			return c.respondErr(err)
+		}
+		return c.respond(wire.MsgStrings, wire.EncodeStrings(names))
+
+	case wire.MsgListDocs:
+		r := wire.NewReader(req.payload)
+		col := r.Str()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		ids, err := c.sess.DocIDs(ctx, col)
+		if err != nil {
+			return c.respondErr(err)
+		}
+		return c.respond(wire.MsgDocIDs, wire.EncodeDocIDs(ids))
+
+	case wire.MsgCreateIndex:
+		r := wire.NewReader(req.payload)
+		col, name, path, typ := r.Str(), r.Str(), r.Str(), r.U16()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.shedWrite(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.sess.CreateValueIndex(ctx, col, name, path, xml.TypeID(typ)); err != nil {
+			return c.respondErr(err)
+		}
+		return c.respondOK()
+
+	case wire.MsgInsert:
+		r := wire.NewReader(req.payload)
+		col, doc := r.Str(), r.Blob()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.shedWrite(); err != nil {
+			return c.respondErr(err)
+		}
+		id, err := c.sess.Insert(ctx, col, doc)
+		if err != nil {
+			return c.respondErr(err)
+		}
+		var w wire.Writer
+		w.U64(uint64(id))
+		return c.respond(wire.MsgInserted, w.Bytes())
+
+	case wire.MsgInsertBatch:
+		r := wire.NewReader(req.payload)
+		col := r.Str()
+		n := int(r.U32())
+		docs := make([][]byte, 0, min(n, 1024))
+		for i := 0; i < n && r.Err() == nil; i++ {
+			docs = append(docs, r.Blob())
+		}
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.shedWrite(); err != nil {
+			return c.respondErr(err)
+		}
+		ids, err := c.sess.InsertBatch(ctx, col, docs)
+		if err != nil {
+			return c.respondErr(err)
+		}
+		return c.respond(wire.MsgInsertedBatch, wire.EncodeDocIDs(ids))
+
+	case wire.MsgDelete:
+		r := wire.NewReader(req.payload)
+		col, doc := r.Str(), r.U64()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.shedWrite(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.sess.Delete(ctx, col, xml.DocID(doc)); err != nil {
+			return c.respondErr(err)
+		}
+		return c.respondOK()
+
+	case wire.MsgGet:
+		r := wire.NewReader(req.payload)
+		col, doc := r.Str(), r.U64()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		data, err := c.sess.Get(ctx, col, xml.DocID(doc))
+		if err != nil {
+			return c.respondErr(err)
+		}
+		var w wire.Writer
+		w.Blob(data)
+		return c.respond(wire.MsgDoc, w.Bytes())
+
+	case wire.MsgQuery:
+		return c.handleQuery(req.payload)
+
+	case wire.MsgFetch:
+		return c.handleFetch(req.payload)
+
+	case wire.MsgCloseCursor:
+		r := wire.NewReader(req.payload)
+		id := r.U32()
+		if err := r.Done(); err != nil {
+			return c.respondErr(err)
+		}
+		// Idempotent: the cursor may have auto-closed on exhaustion while
+		// the client's close was in flight.
+		if oc, ok := c.cursors[id]; ok {
+			c.closeCursor(id, oc)
+		}
+		return c.respondOK()
+
+	case wire.MsgBegin:
+		if err := c.shedWrite(); err != nil {
+			return c.respondErr(err)
+		}
+		if err := c.sess.Begin(ctx); err != nil {
+			return c.respondErr(err)
+		}
+		return c.respondOK()
+
+	case wire.MsgCommit:
+		if err := c.sess.Commit(ctx); err != nil {
+			return c.respondErr(err)
+		}
+		return c.respondOK()
+
+	case wire.MsgRollback:
+		if err := c.sess.Rollback(ctx); err != nil {
+			return c.respondErr(err)
+		}
+		return c.respondOK()
+
+	default:
+		return c.respondErr(fmt.Errorf("%w: unknown message type 0x%02x", wire.ErrMalformed, req.typ))
+	}
+}
+
+// shedWrite is request-level admission control: refuse new write work while
+// the lock manager's wait queue is saturated.
+func (c *conn) shedWrite() error {
+	if c.srv.overloaded() {
+		return fmt.Errorf("%w: lock wait queue saturated", rxerr.ErrBusy)
+	}
+	return nil
+}
+
+// handleQuery opens a server-side cursor under its own cancellable context
+// (a child of the connection context, so it outlives this request but not
+// the connection).
+func (c *conn) handleQuery(payload []byte) error {
+	q, err := wire.DecodeQueryReq(payload)
+	if err != nil {
+		return c.respondErr(err)
+	}
+	if _, dup := c.cursors[q.Cursor]; dup {
+		return c.respondErr(fmt.Errorf("%w: cursor %d already open", wire.ErrMalformed, q.Cursor))
+	}
+	qctx, qcancel := context.WithCancel(c.base)
+	// Opening can itself be slow (planning, index probes): make it
+	// cancellable like a fetch.
+	c.setInflight(qcancel)
+	opts := []session.QueryOption{
+		session.Limit(int(q.Limit)),
+		session.Parallelism(int(q.Parallelism)),
+	}
+	if q.NeedValues {
+		opts = append(opts, session.NeedValues())
+	}
+	if q.Degraded {
+		opts = append(opts, session.Degraded())
+	}
+	cur, err := c.sess.Query(qctx, q.Col, q.Expr, opts...)
+	if err != nil {
+		qcancel()
+		return c.respondErr(err)
+	}
+	c.cursors[q.Cursor] = &openCursor{cur: cur, cancel: qcancel}
+	c.srv.openCursors.Add(1)
+	return c.respond(wire.MsgQueryOK, wire.FromPlan(cur.Plan()).Encode())
+}
+
+// handleFetch pulls one batch of rows. While the engine cursor runs, the
+// in-flight cancel is the cursor's own, so MsgCancel interrupts Next()
+// between documents.
+func (c *conn) handleFetch(payload []byte) error {
+	r := wire.NewReader(payload)
+	id, maxRows := r.U32(), int(r.U32())
+	if err := r.Done(); err != nil {
+		return c.respondErr(err)
+	}
+	oc, ok := c.cursors[id]
+	if !ok {
+		return c.respondErr(fmt.Errorf("%w: no cursor %d", wire.ErrMalformed, id))
+	}
+	if maxRows <= 0 {
+		maxRows = DefaultBatchRows
+	}
+	if maxRows > c.srv.opts.MaxBatchRows {
+		maxRows = c.srv.opts.MaxBatchRows
+	}
+	c.setInflight(oc.cancel)
+	resp := &wire.RowsResp{}
+	for len(resp.Rows) < maxRows {
+		if !oc.cur.Next() {
+			if err := oc.cur.Err(); err != nil {
+				c.closeCursor(id, oc)
+				return c.respondErr(err)
+			}
+			resp.Done = true
+			break
+		}
+		resp.Rows = append(resp.Rows, oc.cur.Result())
+	}
+	resp.Skipped = uint32(oc.cur.Skipped())
+	if resp.Done {
+		c.closeCursor(id, oc)
+	}
+	return c.respond(wire.MsgRows, resp.Encode())
+}
+
+// closeCursor releases a cursor and its context. Only the worker goroutine
+// touches c.cursors, so no lock is needed.
+func (c *conn) closeCursor(id uint32, oc *openCursor) {
+	oc.cancel()
+	oc.cur.Close()
+	delete(c.cursors, id)
+	c.srv.openCursors.Add(-1)
+}

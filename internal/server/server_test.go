@@ -1,0 +1,523 @@
+package server_test
+
+// End-to-end tests: a real client (rx/client) against a real server over
+// real TCP. These are the acceptance tests for the engine/session split —
+// concurrent isolated sessions, end-to-end cancellation, admission control
+// shedding with a typed busy error, and disconnect rollback.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"rx/client"
+	"rx/internal/core"
+	"rx/internal/rxerr"
+	"rx/internal/server"
+	"rx/internal/session"
+	"rx/internal/wire"
+	"rx/internal/xml"
+)
+
+// startServer runs a server over a fresh in-memory engine and returns its
+// address. Cleanup shuts the server down and closes the engine.
+func startServer(t *testing.T, opts server.Options) (*server.Server, string) {
+	t.Helper()
+	db, err := core.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, opts)
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+		db.Close()
+	})
+	return srv, lis.Addr().String()
+}
+
+func dial(t *testing.T, addr string, opts ...client.Option) *client.DB {
+	t.Helper()
+	c, err := client.Dial(addr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func doc(i int) []byte {
+	return []byte(fmt.Sprintf("<product><id>%d</id><price>%d.50</price></product>", i, i))
+}
+
+func TestClientEndToEnd(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	c := dial(t, addr)
+	ctx := context.Background()
+
+	if err := c.CreateCollection(ctx, "catalog"); err != nil {
+		t.Fatal(err)
+	}
+	names, err := c.Collections(ctx)
+	if err != nil || len(names) != 1 || names[0] != "catalog" {
+		t.Fatalf("collections %v, %v", names, err)
+	}
+
+	id, err := c.Insert(ctx, "catalog", doc(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch [][]byte
+	for i := 2; i <= 20; i++ {
+		batch = append(batch, doc(i))
+	}
+	ids, err := c.InsertBatch(ctx, "catalog", batch)
+	if err != nil || len(ids) != 19 {
+		t.Fatalf("batch: %d ids, %v", len(ids), err)
+	}
+	all, err := c.DocIDs(ctx, "catalog")
+	if err != nil || len(all) != 20 {
+		t.Fatalf("docids: %d, %v", len(all), err)
+	}
+
+	data, err := c.Get(ctx, "catalog", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("<price>1.50</price>")) {
+		t.Fatalf("get round-trip: %s", data)
+	}
+
+	if err := c.CreateValueIndex(ctx, "catalog", "by_id", "/product/id", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := c.Query(ctx, "catalog", "/product/id", session.NeedValues(), session.Limit(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur.Plan() == nil || cur.Plan().Method == "" {
+		t.Fatalf("plan missing: %+v", cur.Plan())
+	}
+	var rows int
+	for cur.Next() {
+		if len(cur.Result().Value) == 0 {
+			t.Fatal("NeedValues not honored over the wire")
+		}
+		rows++
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 5 {
+		t.Fatalf("limit not honored: %d rows", rows)
+	}
+	cur.Close()
+
+	if err := c.Delete(ctx, "catalog", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(ctx, "catalog", id); !errors.Is(err, rxerr.ErrNotFound) {
+		t.Fatalf("get deleted: %v", err)
+	}
+	// Unknown collection keeps its not-found identity across the wire too.
+	if _, err := c.DocIDs(ctx, "nope"); !errors.Is(err, rxerr.ErrNotFound) {
+		t.Fatalf("unknown collection: %v", err)
+	}
+}
+
+// TestConcurrentSessionsIsolated runs transactional workers on their own
+// connections: committers' documents survive, rollbackers' leave no trace.
+func TestConcurrentSessionsIsolated(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	admin := dial(t, addr)
+	if err := admin.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	const perWorker = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			if err := c.Begin(ctx); err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				if _, err := c.Insert(ctx, "c", doc(w*100+i)); err != nil {
+					errs <- fmt.Errorf("worker %d insert: %w", w, err)
+					return
+				}
+			}
+			if w%2 == 0 {
+				errs <- c.Commit(ctx)
+			} else {
+				errs <- c.Rollback(ctx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ids, err := admin.DocIDs(ctx, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := workers / 2 * perWorker; len(ids) != want {
+		t.Fatalf("after commit/rollback split: %d docs, want %d", len(ids), want)
+	}
+}
+
+// TestQueryCancelStopsServerCursor cancels a client context in the middle of
+// a streaming query and requires the server-side cursor to be gone — not
+// merely the client to stop reading.
+func TestQueryCancelStopsServerCursor(t *testing.T) {
+	srv, addr := startServer(t, server.Options{})
+	bg := context.Background()
+
+	c := dial(t, addr, client.WithBatchRows(4))
+	if err := c.CreateCollection(bg, "c"); err != nil {
+		t.Fatal(err)
+	}
+	var docs [][]byte
+	for i := 0; i < 100; i++ {
+		docs = append(docs, doc(i))
+	}
+	if _, err := c.InsertBatch(bg, "c", docs); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(bg)
+	cur, err := c.Query(ctx, "c", "/product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats().OpenCursors; got != 1 {
+		t.Fatalf("open cursors after query: %d", got)
+	}
+	for i := 0; i < 6; i++ { // partway into the stream, beyond one batch
+		if !cur.Next() {
+			t.Fatalf("row %d: %v", i, cur.Err())
+		}
+	}
+	cancel()
+	// Drain the local batch; the next fetch must fail with the context error.
+	for cur.Next() {
+	}
+	if err := cur.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: %v", err)
+	}
+	waitFor(t, "server cursor close", func() bool { return srv.Stats().OpenCursors == 0 })
+
+	// The connection survives a cancelled query.
+	if _, err := c.DocIDs(bg, "c"); err != nil {
+		t.Fatalf("connection unusable after cancel: %v", err)
+	}
+}
+
+// TestBusyOnConnLimit is the admission-control acceptance: a client beyond
+// the connection limit gets ErrBusy, not a hang.
+func TestBusyOnConnLimit(t *testing.T) {
+	srv, addr := startServer(t, server.Options{MaxConns: 2})
+	dial(t, addr)
+	dial(t, addr)
+
+	start := time.Now()
+	_, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	if !errors.Is(err, rxerr.ErrBusy) {
+		t.Fatalf("over-limit dial: %v", err)
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("busy rejection took too long — client hung")
+	}
+	if got := srv.Stats().RejectedBusy; got != 1 {
+		t.Fatalf("rejected count: %d", got)
+	}
+
+	// Slots free up when a connection leaves.
+	c2, err := client.Dial(addr)
+	if errors.Is(err, rxerr.ErrBusy) {
+		// Both slots still held by the t.Cleanup-scoped clients: expected.
+		return
+	}
+	if err == nil {
+		c2.Close()
+	}
+}
+
+// TestDisconnectRollsBackTxn drops a connection with a transaction open and
+// an insert applied; the server must roll it back.
+func TestDisconnectRollsBackTxn(t *testing.T) {
+	srv, addr := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	admin := dial(t, addr)
+	if err := admin.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id, err := c.Insert(ctx, "c", doc(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close() // mid-transaction disconnect
+
+	waitFor(t, "connection teardown", func() bool { return srv.Stats().ActiveConns == 1 })
+	if _, err := admin.Get(ctx, "c", id); !errors.Is(err, rxerr.ErrNotFound) {
+		t.Fatalf("uncommitted insert survived disconnect: %v", err)
+	}
+	ids, err := admin.DocIDs(ctx, "c")
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("docids after rollback: %v, %v", ids, err)
+	}
+}
+
+// TestMidStreamDisconnectClosesCursors drops a connection while a cursor is
+// open; the server must release the cursor with the session.
+func TestMidStreamDisconnectClosesCursors(t *testing.T) {
+	srv, addr := startServer(t, server.Options{})
+	ctx := context.Background()
+
+	admin := dial(t, addr)
+	if err := admin.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	var docs [][]byte
+	for i := 0; i < 50; i++ {
+		docs = append(docs, doc(i))
+	}
+	if _, err := admin.InsertBatch(ctx, "c", docs); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(addr, client.WithBatchRows(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := c.Query(ctx, "c", "/product")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.Next() {
+		t.Fatalf("first row: %v", cur.Err())
+	}
+	c.Close() // cursor still open
+
+	waitFor(t, "cursor teardown", func() bool {
+		st := srv.Stats()
+		return st.ActiveConns == 1 && st.OpenCursors == 0
+	})
+}
+
+// TestWriteShedWhenLockSaturated flips the lock-pressure threshold to zero:
+// every write must shed with ErrBusy while reads still pass.
+func TestWriteShedWhenLockSaturated(t *testing.T) {
+	_, addr := startServer(t, server.Options{MaxLockWaiters: 1})
+	ctx := context.Background()
+	c := dial(t, addr)
+	if err := c.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "c", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Hold an X document lock in one session, then pile a second session
+	// onto it so the wait queue is non-empty; a third write sheds.
+	holder := dial(t, addr)
+	if err := holder.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := holder.DocIDs(ctx, "c")
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("ids %v err %v", ids, err)
+	}
+	if err := holder.Delete(ctx, "c", ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	waiterDone := make(chan error, 1)
+	go func() {
+		w, err := client.Dial(addr)
+		if err != nil {
+			waiterDone <- err
+			return
+		}
+		defer w.Close()
+		waiterDone <- w.Delete(ctx, "c", ids[0]) // blocks on the X lock
+	}()
+
+	shedder := dial(t, addr)
+	var shedErr error
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, shedErr = shedder.Insert(ctx, "c", doc(2)); errors.Is(shedErr, rxerr.ErrBusy) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !errors.Is(shedErr, rxerr.ErrBusy) {
+		t.Fatalf("write under lock saturation: %v", shedErr)
+	}
+	// Reads are never shed.
+	if _, err := shedder.Collections(ctx); err != nil {
+		t.Fatalf("read shed: %v", err)
+	}
+	if err := holder.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-waiterDone // lock released; the waiter finishes either way
+}
+
+// TestGracefulShutdownDrains shuts down while a connection is mid-use; the
+// in-flight request completes and Serve returns nil.
+func TestGracefulShutdownDrains(t *testing.T) {
+	db, err := core.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(db, server.Options{})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(lis) }()
+
+	c, err := client.Dial(lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve after drain: %v", err)
+	}
+	// New connections are refused after drain.
+	if _, err := client.Dial(lis.Addr().String(), client.WithDialTimeout(time.Second)); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestRawProtocolRobustness pokes the server with a raw socket: a malformed
+// request gets a typed error without killing the connection; an oversized
+// frame drops it.
+func TestRawProtocolRobustness(t *testing.T) {
+	_, addr := startServer(t, server.Options{})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	var w wire.Writer
+	w.U32(wire.ProtocolVersion)
+	if err := wire.WriteFrame(nc, wire.MsgHello, w.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(nc)
+	if err != nil || typ != wire.MsgHelloOK {
+		t.Fatalf("handshake: %v %v", typ, err)
+	}
+
+	// Unknown message type: typed error, connection stays up.
+	if err := wire.WriteFrame(nc, 0xEE, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(nc)
+	if err != nil || typ != wire.MsgErr {
+		t.Fatalf("unknown type: %v %v", typ, err)
+	}
+	if derr := wire.DecodeError(payload); !errors.Is(derr, wire.ErrMalformed) {
+		// DecodeError classifies unknown codes as plain errors; the message
+		// must still say what happened.
+		if derr == nil {
+			t.Fatal("no error decoded")
+		}
+	}
+	// Still serviceable.
+	if err := wire.WriteFrame(nc, wire.MsgCollections, nil); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err = wire.ReadFrame(nc); err != nil || typ != wire.MsgStrings {
+		t.Fatalf("after malformed: %v %v", typ, err)
+	}
+
+	// Truncated frame body: the server must drop the connection, not wait
+	// forever or misparse.
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	nc2.Write([]byte{0x00, 0x00, 0x00, 0x10, wire.MsgHello}) // promises 16 bytes, sends 1
+	nc2.(*net.TCPConn).CloseWrite()
+	nc2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := wire.ReadFrame(nc2); err == nil {
+		t.Fatal("server answered a truncated frame")
+	} else if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated frame teardown: %v", err)
+	}
+}
+
+func waitFor(t *testing.T, what string, ok func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if ok() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,233 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"rx/internal/core"
+	"rx/internal/rxerr"
+)
+
+func newDB(t *testing.T) *core.DB {
+	t.Helper()
+	db, err := core.OpenMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestSessionCRUDAndQuery(t *testing.T) {
+	db := newDB(t)
+	s := New(db)
+	ctx := context.Background()
+
+	if err := s.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Insert(ctx, "c", []byte(`<p><price>9</price></p>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.InsertBatch(ctx, "c", [][]byte{
+		[]byte(`<p><price>20</price></p>`),
+		[]byte(`<p><price>30</price></p>`),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := s.Query(ctx, "c", "/p[price < 25]/price", NeedValues())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var vals []string
+	for cur.Next() {
+		vals = append(vals, string(cur.Result().Value))
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("vals = %v", vals)
+	}
+
+	doc, err := s.Get(ctx, "c", id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(doc) != `<p><price>9</price></p>` {
+		t.Fatalf("get = %s", doc)
+	}
+
+	if err := s.Delete(ctx, "c", id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "c", id); !errors.Is(err, rxerr.ErrNotFound) {
+		t.Fatalf("get deleted = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSessionTransactionScope(t *testing.T) {
+	db := newDB(t)
+	s := New(db)
+	ctx := context.Background()
+	if err := s.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := s.Commit(ctx); !errors.Is(err, ErrNoTxn) {
+		t.Fatalf("commit without txn = %v", err)
+	}
+	if err := s.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(ctx); !errors.Is(err, ErrTxnOpen) {
+		t.Fatalf("double begin = %v", err)
+	}
+	id, err := s.Insert(ctx, "c", []byte(`<d/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "c", id); !errors.Is(err, rxerr.ErrNotFound) {
+		t.Fatalf("rolled-back doc still readable: %v", err)
+	}
+
+	if err := s.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Insert(ctx, "c", []byte(`<d>kept</d>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(ctx, "c", id2); err != nil {
+		t.Fatalf("committed doc unreadable: %v", err)
+	}
+}
+
+// TestSessionCloseRollsBack is the disconnect path: closing a session with
+// an open transaction must undo its effects and release its locks.
+func TestSessionCloseRollsBack(t *testing.T) {
+	db := newDB(t)
+	ctx := context.Background()
+	s := New(db)
+	if err := s.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Insert(ctx, "c", []byte(`<d/>`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Insert(ctx, "c", []byte(`<d/>`)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("insert on closed session = %v", err)
+	}
+
+	// A fresh session sees neither the doc nor any lingering lock.
+	s2 := New(db)
+	defer s2.Close()
+	if _, err := s2.Get(ctx, "c", id); !errors.Is(err, rxerr.ErrNotFound) {
+		t.Fatalf("doc survived session close: %v", err)
+	}
+	if _, err := s2.Insert(ctx, "c", []byte(`<d>after</d>`)); err != nil {
+		t.Fatalf("insert after close blocked (stranded lock?): %v", err)
+	}
+}
+
+// TestSessionsIsolated runs concurrent sessions each with its own
+// transaction; their effects must be isolated until commit.
+func TestSessionsIsolated(t *testing.T) {
+	db := newDB(t)
+	ctx := context.Background()
+	setup := New(db)
+	if err := setup.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	setup.Close()
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := New(db)
+			defer s.Close()
+			errs[i] = func() error {
+				if err := s.Begin(ctx); err != nil {
+					return err
+				}
+				id, err := s.Insert(ctx, "c", []byte(`<d><v>x</v></d>`))
+				if err != nil {
+					return err
+				}
+				if _, err := s.Get(ctx, "c", id); err != nil {
+					return err
+				}
+				if i%2 == 0 {
+					return s.Commit(ctx)
+				}
+				return s.Rollback(ctx)
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", i, err)
+		}
+	}
+	final := New(db)
+	defer final.Close()
+	ids, err := final.DocIDs(ctx, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != n/2 {
+		t.Fatalf("%d docs survived, want %d (committed half)", len(ids), n/2)
+	}
+}
+
+func TestSessionQueryCancel(t *testing.T) {
+	db := newDB(t)
+	ctx := context.Background()
+	s := New(db)
+	defer s.Close()
+	if err := s.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	var docs [][]byte
+	for i := 0; i < 64; i++ {
+		docs = append(docs, []byte(`<d><v>x</v></d>`))
+	}
+	if _, err := s.InsertBatch(ctx, "c", docs); err != nil {
+		t.Fatal(err)
+	}
+	qctx, cancel := context.WithCancel(ctx)
+	cancel()
+	cur, err := s.Query(qctx, "c", "/d/v", Parallelism(1))
+	if err == nil {
+		defer cur.Close()
+		for cur.Next() {
+		}
+		err = cur.Err()
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query = %v", err)
+	}
+}

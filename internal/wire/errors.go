@@ -1,0 +1,112 @@
+package wire
+
+// Typed error transport. A MsgErr payload carries a taxonomy code, the
+// original message, and the detail fields of the structured error types, so
+// that on the client side errors.Is against the rxerr sentinels and
+// errors.As against core.ErrQuarantined / pagestore.ErrPageChecksum behave
+// exactly as they do in-process.
+
+import (
+	"context"
+	"errors"
+
+	"rx/internal/core"
+	"rx/internal/lock"
+	"rx/internal/pagestore"
+	"rx/internal/rxerr"
+	"rx/internal/xml"
+)
+
+// Error codes (u16). Code order is wire format; append only.
+const (
+	CodeOther uint16 = iota
+	CodeNotFound
+	CodeQuarantined
+	CodeChecksum
+	CodeLockTimeout
+	CodeBusy
+	CodeCanceled
+	CodeDeadline
+)
+
+// EncodeError builds a MsgErr payload classifying err into the taxonomy.
+// Layout: u16 code, str message, str col, u64 doc, u64 page, str reason.
+// The detail fields are zero except where the code defines them.
+func EncodeError(err error) []byte {
+	var w Writer
+	var code uint16
+	var col, reason string
+	var doc, page uint64
+
+	var q core.ErrQuarantined
+	var pc pagestore.ErrPageChecksum
+	switch {
+	case errors.As(err, &q):
+		code = CodeQuarantined
+		col, doc, reason = q.Col, uint64(q.Doc), q.Reason
+	case errors.As(err, &pc):
+		code = CodeChecksum
+		page = uint64(pc.PageID)
+	case errors.Is(err, rxerr.ErrLockTimeout):
+		code = CodeLockTimeout
+	case errors.Is(err, rxerr.ErrNotFound):
+		code = CodeNotFound
+	case errors.Is(err, rxerr.ErrBusy):
+		code = CodeBusy
+	case errors.Is(err, context.Canceled):
+		code = CodeCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		code = CodeDeadline
+	default:
+		code = CodeOther
+	}
+	w.U16(code)
+	w.Str(err.Error())
+	w.Str(col)
+	w.U64(doc)
+	w.U64(page)
+	w.Str(reason)
+	return w.Bytes()
+}
+
+// remoteError preserves the server-side message while unwrapping to the
+// taxonomy sentinel, so errors.Is identity survives the round trip.
+type remoteError struct {
+	msg   string
+	under error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.under }
+
+// DecodeError parses a MsgErr payload back into a typed error.
+func DecodeError(payload []byte) error {
+	r := NewReader(payload)
+	code := r.U16()
+	msg := r.Str()
+	col := r.Str()
+	doc := r.U64()
+	page := r.U64()
+	reason := r.Str()
+	if err := r.Done(); err != nil {
+		return err
+	}
+	switch code {
+	case CodeNotFound:
+		return &remoteError{msg: msg, under: rxerr.ErrNotFound}
+	case CodeQuarantined:
+		return core.ErrQuarantined{Col: col, Doc: xml.DocID(doc), Reason: reason}
+	case CodeChecksum:
+		return pagestore.ErrPageChecksum{PageID: pagestore.PageID(page)}
+	case CodeLockTimeout:
+		return &remoteError{msg: msg, under: lock.ErrTimeout}
+	case CodeBusy:
+		return &remoteError{msg: msg, under: rxerr.ErrBusy}
+	case CodeCanceled:
+		return &remoteError{msg: msg, under: context.Canceled}
+	case CodeDeadline:
+		return &remoteError{msg: msg, under: context.DeadlineExceeded}
+	default:
+		return errors.New(msg)
+	}
+}

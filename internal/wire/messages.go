@@ -1,0 +1,251 @@
+package wire
+
+// Message types and their payload codecs. The protocol is strict
+// request/response: the client sends one request and reads frames until the
+// response arrives. The single exception is MsgCancel, which the client may
+// send while a request is in flight; the server's connection reader handles
+// it out of band by cancelling the in-flight operation's context, whose
+// response then carries the cancellation error. Query results stream as
+// client-driven fetches — each MsgFetch pulls one batch of rows — so
+// Limit and context cancellation propagate end to end without the server
+// ever flooding a slow client.
+
+import (
+	"rx/internal/core"
+	"rx/internal/nodeid"
+	"rx/internal/xml"
+)
+
+// ProtocolVersion is negotiated in the Hello exchange; the server rejects
+// clients whose major version it does not speak.
+const ProtocolVersion = 1
+
+// Message types. Requests are client→server, responses server→client.
+const (
+	MsgHello   byte = 0x01 // request: u32 version
+	MsgHelloOK byte = 0x02 // response: u32 version
+	MsgErr     byte = 0x03 // response: typed error (errors.go)
+	MsgOK      byte = 0x04 // response: empty
+	MsgCancel  byte = 0x05 // out-of-band request: empty
+
+	MsgCreateCollection byte = 0x10 // request: str name
+	MsgCollections      byte = 0x11 // request: empty
+	MsgStrings          byte = 0x12 // response: u32 n, n×str
+	MsgListDocs         byte = 0x13 // request: str col
+	MsgDocIDs           byte = 0x14 // response: u32 n, n×u64
+	MsgCreateIndex      byte = 0x15 // request: str col, str name, str path, u16 typ
+
+	MsgInsert        byte = 0x20 // request: str col, blob doc
+	MsgInserted      byte = 0x21 // response: u64 doc
+	MsgInsertBatch   byte = 0x22 // request: str col, u32 n, n×blob
+	MsgInsertedBatch byte = 0x23 // response: u32 n, n×u64
+	MsgDelete        byte = 0x24 // request: str col, u64 doc
+	MsgGet           byte = 0x25 // request: str col, u64 doc
+	MsgDoc           byte = 0x26 // response: blob doc
+
+	MsgQuery       byte = 0x30 // request: QueryReq
+	MsgQueryOK     byte = 0x31 // response: PlanInfo
+	MsgFetch       byte = 0x32 // request: u32 cursor, u32 maxRows
+	MsgRows        byte = 0x33 // response: RowsResp
+	MsgCloseCursor byte = 0x34 // request: u32 cursor
+
+	MsgBegin    byte = 0x40 // request: empty
+	MsgCommit   byte = 0x41 // request: empty
+	MsgRollback byte = 0x42 // request: empty
+)
+
+// QueryReq opens a server-side cursor. The cursor ID is client-assigned so
+// the client can pipeline a close for a cursor it abandoned.
+type QueryReq struct {
+	Cursor      uint32
+	Col         string
+	Expr        string
+	Limit       uint32
+	Parallelism uint32
+	NeedValues  bool
+	Degraded    bool
+}
+
+// Encode appends the request payload.
+func (q *QueryReq) Encode() []byte {
+	var w Writer
+	w.U32(q.Cursor)
+	w.Str(q.Col)
+	w.Str(q.Expr)
+	w.U32(q.Limit)
+	w.U32(q.Parallelism)
+	w.Bool(q.NeedValues)
+	w.Bool(q.Degraded)
+	return w.Bytes()
+}
+
+// DecodeQueryReq parses a MsgQuery payload.
+func DecodeQueryReq(payload []byte) (*QueryReq, error) {
+	r := NewReader(payload)
+	q := &QueryReq{
+		Cursor:      r.U32(),
+		Col:         r.Str(),
+		Expr:        r.Str(),
+		Limit:       r.U32(),
+		Parallelism: r.U32(),
+		NeedValues:  r.Bool(),
+		Degraded:    r.Bool(),
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// PlanInfo is the wire form of core.Plan, returned when a cursor opens.
+type PlanInfo struct {
+	Method        string
+	Exact         bool
+	CandidateDocs uint32
+	Parallelism   uint32
+	Indexes       []string
+}
+
+// FromPlan converts the planner's report for transport.
+func FromPlan(p *core.Plan) PlanInfo {
+	return PlanInfo{
+		Method:        p.Method,
+		Exact:         p.Exact,
+		CandidateDocs: uint32(p.CandidateDocs),
+		Parallelism:   uint32(p.Parallelism),
+		Indexes:       p.Indexes,
+	}
+}
+
+// Plan converts back to the caller-visible form.
+func (pi PlanInfo) Plan() *core.Plan {
+	return &core.Plan{
+		Method:        pi.Method,
+		Exact:         pi.Exact,
+		CandidateDocs: int(pi.CandidateDocs),
+		Parallelism:   int(pi.Parallelism),
+		Indexes:       pi.Indexes,
+	}
+}
+
+// Encode appends the MsgQueryOK payload.
+func (pi PlanInfo) Encode() []byte {
+	var w Writer
+	w.Str(pi.Method)
+	w.Bool(pi.Exact)
+	w.U32(pi.CandidateDocs)
+	w.U32(pi.Parallelism)
+	w.U32(uint32(len(pi.Indexes)))
+	for _, ix := range pi.Indexes {
+		w.Str(ix)
+	}
+	return w.Bytes()
+}
+
+// DecodePlanInfo parses a MsgQueryOK payload.
+func DecodePlanInfo(payload []byte) (PlanInfo, error) {
+	r := NewReader(payload)
+	pi := PlanInfo{
+		Method:        r.Str(),
+		Exact:         r.Bool(),
+		CandidateDocs: r.U32(),
+		Parallelism:   r.U32(),
+	}
+	n := int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pi.Indexes = append(pi.Indexes, r.Str())
+	}
+	if err := r.Done(); err != nil {
+		return PlanInfo{}, err
+	}
+	return pi, nil
+}
+
+// RowsResp is one fetched batch. Done means the cursor is exhausted and the
+// server has already closed it; Skipped is the cursor's running count of
+// quarantined documents skipped under Degraded.
+type RowsResp struct {
+	Done    bool
+	Skipped uint32
+	Rows    []core.Result
+}
+
+// Encode appends the MsgRows payload.
+func (rr *RowsResp) Encode() []byte {
+	var w Writer
+	w.Bool(rr.Done)
+	w.U32(rr.Skipped)
+	w.U32(uint32(len(rr.Rows)))
+	for _, row := range rr.Rows {
+		w.U64(uint64(row.Doc))
+		w.Blob([]byte(row.Node))
+		w.Blob(row.Value)
+	}
+	return w.Bytes()
+}
+
+// DecodeRowsResp parses a MsgRows payload.
+func DecodeRowsResp(payload []byte) (*RowsResp, error) {
+	r := NewReader(payload)
+	rr := &RowsResp{Done: r.Bool(), Skipped: r.U32()}
+	n := int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		rr.Rows = append(rr.Rows, core.Result{
+			Doc:   xml.DocID(r.U64()),
+			Node:  nodeid.ID(r.Blob()),
+			Value: r.Blob(),
+		})
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return rr, nil
+}
+
+// EncodeStrings builds a MsgStrings payload.
+func EncodeStrings(ss []string) []byte {
+	var w Writer
+	w.U32(uint32(len(ss)))
+	for _, s := range ss {
+		w.Str(s)
+	}
+	return w.Bytes()
+}
+
+// DecodeStrings parses a MsgStrings payload.
+func DecodeStrings(payload []byte) ([]string, error) {
+	r := NewReader(payload)
+	n := int(r.U32())
+	var ss []string
+	for i := 0; i < n && r.Err() == nil; i++ {
+		ss = append(ss, r.Str())
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+// EncodeDocIDs builds a MsgDocIDs or MsgInsertedBatch payload.
+func EncodeDocIDs(ids []xml.DocID) []byte {
+	var w Writer
+	w.U32(uint32(len(ids)))
+	for _, id := range ids {
+		w.U64(uint64(id))
+	}
+	return w.Bytes()
+}
+
+// DecodeDocIDs parses a MsgDocIDs or MsgInsertedBatch payload.
+func DecodeDocIDs(payload []byte) ([]xml.DocID, error) {
+	r := NewReader(payload)
+	n := int(r.U32())
+	var ids []xml.DocID
+	for i := 0; i < n && r.Err() == nil; i++ {
+		ids = append(ids, xml.DocID(r.U64()))
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}

@@ -1,0 +1,227 @@
+// Package wire is the rxserver framing and message codec: a length-prefixed
+// binary protocol carrying the session API over a byte stream.
+//
+// Frame layout (all integers big-endian):
+//
+//	+----------+--------+------------------+
+//	| len u32  | typ u8 | payload (len-1)  |
+//	+----------+--------+------------------+
+//
+// len counts the type byte plus the payload, so the smallest legal frame is
+// len=1 (a bare type). Frames longer than MaxFrame are rejected before any
+// allocation — a malicious or corrupt length prefix cannot make the peer
+// reserve gigabytes — and a stream that ends inside a frame surfaces as
+// io.ErrUnexpectedEOF, never as a short read silently treated as a message.
+//
+// Payloads are encoded with the Writer/Reader helpers below: fixed-width
+// integers, u8 bools, and u32-length-prefixed byte strings. The Reader is
+// sticky-error and bounds-checked, so a truncated or oversized field turns
+// into ErrMalformed rather than a panic or a misparse.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds one frame (type byte + payload). Large documents travel in
+// insert/batch payloads, so the bound is generous; anything beyond it is a
+// protocol error, not a bigger buffer.
+const MaxFrame = 16 << 20
+
+// ErrMalformed reports a frame or payload that violates the protocol.
+var ErrMalformed = errors.New("wire: malformed frame")
+
+// ErrFrameTooLarge reports a frame whose declared length exceeds MaxFrame.
+var ErrFrameTooLarge = fmt.Errorf("%w: frame exceeds %d bytes", ErrMalformed, MaxFrame)
+
+// WriteFrame writes one frame. Callers batch frames behind a bufio.Writer
+// and flush per message exchange.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if 1+len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, enforcing MaxFrame. A clean EOF before any
+// header byte returns io.EOF; a stream ending mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n < 1 {
+		return 0, nil, fmt.Errorf("%w: zero-length frame", ErrMalformed)
+	}
+	if n > MaxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, unexpected(err)
+	}
+	typ = hdr[4]
+	if n == 1 {
+		return typ, nil, nil
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, unexpected(err)
+	}
+	return typ, payload, nil
+}
+
+// unexpected maps a mid-frame EOF to io.ErrUnexpectedEOF.
+func unexpected(err error) error {
+	if errors.Is(err, io.EOF) {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Writer builds a payload.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the built payload.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// U8 appends one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U16 appends a big-endian uint16.
+func (w *Writer) U16(v uint16) { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+
+// U32 appends a big-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+
+// U64 appends a big-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+
+// Bool appends a bool as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Blob appends a u32-length-prefixed byte string.
+func (w *Writer) Blob(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Str appends a u32-length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader decodes a payload with a sticky error: after the first bounds
+// violation every read returns zero values, and Err reports ErrMalformed.
+type Reader struct {
+	buf []byte
+	pos int
+	bad bool
+}
+
+// NewReader wraps a payload for decoding.
+func NewReader(payload []byte) *Reader { return &Reader{buf: payload} }
+
+// Err returns ErrMalformed if any read ran out of payload, or if Done was
+// called with bytes left over.
+func (r *Reader) Err() error {
+	if r.bad {
+		return ErrMalformed
+	}
+	return nil
+}
+
+// Done marks decoding complete: trailing unconsumed bytes are a protocol
+// error. Returns Err().
+func (r *Reader) Done() error {
+	if r.pos != len(r.buf) {
+		r.bad = true
+	}
+	return r.Err()
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.bad || n < 0 || len(r.buf)-r.pos < n {
+		r.bad = true
+		return nil
+	}
+	b := r.buf[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (r *Reader) U16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// U64 reads a big-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// Bool reads a one-byte bool.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// Blob reads a u32-length-prefixed byte string (copied out of the payload).
+func (r *Reader) Blob() []byte {
+	n := int(r.U32())
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}
+
+// Str reads a u32-length-prefixed string.
+func (r *Reader) Str() string { return string(r.Blob()) }

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+
+	"rx/internal/core"
+	"rx/internal/lock"
+	"rx/internal/nodeid"
+	"rx/internal/pagestore"
+	"rx/internal/rxerr"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, []byte("x"), bytes.Repeat([]byte("ab"), 5000)}
+	for i, p := range payloads {
+		if err := WriteFrame(&buf, byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, p := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: typ=%d len=%d", i, typ, len(got))
+		}
+	}
+	if _, _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("after drain: %v", err)
+	}
+}
+
+// TestTruncatedFrames cuts a valid frame at every byte boundary; each prefix
+// must fail with EOF (empty input) or ErrUnexpectedEOF, never misparse.
+func TestTruncatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, MsgInsert, []byte("payload-bytes")); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		_, _, err := ReadFrame(bytes.NewReader(full[:cut]))
+		switch {
+		case cut == 0 && err != io.EOF:
+			t.Fatalf("cut 0: %v, want io.EOF", err)
+		case cut > 0 && cut < 4 && err != io.ErrUnexpectedEOF && err != io.EOF:
+			// A header cut inside the length prefix is EOF-ish either way.
+			t.Fatalf("cut %d: %v", cut, err)
+		case cut >= 4 && err != io.ErrUnexpectedEOF:
+			t.Fatalf("cut %d: %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, _, err := ReadFrame(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) || !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	// And the writer refuses to produce one.
+	if err := WriteFrame(io.Discard, MsgInsert, make([]byte, MaxFrame)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+func TestZeroLengthFrameRejected(t *testing.T) {
+	_, _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}))
+	if !errors.Is(err, ErrMalformed) {
+		t.Fatalf("zero frame: %v", err)
+	}
+}
+
+// TestPayloadReaderBounds checks that truncated and trailing-garbage
+// payloads decode to ErrMalformed, not panics or silent zero values.
+func TestPayloadReaderBounds(t *testing.T) {
+	var w Writer
+	w.Str("col")
+	payload := w.Bytes()
+
+	r := NewReader(payload[:2]) // length prefix itself truncated
+	r.Str()
+	if r.Err() == nil {
+		t.Fatal("truncated length prefix accepted")
+	}
+
+	r = NewReader(payload[:5]) // string body truncated
+	r.Str()
+	if r.Err() == nil {
+		t.Fatal("truncated string body accepted")
+	}
+
+	r = NewReader(append(payload, 0xFF)) // trailing garbage
+	r.Str()
+	if err := r.Done(); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("trailing garbage: %v", err)
+	}
+
+	// A length prefix claiming more than the payload holds must not
+	// allocate or wrap around.
+	var w2 Writer
+	w2.U32(1 << 31)
+	r = NewReader(w2.Bytes())
+	if b := r.Blob(); b != nil || r.Err() == nil {
+		t.Fatalf("absurd blob length: %v %v", b, r.Err())
+	}
+}
+
+func TestQueryReqRoundTrip(t *testing.T) {
+	q := &QueryReq{Cursor: 7, Col: "books", Expr: "/book[price < 10]",
+		Limit: 100, Parallelism: 4, NeedValues: true, Degraded: true}
+	got, err := DecodeQueryReq(q.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *q {
+		t.Fatalf("got %+v want %+v", got, q)
+	}
+	if _, err := DecodeQueryReq(q.Encode()[:5]); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated query req: %v", err)
+	}
+}
+
+func TestRowsRoundTrip(t *testing.T) {
+	rr := &RowsResp{Skipped: 3, Rows: []core.Result{
+		{Doc: 1, Node: nodeid.ID{0x01}, Value: []byte("v1")},
+		{Doc: 9, Node: nodeid.ID{0x01, 0x02}, Value: nil},
+	}}
+	got, err := DecodeRowsResp(rr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Done != rr.Done || got.Skipped != rr.Skipped || len(got.Rows) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Rows[0].Doc != 1 || !bytes.Equal(got.Rows[0].Node, rr.Rows[0].Node) ||
+		string(got.Rows[0].Value) != "v1" {
+		t.Fatalf("row 0: %+v", got.Rows[0])
+	}
+}
+
+func TestPlanInfoRoundTrip(t *testing.T) {
+	p := &core.Plan{Method: "docid-anding", Exact: true, CandidateDocs: 42,
+		Parallelism: 8, Indexes: []string{"a", "b"}}
+	pi, err := DecodePlanInfo(FromPlan(p).Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pi.Plan()
+	if got.Method != p.Method || got.Exact != p.Exact ||
+		got.CandidateDocs != p.CandidateDocs || got.Parallelism != p.Parallelism ||
+		len(got.Indexes) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+// TestErrorRoundTrip is the satellite requirement: every taxonomy error
+// must keep its errors.Is identity (and errors.As details) across
+// encode/decode.
+func TestErrorRoundTrip(t *testing.T) {
+	cases := []struct {
+		name   string
+		in     error
+		is     error
+		detail func(t *testing.T, out error)
+	}{
+		{
+			name: "not found",
+			in:   fmt.Errorf("%w: doc 7", rxerr.ErrNotFound),
+			is:   rxerr.ErrNotFound,
+		},
+		{
+			name: "quarantined",
+			in:   fmt.Errorf("query: %w", core.ErrQuarantined{Col: "c", Doc: 7, Reason: "page 3 torn"}),
+			is:   rxerr.ErrQuarantined,
+			detail: func(t *testing.T, out error) {
+				var q core.ErrQuarantined
+				if !errors.As(out, &q) || q.Col != "c" || q.Doc != 7 || q.Reason != "page 3 torn" {
+					t.Fatalf("details lost: %+v", q)
+				}
+			},
+		},
+		{
+			name: "checksum",
+			in:   fmt.Errorf("read: %w", pagestore.ErrPageChecksum{PageID: 99}),
+			is:   rxerr.ErrChecksum,
+			detail: func(t *testing.T, out error) {
+				var pc pagestore.ErrPageChecksum
+				if !errors.As(out, &pc) || pc.PageID != 99 {
+					t.Fatalf("page lost: %+v", pc)
+				}
+			},
+		},
+		{
+			name: "lock timeout",
+			in:   fmt.Errorf("%w: X doc:c/1 by txn 3", lock.ErrTimeout),
+			is:   rxerr.ErrLockTimeout,
+			detail: func(t *testing.T, out error) {
+				if !errors.Is(out, lock.ErrTimeout) {
+					t.Fatal("lock.ErrTimeout identity lost")
+				}
+			},
+		},
+		{
+			name: "busy",
+			in:   fmt.Errorf("%w: 64 connections", rxerr.ErrBusy),
+			is:   rxerr.ErrBusy,
+		},
+		{name: "canceled", in: context.Canceled, is: context.Canceled},
+		{name: "deadline", in: context.DeadlineExceeded, is: context.DeadlineExceeded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			out := DecodeError(EncodeError(tc.in))
+			if !errors.Is(out, tc.is) {
+				t.Fatalf("identity lost: in %v, out %v", tc.in, out)
+			}
+			if tc.detail != nil {
+				tc.detail(t, out)
+			}
+		})
+	}
+
+	// Unclassified errors keep their message.
+	out := DecodeError(EncodeError(errors.New("core: something odd")))
+	if out.Error() != "core: something odd" {
+		t.Fatalf("message lost: %v", out)
+	}
+}

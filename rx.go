@@ -35,15 +35,15 @@ import (
 	"rx/internal/core"
 	"rx/internal/nodeid"
 	"rx/internal/pagestore"
+	"rx/internal/rxerr"
 	"rx/internal/scrub"
+	"rx/internal/session"
 	"rx/internal/wal"
 	"rx/internal/xml"
 )
 
 // Core engine types, re-exported.
 type (
-	// DB is an open database.
-	DB = core.DB
 	// Collection is a base table with one XML column.
 	Collection = core.Collection
 	// Options configure the engine.
@@ -70,13 +70,15 @@ type (
 	TxnOption = core.TxnOption
 	// BatchOptions configure Collection.InsertBatch bulk loading.
 	BatchOptions = core.BatchOptions
-	// ErrPageChecksum reports a stored page whose contents fail CRC
+	// PageChecksumError reports a stored page whose contents fail CRC
 	// verification (torn write or silent corruption); retrieve the page ID
-	// with errors.As. Returned only from databases opened WithChecksums.
-	ErrPageChecksum = pagestore.ErrPageChecksum
-	// ErrQuarantined reports an operation touching a document the corruption
-	// registry has quarantined; retrieve details with errors.As.
-	ErrQuarantined = core.ErrQuarantined
+	// with errors.As, or match the class with errors.Is(err, ErrChecksum).
+	// Returned only from databases opened WithChecksums.
+	PageChecksumError = pagestore.ErrPageChecksum
+	// QuarantineError reports an operation touching a document the corruption
+	// registry has quarantined; retrieve details with errors.As, or match the
+	// class with errors.Is(err, ErrQuarantined).
+	QuarantineError = core.ErrQuarantined
 	// QuarantineEntry is one quarantined document in the corruption registry.
 	QuarantineEntry = core.QuarantineEntry
 	// LossyDoc is a document salvaged by repair with subtree loss.
@@ -92,6 +94,96 @@ type (
 	// ScrubOptions configure the background scrubber.
 	ScrubOptions = scrub.Options
 )
+
+// Session layer, re-exported. A Session sits between a caller and the engine
+// and owns per-caller state: the open transaction, default query options,
+// and name-based collection addressing. The same SessionAPI is implemented
+// by *Session (embedded) and by the client package's *client.DB (remote), so
+// programs written against it run in-process or over the network unchanged.
+type (
+	// Session is an embedded session over this database.
+	Session = session.Session
+	// SessionAPI is the sessioned database surface shared by embedded
+	// sessions and remote client connections.
+	SessionAPI = session.API
+	// SessionCursor streams query results from a session (embedded or
+	// remote) without materializing the full set.
+	SessionCursor = session.Cursor
+	// SessionOption configures NewSession.
+	SessionOption = session.Option
+	// QueryOption tunes one session query.
+	QueryOption = session.QueryOption
+)
+
+// Error taxonomy. One sentinel per failure class, matched with errors.Is;
+// every engine, session, and wire error that belongs to a class unwraps to
+// its sentinel — including errors that crossed the rxserver wire, so a
+// remote caller handles failures exactly like an embedded one.
+var (
+	// ErrNotFound reports a missing document, collection, or node.
+	ErrNotFound = rxerr.ErrNotFound
+	// ErrQuarantined reports an operation touching a quarantined document.
+	ErrQuarantined = rxerr.ErrQuarantined
+	// ErrChecksum reports a page failing CRC verification.
+	ErrChecksum = rxerr.ErrChecksum
+	// ErrLockTimeout reports a lock wait that timed out (possible deadlock).
+	ErrLockTimeout = rxerr.ErrLockTimeout
+	// ErrBusy reports load shed by rxserver admission control.
+	ErrBusy = rxerr.ErrBusy
+)
+
+// WithLimit stops a session query after n results.
+func WithLimit(n int) QueryOption { return session.Limit(n) }
+
+// WithParallelism caps a session query's worker goroutines (0 = one per
+// CPU, 1 = serial).
+func WithParallelism(n int) QueryOption { return session.Parallelism(n) }
+
+// WithValues includes each result node's string value.
+func WithValues() QueryOption { return session.NeedValues() }
+
+// WithDegraded lets a session query skip quarantined documents instead of
+// failing.
+func WithDegraded() QueryOption { return session.Degraded() }
+
+// WithSessionDefaults sets query options applied to every session query
+// before the per-call options.
+func WithSessionDefaults(opts ...QueryOption) SessionOption {
+	return session.WithDefaults(opts...)
+}
+
+// DB is an open database: the engine plus a default embedded session. The
+// engine surface (collections, transactions, scrub/repair, stats) is
+// promoted from core.DB; the sessioned, context-first surface hangs off
+// Session. DB is a thin single-session wrapper — callers needing
+// independent transaction scopes open more sessions with NewSession.
+type DB struct {
+	*core.DB
+	sess *Session
+}
+
+// Session returns the database's default session: the context-first API
+// (Query, Insert, Begin/Commit/Rollback, ...) sharing the rest of the
+// facade's single-caller view.
+func (db *DB) Session() *Session { return db.sess }
+
+// NewSession opens an additional session with its own transaction scope and
+// query defaults. Sessions are cheap; open one per concurrent worker. Close
+// releases it, rolling back any open transaction.
+func (db *DB) NewSession(opts ...SessionOption) *Session {
+	return session.New(db.DB, opts...)
+}
+
+// Engine exposes the underlying engine, for wiring infrastructure (such as
+// the rxserver network front end) that manages its own sessions.
+func (db *DB) Engine() *core.DB { return db.DB }
+
+// Close closes the default session (rolling back its open transaction, if
+// any) and then the engine.
+func (db *DB) Close() error {
+	db.sess.Close()
+	return db.DB.Close()
+}
 
 // WithDeadlockRetry makes DB.RunTxn re-run a transaction aborted as a
 // deadlock victim up to max more times, with jittered backoff.
@@ -175,7 +267,7 @@ func WithScrub(interval time.Duration, rate int) Option {
 // NewScrubber builds a scrubber service over an open database without
 // starting it: call RunPass for a synchronous pass, Repair for a throttled
 // repair, or Start/Stop for the background loop.
-func NewScrubber(db *DB, opts ScrubOptions) *Scrubber { return scrub.New(db, opts) }
+func NewScrubber(db *DB, opts ScrubOptions) *Scrubber { return scrub.New(db.DB, opts) }
 
 // RederiveChecksums rebuilds the sidecar checksum pages of a checksummed,
 // file-backed database from the data pages themselves — the recovery path
@@ -196,12 +288,6 @@ func RederiveChecksums(path string) error {
 		return err
 	}
 	return cs.Close()
-}
-
-// withOptions seeds the configuration from a legacy Options struct; it
-// backs the deprecated Open* constructors.
-func withOptions(o Options) Option {
-	return func(c *openConfig) { c.core = o }
 }
 
 // Open opens a database. An empty path opens a fresh in-memory store;
@@ -232,10 +318,10 @@ func Open(path string, opts ...Option) (*DB, error) {
 	if cfg.checksums {
 		store = pagestore.NewChecksumStore(store)
 	}
-	var db *DB
+	var cdb *core.DB
 	var err error
 	if cfg.walPath == "" {
-		db, err = core.Open(store, cfg.core)
+		cdb, err = core.Open(store, cfg.core)
 	} else {
 		var dev wal.Device
 		dev, err = wal.OpenFileDevice(cfg.walPath)
@@ -252,37 +338,15 @@ func Open(path string, opts ...Option) (*DB, error) {
 			return nil, err
 		}
 		cfg.core.WAL = log
-		db, err = core.Recover(store, log, cfg.core)
+		cdb, err = core.Recover(store, log, cfg.core)
 	}
 	if err != nil {
 		return nil, err
 	}
 	if cfg.scrub != nil {
-		s := scrub.New(db, *cfg.scrub)
+		s := scrub.New(cdb, *cfg.scrub)
 		s.Start()
-		db.RegisterCloser(s.Stop)
+		cdb.RegisterCloser(s.Stop)
 	}
-	return db, nil
-}
-
-// OpenMemory opens a fresh in-memory database.
-//
-// Deprecated: use Open("").
-func OpenMemory() (*DB, error) { return Open("") }
-
-// OpenFile opens (creating if needed) a file-backed database.
-//
-// Deprecated: use Open(path, ...).
-func OpenFile(path string, opts Options) (*DB, error) {
-	return Open(path, withOptions(opts))
-}
-
-// OpenFileLogged opens a file-backed database with a write-ahead log at
-// walPath, enabling transactions and crash recovery. If the log is
-// non-empty, recovery runs first: committed work is redone and losers are
-// compensated.
-//
-// Deprecated: use Open(dbPath, WithWAL(walPath), ...).
-func OpenFileLogged(dbPath, walPath string, opts Options) (*DB, error) {
-	return Open(dbPath, withOptions(opts), WithWAL(walPath))
+	return &DB{DB: cdb, sess: session.New(cdb)}, nil
 }

@@ -2,6 +2,7 @@ package rx
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	dbPath := filepath.Join(dir, "t.rxdb")
 	walPath := filepath.Join(dir, "t.wal")
 
-	db, err := OpenFileLogged(dbPath, walPath, Options{})
+	db, err := Open(dbPath, WithWAL(walPath))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,12 +39,20 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	res, plan, err := col.QueryValues("/book[price < 30]/title")
+	cur, err := db.Session().Query(context.Background(), "books", "/book[price < 30]/title", WithValues())
 	if err != nil {
 		t.Fatal(err)
 	}
+	var res []Result
+	for cur.Next() {
+		res = append(res, cur.Result())
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	cur.Close()
 	if len(res) != 1 || string(res[0].Value) != "Native XML" {
-		t.Fatalf("res = %+v (plan %s)", res, plan.Method)
+		t.Fatalf("res = %+v (plan %s)", res, cur.Plan().Method)
 	}
 
 	// An uncommitted insert, then simulated crash (close without commit).
@@ -56,7 +65,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 	db.Checkpoint() // persists committed state; tx2's logical record is in the WAL
 	_ = id2
 
-	db2, err := OpenFileLogged(dbPath, walPath, Options{})
+	db2, err := Open(dbPath, WithWAL(walPath))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +92,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 
 // TestVersionedFacade exercises MVCC through the facade.
 func TestVersionedFacade(t *testing.T) {
-	db, err := OpenMemory()
+	db, err := Open("")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +115,7 @@ func TestVersionedFacade(t *testing.T) {
 
 // TestFragmentPositions exercises the re-exported position constants.
 func TestFragmentPositions(t *testing.T) {
-	db, _ := OpenMemory()
+	db, _ := Open("")
 	col, _ := db.CreateCollection("c", CollectionOptions{})
 	id, _ := col.Insert([]byte(`<r><a/></r>`))
 	aRes, _, _ := col.Query("/r/a")
@@ -124,7 +133,7 @@ func TestFragmentPositions(t *testing.T) {
 }
 
 // TestOpenVariants checks the unified Open constructor: in-memory, file,
-// functional options, and equivalence of the deprecated wrappers.
+// and functional options.
 func TestOpenVariants(t *testing.T) {
 	t.Run("memory", func(t *testing.T) {
 		db, err := Open("")
@@ -162,8 +171,8 @@ func TestOpenVariants(t *testing.T) {
 		if err := db.Close(); err != nil {
 			t.Fatal(err)
 		}
-		// Reopen through the deprecated wrapper; same file, same data.
-		db2, err := OpenFile(path, Options{})
+		// Reopen; same file, same data.
+		db2, err := Open(path)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -303,7 +312,7 @@ func TestChecksumsDetectCorruption(t *testing.T) {
 	if err := db2.VerifyPages(); err == nil {
 		t.Fatal("VerifyPages passed over a corrupted file")
 	} else {
-		var ce ErrPageChecksum
+		var ce PageChecksumError
 		if !errors.As(err, &ce) {
 			t.Fatalf("VerifyPages error = %v, want ErrPageChecksum", err)
 		}
@@ -312,7 +321,7 @@ func TestChecksumsDetectCorruption(t *testing.T) {
 	if err != nil {
 		// The flipped bit landed on a page the collection open itself needs;
 		// the open must report the checksum failure, not decode garbage.
-		var ce ErrPageChecksum
+		var ce PageChecksumError
 		if !errors.As(err, &ce) {
 			t.Fatalf("collection open error = %v, want ErrPageChecksum", err)
 		}
@@ -321,7 +330,7 @@ func TestChecksumsDetectCorruption(t *testing.T) {
 		for _, id := range ids {
 			var buf bytes.Buffer
 			if err := col2.Serialize(id, &buf); err != nil {
-				var ce ErrPageChecksum
+				var ce PageChecksumError
 				if !errors.As(err, &ce) {
 					t.Fatalf("doc %d: error %v, want ErrPageChecksum", id, err)
 				}
