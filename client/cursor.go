@@ -103,10 +103,14 @@ func (cu *Cursor) Close() error {
 	return nil
 }
 
-// remoteClose tells the server to drop the cursor. Best effort and
-// context-free: it must work exactly when the caller's context is dead.
+// remoteClose tells the server to drop the cursor. Best effort, on a fresh
+// timeout rather than the caller's context: it must work exactly when the
+// caller's context is dead, but still degrade to tearing the connection down
+// (not hanging Close and every other call) if the server stops answering.
 func (cu *Cursor) remoteClose() {
+	ctx, cancel := context.WithTimeout(context.Background(), cancelGrace)
+	defer cancel()
 	var w wire.Writer
 	w.U32(cu.id)
-	_, _ = cu.db.expect(context.Background(), wire.MsgCloseCursor, w.Bytes(), wire.MsgOK)
+	_, _ = cu.db.expect(ctx, wire.MsgCloseCursor, w.Bytes(), wire.MsgOK)
 }

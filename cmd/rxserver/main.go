@@ -82,6 +82,15 @@ func main() {
 
 	fmt.Fprintf(os.Stderr, "rxserver: serving %s on %s\n", describe(*dbPath), lis.Addr())
 	serveErr := srv.Serve(lis)
+	// Serve returns as soon as the listener closes; the drain in the signal
+	// goroutine may still be waiting out busy connections. Shutdown is
+	// idempotent and waits for every connection handler, so calling it again
+	// here guarantees no request touches the engine after db.Close.
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "rxserver: drain:", err)
+	}
+	drainCancel()
 	closeErr := db.Close()
 	if serveErr != nil {
 		fmt.Fprintln(os.Stderr, "rxserver: serve:", serveErr)

@@ -13,6 +13,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"rx/internal/rxerr"
 	"rx/internal/session"
@@ -59,6 +60,7 @@ type conn struct {
 type netConn interface {
 	Read([]byte) (int, error)
 	Write([]byte) (int, error)
+	SetReadDeadline(time.Time) error
 	Close() error
 }
 
@@ -129,9 +131,13 @@ func (c *conn) serve() {
 		c.nc.Close()
 	}()
 
+	// The hello exchange runs under a read deadline so a client that
+	// connects and sends nothing cannot pin a MaxConns slot.
+	c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.HelloTimeout))
 	if err := c.hello(); err != nil {
 		return
 	}
+	c.nc.SetReadDeadline(time.Time{})
 
 	reqCh := make(chan request, 1)
 	go func() {
@@ -391,6 +397,12 @@ func (c *conn) handleQuery(payload []byte) error {
 	}
 	if _, dup := c.cursors[q.Cursor]; dup {
 		return c.respondErr(fmt.Errorf("%w: cursor %d already open", wire.ErrMalformed, q.Cursor))
+	}
+	// Cursor IDs are client-assigned; without a cap a client opening cursors
+	// and never fetching grows server and engine state without bound.
+	if len(c.cursors) >= c.srv.opts.MaxCursors {
+		c.srv.rejected.Add(1)
+		return c.respondErr(fmt.Errorf("%w: cursor limit (%d) reached", rxerr.ErrBusy, c.srv.opts.MaxCursors))
 	}
 	qctx, qcancel := context.WithCancel(c.base)
 	// Opening can itself be slow (planning, index probes): make it

@@ -43,6 +43,9 @@ type Options struct {
 	// MaxBatchRows caps rows per fetch response (default 4096); a client
 	// fetch asking for 0 gets DefaultBatchRows.
 	MaxBatchRows int
+	// MaxCursors caps open cursors per connection (default 64); a query
+	// beyond the cap is refused with ErrBusy.
+	MaxCursors int
 	// HelloTimeout bounds how long a fresh connection may take to complete
 	// the hello exchange (default 5s) so half-open connections cannot pin
 	// connection slots.
@@ -61,6 +64,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxBatchRows <= 0 {
 		o.MaxBatchRows = 4096
+	}
+	if o.MaxCursors <= 0 {
+		o.MaxCursors = 64
 	}
 	if o.HelloTimeout <= 0 {
 		o.HelloTimeout = 5 * time.Second

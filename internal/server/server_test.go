@@ -443,6 +443,11 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if err := <-serveDone; err != nil {
 		t.Fatalf("serve after drain: %v", err)
 	}
+	// Shutdown is idempotent: rxserver's main calls it again after Serve
+	// returns to wait out the drain before closing the engine.
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("second shutdown: %v", err)
+	}
 	// New connections are refused after drain.
 	if _, err := client.Dial(lis.Addr().String(), client.WithDialTimeout(time.Second)); err == nil {
 		t.Fatal("dial succeeded after shutdown")
@@ -508,6 +513,71 @@ func TestRawProtocolRobustness(t *testing.T) {
 	} else if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
 		t.Fatalf("truncated frame teardown: %v", err)
 	}
+}
+
+// TestHelloTimeoutFreesSlot connects and sends nothing: the server must drop
+// the half-open connection after HelloTimeout instead of letting it pin a
+// MaxConns slot forever.
+func TestHelloTimeoutFreesSlot(t *testing.T) {
+	srv, addr := startServer(t, server.Options{HelloTimeout: 100 * time.Millisecond})
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	waitFor(t, "half-open connection admitted", func() bool { return srv.Stats().ActiveConns == 1 })
+
+	// Say nothing; the server must hang up on its own (EOF or reset, not our
+	// local read deadline expiring).
+	nc.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, err = nc.Read(make([]byte, 1))
+	if err == nil {
+		t.Fatal("server answered a silent connection")
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		t.Fatal("server kept the silent connection open past HelloTimeout")
+	}
+	waitFor(t, "slot release", func() bool { return srv.Stats().ActiveConns == 0 })
+}
+
+// TestCursorLimit opens cursors without fetching until the per-connection cap
+// refuses the next query with ErrBusy; closing one frees a slot.
+func TestCursorLimit(t *testing.T) {
+	srv, addr := startServer(t, server.Options{MaxCursors: 2})
+	ctx := context.Background()
+	c := dial(t, addr)
+	if err := c.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "c", doc(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	var curs []session.Cursor
+	for i := 0; i < 2; i++ {
+		cur, err := c.Query(ctx, "c", "/product")
+		if err != nil {
+			t.Fatalf("cursor %d: %v", i, err)
+		}
+		curs = append(curs, cur)
+	}
+	if _, err := c.Query(ctx, "c", "/product"); !errors.Is(err, rxerr.ErrBusy) {
+		t.Fatalf("over-limit query: %v", err)
+	}
+	if srv.Stats().RejectedBusy == 0 {
+		t.Fatal("rejection not counted")
+	}
+
+	curs[0].Close()
+	waitFor(t, "cursor slot release", func() bool { return srv.Stats().OpenCursors == 1 })
+	cur, err := c.Query(ctx, "c", "/product")
+	if err != nil {
+		t.Fatalf("query after close: %v", err)
+	}
+	cur.Close()
+	curs[1].Close()
 }
 
 func waitFor(t *testing.T, what string, ok func() bool) {

@@ -22,10 +22,12 @@ import (
 // (remote, each call a wire round-trip), so programs written against it run
 // unchanged in-process or over the network.
 //
-// A session is a unit of transaction scope, not of concurrency: methods are
-// safe to call from multiple goroutines, but Begin/Commit/Rollback scope one
-// transaction for the whole session, so concurrent transactional work wants
-// one session (or connection) per worker.
+// A session is a unit of transaction scope, not of concurrency: methods on a
+// session with no open transaction are safe to call from multiple goroutines,
+// but once Begin succeeds the session's transaction has no internal
+// synchronization, so the session must be used by one goroutine at a time
+// until Commit/Rollback. Concurrent transactional work wants one session (or
+// connection) per worker — exactly how the server maps connections.
 type API interface {
 	// CreateCollection creates a collection.
 	CreateCollection(ctx context.Context, name string) error
