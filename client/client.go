@@ -5,6 +5,23 @@
 // rx.ErrQuarantined, rx.ErrBusy, ...), and cancelling a context mid-query
 // cancels the server-side cursor too.
 //
+// # Failure semantics
+//
+// The client is resilient by default. A dropped, reset, or stalled
+// connection is re-dialed automatically with exponential backoff and
+// jitter, and idempotent operations — reads and queries outside an open
+// transaction — are retried transparently on the new connection; a query
+// cursor that dies mid-stream is even re-issued and fast-forwarded past the
+// rows already delivered, so the caller sees every row exactly once.
+// ErrBusy responses carry the server's retry-after hint and back off the
+// same way. Non-idempotent operations (writes, Begin/Commit/Rollback) and
+// any operation inside an open transaction are never retried after a
+// transport failure, because the request may or may not have executed:
+// they surface rx.ErrConnLost, the transaction is gone (the server rolls
+// it back on disconnect), and Rollback acknowledges the loss. MsgPing
+// keepalives (WithKeepalive) hold long-lived idle connections open across
+// server idle timeouts.
+//
 // One DB is one connection and therefore one session: safe for concurrent
 // use, but requests serialize and Begin/Commit/Rollback scope a single
 // transaction. Open one DB per concurrent transactional worker, exactly as
@@ -14,12 +31,17 @@ package client
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rx/internal/core"
+	"rx/internal/rxerr"
 	"rx/internal/session"
 	"rx/internal/wire"
 	"rx/internal/xml"
@@ -28,7 +50,7 @@ import (
 // Option configures a Dial.
 type Option func(*DB)
 
-// WithDialTimeout bounds the TCP connect and hello exchange (default 10s).
+// WithDialTimeout bounds each TCP connect and hello exchange (default 10s).
 func WithDialTimeout(d time.Duration) Option {
 	return func(c *DB) { c.dialTimeout = d }
 }
@@ -39,91 +61,299 @@ func WithBatchRows(n int) Option {
 	return func(c *DB) { c.batchRows = n }
 }
 
-// cancelGrace is how long after sending a cancel frame the client waits for
-// the server's (error) response before declaring the connection dead.
-const cancelGrace = 10 * time.Second
-
-// DB is a connection to an rxserver, implementing session.API remotely.
-type DB struct {
-	dialTimeout time.Duration
-	batchRows   int
-
-	mu         sync.Mutex // serializes request/response round trips
-	nc         net.Conn
-	bw         *bufio.Writer
-	closed     bool
-	nextCursor uint32
+// WithKeepalive sends a ping after d of idleness so server idle timeouts
+// and middleboxes don't reap a healthy but quiet connection (0 = off,
+// the default).
+func WithKeepalive(d time.Duration) Option {
+	return func(c *DB) { c.keepalive = d }
 }
 
-var _ session.API = (*DB)(nil)
+// WithRetry sets the reconnect/retry policy (see RetryPolicy).
+func WithRetry(p RetryPolicy) Option {
+	return func(c *DB) { c.retry = p }
+}
+
+// WithoutRetry disables reconnection and retries entirely: every transport
+// failure surfaces immediately as rx.ErrConnLost.
+func WithoutRetry() Option {
+	return func(c *DB) { c.retryOff = true }
+}
+
+// RetryPolicy shapes the client's reconnect and retry behavior: attempt k
+// (0-based) backs off for BaseDelay·2^k capped at MaxDelay, jittered into
+// [d/2, d) so a shed fleet doesn't reconnect in lockstep. A server
+// retry-after hint (rx.BusyError) raises the wait when it is longer.
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation, including the
+	// first (default 5).
+	Attempts int
+	// BaseDelay is the first backoff step (default 25ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff (default 1s).
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) fill() {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 25 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+}
+
+// backoff is the jittered wait before retry attempt k (0-based).
+func (p *RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << attempt
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	half := int64(d / 2)
+	if half <= 0 {
+		return d
+	}
+	return time.Duration(half + rand.Int63n(half))
+}
+
+// defaultCancelGrace is how long after sending a cancel frame the client
+// waits for the server's (error) response before declaring the connection
+// dead.
+const defaultCancelGrace = 10 * time.Second
+
+// WithCancelGrace sets how long the client waits for the server to answer
+// after a context cancellation before giving up on the connection (default
+// 10s). A cancelled operation normally gets its cancellation error well
+// inside the grace; a black-holed connection costs the full grace before
+// the client tears it down.
+func WithCancelGrace(d time.Duration) Option {
+	return func(c *DB) { c.cancelGrace = d }
+}
 
 // ErrClosed reports use of a closed client.
 var ErrClosed = session.ErrClosed
 
-// Dial connects to an rxserver and performs the protocol handshake. A server
-// at its connection limit answers with rx.ErrBusy instead of hanging.
+// ErrConnLost reports a connection that died under an operation the client
+// cannot safely retry; alias of the rx taxonomy sentinel.
+var ErrConnLost = rxerr.ErrConnLost
+
+// DB is a connection to an rxserver, implementing session.API remotely.
+type DB struct {
+	addr        string
+	dialTimeout time.Duration
+	batchRows   int
+	keepalive   time.Duration
+	cancelGrace time.Duration
+	retry       RetryPolicy
+	retryOff    bool
+
+	mu         sync.Mutex // serializes request/response round trips
+	nc         net.Conn   // nil between a teardown and the next reconnect
+	bw         *bufio.Writer
+	gen        uint64 // bumped on every successful (re)connect
+	closed     bool
+	inTxn      bool
+	txnLost    bool // the conn died with a transaction open; Rollback clears
+	nextCursor uint32
+	lastUse    time.Time
+
+	reconnects atomic.Uint64
+
+	kaStop chan struct{}
+	kaWG   sync.WaitGroup
+}
+
+var _ session.API = (*DB)(nil)
+
+// Dial connects to an rxserver and performs the protocol handshake,
+// retrying transient failures under the retry policy. A server at its
+// connection limit answers rx.ErrBusy with a retry-after hint, honored
+// between attempts.
 func Dial(addr string, opts ...Option) (*DB, error) {
-	c := &DB{dialTimeout: 10 * time.Second, batchRows: 256}
+	c := &DB{
+		addr:        addr,
+		dialTimeout: 10 * time.Second,
+		batchRows:   256,
+		cancelGrace: defaultCancelGrace,
+		kaStop:      make(chan struct{}),
+	}
 	for _, o := range opts {
 		o(c)
 	}
-	nc, err := net.DialTimeout("tcp", addr, c.dialTimeout)
+	c.retry.fill()
+
+	c.mu.Lock()
+	err := c.reconnectLocked(context.Background())
+	c.mu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	c.nc = nc
-	c.bw = bufio.NewWriter(nc)
+	if c.keepalive > 0 {
+		c.kaWG.Add(1)
+		go c.keepaliveLoop()
+	}
+	return c, nil
+}
 
-	nc.SetDeadline(time.Now().Add(c.dialTimeout))
+// attempts is how many tries the retry policy allows (1 when disabled).
+func (c *DB) attempts() int {
+	if c.retryOff {
+		return 1
+	}
+	return c.retry.Attempts
+}
+
+// sleepLocked waits d (or a context cancellation) with the connection lock
+// held — round trips serialize anyway, so a backoff pause blocks exactly
+// the callers that would have hit the same dead connection.
+func (c *DB) sleepLocked(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// connLost wraps a transport error in the typed taxonomy sentinel.
+func connLost(err error) error {
+	return fmt.Errorf("%w: %v", rxerr.ErrConnLost, err)
+}
+
+// dialOnce performs one TCP connect and hello exchange.
+func (c *DB) dialOnce() (net.Conn, *bufio.Writer, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := nc.SetDeadline(time.Now().Add(c.dialTimeout)); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	bw := bufio.NewWriter(nc)
 	var w wire.Writer
 	w.U32(wire.ProtocolVersion)
-	if err := c.writeFrame(wire.MsgHello, w.Bytes()); err != nil {
+	if err := wire.WriteFrame(bw, wire.MsgHello, w.Bytes()); err != nil {
 		nc.Close()
-		return nil, err
+		return nil, nil, err
+	}
+	if err := bw.Flush(); err != nil {
+		nc.Close()
+		return nil, nil, err
 	}
 	typ, payload, err := wire.ReadFrame(nc)
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
+		return nil, nil, fmt.Errorf("client: handshake: %w", err)
 	}
-	nc.SetDeadline(time.Time{})
+	if err := nc.SetDeadline(time.Time{}); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
 	switch typ {
 	case wire.MsgHelloOK:
-		return c, nil
+		return nc, bw, nil
 	case wire.MsgErr:
 		nc.Close()
-		return nil, wire.DecodeError(payload)
+		return nil, nil, wire.DecodeError(payload)
 	default:
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: unexpected frame 0x%02x", typ)
+		return nil, nil, fmt.Errorf("client: handshake: unexpected frame 0x%02x", typ)
 	}
 }
 
-func (c *DB) writeFrame(typ byte, payload []byte) error {
+// reconnectLocked (re-)establishes the connection under the retry policy.
+// Busy rejections wait out the server's retry-after hint; transport
+// failures back off exponentially; a protocol-version rejection fails
+// immediately (retrying cannot fix it).
+func (c *DB) reconnectLocked(ctx context.Context) error {
+	var lastErr error
+	for attempt := 0; attempt < c.attempts(); attempt++ {
+		if attempt > 0 {
+			wait := c.retry.backoff(attempt - 1)
+			if hint := rxerr.RetryAfter(lastErr); hint > wait {
+				wait = hint
+			}
+			if err := c.sleepLocked(ctx, wait); err != nil {
+				return err
+			}
+		}
+		if c.closed {
+			return ErrClosed
+		}
+		nc, bw, err := c.dialOnce()
+		if err == nil {
+			c.nc, c.bw = nc, bw
+			c.gen++
+			if c.gen > 1 {
+				c.reconnects.Add(1)
+			}
+			c.lastUse = time.Now()
+			return nil
+		}
+		lastErr = err
+		if !errors.Is(err, rxerr.ErrBusy) && !isTransient(err) {
+			return err
+		}
+	}
+	if errors.Is(lastErr, rxerr.ErrBusy) {
+		return lastErr // typed busy, not a lost connection
+	}
+	return connLost(lastErr)
+}
+
+// isTransient reports whether a dial error is worth retrying: network
+// failures (refused, reset, timeout, EOF mid-handshake) are, protocol
+// rejections (version mismatch, malformed frames) are not — retrying
+// cannot fix those.
+func isTransient(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// Reconnects reports how many times the client has re-established its
+// connection since Dial.
+func (c *DB) Reconnects() uint64 { return c.reconnects.Load() }
+
+// teardownLocked marks the connection dead after a transport error; the
+// stream position is unknown, so nothing further can be sent on it. The
+// next operation reconnects.
+func (c *DB) teardownLocked() {
+	if c.nc != nil {
+		c.nc.Close()
+		c.nc = nil
+		c.bw = nil
+	}
+}
+
+// exchangeLocked sends one request and reads its response on the live
+// connection. If ctx is cancelled while the response is outstanding, a
+// cancel frame goes out out-of-band; the server cancels the in-flight
+// operation and its response (normally the cancellation error) completes
+// the round trip. A transport failure tears the connection down and
+// returns the raw error; the caller classifies it.
+func (c *DB) exchangeLocked(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
 	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
-		return err
-	}
-	return c.bw.Flush()
-}
-
-// roundTrip sends one request and reads its response under the connection
-// lock. If ctx is cancelled while the response is outstanding, a cancel
-// frame goes out out-of-band; the server cancels the in-flight operation and
-// its response (normally the cancellation error) completes the round trip.
-func (c *DB) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, []byte, error) {
-	if err := ctx.Err(); err != nil {
+		c.teardownLocked()
 		return 0, nil, err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return 0, nil, ErrClosed
-	}
-	if err := c.writeFrame(typ, payload); err != nil {
+	if err := c.bw.Flush(); err != nil {
 		c.teardownLocked()
 		return 0, nil, err
 	}
 
+	nc := c.nc
+	grace := c.cancelGrace
 	watchDone := make(chan struct{})
 	var watched sync.WaitGroup
 	if ctx.Done() != nil {
@@ -135,43 +365,115 @@ func (c *DB) roundTrip(ctx context.Context, typ byte, payload []byte) (byte, []b
 				// Out-of-band: the server's reader handles cancel frames
 				// while the worker is busy. Write directly (one buffered
 				// frame) — the round-trip holder is blocked reading.
-				_ = wire.WriteFrame(c.nc, wire.MsgCancel, nil)
+				_ = wire.WriteFrame(nc, wire.MsgCancel, nil)
 				// Backstop: if the server never answers, fail the read.
-				c.nc.SetReadDeadline(time.Now().Add(cancelGrace))
+				_ = nc.SetReadDeadline(time.Now().Add(grace))
 			case <-watchDone:
 			}
 		}()
 	}
 
-	rtyp, resp, err := wire.ReadFrame(c.nc)
+	rtyp, resp, err := wire.ReadFrame(nc)
 	close(watchDone)
 	watched.Wait()
-	c.nc.SetReadDeadline(time.Time{})
 	if err != nil {
+		// The conn is being torn down: no point resetting a read deadline
+		// on a socket that is about to close.
 		c.teardownLocked()
-		if cerr := ctx.Err(); cerr != nil {
-			return 0, nil, cerr
-		}
 		return 0, nil, err
 	}
-	if rtyp == wire.MsgErr {
-		return 0, nil, wire.DecodeError(resp)
+	if err := nc.SetReadDeadline(time.Time{}); err != nil {
+		// The response is intact but the socket can no longer be trusted
+		// for the next round trip; surface the response, drop the conn.
+		c.teardownLocked()
 	}
+	c.lastUse = time.Now()
 	return rtyp, resp, nil
 }
 
-// teardownLocked marks the connection dead after a transport error; the
-// stream position is unknown, so no further request can be trusted.
-func (c *DB) teardownLocked() {
-	if !c.closed {
-		c.closed = true
-		c.nc.Close()
+// errTxnLost is the poisoned-session error: the connection died with a
+// transaction open, and until Rollback (or Begin) acknowledges the loss
+// every operation refuses to run.
+func errTxnLost() error {
+	return fmt.Errorf("%w: transaction lost with the connection; Rollback to acknowledge", rxerr.ErrConnLost)
+}
+
+// roundTripLocked runs one request to completion under the retry policy.
+// write marks operations that must not be re-sent after an ambiguous
+// transport failure.
+func (c *DB) roundTripLocked(ctx context.Context, typ byte, payload []byte, write bool) (byte, []byte, error) {
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, nil, err
+		}
+		if c.closed {
+			return 0, nil, ErrClosed
+		}
+		if c.txnLost {
+			return 0, nil, errTxnLost()
+		}
+		if c.nc == nil {
+			// Nothing has been sent for this operation yet, so even a write
+			// is safe to send on a fresh connection.
+			if err := c.reconnectLocked(ctx); err != nil {
+				return 0, nil, err
+			}
+		}
+		retryable := !c.retryOff && !c.inTxn
+		rtyp, resp, err := c.exchangeLocked(ctx, typ, payload)
+		if err == nil {
+			if rtyp != wire.MsgErr {
+				return rtyp, resp, nil
+			}
+			derr := wire.DecodeError(resp)
+			// Busy means the request was shed before executing — safe to
+			// retry for any operation, waiting out the server's hint.
+			if retryable && errors.Is(derr, rxerr.ErrBusy) && attempt+1 < c.attempts() {
+				wait := c.retry.backoff(attempt)
+				if hint := rxerr.RetryAfter(derr); hint > wait {
+					wait = hint
+				}
+				if serr := c.sleepLocked(ctx, wait); serr != nil {
+					return 0, nil, serr
+				}
+				continue
+			}
+			return 0, nil, derr
+		}
+
+		// Transport failure: the connection is gone (exchangeLocked tore it
+		// down). A transaction that was open is gone with it.
+		if c.inTxn {
+			c.inTxn = false
+			c.txnLost = true
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return 0, nil, cerr
+		}
+		if c.txnLost || write || c.retryOff {
+			return 0, nil, connLost(err)
+		}
+		if attempt+1 >= c.attempts() {
+			return 0, nil, connLost(err)
+		}
+		if serr := c.sleepLocked(ctx, c.retry.backoff(attempt)); serr != nil {
+			return 0, nil, serr
+		}
 	}
 }
 
+func (c *DB) roundTrip(ctx context.Context, typ byte, payload []byte, write bool) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.roundTripLocked(ctx, typ, payload, write)
+}
+
 // expect runs a round trip whose response must be exactly want.
-func (c *DB) expect(ctx context.Context, typ byte, payload []byte, want byte) ([]byte, error) {
-	rtyp, resp, err := c.roundTrip(ctx, typ, payload)
+func (c *DB) expect(ctx context.Context, typ byte, payload []byte, want byte, write bool) ([]byte, error) {
+	rtyp, resp, err := c.roundTrip(ctx, typ, payload, write)
 	if err != nil {
 		return nil, err
 	}
@@ -181,17 +483,56 @@ func (c *DB) expect(ctx context.Context, typ byte, payload []byte, want byte) ([
 	return resp, nil
 }
 
+// Ping round-trips a keepalive frame: a cheap end-to-end health check that
+// also resets the server's idle timer (and reconnects if the connection
+// has been lost).
+func (c *DB) Ping(ctx context.Context) error {
+	_, err := c.expect(ctx, wire.MsgPing, nil, wire.MsgPong, false)
+	return err
+}
+
+// keepaliveLoop pings whenever the connection has been idle for the
+// keepalive interval. It never resurrects a torn-down connection on its
+// own — reconnection happens under a real operation's retry policy.
+func (c *DB) keepaliveLoop() {
+	defer c.kaWG.Done()
+	tick := c.keepalive / 2
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.kaStop:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		if c.closed || c.nc == nil || c.txnLost || time.Since(c.lastUse) < c.keepalive {
+			c.mu.Unlock()
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cancelGrace)
+		rtyp, _, err := c.exchangeLocked(ctx, wire.MsgPing, nil)
+		cancel()
+		_ = rtyp
+		_ = err // a failed ping tore the conn down; the next op reconnects
+		c.mu.Unlock()
+	}
+}
+
 // CreateCollection creates a collection.
 func (c *DB) CreateCollection(ctx context.Context, name string) error {
 	var w wire.Writer
 	w.Str(name)
-	_, err := c.expect(ctx, wire.MsgCreateCollection, w.Bytes(), wire.MsgOK)
+	_, err := c.expect(ctx, wire.MsgCreateCollection, w.Bytes(), wire.MsgOK, true)
 	return err
 }
 
 // Collections lists collection names.
 func (c *DB) Collections(ctx context.Context) ([]string, error) {
-	resp, err := c.expect(ctx, wire.MsgCollections, nil, wire.MsgStrings)
+	resp, err := c.expect(ctx, wire.MsgCollections, nil, wire.MsgStrings, false)
 	if err != nil {
 		return nil, err
 	}
@@ -202,7 +543,7 @@ func (c *DB) Collections(ctx context.Context) ([]string, error) {
 func (c *DB) DocIDs(ctx context.Context, col string) ([]xml.DocID, error) {
 	var w wire.Writer
 	w.Str(col)
-	resp, err := c.expect(ctx, wire.MsgListDocs, w.Bytes(), wire.MsgDocIDs)
+	resp, err := c.expect(ctx, wire.MsgListDocs, w.Bytes(), wire.MsgDocIDs, false)
 	if err != nil {
 		return nil, err
 	}
@@ -216,7 +557,7 @@ func (c *DB) CreateValueIndex(ctx context.Context, col, name, path string, typ x
 	w.Str(name)
 	w.Str(path)
 	w.U16(uint16(typ))
-	_, err := c.expect(ctx, wire.MsgCreateIndex, w.Bytes(), wire.MsgOK)
+	_, err := c.expect(ctx, wire.MsgCreateIndex, w.Bytes(), wire.MsgOK, true)
 	return err
 }
 
@@ -225,7 +566,7 @@ func (c *DB) Insert(ctx context.Context, col string, doc []byte) (xml.DocID, err
 	var w wire.Writer
 	w.Str(col)
 	w.Blob(doc)
-	resp, err := c.expect(ctx, wire.MsgInsert, w.Bytes(), wire.MsgInserted)
+	resp, err := c.expect(ctx, wire.MsgInsert, w.Bytes(), wire.MsgInserted, true)
 	if err != nil {
 		return 0, err
 	}
@@ -245,7 +586,7 @@ func (c *DB) InsertBatch(ctx context.Context, col string, docs [][]byte) ([]xml.
 	for _, d := range docs {
 		w.Blob(d)
 	}
-	resp, err := c.expect(ctx, wire.MsgInsertBatch, w.Bytes(), wire.MsgInsertedBatch)
+	resp, err := c.expect(ctx, wire.MsgInsertBatch, w.Bytes(), wire.MsgInsertedBatch, true)
 	if err != nil {
 		return nil, err
 	}
@@ -257,7 +598,7 @@ func (c *DB) Delete(ctx context.Context, col string, doc xml.DocID) error {
 	var w wire.Writer
 	w.Str(col)
 	w.U64(uint64(doc))
-	_, err := c.expect(ctx, wire.MsgDelete, w.Bytes(), wire.MsgOK)
+	_, err := c.expect(ctx, wire.MsgDelete, w.Bytes(), wire.MsgOK, true)
 	return err
 }
 
@@ -266,7 +607,7 @@ func (c *DB) Get(ctx context.Context, col string, doc xml.DocID) ([]byte, error)
 	var w wire.Writer
 	w.Str(col)
 	w.U64(uint64(doc))
-	resp, err := c.expect(ctx, wire.MsgGet, w.Bytes(), wire.MsgDoc)
+	resp, err := c.expect(ctx, wire.MsgGet, w.Bytes(), wire.MsgDoc, false)
 	if err != nil {
 		return nil, err
 	}
@@ -278,21 +619,106 @@ func (c *DB) Get(ctx context.Context, col string, doc xml.DocID) ([]byte, error)
 	return data, nil
 }
 
+// openCursor opens a server-side cursor and reports the connection
+// generation it lives on, so fetches can detect that a reconnect
+// invalidated it.
+func (c *DB) openCursor(ctx context.Context, req wire.QueryReq) (id uint32, gen uint64, pi wire.PlanInfo, retryable bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, wire.PlanInfo{}, false, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextCursor++
+	req.Cursor = c.nextCursor
+	rtyp, resp, err := c.roundTripLocked(ctx, wire.MsgQuery, req.Encode(), false)
+	if err != nil {
+		return 0, 0, wire.PlanInfo{}, false, err
+	}
+	if rtyp != wire.MsgQueryOK {
+		return 0, 0, wire.PlanInfo{}, false, fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgQueryOK)
+	}
+	pi, err = wire.DecodePlanInfo(resp)
+	if err != nil {
+		return 0, 0, wire.PlanInfo{}, false, err
+	}
+	// A cursor opened inside a transaction dies with it on conn loss; one
+	// opened outside is a pure read the cursor may transparently re-issue.
+	return req.Cursor, c.gen, pi, !c.retryOff && !c.inTxn, nil
+}
+
+// fetch pulls one batch for a cursor living on connection generation gen.
+// It never retries: a dead or regenerated connection means the server-side
+// cursor is gone, and only the cursor itself knows how to re-issue the
+// query and skip delivered rows.
+func (c *DB) fetch(ctx context.Context, gen uint64, id uint32, maxRows int) (*wire.RowsResp, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.txnLost {
+		return nil, errTxnLost()
+	}
+	if c.nc == nil || c.gen != gen {
+		return nil, connLost(errors.New("connection re-established; server cursor gone"))
+	}
+	var w wire.Writer
+	w.U32(id)
+	w.U32(uint32(maxRows))
+	rtyp, resp, err := c.exchangeLocked(ctx, wire.MsgFetch, w.Bytes())
+	if err != nil {
+		if c.inTxn {
+			c.inTxn = false
+			c.txnLost = true
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, connLost(err)
+	}
+	if rtyp == wire.MsgErr {
+		return nil, wire.DecodeError(resp)
+	}
+	if rtyp != wire.MsgRows {
+		return nil, fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgRows)
+	}
+	return wire.DecodeRowsResp(resp)
+}
+
+// closeCursor releases a server-side cursor if it can still exist: on a
+// torn-down or regenerated connection it died with the server session.
+func (c *DB) closeCursor(gen uint64, id uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || c.nc == nil || c.gen != gen {
+		return
+	}
+	// Best effort, on a fresh timeout rather than any caller context: it
+	// must work exactly when the caller's context is dead, but still
+	// degrade to tearing the connection down (not hanging Close and every
+	// other call) if the server stops answering.
+	ctx, cancel := context.WithTimeout(context.Background(), c.cancelGrace)
+	defer cancel()
+	var w wire.Writer
+	w.U32(id)
+	_, _, _ = c.exchangeLocked(ctx, wire.MsgCloseCursor, w.Bytes())
+}
+
 // Query opens a server-side cursor and streams its results in batches.
 // Cancelling ctx cancels the query end to end: in flight, a cancel frame
 // interrupts the server between documents; between fetches, the next call
-// fails fast and the server-side cursor is closed.
+// fails fast and the server-side cursor is closed. Outside a transaction
+// the cursor survives connection loss transparently: the query is
+// re-issued on the new connection and already-delivered rows are skipped.
 func (c *DB) Query(ctx context.Context, col, expr string, opts ...session.QueryOption) (session.Cursor, error) {
 	var qo core.QueryOptions
 	for _, o := range opts {
 		o(&qo)
 	}
-	c.mu.Lock()
-	c.nextCursor++
-	id := c.nextCursor
-	c.mu.Unlock()
 	req := wire.QueryReq{
-		Cursor:      id,
 		Col:         col,
 		Expr:        expr,
 		Limit:       uint32(qo.Limit),
@@ -300,43 +726,115 @@ func (c *DB) Query(ctx context.Context, col, expr string, opts ...session.QueryO
 		NeedValues:  qo.NeedValues,
 		Degraded:    qo.Degraded,
 	}
-	resp, err := c.expect(ctx, wire.MsgQuery, req.Encode(), wire.MsgQueryOK)
+	id, gen, pi, retryable, err := c.openCursor(ctx, req)
 	if err != nil {
 		return nil, err
 	}
-	pi, err := wire.DecodePlanInfo(resp)
-	if err != nil {
-		return nil, err
-	}
-	return &Cursor{db: c, ctx: ctx, id: id, plan: pi.Plan(), batch: c.batchRows}, nil
+	return &Cursor{
+		db:        c,
+		ctx:       ctx,
+		id:        id,
+		gen:       gen,
+		plan:      pi.Plan(),
+		batch:     c.batchRows,
+		req:       req,
+		retryable: retryable,
+	}, nil
 }
 
-// Begin opens a transaction on the connection's session.
+// Begin opens a transaction on the connection's session. A transaction
+// lost to an earlier connection failure is superseded: Begin starts fresh.
 func (c *DB) Begin(ctx context.Context) error {
-	_, err := c.expect(ctx, wire.MsgBegin, nil, wire.MsgOK)
-	return err
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.txnLost = false
+	rtyp, _, err := c.roundTripLocked(ctx, wire.MsgBegin, nil, true)
+	if err != nil {
+		return err
+	}
+	if rtyp != wire.MsgOK {
+		return fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgOK)
+	}
+	c.inTxn = true
+	return nil
 }
 
-// Commit makes the open transaction durable.
+// Commit makes the open transaction durable. After a connection loss the
+// transaction is gone (the server rolled it back): Commit reports
+// rx.ErrConnLost.
 func (c *DB) Commit(ctx context.Context) error {
-	_, err := c.expect(ctx, wire.MsgCommit, nil, wire.MsgOK)
-	return err
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.txnLost {
+		return errTxnLost()
+	}
+	rtyp, _, err := c.roundTripLocked(ctx, wire.MsgCommit, nil, true)
+	c.inTxn = false
+	if err != nil {
+		return err
+	}
+	if rtyp != wire.MsgOK {
+		return fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgOK)
+	}
+	return nil
 }
 
-// Rollback undoes the open transaction.
+// Rollback undoes the open transaction. It also acknowledges a transaction
+// lost to a connection failure: the server already rolled it back on
+// disconnect, so Rollback returns nil and the session is usable again.
 func (c *DB) Rollback(ctx context.Context) error {
-	_, err := c.expect(ctx, wire.MsgRollback, nil, wire.MsgOK)
-	return err
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	if c.txnLost {
+		c.txnLost = false
+		return nil
+	}
+	rtyp, _, err := c.roundTripLocked(ctx, wire.MsgRollback, nil, true)
+	c.inTxn = false
+	if err != nil {
+		return err
+	}
+	if rtyp != wire.MsgOK {
+		return fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgOK)
+	}
+	return nil
 }
 
 // Close drops the connection. The server closes the session, rolling back
 // any open transaction.
 func (c *DB) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return c.nc.Close()
+	var err error
+	if c.nc != nil {
+		err = c.nc.Close()
+		c.nc = nil
+		c.bw = nil
+	}
+	c.mu.Unlock()
+	close(c.kaStop)
+	c.kaWG.Wait()
+	return err
 }

@@ -2,8 +2,10 @@ package client
 
 import (
 	"context"
+	"errors"
 
 	"rx/internal/core"
+	"rx/internal/rxerr"
 	"rx/internal/wire"
 )
 
@@ -11,12 +13,25 @@ import (
 // demand. It satisfies session.Cursor, so code iterating an embedded cursor
 // iterates a remote one unchanged. Not safe for concurrent use (like
 // *core.Cursor).
+//
+// A cursor opened outside a transaction survives connection loss: the query
+// is a pure read, so the cursor re-issues it on the reconnected session and
+// fast-forwards past the rows already delivered — document order is
+// deterministic, so the caller sees every row exactly once, with no
+// duplicates. A cursor opened inside a transaction dies with it and reports
+// rx.ErrConnLost.
 type Cursor struct {
 	db    *DB
 	ctx   context.Context
 	id    uint32
+	gen   uint64 // connection generation the server-side cursor lives on
 	plan  *core.Plan
 	batch int
+
+	req       wire.QueryReq // the query, kept for replay after conn loss
+	retryable bool
+	delivered int // rows handed to the caller; the replay skip count
+	replays   int
 
 	rows    []core.Result
 	pos     int
@@ -36,43 +51,100 @@ func (cu *Cursor) Next() bool {
 	if cu.pos < len(cu.rows) {
 		cu.cur = cu.rows[cu.pos]
 		cu.pos++
+		cu.delivered++
 		return true
 	}
 	if cu.done {
 		return false
 	}
-	var w wire.Writer
-	w.U32(cu.id)
-	w.U32(uint32(cu.batch))
-	resp, err := cu.db.expect(cu.ctx, wire.MsgFetch, w.Bytes(), wire.MsgRows)
+	rr, err := cu.db.fetch(cu.ctx, cu.gen, cu.id, cu.batch)
 	if err != nil {
+		if cu.retryable && errors.Is(err, rxerr.ErrConnLost) && cu.ctx.Err() == nil {
+			if rerr := cu.replay(); rerr != nil {
+				cu.err = rerr
+				cu.done = true
+				return false
+			}
+			return cu.Next()
+		}
 		cu.err = err
 		// The server closes the cursor itself when a fetch fails in flight;
 		// if the context died between fetches, close it proactively so a
 		// cancelled client doesn't strand cursors until Close.
 		if cu.ctx.Err() != nil {
-			cu.remoteClose()
+			cu.db.closeCursor(cu.gen, cu.id)
 		}
 		cu.done = true
 		return false
 	}
-	rr, err := wire.DecodeRowsResp(resp)
-	if err != nil {
-		cu.err = err
-		cu.done = true
-		return false
-	}
-	cu.rows, cu.pos = rr.Rows, 0
-	cu.skipped = int(rr.Skipped)
-	if rr.Done {
-		cu.done = true
-	}
+	cu.apply(rr)
 	if len(cu.rows) == 0 {
 		return false
 	}
 	cu.cur = cu.rows[0]
 	cu.pos = 1
+	cu.delivered++
 	return true
+}
+
+// apply installs a fetched batch.
+func (cu *Cursor) apply(rr *wire.RowsResp) {
+	cu.rows, cu.pos = rr.Rows, 0
+	// The server's skip counter covers the scan from the start, so after a
+	// replay it still reports the cumulative count.
+	cu.skipped = int(rr.Skipped)
+	if rr.Done {
+		cu.done = true
+	}
+}
+
+// replay re-issues the query after connection loss and fast-forwards past
+// the delivered rows. Query results are scanned in ascending DocID order,
+// so with the same data the prefix is identical; if the data changed
+// underneath (a concurrent delete shrank the result), the replayed cursor
+// simply ends early — never duplicating a row.
+func (cu *Cursor) replay() error {
+	for {
+		cu.replays++
+		if cu.replays > cu.db.attempts() {
+			return connLost(errors.New("query replay attempts exhausted"))
+		}
+		id, gen, _, _, err := cu.db.openCursor(cu.ctx, cu.req)
+		if err != nil {
+			return err
+		}
+		cu.id, cu.gen = id, gen
+		toSkip := cu.delivered
+		for toSkip > 0 {
+			n := cu.batch
+			if toSkip < n {
+				n = toSkip
+			}
+			rr, err := cu.db.fetch(cu.ctx, cu.gen, cu.id, n)
+			if err != nil {
+				if cu.retryable && errors.Is(err, rxerr.ErrConnLost) && cu.ctx.Err() == nil {
+					break // the replay itself lost the conn; start over
+				}
+				return err
+			}
+			toSkip -= len(rr.Rows)
+			if rr.Done {
+				// The result set shrank below the delivered count: nothing
+				// further to stream. End cleanly rather than re-delivering.
+				cu.rows, cu.pos = nil, 0
+				cu.skipped = int(rr.Skipped)
+				cu.done = true
+				return nil
+			}
+			if toSkip < 0 {
+				// Over-delivered against the requested cap: protocol bug.
+				return errors.New("client: replay skip overshot delivered rows")
+			}
+		}
+		if toSkip == 0 {
+			return nil
+		}
+	}
 }
 
 // Result returns the current result. Valid after Next returns true.
@@ -99,18 +171,6 @@ func (cu *Cursor) Close() error {
 		return nil
 	}
 	cu.done = true
-	cu.remoteClose()
+	cu.db.closeCursor(cu.gen, cu.id)
 	return nil
-}
-
-// remoteClose tells the server to drop the cursor. Best effort, on a fresh
-// timeout rather than the caller's context: it must work exactly when the
-// caller's context is dead, but still degrade to tearing the connection down
-// (not hanging Close and every other call) if the server stops answering.
-func (cu *Cursor) remoteClose() {
-	ctx, cancel := context.WithTimeout(context.Background(), cancelGrace)
-	defer cancel()
-	var w wire.Writer
-	w.U32(cu.id)
-	_, _ = cu.db.expect(ctx, wire.MsgCloseCursor, w.Bytes(), wire.MsgOK)
 }

@@ -33,6 +33,9 @@ func main() {
 		maxConns     = flag.Int("max-conns", 64, "connection limit; beyond it clients get a busy error")
 		maxWaiters   = flag.Int("max-lock-waiters", 128, "shed writes while this many lock requests wait")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown limit before force close")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request execution limit; a query running longer is cancelled server-side (0 = unlimited)")
+		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections with no request for this long; clients reconnect transparently (0 = never)")
+		keepalive    = flag.Duration("keepalive", 3*time.Minute, "TCP keepalive probe period on accepted connections (0 = OS default)")
 	)
 	flag.Parse()
 
@@ -58,7 +61,8 @@ func main() {
 		os.Exit(1)
 	}
 
-	lis, err := net.Listen("tcp", *addr)
+	lc := net.ListenConfig{KeepAlive: *keepalive}
+	lis, err := lc.Listen(context.Background(), "tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rxserver: listen:", err)
 		os.Exit(1)
@@ -66,6 +70,8 @@ func main() {
 	srv := server.New(db.Engine(), server.Options{
 		MaxConns:       *maxConns,
 		MaxLockWaiters: *maxWaiters,
+		RequestTimeout: *reqTimeout,
+		IdleTimeout:    *idleTimeout,
 	})
 
 	sig := make(chan os.Signal, 1)

@@ -1,0 +1,470 @@
+package fault
+
+// Network fault injection, mirroring the storage Injector for the wire
+// layer: a Conn/Listener wrapper family plus a byte-level TCP proxy, all
+// driven by scripted rules that fire at exact operation indices (the Nth
+// read, the Nth write on one connection). A schedule can also be derived
+// deterministically from a seed (NetSchedule), so a failing chaos run is
+// reproducible from its seed alone — exactly how the crash-torture harness
+// addresses storage schedules.
+//
+// Supported network faults:
+//
+//   - NetDelay: the Nth operation is delayed by Delay before proceeding
+//     (injected latency; the op then succeeds normally).
+//   - NetErr: the Nth operation fails with ErrNetInjected and the
+//     connection is closed — the peer sees EOF/reset, the local side a
+//     typed error. On a write this models a send into a dead socket.
+//   - NetPartial: the Nth write delivers only its first Keep bytes, then
+//     the connection dies — a mid-frame reset, the hardest transport fault
+//     for a framed protocol (the peer must detect the torn frame, never
+//     misparse it).
+//   - NetReset: the connection is closed before the Nth operation runs
+//     (a clean reset between frames).
+//   - NetStall: the Nth operation black-holes — it blocks until the
+//     connection is closed (by the peer's deadline/keepalive machinery or
+//     the test) and then fails. Models a peer that stops draining without
+//     closing, the fault that wedges servers lacking write deadlines.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrNetInjected reports a scripted connection fault; the connection is dead.
+var ErrNetInjected = errors.New("fault: injected connection fault")
+
+// NetOp classifies connection operations for rule matching. Reads and
+// writes are counted per wrapped connection.
+type NetOp uint8
+
+// Network operation classes.
+const (
+	NetRead NetOp = iota + 1
+	NetWrite
+)
+
+func (o NetOp) String() string {
+	switch o {
+	case NetRead:
+		return "read"
+	case NetWrite:
+		return "write"
+	}
+	return fmt.Sprintf("NetOp(%d)", uint8(o))
+}
+
+// NetAction selects what a network rule does when it fires.
+type NetAction uint8
+
+// Network rule actions.
+const (
+	// NetDelay sleeps Delay, then performs the operation normally.
+	NetDelay NetAction = iota + 1
+	// NetErr fails the operation with ErrNetInjected and closes the conn.
+	NetErr
+	// NetPartial writes only the first Keep bytes, then closes the conn
+	// (mid-frame reset). On a read it behaves like NetErr.
+	NetPartial
+	// NetReset closes the connection before the operation runs.
+	NetReset
+	// NetStall blocks the operation until the connection is closed.
+	NetStall
+)
+
+func (a NetAction) String() string {
+	switch a {
+	case NetDelay:
+		return "delay"
+	case NetErr:
+		return "error"
+	case NetPartial:
+		return "partial"
+	case NetReset:
+		return "reset"
+	case NetStall:
+		return "stall"
+	}
+	return fmt.Sprintf("NetAction(%d)", uint8(a))
+}
+
+// NetRule fires Act on the Nth (1-based) operation of class Op.
+type NetRule struct {
+	Op  NetOp
+	N   uint64
+	Act NetAction
+	// Delay is the injected latency for NetDelay.
+	Delay time.Duration
+	// Keep is the delivered prefix length for NetPartial.
+	Keep int
+}
+
+func (r NetRule) String() string {
+	switch r.Act {
+	case NetDelay:
+		return fmt.Sprintf("%s@%s#%d(%s)", r.Act, r.Op, r.N, r.Delay)
+	case NetPartial:
+		return fmt.Sprintf("%s@%s#%d(keep=%d)", r.Act, r.Op, r.N, r.Keep)
+	}
+	return fmt.Sprintf("%s@%s#%d", r.Act, r.Op, r.N)
+}
+
+// NetProfile shapes a seed-derived schedule: how many faults to draw, over
+// how many operations, from which action pool.
+type NetProfile struct {
+	// Ops is the operation-index range faults are drawn from [1, Ops]
+	// (default 64).
+	Ops uint64
+	// Faults is how many rules to generate (default 2).
+	Faults int
+	// MaxDelay bounds NetDelay latency (default 10ms).
+	MaxDelay time.Duration
+	// MaxKeep bounds the NetPartial delivered prefix (default 64 bytes).
+	MaxKeep int
+	// Actions is the pool rules draw from (default: all actions).
+	Actions []NetAction
+}
+
+func (p *NetProfile) fill() {
+	if p.Ops == 0 {
+		p.Ops = 64
+	}
+	if p.Faults == 0 {
+		p.Faults = 2
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 10 * time.Millisecond
+	}
+	if p.MaxKeep == 0 {
+		p.MaxKeep = 64
+	}
+	if len(p.Actions) == 0 {
+		p.Actions = []NetAction{NetDelay, NetErr, NetPartial, NetReset, NetStall}
+	}
+}
+
+// NetSchedule derives a fault schedule deterministically from a seed: the
+// same seed and profile always produce the same rules, so a chaos failure
+// is reproducible from the seed alone.
+func NetSchedule(seed int64, profile NetProfile) []NetRule {
+	profile.fill()
+	rng := rand.New(rand.NewSource(seed))
+	rules := make([]NetRule, 0, profile.Faults)
+	for i := 0; i < profile.Faults; i++ {
+		r := NetRule{
+			N:   uint64(rng.Int63n(int64(profile.Ops))) + 1,
+			Act: profile.Actions[rng.Intn(len(profile.Actions))],
+		}
+		if rng.Intn(2) == 0 {
+			r.Op = NetRead
+		} else {
+			r.Op = NetWrite
+		}
+		switch r.Act {
+		case NetDelay:
+			r.Delay = time.Duration(rng.Int63n(int64(profile.MaxDelay))) + time.Millisecond
+		case NetPartial:
+			r.Op = NetWrite // partials are a write fault
+			r.Keep = rng.Intn(profile.MaxKeep)
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// NetInjector counts one connection's reads and writes and fires rules at
+// exact indices. Unlike the storage Injector it is per-connection: two
+// connections sharing a schedule would make rule indices depend on
+// goroutine interleaving, destroying determinism.
+type NetInjector struct {
+	mu     sync.Mutex
+	rules  []NetRule
+	counts map[NetOp]uint64
+}
+
+// NewNetInjector builds an injector over a schedule. An empty schedule only
+// counts operations.
+func NewNetInjector(rules ...NetRule) *NetInjector {
+	return &NetInjector{rules: rules, counts: map[NetOp]uint64{}}
+}
+
+// Counts reports how many reads and writes the connection has performed.
+func (i *NetInjector) Counts() (reads, writes uint64) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.counts[NetRead], i.counts[NetWrite]
+}
+
+// step records one operation and returns the rule firing on it, if any.
+func (i *NetInjector) step(op NetOp) (NetRule, bool) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.counts[op]++
+	n := i.counts[op]
+	for _, r := range i.rules {
+		if r.Op == op && r.N == n {
+			return r, true
+		}
+	}
+	return NetRule{}, false
+}
+
+// Conn wraps a net.Conn with fault injection. Deadline and address methods
+// pass through; Read/Write consult the injector first. All faults except
+// NetDelay kill the connection, so a fired fault is observed by both ends
+// (the local caller gets a typed error, the peer an EOF or reset).
+type Conn struct {
+	net.Conn
+	inj *NetInjector
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewConn wraps nc with the injector's schedule.
+func NewConn(nc net.Conn, inj *NetInjector) *Conn {
+	return &Conn{Conn: nc, inj: inj, closed: make(chan struct{})}
+}
+
+// Close closes the wrapped connection and releases any stalled operation.
+func (c *Conn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+// kill closes the connection from inside a fired rule.
+func (c *Conn) kill() {
+	_ = c.Close()
+}
+
+// sleep waits d or until the connection closes.
+func (c *Conn) sleep(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.closed:
+	}
+}
+
+// stall blocks until the connection is closed.
+func (c *Conn) stall() {
+	<-c.closed
+}
+
+// Read implements net.Conn.
+func (c *Conn) Read(p []byte) (int, error) {
+	if r, ok := c.inj.step(NetRead); ok {
+		switch r.Act {
+		case NetDelay:
+			c.sleep(r.Delay)
+		case NetReset:
+			c.kill()
+			return 0, fmt.Errorf("%w: %s", ErrNetInjected, r)
+		case NetErr, NetPartial:
+			c.kill()
+			return 0, fmt.Errorf("%w: %s", ErrNetInjected, r)
+		case NetStall:
+			c.stall()
+			c.kill()
+			return 0, fmt.Errorf("%w: %s", ErrNetInjected, r)
+		}
+	}
+	return c.Conn.Read(p)
+}
+
+// Write implements net.Conn.
+func (c *Conn) Write(p []byte) (int, error) {
+	if r, ok := c.inj.step(NetWrite); ok {
+		switch r.Act {
+		case NetDelay:
+			c.sleep(r.Delay)
+		case NetReset, NetErr:
+			c.kill()
+			return 0, fmt.Errorf("%w: %s", ErrNetInjected, r)
+		case NetPartial:
+			keep := r.Keep
+			if keep > len(p) {
+				keep = len(p)
+			}
+			n := 0
+			if keep > 0 {
+				n, _ = c.Conn.Write(p[:keep])
+			}
+			c.kill()
+			return n, fmt.Errorf("%w: %s", ErrNetInjected, r)
+		case NetStall:
+			c.stall()
+			c.kill()
+			return 0, fmt.Errorf("%w: %s", ErrNetInjected, r)
+		}
+	}
+	return c.Conn.Write(p)
+}
+
+// Listener wraps a net.Listener, attaching a fresh injector to each
+// accepted connection. Make receives the 0-based accept index, so a seeded
+// matrix can give every connection its own deterministic schedule.
+type Listener struct {
+	net.Listener
+	Make func(i int) *NetInjector
+
+	mu sync.Mutex
+	n  int
+}
+
+// NewListener wraps lis; make builds the injector for the i-th accepted
+// connection (nil means no faults for that connection).
+func NewListener(lis net.Listener, mk func(i int) *NetInjector) *Listener {
+	return &Listener{Listener: lis, Make: mk}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	nc, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	i := l.n
+	l.n++
+	l.mu.Unlock()
+	inj := l.Make(i)
+	if inj == nil {
+		return nc, nil
+	}
+	return NewConn(nc, inj), nil
+}
+
+// Proxy is a byte-level TCP proxy that pipes every accepted connection to a
+// backend through a fault-injected Conn, so a real client and a real server
+// exchange real traffic while the schedule tears at the stream between
+// them. Faults are injected on the client-facing side: a NetRead rule hits
+// the client→server direction, a NetWrite rule the server→client direction.
+type Proxy struct {
+	lis     *Listener
+	backend string
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a fresh localhost port in front of backend.
+// make builds the injector for the i-th accepted connection.
+func NewProxy(backend string, mk func(i int) *NetInjector) (*Proxy, error) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		lis:     NewListener(lis, mk),
+		backend: backend,
+		conns:   map[net.Conn]struct{}{},
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listen address; point clients here.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		cc, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		sc, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			cc.Close()
+			continue
+		}
+		if !p.track(cc, sc) {
+			cc.Close()
+			sc.Close()
+			return
+		}
+		p.wg.Add(1)
+		go p.pipe(cc, sc)
+	}
+}
+
+func (p *Proxy) track(cs ...net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	for _, c := range cs {
+		p.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (p *Proxy) untrack(cs ...net.Conn) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range cs {
+		delete(p.conns, c)
+	}
+}
+
+// pipe copies both directions until either side dies, then closes both.
+func (p *Proxy) pipe(cc, sc net.Conn) {
+	defer p.wg.Done()
+	defer p.untrack(cc, sc)
+	var inner sync.WaitGroup
+	inner.Add(2)
+	pump := func(dst, src net.Conn) {
+		defer inner.Done()
+		buf := make([]byte, 32<<10)
+		for {
+			n, rerr := src.Read(buf)
+			if n > 0 {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					break
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		// Half-close semantics are unnecessary for a strict request/response
+		// protocol: one dead direction means the conversation is over.
+		cc.Close()
+		sc.Close()
+	}
+	go pump(sc, cc)
+	go pump(cc, sc)
+	inner.Wait()
+}
+
+// Close stops the proxy and severs every proxied connection, then waits for
+// the pipe goroutines (so leak checks see a clean shutdown).
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.wg.Wait()
+	return err
+}

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// tcpPair builds a connected TCP pair so wrapped-conn tests exercise a real
+// socket (net.Pipe has no buffering, which would deadlock partial writes).
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = lis.Accept()
+	}()
+	client, derr := net.Dial("tcp", lis.Addr().String())
+	<-done
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+func TestNetScheduleDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		a := NetSchedule(seed, NetProfile{})
+		b := NetSchedule(seed, NetProfile{})
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: lengths differ", seed)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d rule %d: %v != %v", seed, i, a[i], b[i])
+			}
+		}
+		for _, r := range a {
+			if r.N == 0 {
+				t.Fatalf("seed %d: rule with N=0 (never fires): %v", seed, r)
+			}
+			if r.Act == NetPartial && r.Op != NetWrite {
+				t.Fatalf("seed %d: partial on a read: %v", seed, r)
+			}
+		}
+	}
+	// Seeds must actually vary the schedule.
+	if s1, s2 := NetSchedule(1, NetProfile{Faults: 8}), NetSchedule(2, NetProfile{Faults: 8}); func() bool {
+		for i := range s1 {
+			if s1[i] != s2[i] {
+				return false
+			}
+		}
+		return true
+	}() {
+		t.Fatal("seeds 1 and 2 produced identical schedules")
+	}
+}
+
+func TestNetErrFiresAtExactIndex(t *testing.T) {
+	cc, sc := tcpPair(t)
+	fc := NewConn(cc, NewNetInjector(NetRule{Op: NetWrite, N: 2, Act: NetErr}))
+
+	if _, err := fc.Write([]byte("one")); err != nil {
+		t.Fatalf("write #1: %v", err)
+	}
+	buf := make([]byte, 3)
+	if _, err := io.ReadFull(sc, buf); err != nil || string(buf) != "one" {
+		t.Fatalf("peer read: %q %v", buf, err)
+	}
+	_, err := fc.Write([]byte("two"))
+	if !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("write #2: %v", err)
+	}
+	// The fault kills the connection: the peer observes it too.
+	if _, err := sc.Read(buf); err == nil {
+		t.Fatal("peer read after injected error: no error")
+	}
+	reads, writes := fc.inj.Counts()
+	if reads != 0 || writes != 2 {
+		t.Fatalf("counts: %d reads, %d writes", reads, writes)
+	}
+}
+
+func TestNetPartialDeliversPrefixThenDies(t *testing.T) {
+	cc, sc := tcpPair(t)
+	fc := NewConn(cc, NewNetInjector(NetRule{Op: NetWrite, N: 1, Act: NetPartial, Keep: 3}))
+
+	n, err := fc.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrNetInjected) {
+		t.Fatalf("partial write: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("partial write reported %d bytes", n)
+	}
+	got, _ := io.ReadAll(sc)
+	if !bytes.Equal(got, []byte("abc")) {
+		t.Fatalf("peer received %q, want the 3-byte prefix", got)
+	}
+}
+
+func TestNetStallUnblocksOnClose(t *testing.T) {
+	cc, _ := tcpPair(t)
+	fc := NewConn(cc, NewNetInjector(NetRule{Op: NetRead, N: 1, Act: NetStall}))
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 1))
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	fc.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, ErrNetInjected) {
+			t.Fatalf("stalled read: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("stalled read did not unblock on close")
+	}
+}
+
+func TestNetDelayThenSucceeds(t *testing.T) {
+	cc, sc := tcpPair(t)
+	fc := NewConn(cc, NewNetInjector(NetRule{Op: NetWrite, N: 1, Act: NetDelay, Delay: 30 * time.Millisecond}))
+
+	start := time.Now()
+	if _, err := fc.Write([]byte("hi")); err != nil {
+		t.Fatalf("delayed write: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("write returned after %s, delay not injected", d)
+	}
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(sc, buf); err != nil || string(buf) != "hi" {
+		t.Fatalf("peer read: %q %v", buf, err)
+	}
+}
+
+// TestProxyInjectsPerConnection runs an echo backend behind the proxy: the
+// first connection is fault-free and echoes, the second dies on its first
+// client→server transfer (a NetRead rule on the client-facing conn).
+func TestProxyInjectsPerConnection(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func() { io.Copy(c, c); c.Close() }()
+		}
+	}()
+
+	p, err := NewProxy(lis.Addr().String(), func(i int) *NetInjector {
+		if i == 0 {
+			return nil
+		}
+		return NewNetInjector(NetRule{Op: NetRead, N: 1, Act: NetReset})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	c0, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c0.Close()
+	if _, err := c0.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	if _, err := io.ReadFull(c0, buf); err != nil || string(buf) != "ping" {
+		t.Fatalf("echo through proxy: %q %v", buf, err)
+	}
+
+	c1, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c1.Write([]byte("doomed"))
+	if err := c1.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Read(buf); err == nil {
+		t.Fatal("faulted proxy conn still echoed")
+	}
+}

@@ -1,0 +1,66 @@
+// Package leakcheck fails a test that leaks goroutines. Servers, clients,
+// and fault proxies all spawn background goroutines (workers, watchdogs,
+// keepalive tickers, proxy pumps); a resilience bug that strands one shows
+// up here as a named stack instead of a slow buildup across the suite.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB leakcheck needs.
+type TB interface {
+	Cleanup(func())
+	Errorf(format string, args ...any)
+	Helper()
+}
+
+// Check snapshots the goroutine count and registers a cleanup that fails
+// the test if, after everything the test started has had time to wind
+// down, goroutines remain above the baseline. Call it first in the test so
+// the baseline excludes the test's own machinery.
+func Check(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		t.Helper()
+		// Goroutines unwind asynchronously after Close/Shutdown return
+		// (conn handlers draining, timers firing); retry until the count
+		// converges rather than flaking on scheduler timing.
+		deadline := time.Now().Add(5 * time.Second)
+		var n int
+		for {
+			n = runtime.NumGoroutine()
+			if n <= base || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n > base {
+			t.Errorf("leaked %d goroutine(s) (%d -> %d):\n%s",
+				n-base, base, n, interestingStacks())
+		}
+	})
+}
+
+// interestingStacks dumps all goroutine stacks, dropping the runtime and
+// testing frames that are always present, so the report points at the leak.
+func interestingStacks() string {
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	var keep []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "testing.") ||
+			strings.Contains(g, "runtime.goexit") && !strings.Contains(g, "rx/") {
+			continue
+		}
+		keep = append(keep, g)
+	}
+	if len(keep) == 0 {
+		return string(buf)
+	}
+	return fmt.Sprintf("%d suspicious stack(s):\n%s", len(keep), strings.Join(keep, "\n\n"))
+}

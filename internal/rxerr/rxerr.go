@@ -12,7 +12,11 @@
 // against the concrete types for details.
 package rxerr
 
-import "errors"
+import (
+	"errors"
+	"fmt"
+	"time"
+)
 
 var (
 	// ErrNotFound reports a missing collection, document, or node.
@@ -30,4 +34,43 @@ var (
 	// connection limit is reached or the engine (lock manager, buffer pool)
 	// is saturated. The request was not executed; retry with backoff.
 	ErrBusy = errors.New("rx: server busy")
+	// ErrConnLost reports a client connection that died with a request
+	// outstanding whose effects the client cannot safely retry: the
+	// operation may or may not have executed. Idempotent reads are retried
+	// transparently and never surface this; writes and operations inside an
+	// open transaction do, and the transaction itself is gone (the server
+	// rolls it back on disconnect).
+	ErrConnLost = errors.New("rx: connection lost")
 )
+
+// BusyError is the detail type behind ErrBusy when the server attaches a
+// retry-after hint: shed clients should wait at least RetryAfter before
+// retrying instead of hammering a saturated server. Matched with
+// errors.Is(err, ErrBusy) for the class and errors.As for the hint.
+type BusyError struct {
+	// Reason says which limit shed the request (connection cap, lock wait
+	// queue, cursor cap).
+	Reason string
+	// RetryAfter is the server's backoff hint; zero means none.
+	RetryAfter time.Duration
+}
+
+func (e BusyError) Error() string {
+	if e.Reason == "" {
+		return ErrBusy.Error()
+	}
+	return fmt.Sprintf("%s: %s", ErrBusy.Error(), e.Reason)
+}
+
+// Is links the detail type to the ErrBusy sentinel.
+func (e BusyError) Is(target error) bool { return target == ErrBusy }
+
+// RetryAfter extracts the server's backoff hint from an error chain, zero if
+// none. Works on both in-process and wire-decoded errors.
+func RetryAfter(err error) time.Duration {
+	var b BusyError
+	if errors.As(err, &b) {
+		return b.RetryAfter
+	}
+	return 0
+}

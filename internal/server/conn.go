@@ -13,9 +13,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
-	"rx/internal/rxerr"
 	"rx/internal/session"
 	"rx/internal/wire"
 	"rx/internal/xml"
@@ -53,6 +53,13 @@ type conn struct {
 	cursors map[uint32]*openCursor
 	drain   bool
 	drainMu sync.Mutex
+
+	// lastActive is the UnixNano time of the last frame received or
+	// response written; the idle watchdog closes connections whose clock
+	// goes stale with nothing in flight.
+	lastActive atomic.Int64
+	// watchdogDone stops the idle watchdog when the connection ends.
+	watchdogDone chan struct{}
 }
 
 // netConn is the slice of net.Conn the connection loop needs; narrowed for
@@ -61,19 +68,59 @@ type netConn interface {
 	Read([]byte) (int, error)
 	Write([]byte) (int, error)
 	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
 	Close() error
 }
 
 func newConn(s *Server, nc netConn) *conn {
 	base, cancel := context.WithCancel(context.Background())
-	return &conn{
-		srv:        s,
-		nc:         nc,
-		bw:         bufio.NewWriter(nc),
-		sess:       s.newSession(),
-		base:       base,
-		baseCancel: cancel,
-		cursors:    map[uint32]*openCursor{},
+	c := &conn{
+		srv:          s,
+		nc:           nc,
+		bw:           bufio.NewWriter(nc),
+		sess:         s.newSession(),
+		base:         base,
+		baseCancel:   cancel,
+		cursors:      map[uint32]*openCursor{},
+		watchdogDone: make(chan struct{}),
+	}
+	c.touch()
+	return c
+}
+
+// touch resets the idle clock.
+func (c *conn) touch() { c.lastActive.Store(time.Now().UnixNano()) }
+
+// idleFor reports how long the connection has been quiet.
+func (c *conn) idleFor() time.Duration {
+	return time.Duration(time.Now().UnixNano() - c.lastActive.Load())
+}
+
+// watchdog closes the connection once it has been idle — no frames, no
+// request in flight — longer than IdleTimeout. A watchdog (rather than read
+// deadlines on the socket) never races the framing: a client quietly
+// waiting for a slow response is "busy" because the request is in flight,
+// and a half-received frame counts as activity the moment it completes.
+func (c *conn) watchdog(idle time.Duration) {
+	tick := idle / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.watchdogDone:
+			return
+		case <-t.C:
+			c.inflightMu.Lock()
+			busy := c.inflight != nil
+			c.inflightMu.Unlock()
+			if !busy && c.idleFor() > idle {
+				c.nc.Close()
+				return
+			}
+		}
 	}
 }
 
@@ -133,11 +180,24 @@ func (c *conn) serve() {
 
 	// The hello exchange runs under a read deadline so a client that
 	// connects and sends nothing cannot pin a MaxConns slot.
-	c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.HelloTimeout))
+	if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.opts.HelloTimeout)); err != nil {
+		return
+	}
 	if err := c.hello(); err != nil {
 		return
 	}
-	c.nc.SetReadDeadline(time.Time{})
+	if err := c.nc.SetReadDeadline(time.Time{}); err != nil {
+		return
+	}
+	c.touch()
+	if idle := c.srv.opts.IdleTimeout; idle > 0 {
+		defer close(c.watchdogDone)
+		c.srv.wg.Add(1)
+		go func() {
+			defer c.srv.wg.Done()
+			c.watchdog(idle)
+		}()
+	}
 
 	reqCh := make(chan request, 1)
 	go func() {
@@ -147,6 +207,7 @@ func (c *conn) serve() {
 			if err != nil {
 				return
 			}
+			c.touch()
 			if typ == wire.MsgCancel {
 				c.cancelInflight()
 				continue
@@ -161,11 +222,12 @@ func (c *conn) serve() {
 	}()
 
 	for req := range reqCh {
-		rctx, rcancel := context.WithCancel(c.base)
+		rctx, rcancel := c.requestCtx()
 		c.setInflight(rcancel)
 		err := c.handle(rctx, req)
 		c.setInflight(nil)
 		rcancel()
+		c.touch()
 		c.srv.requests.Add(1)
 		if err != nil {
 			return // write error: the socket is gone
@@ -174,6 +236,15 @@ func (c *conn) serve() {
 			return
 		}
 	}
+}
+
+// requestCtx builds one request's context: a child of the connection
+// context, bounded by RequestTimeout when configured.
+func (c *conn) requestCtx() (context.Context, context.CancelFunc) {
+	if d := c.srv.opts.RequestTimeout; d > 0 {
+		return context.WithTimeout(c.base, d)
+	}
+	return context.WithCancel(c.base)
 }
 
 // hello performs the version exchange: the first frame must be MsgHello with
@@ -201,12 +272,27 @@ func (c *conn) hello() error {
 	return c.respond(wire.MsgHelloOK, w.Bytes())
 }
 
-// respond writes one response frame and flushes.
+// respond writes one response frame and flushes, under a write deadline so
+// a client that stops draining cannot wedge this worker goroutine: the
+// flush fails, the connection tears down, and the session rolls back.
 func (c *conn) respond(typ byte, payload []byte) error {
+	if d := c.srv.opts.WriteTimeout; d > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return err
+		}
+	}
 	if err := wire.WriteFrame(c.bw, typ, payload); err != nil {
 		return err
 	}
-	return c.bw.Flush()
+	if err := c.bw.Flush(); err != nil {
+		return err
+	}
+	if d := c.srv.opts.WriteTimeout; d > 0 {
+		if err := c.nc.SetWriteDeadline(time.Time{}); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (c *conn) respondErr(err error) error {
@@ -221,6 +307,11 @@ func (c *conn) respondOK() error {
 // a transport (write) failure; application errors travel as MsgErr frames.
 func (c *conn) handle(ctx context.Context, req request) error {
 	switch req.typ {
+	case wire.MsgPing:
+		// Keepalive: the frame's arrival already reset the idle clock; the
+		// pong tells the client the connection is alive end to end.
+		return c.respond(wire.MsgPong, nil)
+
 	case wire.MsgCreateCollection:
 		r := wire.NewReader(req.payload)
 		name := r.Str()
@@ -382,7 +473,7 @@ func (c *conn) handle(ctx context.Context, req request) error {
 // the lock manager's wait queue is saturated.
 func (c *conn) shedWrite() error {
 	if c.srv.overloaded() {
-		return fmt.Errorf("%w: lock wait queue saturated", rxerr.ErrBusy)
+		return c.srv.busyErr("lock wait queue saturated")
 	}
 	return nil
 }
@@ -402,12 +493,16 @@ func (c *conn) handleQuery(payload []byte) error {
 	// and never fetching grows server and engine state without bound.
 	if len(c.cursors) >= c.srv.opts.MaxCursors {
 		c.srv.rejected.Add(1)
-		return c.respondErr(fmt.Errorf("%w: cursor limit (%d) reached", rxerr.ErrBusy, c.srv.opts.MaxCursors))
+		return c.respondErr(c.srv.busyErr(fmt.Sprintf("cursor limit (%d) reached", c.srv.opts.MaxCursors)))
 	}
 	qctx, qcancel := context.WithCancel(c.base)
 	// Opening can itself be slow (planning, index probes): make it
-	// cancellable like a fetch.
+	// cancellable like a fetch, and bound it by RequestTimeout. The timer
+	// cancels the cursor context, which outlives this request on success —
+	// so a fired timer after a successful open means the cursor is already
+	// dead and must not be registered.
 	c.setInflight(qcancel)
+	stop, timedOut := c.armRequestTimer(qcancel)
 	opts := []session.QueryOption{
 		session.Limit(int(q.Limit)),
 		session.Parallelism(int(q.Parallelism)),
@@ -419,18 +514,53 @@ func (c *conn) handleQuery(payload []byte) error {
 		opts = append(opts, session.Degraded())
 	}
 	cur, err := c.sess.Query(qctx, q.Col, q.Expr, opts...)
+	live := stop()
 	if err != nil {
 		qcancel()
-		return c.respondErr(err)
+		return c.respondErr(c.deadlineErr(err, timedOut))
+	}
+	if !live {
+		cur.Close()
+		qcancel()
+		return c.respondErr(c.deadlineErr(context.Canceled, timedOut))
 	}
 	c.cursors[q.Cursor] = &openCursor{cur: cur, cancel: qcancel}
 	c.srv.openCursors.Add(1)
 	return c.respond(wire.MsgQueryOK, wire.FromPlan(cur.Plan()).Encode())
 }
 
+// armRequestTimer starts a RequestTimeout timer that fires cancel, for
+// operations whose context must outlive the request (cursor opens and
+// fetches, which run under the cursor's own context rather than the
+// request's). stop() disarms it and reports whether it never fired;
+// timedOut reports (after stop) whether it did.
+func (c *conn) armRequestTimer(cancel context.CancelFunc) (stop func() bool, timedOut *atomic.Bool) {
+	timedOut = &atomic.Bool{}
+	d := c.srv.opts.RequestTimeout
+	if d <= 0 {
+		return func() bool { return true }, timedOut
+	}
+	t := time.AfterFunc(d, func() {
+		timedOut.Store(true)
+		cancel()
+	})
+	return func() bool { return t.Stop() || !timedOut.Load() }, timedOut
+}
+
+// deadlineErr rewrites a cancellation caused by the request timer into the
+// deadline error the client should see.
+func (c *conn) deadlineErr(err error, timedOut *atomic.Bool) error {
+	if timedOut.Load() {
+		return fmt.Errorf("server: request exceeded RequestTimeout (%s): %w",
+			c.srv.opts.RequestTimeout, context.DeadlineExceeded)
+	}
+	return err
+}
+
 // handleFetch pulls one batch of rows. While the engine cursor runs, the
 // in-flight cancel is the cursor's own, so MsgCancel interrupts Next()
-// between documents.
+// between documents; RequestTimeout bounds the batch the same way (the
+// cursor dies, the connection survives).
 func (c *conn) handleFetch(payload []byte) error {
 	r := wire.NewReader(payload)
 	id, maxRows := r.U32(), int(r.U32())
@@ -448,18 +578,21 @@ func (c *conn) handleFetch(payload []byte) error {
 		maxRows = c.srv.opts.MaxBatchRows
 	}
 	c.setInflight(oc.cancel)
+	stop, timedOut := c.armRequestTimer(oc.cancel)
 	resp := &wire.RowsResp{}
 	for len(resp.Rows) < maxRows {
 		if !oc.cur.Next() {
 			if err := oc.cur.Err(); err != nil {
+				stop()
 				c.closeCursor(id, oc)
-				return c.respondErr(err)
+				return c.respondErr(c.deadlineErr(err, timedOut))
 			}
 			resp.Done = true
 			break
 		}
 		resp.Rows = append(resp.Rows, oc.cur.Result())
 	}
+	stop()
 	resp.Skipped = uint32(oc.cur.Skipped())
 	if resp.Done {
 		c.closeCursor(id, oc)

@@ -50,6 +50,24 @@ type Options struct {
 	// the hello exchange (default 5s) so half-open connections cannot pin
 	// connection slots.
 	HelloTimeout time.Duration
+	// RequestTimeout bounds one request's server-side execution (0 = none).
+	// An expiring query or fetch has its context cancelled — the engine
+	// stops between documents, the cursor closes, and the client gets a
+	// typed deadline error on a connection that stays usable.
+	RequestTimeout time.Duration
+	// IdleTimeout closes a connection that has sent no frames and has no
+	// request in flight for this long after hello (0 = never). Long-lived
+	// clients stay alive with MsgPing keepalives; any frame resets the
+	// clock.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response or cursor-batch write (default 30s,
+	// negative = none) so a client that stops draining cannot wedge a
+	// worker goroutine forever.
+	WriteTimeout time.Duration
+	// BusyRetryAfter is the backoff hint attached to ErrBusy responses
+	// (default 100ms, negative = no hint); shed clients wait at least this
+	// long before retrying.
+	BusyRetryAfter time.Duration
 }
 
 // DefaultBatchRows is the fetch batch size when the client does not choose.
@@ -70,6 +88,12 @@ func (o *Options) fill() {
 	}
 	if o.HelloTimeout <= 0 {
 		o.HelloTimeout = 5 * time.Second
+	}
+	if o.WriteTimeout == 0 {
+		o.WriteTimeout = 30 * time.Second
+	}
+	if o.BusyRetryAfter == 0 {
+		o.BusyRetryAfter = 100 * time.Millisecond
 	}
 }
 
@@ -178,12 +202,24 @@ func (s *Server) Serve(lis net.Listener) error {
 // the refusal is not lost to a TCP reset racing the client's write.
 func (s *Server) rejectBusy(nc net.Conn) {
 	defer nc.Close()
-	nc.SetDeadline(time.Now().Add(s.opts.HelloTimeout))
+	if err := nc.SetDeadline(time.Now().Add(s.opts.HelloTimeout)); err != nil {
+		return
+	}
 	if _, _, err := wire.ReadFrame(nc); err != nil {
 		return
 	}
-	payload := wire.EncodeError(fmt.Errorf("%w: connection limit (%d) reached", rxerr.ErrBusy, s.opts.MaxConns))
+	payload := wire.EncodeError(s.busyErr(fmt.Sprintf("connection limit (%d) reached", s.opts.MaxConns)))
 	_ = wire.WriteFrame(nc, wire.MsgErr, payload)
+}
+
+// busyErr builds the typed shed error, attaching the server's retry-after
+// hint so clients back off instead of hammering.
+func (s *Server) busyErr(reason string) error {
+	b := rxerr.BusyError{Reason: reason}
+	if s.opts.BusyRetryAfter > 0 {
+		b.RetryAfter = s.opts.BusyRetryAfter
+	}
+	return b
 }
 
 // overloaded reports whether write admission control should shed: the lock

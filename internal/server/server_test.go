@@ -18,6 +18,7 @@ import (
 
 	"rx/client"
 	"rx/internal/core"
+	"rx/internal/leakcheck"
 	"rx/internal/rxerr"
 	"rx/internal/server"
 	"rx/internal/session"
@@ -29,6 +30,7 @@ import (
 // address. Cleanup shuts the server down and closes the engine.
 func startServer(t *testing.T, opts server.Options) (*server.Server, string) {
 	t.Helper()
+	leakcheck.Check(t)
 	db, err := core.OpenMemory()
 	if err != nil {
 		t.Fatal(err)
@@ -258,7 +260,7 @@ func TestBusyOnConnLimit(t *testing.T) {
 	dial(t, addr)
 
 	start := time.Now()
-	_, err := client.Dial(addr, client.WithDialTimeout(5*time.Second))
+	_, err := client.Dial(addr, client.WithDialTimeout(5*time.Second), client.WithoutRetry())
 	if !errors.Is(err, rxerr.ErrBusy) {
 		t.Fatalf("over-limit dial: %v", err)
 	}

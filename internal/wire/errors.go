@@ -9,6 +9,7 @@ package wire
 import (
 	"context"
 	"errors"
+	"time"
 
 	"rx/internal/core"
 	"rx/internal/lock"
@@ -30,13 +31,15 @@ const (
 )
 
 // EncodeError builds a MsgErr payload classifying err into the taxonomy.
-// Layout: u16 code, str message, str col, u64 doc, u64 page, str reason.
-// The detail fields are zero except where the code defines them.
+// Layout: u16 code, str message, str col, u64 doc, u64 page, str reason,
+// u32 retry-after (milliseconds). The detail fields are zero except where
+// the code defines them: retry-after is the CodeBusy backoff hint.
 func EncodeError(err error) []byte {
 	var w Writer
 	var code uint16
 	var col, reason string
 	var doc, page uint64
+	var retryAfterMs uint32
 
 	var q core.ErrQuarantined
 	var pc pagestore.ErrPageChecksum
@@ -53,6 +56,9 @@ func EncodeError(err error) []byte {
 		code = CodeNotFound
 	case errors.Is(err, rxerr.ErrBusy):
 		code = CodeBusy
+		if d := rxerr.RetryAfter(err); d > 0 {
+			retryAfterMs = uint32(d / time.Millisecond)
+		}
 	case errors.Is(err, context.Canceled):
 		code = CodeCanceled
 	case errors.Is(err, context.DeadlineExceeded):
@@ -66,6 +72,7 @@ func EncodeError(err error) []byte {
 	w.U64(doc)
 	w.U64(page)
 	w.Str(reason)
+	w.U32(retryAfterMs)
 	return w.Bytes()
 }
 
@@ -88,6 +95,7 @@ func DecodeError(payload []byte) error {
 	doc := r.U64()
 	page := r.U64()
 	reason := r.Str()
+	retryAfterMs := r.U32()
 	if err := r.Done(); err != nil {
 		return err
 	}
@@ -101,6 +109,11 @@ func DecodeError(payload []byte) error {
 	case CodeLockTimeout:
 		return &remoteError{msg: msg, under: lock.ErrTimeout}
 	case CodeBusy:
+		if retryAfterMs > 0 {
+			return &remoteError{msg: msg, under: rxerr.BusyError{
+				RetryAfter: time.Duration(retryAfterMs) * time.Millisecond,
+			}}
+		}
 		return &remoteError{msg: msg, under: rxerr.ErrBusy}
 	case CodeCanceled:
 		return &remoteError{msg: msg, under: context.Canceled}

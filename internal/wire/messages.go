@@ -18,7 +18,10 @@ import (
 
 // ProtocolVersion is negotiated in the Hello exchange; the server rejects
 // clients whose major version it does not speak.
-const ProtocolVersion = 1
+//
+// Version history: 2 added MsgPing/MsgPong keepalive and the retry-after
+// field on error frames.
+const ProtocolVersion = 2
 
 // Message types. Requests are client→server, responses server→client.
 const (
@@ -27,6 +30,8 @@ const (
 	MsgErr     byte = 0x03 // response: typed error (errors.go)
 	MsgOK      byte = 0x04 // response: empty
 	MsgCancel  byte = 0x05 // out-of-band request: empty
+	MsgPing    byte = 0x06 // request: empty (keepalive; resets the idle timer)
+	MsgPong    byte = 0x07 // response: empty
 
 	MsgCreateCollection byte = 0x10 // request: str name
 	MsgCollections      byte = 0x11 // request: empty

@@ -130,7 +130,22 @@ var (
 	ErrLockTimeout = rxerr.ErrLockTimeout
 	// ErrBusy reports load shed by rxserver admission control.
 	ErrBusy = rxerr.ErrBusy
+	// ErrConnLost reports a remote connection that died under an operation
+	// the client cannot safely retry: writes, transaction control, and any
+	// operation inside an open transaction. Idempotent operations retry
+	// transparently and only surface this after the retry policy is
+	// exhausted.
+	ErrConnLost = rxerr.ErrConnLost
 )
+
+// BusyError is the detail type behind ErrBusy when the server attaches a
+// retry-after hint; retrieve it with errors.As, or just call RetryAfter.
+type BusyError = rxerr.BusyError
+
+// RetryAfter extracts the server's backoff hint from an ErrBusy rejection
+// (0 when the error carries none). Clients honor it automatically; manual
+// retry loops should too.
+func RetryAfter(err error) time.Duration { return rxerr.RetryAfter(err) }
 
 // WithLimit stops a session query after n results.
 func WithLimit(n int) QueryOption { return session.Limit(n) }
