@@ -327,12 +327,20 @@ func (c *DB) Reconnects() uint64 { return c.reconnects.Load() }
 
 // teardownLocked marks the connection dead after a transport error; the
 // stream position is unknown, so nothing further can be sent on it. The
-// next operation reconnects.
+// next operation reconnects. A transaction that was open died with the
+// connection (the server rolls it back on disconnect), so the session is
+// poisoned here — every teardown path, including a failed keepalive ping —
+// and the next operation demands a Rollback acknowledgement instead of
+// silently reconnecting into auto-commit mode.
 func (c *DB) teardownLocked() {
 	if c.nc != nil {
 		c.nc.Close()
 		c.nc = nil
 		c.bw = nil
+	}
+	if c.inTxn {
+		c.inTxn = false
+		c.txnLost = true
 	}
 }
 
@@ -400,30 +408,34 @@ func errTxnLost() error {
 
 // roundTripLocked runs one request to completion under the retry policy.
 // write marks operations that must not be re-sent after an ambiguous
-// transport failure.
-func (c *DB) roundTripLocked(ctx context.Context, typ byte, payload []byte, write bool) (byte, []byte, error) {
+// transport failure. attempted reports whether any exchange was started —
+// false means the request never reached the wire (pre-send context error,
+// closed client, poisoned session, or failed reconnect), so server-side
+// state is untouched; Commit/Rollback key their bookkeeping on it.
+func (c *DB) roundTripLocked(ctx context.Context, typ byte, payload []byte, write bool) (rtyp byte, resp []byte, attempted bool, err error) {
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
-			return 0, nil, err
+			return 0, nil, attempted, err
 		}
 		if c.closed {
-			return 0, nil, ErrClosed
+			return 0, nil, attempted, ErrClosed
 		}
 		if c.txnLost {
-			return 0, nil, errTxnLost()
+			return 0, nil, attempted, errTxnLost()
 		}
 		if c.nc == nil {
 			// Nothing has been sent for this operation yet, so even a write
 			// is safe to send on a fresh connection.
 			if err := c.reconnectLocked(ctx); err != nil {
-				return 0, nil, err
+				return 0, nil, attempted, err
 			}
 		}
 		retryable := !c.retryOff && !c.inTxn
+		attempted = true
 		rtyp, resp, err := c.exchangeLocked(ctx, typ, payload)
 		if err == nil {
 			if rtyp != wire.MsgErr {
-				return rtyp, resp, nil
+				return rtyp, resp, attempted, nil
 			}
 			derr := wire.DecodeError(resp)
 			// Busy means the request was shed before executing — safe to
@@ -434,30 +446,26 @@ func (c *DB) roundTripLocked(ctx context.Context, typ byte, payload []byte, writ
 					wait = hint
 				}
 				if serr := c.sleepLocked(ctx, wait); serr != nil {
-					return 0, nil, serr
+					return 0, nil, attempted, serr
 				}
 				continue
 			}
-			return 0, nil, derr
+			return 0, nil, attempted, derr
 		}
 
-		// Transport failure: the connection is gone (exchangeLocked tore it
-		// down). A transaction that was open is gone with it.
-		if c.inTxn {
-			c.inTxn = false
-			c.txnLost = true
-		}
+		// Transport failure: the connection is gone, and teardownLocked has
+		// poisoned the session if a transaction was open.
 		if cerr := ctx.Err(); cerr != nil {
-			return 0, nil, cerr
+			return 0, nil, attempted, cerr
 		}
 		if c.txnLost || write || c.retryOff {
-			return 0, nil, connLost(err)
+			return 0, nil, attempted, connLost(err)
 		}
 		if attempt+1 >= c.attempts() {
-			return 0, nil, connLost(err)
+			return 0, nil, attempted, connLost(err)
 		}
 		if serr := c.sleepLocked(ctx, c.retry.backoff(attempt)); serr != nil {
-			return 0, nil, serr
+			return 0, nil, attempted, serr
 		}
 	}
 }
@@ -468,7 +476,8 @@ func (c *DB) roundTrip(ctx context.Context, typ byte, payload []byte, write bool
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.roundTripLocked(ctx, typ, payload, write)
+	rtyp, resp, _, err := c.roundTripLocked(ctx, typ, payload, write)
+	return rtyp, resp, err
 }
 
 // expect runs a round trip whose response must be exactly want.
@@ -517,7 +526,9 @@ func (c *DB) keepaliveLoop() {
 		rtyp, _, err := c.exchangeLocked(ctx, wire.MsgPing, nil)
 		cancel()
 		_ = rtyp
-		_ = err // a failed ping tore the conn down; the next op reconnects
+		// A failed ping tore the conn down, poisoning any open transaction
+		// (teardownLocked); the next op reconnects or demands Rollback.
+		_ = err
 		c.mu.Unlock()
 	}
 }
@@ -630,7 +641,7 @@ func (c *DB) openCursor(ctx context.Context, req wire.QueryReq) (id uint32, gen 
 	defer c.mu.Unlock()
 	c.nextCursor++
 	req.Cursor = c.nextCursor
-	rtyp, resp, err := c.roundTripLocked(ctx, wire.MsgQuery, req.Encode(), false)
+	rtyp, resp, _, err := c.roundTripLocked(ctx, wire.MsgQuery, req.Encode(), false)
 	if err != nil {
 		return 0, 0, wire.PlanInfo{}, false, err
 	}
@@ -670,10 +681,7 @@ func (c *DB) fetch(ctx context.Context, gen uint64, id uint32, maxRows int) (*wi
 	w.U32(uint32(maxRows))
 	rtyp, resp, err := c.exchangeLocked(ctx, wire.MsgFetch, w.Bytes())
 	if err != nil {
-		if c.inTxn {
-			c.inTxn = false
-			c.txnLost = true
-		}
+		// teardownLocked has poisoned the session if a transaction was open.
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, cerr
 		}
@@ -754,12 +762,18 @@ func (c *DB) Begin(ctx context.Context) error {
 		return ErrClosed
 	}
 	c.txnLost = false
-	rtyp, _, err := c.roundTripLocked(ctx, wire.MsgBegin, nil, true)
+	rtyp, _, _, err := c.roundTripLocked(ctx, wire.MsgBegin, nil, true)
 	if err != nil {
 		return err
 	}
 	if rtyp != wire.MsgOK {
 		return fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgOK)
+	}
+	if c.txnLost {
+		// The transaction opened, but the connection died right after the
+		// response was read (post-read teardown poisoned the session): the
+		// server already rolled it back on disconnect.
+		return errTxnLost()
 	}
 	c.inTxn = true
 	return nil
@@ -780,14 +794,24 @@ func (c *DB) Commit(ctx context.Context) error {
 	if c.txnLost {
 		return errTxnLost()
 	}
-	rtyp, _, err := c.roundTripLocked(ctx, wire.MsgCommit, nil, true)
-	c.inTxn = false
+	rtyp, _, attempted, err := c.roundTripLocked(ctx, wire.MsgCommit, nil, true)
+	if attempted {
+		// Once the frame may have reached the server, the server-side
+		// transaction is over either way: ended by the handler, or rolled
+		// back on disconnect (teardownLocked then set txnLost). Before any
+		// exchange — a pre-send context error — it is still open, so inTxn
+		// must survive for a later Commit/Rollback to act on it.
+		c.inTxn = false
+	}
 	if err != nil {
 		return err
 	}
 	if rtyp != wire.MsgOK {
 		return fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgOK)
 	}
+	// The commit response arrived, so the transaction committed even if the
+	// connection was torn down right after the read poisoned the session.
+	c.txnLost = false
 	return nil
 }
 
@@ -807,14 +831,19 @@ func (c *DB) Rollback(ctx context.Context) error {
 		c.txnLost = false
 		return nil
 	}
-	rtyp, _, err := c.roundTripLocked(ctx, wire.MsgRollback, nil, true)
-	c.inTxn = false
+	rtyp, _, attempted, err := c.roundTripLocked(ctx, wire.MsgRollback, nil, true)
+	if attempted {
+		// Same bookkeeping as Commit: a pre-send context error leaves the
+		// server transaction open, so only an attempted exchange closes it.
+		c.inTxn = false
+	}
 	if err != nil {
 		return err
 	}
 	if rtyp != wire.MsgOK {
 		return fmt.Errorf("client: unexpected response frame 0x%02x (want 0x%02x)", rtyp, wire.MsgOK)
 	}
+	c.txnLost = false
 	return nil
 }
 

@@ -225,9 +225,12 @@ func (c *conn) serve() {
 		rctx, rcancel := c.requestCtx()
 		c.setInflight(rcancel)
 		err := c.handle(rctx, req)
+		// Refresh the idle clock before clearing the inflight marker: a
+		// watchdog tick between the two must never observe "not busy" paired
+		// with a lastActive predating a long-running request.
+		c.touch()
 		c.setInflight(nil)
 		rcancel()
-		c.touch()
 		c.srv.requests.Add(1)
 		if err != nil {
 			return // write error: the socket is gone
@@ -532,25 +535,38 @@ func (c *conn) handleQuery(payload []byte) error {
 // armRequestTimer starts a RequestTimeout timer that fires cancel, for
 // operations whose context must outlive the request (cursor opens and
 // fetches, which run under the cursor's own context rather than the
-// request's). stop() disarms it and reports whether it never fired;
-// timedOut reports (after stop) whether it did.
-func (c *conn) armRequestTimer(cancel context.CancelFunc) (stop func() bool, timedOut *atomic.Bool) {
-	timedOut = &atomic.Bool{}
+// request's). stop() disarms it and reports whether it never fired — a true
+// return guarantees the callback will never run, so the context stays live;
+// timedOut() reports whether the timer won instead.
+func (c *conn) armRequestTimer(cancel context.CancelFunc) (stop func() bool, timedOut func() bool) {
 	d := c.srv.opts.RequestTimeout
 	if d <= 0 {
-		return func() bool { return true }, timedOut
+		return func() bool { return true }, func() bool { return false }
 	}
+	// 0 = armed, 1 = stopped, 2 = fired. The CAS picks exactly one winner:
+	// t.Stop() alone has a window where the timer has expired but the
+	// callback hasn't run yet, which would let a "never fired" stop race a
+	// cancel about to happen.
+	var state atomic.Int32
 	t := time.AfterFunc(d, func() {
-		timedOut.Store(true)
-		cancel()
+		if state.CompareAndSwap(0, 2) {
+			cancel()
+		}
 	})
-	return func() bool { return t.Stop() || !timedOut.Load() }, timedOut
+	stop = func() bool {
+		if state.CompareAndSwap(0, 1) {
+			t.Stop()
+			return true
+		}
+		return false
+	}
+	return stop, func() bool { return state.Load() == 2 }
 }
 
 // deadlineErr rewrites a cancellation caused by the request timer into the
 // deadline error the client should see.
-func (c *conn) deadlineErr(err error, timedOut *atomic.Bool) error {
-	if timedOut.Load() {
+func (c *conn) deadlineErr(err error, timedOut func() bool) error {
+	if timedOut() {
 		return fmt.Errorf("server: request exceeded RequestTimeout (%s): %w",
 			c.srv.opts.RequestTimeout, context.DeadlineExceeded)
 	}

@@ -300,6 +300,64 @@ func TestTxnLostSurfacesTypedError(t *testing.T) {
 	}
 }
 
+// TestKeepaliveFailureInTxnPoisonsSession: a keepalive ping that dies while
+// a transaction sits idle must poison the session like any other transport
+// loss. The regression this guards against: the failed ping tore the
+// connection down without transaction bookkeeping, so the next operation
+// silently reconnected and ran in auto-commit mode — writes meant to be
+// atomic committed individually.
+func TestKeepaliveFailureInTxnPoisonsSession(t *testing.T) {
+	srv, addr := startServer(t, server.Options{})
+	ctx := context.Background()
+	admin := dial(t, addr)
+	if err := admin.CreateCollection(ctx, "w"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Connection 0 destroys its 3rd response: hello-OK, begin-OK, then the
+	// keepalive pong. Connection 1 (after recovery) is clean.
+	proxy := startProxy(t, addr, func(i int) *fault.NetInjector {
+		if i == 0 {
+			return fault.NewNetInjector(fault.NetRule{Op: fault.NetWrite, N: 3, Act: fault.NetErr})
+		}
+		return nil
+	})
+	c := dial(t, proxy.Addr(), client.WithKeepalive(20*time.Millisecond),
+		client.WithRetry(client.RetryPolicy{Attempts: 4, BaseDelay: 5 * time.Millisecond, MaxDelay: 50 * time.Millisecond}))
+
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Sit idle inside the transaction until a ping fires, loses its pong,
+	// and tears the connection down (observable as the server dropping to
+	// the admin connection alone). No client ops here — each would reset
+	// the idle clock and consume the doomed 3rd response itself.
+	waitFor(t, "keepalive ping failure to tear down the connection", func() bool {
+		return srv.Stats().ActiveConns == 1
+	})
+
+	// Poisoned, not silently reconnected: the write refuses to run.
+	if _, err := c.Insert(ctx, "w", doc(0)); !errors.Is(err, rxerr.ErrConnLost) {
+		t.Fatalf("insert after keepalive loss: %v, want ErrConnLost", err)
+	}
+	if err := c.Rollback(ctx); err != nil {
+		t.Fatalf("rollback after loss: %v", err)
+	}
+	// Nothing from the lost transaction leaked into the store.
+	ids, err := admin.DocIDs(ctx, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("docs after poisoned txn: %d, want 0", len(ids))
+	}
+
+	// The session works again, end to end, through a fresh connection.
+	if _, err := c.Insert(ctx, "w", doc(1)); err != nil {
+		t.Fatalf("insert after recovery: %v", err)
+	}
+}
+
 // TestBusyCarriesRetryAfterHint: an ErrBusy rejection carries the server's
 // backoff hint across the wire.
 func TestBusyCarriesRetryAfterHint(t *testing.T) {
