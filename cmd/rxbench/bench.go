@@ -1,0 +1,252 @@
+package main
+
+// Machine-readable smoke benchmarks. `rxbench -json DIR` runs a small
+// benchmark per perf-tracked experiment suite (E10 parse/shred, E13 query
+// scan, E14 checksum read, E16 bulk load) through testing.Benchmark and
+// writes one BENCH_<id>.json per suite; `-compare DIR` additionally checks
+// the results against a committed baseline directory with a generous
+// threshold gate (allocs/op is machine-independent and gated tightly;
+// ns/op varies across hardware and only catches order-of-magnitude
+// regressions). CI runs both and archives the JSON.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rx/internal/buffer"
+	"rx/internal/core"
+	"rx/internal/pagestore"
+)
+
+type benchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Gate thresholds for -compare (fractions over baseline).
+const (
+	nsGate     = 1.5  // ns/op may grow 150% (cross-machine noise)
+	allocsGate = 0.30 // allocs/op may grow 30%
+)
+
+func benchDocXML(i int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<Product pid="%d" cat="tools">`, i)
+	fmt.Fprintf(&sb, `<Name>Widget %d</Name><Price>%d.99</Price>`, i, i%97)
+	for j := 0; j < 16; j++ {
+		fmt.Fprintf(&sb, `<Part num="%d-%d"><Desc>part %d of product %d, standard finish</Desc><Qty>%d</Qty></Part>`,
+			i, j, j, i, j*3)
+	}
+	sb.WriteString(`</Product>`)
+	return []byte(sb.String())
+}
+
+func run(name string, fn func(b *testing.B)) benchResult {
+	r := testing.Benchmark(fn)
+	return benchResult{
+		Name:        name,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+func mustDB(b *testing.B) (*core.DB, *core.Collection) {
+	db, err := core.OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	col, err := db.CreateCollection("bench", core.CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, col
+}
+
+// runSmokeBenchmarks returns results keyed by suite ID.
+func runSmokeBenchmarks() map[string][]benchResult {
+	suites := map[string][]benchResult{}
+
+	// E10 — parse + shred + index maintenance (single-document insert).
+	suites["E10"] = []benchResult{
+		run("insert", func(b *testing.B) {
+			db, col := mustDB(b)
+			defer db.Close()
+			doc := benchDocXML(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.Insert(doc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+
+	// E13 — scan-shaped query over stored documents (zero-copy walk path).
+	suites["E13"] = []benchResult{
+		run("scan-query", func(b *testing.B) {
+			db, col := mustDB(b)
+			defer db.Close()
+			for i := 0; i < 16; i++ {
+				if _, err := col.Insert(benchDocXML(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rs, _, err := col.QueryOpts("/Product/Part/Qty", core.QueryOptions{NeedValues: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs) == 0 {
+					b.Fatal("no results")
+				}
+			}
+		}),
+	}
+
+	// E14 — page read cost: raw store, checksum-verified store, and a hot
+	// (resident) page through the buffer pool over each. The pool pair is
+	// the engine-visible number: a hot page verifies once per residency, so
+	// the checksummed read must be within noise of the raw one.
+	newStore := func(b *testing.B, checksummed bool) pagestore.Store {
+		var s pagestore.Store = pagestore.NewMemStore()
+		if checksummed {
+			s = pagestore.NewChecksumStore(s)
+		}
+		id, err := s.Allocate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		page := make([]byte, pagestore.PageSize)
+		for i := range page {
+			page[i] = byte(i)
+		}
+		if err := s.WritePage(id, page); err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	storeRead := func(checksummed bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := newStore(b, checksummed)
+			buf := make([]byte, pagestore.PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ReadPage(0, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	poolHot := func(checksummed bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			s := newStore(b, checksummed)
+			pool := buffer.New(s, 64)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := pool.Fetch(0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pool.Unpin(f, false)
+			}
+		}
+	}
+	suites["E14"] = []benchResult{
+		run("store-read/raw", storeRead(false)),
+		run("store-read/checksum", storeRead(true)),
+		run("pool-hot/raw", poolHot(false)),
+		run("pool-hot/checksum", poolHot(true)),
+	}
+
+	// E16 — bulk load (32-document batches through InsertBatch).
+	suites["E16"] = []benchResult{
+		run("bulk-load-32", func(b *testing.B) {
+			db, col := mustDB(b)
+			defer db.Close()
+			docs := make([][]byte, 32)
+			for i := range docs {
+				docs[i] = benchDocXML(i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := col.InsertBatch(docs, core.BatchOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}),
+	}
+	return suites
+}
+
+func writeBenchJSON(dir string, suites map[string][]benchResult) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for id, rs := range suites {
+		data, err := json.MarshalIndent(rs, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, "BENCH_"+id+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	return nil
+}
+
+// compareBench gates current results against a baseline directory. Missing
+// baseline files or benchmarks are reported but not fatal (new benchmarks
+// need a first run to establish a baseline).
+func compareBench(baseDir string, suites map[string][]benchResult) error {
+	var failures []string
+	for id, rs := range suites {
+		path := filepath.Join(baseDir, "BENCH_"+id+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Printf("compare: no baseline %s (skipping)\n", path)
+			continue
+		}
+		var base []benchResult
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("compare: %s: %w", path, err)
+		}
+		byName := map[string]benchResult{}
+		for _, b := range base {
+			byName[b.Name] = b
+		}
+		for _, r := range rs {
+			b, ok := byName[r.Name]
+			if !ok {
+				fmt.Printf("compare: %s/%s has no baseline (skipping)\n", id, r.Name)
+				continue
+			}
+			if b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*(1+nsGate) {
+				failures = append(failures, fmt.Sprintf("%s/%s: ns/op %.0f > baseline %.0f +%d%%",
+					id, r.Name, r.NsPerOp, b.NsPerOp, int(nsGate*100)))
+			}
+			if b.AllocsPerOp > 0 && float64(r.AllocsPerOp) > float64(b.AllocsPerOp)*(1+allocsGate) {
+				failures = append(failures, fmt.Sprintf("%s/%s: allocs/op %d > baseline %d +%d%%",
+					id, r.Name, r.AllocsPerOp, b.AllocsPerOp, int(allocsGate*100)))
+			}
+			fmt.Printf("compare: %s/%s ns/op %.0f (base %.0f)  allocs/op %d (base %d)\n",
+				id, r.Name, r.NsPerOp, b.NsPerOp, r.AllocsPerOp, b.AllocsPerOp)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("bench regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}

@@ -7,6 +7,8 @@
 //	rxbench                 # run everything
 //	rxbench e1 e5 e7        # run selected experiments
 //	rxbench -quick          # smaller workloads (CI-sized)
+//	rxbench -json DIR       # run smoke benchmarks, write BENCH_<id>.json
+//	rxbench -json DIR -compare bench   # also gate against a baseline dir
 package main
 
 import (
@@ -21,7 +23,24 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads")
+	jsonDir := flag.String("json", "", "run smoke benchmarks and write BENCH_<id>.json files to this directory (skips the experiment tables)")
+	compareDir := flag.String("compare", "", "with -json: compare results against the baseline BENCH_*.json in this directory; exit nonzero on regression")
 	flag.Parse()
+
+	if *jsonDir != "" {
+		suites := runSmokeBenchmarks()
+		if err := writeBenchJSON(*jsonDir, suites); err != nil {
+			fmt.Fprintf(os.Stderr, "rxbench: %v\n", err)
+			os.Exit(1)
+		}
+		if *compareDir != "" {
+			if err := compareBench(*compareDir, suites); err != nil {
+				fmt.Fprintf(os.Stderr, "rxbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
 	sel := map[string]bool{}
 	for _, a := range flag.Args() {
 		sel[strings.ToLower(a)] = true

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,8 +38,18 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request execution limit; a query running longer is cancelled server-side (0 = unlimited)")
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections with no request for this long; clients reconnect transparently (0 = never)")
 		keepalive    = flag.Duration("keepalive", 3*time.Minute, "TCP keepalive probe period on accepted connections (0 = OS default)")
+		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "rxserver: pprof:", err)
+			}
+		}()
+	}
 
 	var opts []rx.Option
 	if *walPath != "" {

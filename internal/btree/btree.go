@@ -270,11 +270,20 @@ func removeCell(d []byte, i int) {
 	binary.BigEndian.PutUint16(d[hdrNKeys:], uint16(n-1))
 }
 
+// compactScratch recycles the page-sized scratch buffer node compaction
+// packs live cells into, so page defragmentation does not allocate.
+var compactScratch = sync.Pool{New: func() any {
+	b := make([]byte, pagestore.PageSize)
+	return &b
+}}
+
 // compactNode re-packs live cells to eliminate holes from removed or replaced
 // cells. Returns true if space was reclaimed.
 func compactNode(d []byte) bool {
 	n := nKeys(d)
-	tmp := make([]byte, pagestore.PageSize)
+	tb := compactScratch.Get().(*[]byte)
+	tmp := *tb
+	defer compactScratch.Put(tb)
 	w := pagestore.PageSize
 	offs := make([]int, n)
 	for i := 0; i < n; i++ {

@@ -107,7 +107,26 @@ type Pool struct {
 	mask     uint32       // len(shards)-1; shard count is a power of two
 	resident atomic.Int64 // frames currently installed, across all shards
 
+	// pinned counts frames with at least one pin; pinnedHW is its high-water
+	// mark since the pool was created. Zero-copy reads hold pins for the
+	// lifetime of a borrowed record, so a pinned-frame count approaching
+	// capacity is the first symptom of a pin leak (DB.Stats surfaces both).
+	pinned   atomic.Int64
+	pinnedHW atomic.Int64
+
 	writeRetries atomic.Uint64
+}
+
+// notePinned records a frame's 0→1 pin transition and advances the
+// high-water mark.
+func (p *Pool) notePinned() {
+	n := p.pinned.Add(1)
+	for {
+		hw := p.pinnedHW.Load()
+		if n <= hw || p.pinnedHW.CompareAndSwap(hw, n) {
+			return
+		}
+	}
 }
 
 // shard is one partition of the pool: a frame table plus the LRU list of
@@ -356,6 +375,9 @@ func (p *Pool) Fetch(id pagestore.PageID) (*Frame, error) {
 			p.resident.Add(-1)
 		}
 		f.pins--
+		if f.pins == 0 {
+			p.pinned.Add(-1)
+		}
 		s.mu.Unlock()
 		return nil, err
 	}
@@ -415,7 +437,7 @@ func (p *Pool) frameFor(s *shard, id pagestore.PageID) (*Frame, bool, error) {
 	s.mu.Lock()
 	for {
 		if f, ok := s.frames[id]; ok {
-			s.pinLocked(f)
+			p.pinLocked(s, f)
 			return f, true, nil
 		}
 		if int(p.resident.Load()) < p.capacity {
@@ -442,14 +464,18 @@ func (p *Pool) frameFor(s *shard, id pagestore.PageID) (*Frame, bool, error) {
 		s.mu.Lock()
 	}
 	f := &Frame{ID: id, Data: make([]byte, pagestore.PageSize), pins: 1}
+	p.notePinned()
 	s.frames[id] = f
 	p.resident.Add(1)
 	return f, false, nil
 }
 
 // pinLocked pins an existing frame, removing it from the shard's LRU list.
-func (s *shard) pinLocked(f *Frame) {
+func (p *Pool) pinLocked(s *shard, f *Frame) {
 	f.pins++
+	if f.pins == 1 {
+		p.notePinned()
+	}
 	if f.lruElem != nil {
 		s.lru.Remove(f.lruElem)
 		f.lruElem = nil
@@ -551,8 +577,11 @@ func (p *Pool) Unpin(f *Frame, dirty bool) {
 	if f.pins < 0 {
 		panic("buffer: unpin of unpinned frame")
 	}
-	if f.pins == 0 && f.lruElem == nil {
-		f.lruElem = s.lru.PushBack(f)
+	if f.pins == 0 {
+		p.pinned.Add(-1)
+		if f.lruElem == nil {
+			f.lruElem = s.lru.PushBack(f)
+		}
 	}
 }
 
@@ -594,6 +623,8 @@ type Stats struct {
 	Shards                  int
 	Capacity                int
 	Resident                int   // frames currently installed
+	Pinned                  int   // frames with at least one pin right now
+	PinnedHighWater         int   // peak simultaneously pinned frames
 	ShardOccupancy          []int // resident frames per shard
 }
 
@@ -601,10 +632,12 @@ type Stats struct {
 // occupancy.
 func (p *Pool) Stats() Stats {
 	st := Stats{
-		Shards:         len(p.shards),
-		Capacity:       p.capacity,
-		WriteRetries:   p.writeRetries.Load(),
-		ShardOccupancy: make([]int, len(p.shards)),
+		Shards:          len(p.shards),
+		Capacity:        p.capacity,
+		WriteRetries:    p.writeRetries.Load(),
+		Pinned:          int(p.pinned.Load()),
+		PinnedHighWater: int(p.pinnedHW.Load()),
+		ShardOccupancy:  make([]int, len(p.shards)),
 	}
 	for i, s := range p.shards {
 		s.mu.Lock()

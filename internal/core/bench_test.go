@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// benchDoc builds a ~1.5 KiB product document with mixed attributes and text.
+func benchDoc(i int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<Product pid="%d" cat="tools">`, i)
+	fmt.Fprintf(&sb, `<Name>Widget %d</Name><Price>%d.99</Price>`, i, i%97)
+	for j := 0; j < 16; j++ {
+		fmt.Fprintf(&sb, `<Part num="%d-%d"><Desc>part %d of product %d, standard finish</Desc><Qty>%d</Qty></Part>`,
+			i, j, j, i, j*3)
+	}
+	sb.WriteString(`</Product>`)
+	return []byte(sb.String())
+}
+
+// BenchmarkBulkLoad measures the full parse→pack→index ingest path through
+// InsertBatch (E16's load path). The per-op unit is one 32-document batch.
+func BenchmarkBulkLoad(b *testing.B) {
+	db, err := OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("bench", CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	docs := make([][]byte, 32)
+	for i := range docs {
+		docs[i] = benchDoc(i)
+	}
+	var bytesPerBatch int64
+	for _, d := range docs {
+		bytesPerBatch += int64(len(d))
+	}
+	b.ReportAllocs()
+	b.SetBytes(bytesPerBatch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := col.InsertBatch(docs, BatchOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInsert measures the single-document insert path.
+func BenchmarkInsert(b *testing.B) {
+	db, err := OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("bench", CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := benchDoc(1)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := col.Insert(doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScanQuery measures the stored-document scan path (zero-copy
+// borrowed reads): a value-returning query evaluated by walking records.
+func BenchmarkScanQuery(b *testing.B) {
+	db, err := OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("bench", CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := col.Insert(benchDoc(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, _, err := col.QueryOpts("/Product/Part/Qty", QueryOptions{NeedValues: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
+// BenchmarkSerialize measures document serialization from stored records
+// (zero-copy walk feeding the serializer).
+func BenchmarkSerialize(b *testing.B) {
+	db, err := OpenMemory()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("bench", CollectionOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := col.Insert(benchDoc(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := col.Serialize(id, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"rx/internal/arena"
 	"rx/internal/heap"
 	"rx/internal/nodeid"
 	"rx/internal/pack"
@@ -47,6 +48,11 @@ func (c *Collection) InsertBatch(docs [][]byte, opts BatchOptions) ([]xml.DocID,
 	if len(docs) == 0 {
 		return nil, nil
 	}
+	// One parse arena for the whole batch: every stream lives in it until
+	// the batch insert completes (pass 4 re-scans streams for value-index
+	// keys), then the lot resets at once.
+	pa := parseArenas.Get().(*arena.Arena)
+	defer func() { pa.Reset(); parseArenas.Put(pa) }()
 	streams := make([][]byte, len(docs))
 	for i, doc := range docs {
 		var stream []byte
@@ -58,7 +64,7 @@ func (c *Collection) InsertBatch(docs [][]byte, opts BatchOptions) ([]xml.DocID,
 			}
 			stream, err = xmlschema.Validate(doc, sch, c.db.cat)
 		} else {
-			stream, err = xmlparse.Parse(doc, c.db.cat, xmlparse.Options{})
+			stream, err = xmlparse.Parse(doc, c.db.cat, xmlparse.Options{Arena: pa})
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: batch document %d: %w", i, err)
@@ -127,11 +133,16 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 
 	// Pass 1 — shred: heap records are inserted document by document (the
 	// packer emits them bottom-up), while the NodeID-index entries they
-	// produce are only accumulated.
+	// produce are only accumulated. Packing and key scratch for the whole
+	// batch comes from the ingest arena, reset once per batch: the
+	// interval endpoints accumulated in nodes (pass 2) and the assembled
+	// value keys (pass 4) stay valid until then.
+	a := c.ingestArena()
+	defer a.Reset()
 	var nodes []nodeEntry
 	for i, stream := range streams {
 		docID := ids[i]
-		err = pack.PackStream(stream, c.packThreshold(), func(rec pack.EncodedRecord) error {
+		err = pack.PackStreamArena(stream, c.packThreshold(), a, func(rec pack.EncodedRecord) error {
 			rid, herr := c.xmlTbl.Insert(xmlRow(docID, rec.MinNodeID, rec.Payload))
 			if herr != nil {
 				return herr
@@ -197,7 +208,7 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 					err = lerr
 					return nil, err
 				}
-				enc, eerr := ov.ix.EncodeValue(m.Value)
+				enc, eerr := valueindex.EncodeTypedInto(a.Make(2*len(m.Value)+18), ov.ix.Type(), m.Value)
 				if eerr != nil {
 					if errors.Is(eerr, valueindex.ErrNotIndexable) {
 						continue
@@ -205,7 +216,8 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 					err = eerr
 					return nil, err
 				}
-				entries = append(entries, valEntry{key: valueindex.EntryKey(enc, ids[i], m.ID), rid: rid})
+				key := valueindex.AppendEntryKey(a.Make(len(enc)+8+len(m.ID)), enc, ids[i], m.ID)
+				entries = append(entries, valEntry{key: key, rid: rid})
 			}
 		}
 		sort.Slice(entries, func(a, b int) bool {

@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 
+	"rx/internal/arena"
 	"rx/internal/btree"
 	"rx/internal/catalog"
 	"rx/internal/heap"
@@ -40,6 +41,20 @@ type Collection struct {
 	// CreateValueIndex appends; writers additionally hold writeMu.
 	ixMu   sync.RWMutex
 	valIxs []*openValueIndex
+
+	// ing is the ingest arena: scratch for packing and key generation,
+	// reset per document (per batch in InsertBatch). Guarded by writeMu;
+	// lazily created. Its footprint stays bounded by the largest document
+	// inserted through this collection.
+	ing *arena.Arena
+}
+
+// ingestArena returns the collection's ingest arena (caller holds writeMu).
+func (c *Collection) ingestArena() *arena.Arena {
+	if c.ing == nil {
+		c.ing = arena.New()
+	}
+	return c.ing
 }
 
 // indexSnapshot returns the current value-index list for read-only use by
@@ -186,10 +201,21 @@ func splitXMLRow(row []byte) (xml.DocID, nodeid.ID, []byte, error) {
 	return doc, minID, row[8+n+int(l):], nil
 }
 
+// parseArenas recycles parse arenas across Insert/InsertBatch calls so the
+// steady-state ingest path allocates no fresh chunks. Parsing runs outside
+// writeMu, so these cannot share the writeMu-guarded ingest arena; a Pool
+// keeps them safe under concurrent inserts.
+var parseArenas = sync.Pool{New: func() any { return arena.New() }}
+
 // Insert parses and stores an XML document, maintaining all indexes, and
 // returns its DocID.
 func (c *Collection) Insert(doc []byte) (xml.DocID, error) {
-	stream, err := xmlparse.Parse(doc, c.db.cat, xmlparse.Options{})
+	// The parse arena is call-local (parsing runs outside writeMu, so it
+	// cannot share the ingest arena); the stream it backs lives until the
+	// insert below completes, after which the whole arena resets at once.
+	pa := parseArenas.Get().(*arena.Arena)
+	defer func() { pa.Reset(); parseArenas.Put(pa) }()
+	stream, err := xmlparse.Parse(doc, c.db.cat, xmlparse.Options{Arena: pa})
 	if err != nil {
 		return 0, err
 	}
@@ -234,8 +260,12 @@ func (c *Collection) insertStreamAt(docID xml.DocID, stream []byte) error {
 func (c *Collection) insertStreamLocked(docID xml.DocID, stream []byte) error {
 	// Tree construction: packed records are generated bottom-up in a
 	// streaming fashion, and index keys for the NodeID index are generated
-	// per record (§3.2).
-	err := pack.PackStream(stream, c.packThreshold(), func(rec pack.EncodedRecord) error {
+	// per record (§3.2). Packing scratch comes from the ingest arena,
+	// recycled once the document's pages and index entries own their own
+	// copies of the bytes.
+	a := c.ingestArena()
+	defer a.Reset()
+	err := pack.PackStreamArena(stream, c.packThreshold(), a, func(rec pack.EncodedRecord) error {
 		rid, err := c.xmlTbl.Insert(xmlRow(docID, rec.MinNodeID, rec.Payload))
 		if err != nil {
 			return err
@@ -340,6 +370,42 @@ func (c *Collection) fetcher(doc xml.DocID) pack.Fetch {
 	}
 }
 
+// fetchRecordBorrowed loads the packed record at rid without copying it out
+// of the buffer pool: the returned record's body aliases the pinned,
+// read-latched heap frame until release is called. Callers must follow the
+// single-borrow rule (heap.FetchBorrowed): never hold two borrows on one
+// goroutine, and never touch the B+trees while a borrow is outstanding.
+func (c *Collection) fetchRecordBorrowed(rid heap.RID) (*pack.Record, func(), error) {
+	row, release, err := c.xmlTbl.FetchBorrowed(rid)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, _, payload, err := splitXMLRow(row)
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	rec, err := pack.Decode(payload)
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	return rec, release, nil
+}
+
+// borrowFetcher is fetcher over the zero-copy path. The pack walker
+// guarantees it is only called with no borrow outstanding, so the index
+// lookup inside never nests under a heap-page latch.
+func (c *Collection) borrowFetcher(doc xml.DocID) pack.FetchBorrow {
+	return func(first nodeid.ID) (*pack.Record, func(), error) {
+		rid, err := c.lookupCur(doc, first)
+		if err != nil {
+			return nil, nil, err
+		}
+		return c.fetchRecordBorrowed(rid)
+	}
+}
+
 // rootRecord loads the record containing the document root.
 func (c *Collection) rootRecord(doc xml.DocID) (*pack.Record, error) {
 	rid, err := c.lookupCur(doc, nodeid.Root)
@@ -347,6 +413,15 @@ func (c *Collection) rootRecord(doc xml.DocID) (*pack.Record, error) {
 		return nil, lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
 	return c.fetchRecord(rid)
+}
+
+// rootRecordBorrowed is rootRecord over the zero-copy path.
+func (c *Collection) rootRecordBorrowed(doc xml.DocID) (*pack.Record, func(), error) {
+	rid, err := c.lookupCur(doc, nodeid.Root)
+	if err != nil {
+		return nil, nil, lookupErr(err, fmt.Sprintf("document %d", doc))
+	}
+	return c.fetchRecordBorrowed(rid)
 }
 
 // handlerVisitor adapts pack.Walk to vsax events.
@@ -379,14 +454,19 @@ func (v handlerVisitor) Leave(n pack.Node, r *pack.Record) (bool, error) {
 // WalkDoc drives a vsax.Handler with the stored document's events — the
 // persistent-data iterator of Figure 8.
 func (c *Collection) WalkDoc(doc xml.DocID, h vsax.Handler) error {
-	root, err := c.rootRecord(doc)
+	// Zero-copy: the handler sees values aliased into pinned buffer-pool
+	// frames; the walker holds at most one pin at a time and releases it
+	// before the handler returns control to the caller. Handlers that keep
+	// values beyond the event callback must copy (vsax contract).
+	root, release, err := c.rootRecordBorrowed(doc)
 	if err != nil {
 		return err
 	}
 	if err := h.StartDocument(); err != nil {
+		release()
 		return err
 	}
-	if err := pack.Walk(root, c.fetcher(doc), handlerVisitor{h}); err != nil {
+	if err := pack.WalkBorrowed(root, release, c.borrowFetcher(doc), handlerVisitor{h}); err != nil {
 		return err
 	}
 	return h.EndDocument()

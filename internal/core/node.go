@@ -34,6 +34,31 @@ func (c *Collection) findNode(doc xml.DocID, id nodeid.ID) (*pack.Record, pack.N
 	return rec, n, nil
 }
 
+// findNodeBorrowed is findNode over the zero-copy path: the record (and the
+// node's Value) alias a pinned heap frame until release is called. The
+// node-ID index maps every node to the record that physically contains it,
+// so Find never needs to cross into another record here.
+func (c *Collection) findNodeBorrowed(doc xml.DocID, id nodeid.ID) (*pack.Record, func(), pack.Node, error) {
+	rid, err := c.lookupCur(doc, id)
+	if err != nil {
+		return nil, nil, pack.Node{}, fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	rec, release, err := c.fetchRecordBorrowed(rid)
+	if err != nil {
+		return nil, nil, pack.Node{}, err
+	}
+	n, found, err := rec.Find(id)
+	if err != nil {
+		release()
+		return nil, nil, pack.Node{}, err
+	}
+	if !found {
+		release()
+		return nil, nil, pack.Node{}, fmt.Errorf("%w: doc %d node %s", ErrNotFound, doc, id)
+	}
+	return rec, release, n, nil
+}
+
 // stringValueVisitor accumulates descendant text.
 type stringValueVisitor struct {
 	out []byte
@@ -52,30 +77,35 @@ func (v *stringValueVisitor) Leave(pack.Node, *pack.Record) (bool, error) { retu
 // attribute/text/comment/PI nodes, or the concatenated descendant text of an
 // element.
 func (c *Collection) NodeString(doc xml.DocID, id nodeid.ID) ([]byte, error) {
-	rec, n, err := c.findNode(doc, id)
+	rec, release, n, err := c.findNodeBorrowed(doc, id)
 	if err != nil {
 		return nil, err
 	}
 	switch n.Kind {
 	case xml.Attribute, xml.Text, xml.Comment, xml.ProcessingInstruction:
-		return append([]byte(nil), n.Value...), nil
+		// Copy-on-escape: n.Value aliases the pinned frame.
+		out := append([]byte(nil), n.Value...)
+		release()
+		return out, nil
 	case xml.Element:
 		v := &stringValueVisitor{}
-		if err := pack.WalkSubtree(rec, n, c.fetcher(doc), v); err != nil {
+		if err := pack.WalkSubtreeBorrowed(rec, release, n, c.borrowFetcher(doc), v); err != nil {
 			return nil, err
 		}
 		return v.out, nil
 	default:
+		release()
 		return nil, fmt.Errorf("core: node %s has no string value (kind %v)", id, n.Kind)
 	}
 }
 
 // NodeKind returns a stored node's kind and name.
 func (c *Collection) NodeKind(doc xml.DocID, id nodeid.ID) (xml.Kind, xml.QName, error) {
-	_, n, err := c.findNode(doc, id)
+	_, release, n, err := c.findNodeBorrowed(doc, id)
 	if err != nil {
 		return 0, xml.QName{}, err
 	}
+	release()
 	return n.Kind, n.Name, nil
 }
 
@@ -83,18 +113,20 @@ func (c *Collection) NodeKind(doc xml.DocID, id nodeid.ID) (xml.Kind, xml.QName,
 // in-scope namespaces make the fragment self-contained (§3.1: "being
 // self-contained when accessed from an XPath value index").
 func (c *Collection) SerializeNode(doc xml.DocID, id nodeid.ID, w io.Writer) error {
-	rec, n, err := c.findNode(doc, id)
+	rec, release, n, err := c.findNodeBorrowed(doc, id)
 	if err != nil {
 		return err
 	}
 	s := serialize.New(w, c.db.cat)
 	if err := s.StartDocument(); err != nil {
+		release()
 		return err
 	}
 	// Make the record's in-scope namespaces visible to the fragment. The
-	// serializer declares any that the fragment actually uses.
+	// serializer declares any that the fragment actually uses. rec.NS is
+	// decoded into owned structs, so seeding it past the walk is safe.
 	h := &nsSeedingHandler{Handler: s, seed: rec.NS, names: c.db.cat}
-	if err := pack.WalkSubtree(rec, n, c.fetcher(doc), handlerVisitor{h}); err != nil {
+	if err := pack.WalkSubtreeBorrowed(rec, release, n, c.borrowFetcher(doc), handlerVisitor{h}); err != nil {
 		return err
 	}
 	if err := s.EndDocument(); err != nil {

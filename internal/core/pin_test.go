@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+)
+
+// pinDoc builds a document whose every value encodes its document number, so
+// aliased or recycled bytes are detectable.
+func pinDoc(i int) []byte {
+	return []byte(fmt.Sprintf(
+		`<doc n="%d"><k>key-%06d</k><v>value-%06d-%s</v></doc>`,
+		i, i, i, strings.Repeat("x", 64)))
+}
+
+// TestCursorValueHeldAcrossNextUnderEviction is the pin-misuse test: it
+// opens a cursor over many documents on a pool far too small to hold them,
+// retains every Result.Value across subsequent Next calls (each of which
+// borrows more frames and forces evictions of the earlier ones), and then
+// verifies every retained value. If cursor values aliased pinned frames
+// instead of being copied out before release, the evicted-and-reused frames
+// would corrupt the retained slices.
+func TestCursorValueHeldAcrossNextUnderEviction(t *testing.T) {
+	db, err := Open(pagestore.NewMemStore(), Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("pins", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docs = 200
+	for i := 0; i < docs; i++ {
+		if _, err := col.Insert(pinDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cur, err := col.Cursor("/doc/v", QueryOptions{NeedValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+	var held [][]byte // values retained across Next — the misuse under test
+	for cur.Next() {
+		held = append(held, cur.Result().Value)
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(held) != docs {
+		t.Fatalf("cursor returned %d values, want %d", len(held), docs)
+	}
+	seen := map[string]bool{}
+	for _, v := range held {
+		if !bytes.HasPrefix(v, []byte("value-")) || !bytes.HasSuffix(v, []byte(strings.Repeat("x", 64))) {
+			t.Fatalf("retained value corrupted (frame alias escaped?): %q", v)
+		}
+		seen[string(v)] = true
+	}
+	if len(seen) != docs {
+		t.Fatalf("retained values collapsed to %d distinct (frame reuse overwrote aliases?)", len(seen))
+	}
+}
+
+// TestNodeStringCopiesOutOfFrame verifies the copy-on-escape contract of the
+// borrowed read path: bytes returned by NodeString stay intact after the
+// frame they were read from has been evicted and its page re-fetched by
+// other traffic.
+func TestNodeStringCopiesOutOfFrame(t *testing.T) {
+	db, err := Open(pagestore.NewMemStore(), Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("pins", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docs = 100
+	for i := 0; i < docs; i++ {
+		if _, err := col.Insert(pinDoc(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Take the string value of doc 0's <v>, then churn the pool by querying
+	// everything else, then re-check the retained bytes.
+	rs, _, err := col.QueryOpts("/doc/v", QueryOptions{NeedValues: true, Limit: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) == 0 {
+		t.Fatal("no results")
+	}
+	val, err := col.NodeString(rs[0].Doc, rs[0].Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), val...)
+	for round := 0; round < 3; round++ {
+		if _, _, err := col.QueryOpts("/doc/k", QueryOptions{NeedValues: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(val, want) {
+		t.Fatalf("NodeString bytes changed after eviction churn: %q != %q", val, want)
+	}
+}
+
+// TestConcurrentReadersUnderEviction runs parallel borrowed-read traffic
+// (serialization, node reads, queries) on a tiny pool so pins, evictions and
+// frame reuse race across shards; meaningful mainly under -race.
+func TestConcurrentReadersUnderEviction(t *testing.T) {
+	db, err := Open(pagestore.NewMemStore(), Options{PoolPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	col, err := db.CreateCollection("pins", CollectionOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const docs = 64
+	ids := make([]xml.DocID, 0, docs)
+	for i := 0; i < docs; i++ {
+		id, err := col.Insert(pinDoc(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				switch g % 3 {
+				case 0:
+					rs, _, err := col.QueryOpts("/doc/v", QueryOptions{NeedValues: true})
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					for _, r := range rs {
+						if !bytes.HasPrefix(r.Value, []byte("value-")) {
+							t.Errorf("corrupt value %q", r.Value)
+							return
+						}
+					}
+				case 1:
+					var sb strings.Builder
+					if err := col.Serialize(ids[(g*31+i)%docs], &sb); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					if _, _, err := col.QueryOpts("/doc/k", QueryOptions{NeedValues: true}); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if pinned := db.Stats().PoolPinned; pinned != 0 {
+		t.Errorf("PoolPinned = %d after all readers finished, want 0", pinned)
+	}
+}

@@ -199,6 +199,8 @@ type Stats struct {
 	PoolWriteBacks     uint64
 	PoolShards         int
 	PoolResident       int
+	PoolPinned         int // frames pinned right now (borrowed reads, cursors)
+	PoolPinnedHW       int // peak simultaneously pinned frames
 	PoolShardOccupancy []int
 
 	// WAL (zero when the database runs without a log).
@@ -238,6 +240,8 @@ func (db *DB) Stats() Stats {
 		PoolWriteBacks:     ps.WriteBacks,
 		PoolShards:         ps.Shards,
 		PoolResident:       ps.Resident,
+		PoolPinned:         ps.Pinned,
+		PoolPinnedHW:       ps.PinnedHighWater,
 		PoolShardOccupancy: ps.ShardOccupancy,
 	}
 	if db.log != nil {

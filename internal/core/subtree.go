@@ -87,10 +87,9 @@ func childOnPath(rec *pack.Record, parent nodeid.ID, id nodeid.ID) (*pack.Node, 
 // valid for queries whose predicates all hang on the result step: ancestor
 // predicates would need content outside the subtree.
 func (c *Collection) evalSubtree(doc xml.DocID, rootID nodeid.ID, e *quickxscan.Eval) ([]quickxscan.Match, error) {
-	rec, node, err := c.findNode(doc, rootID)
-	if err != nil {
-		return nil, err
-	}
+	// The ancestor chain needs its own index lookups, so derive it before
+	// taking the zero-copy borrow on the candidate's record: a borrow must
+	// never be held across B+tree access (single-borrow rule).
 	ancestors, err := c.ancestorChain(doc, rootID)
 	if err != nil {
 		return nil, err
@@ -117,7 +116,11 @@ func (c *Collection) evalSubtree(doc xml.DocID, rootID nodeid.ID, e *quickxscan.
 			return nil, err
 		}
 	}
-	if err := pack.WalkSubtree(rec, node, c.fetcher(doc), handlerVisitor{a}); err != nil {
+	rec, release, node, err := c.findNodeBorrowed(doc, rootID)
+	if err != nil {
+		return nil, err
+	}
+	if err := pack.WalkSubtreeBorrowed(rec, release, node, c.borrowFetcher(doc), handlerVisitor{a}); err != nil {
 		return nil, err
 	}
 	for i := len(ancestors) - 1; i >= 0; i-- {

@@ -244,6 +244,13 @@ func insertInPage(d []byte, flag byte, payload []byte) int {
 	return slot
 }
 
+// compactScratch recycles the page-sized scratch buffer compaction packs
+// live records into, so page defragmentation does not allocate.
+var compactScratch = sync.Pool{New: func() any {
+	b := make([]byte, pagestore.PageSize)
+	return &b
+}}
+
 // compact squeezes out holes left by deleted or shrunk records. Returns true
 // if any space was reclaimed.
 func compact(d []byte) bool {
@@ -265,7 +272,9 @@ func compact(d []byte) bool {
 	if oldFree == 0 {
 		oldFree = pagestore.PageSize
 	}
-	tmp := make([]byte, pagestore.PageSize)
+	tb := compactScratch.Get().(*[]byte)
+	tmp := *tb
+	defer compactScratch.Put(tb)
 	w := pagestore.PageSize
 	for _, r := range recs {
 		w -= r.length
@@ -407,6 +416,74 @@ func (t *Table) Fetch(rid RID) ([]byte, error) {
 		return payload, nil
 	}
 	return payload, nil
+}
+
+// FetchBorrowed returns the record's payload as a slice aliasing the
+// buffer-pool frame itself — no copy — plus a release function. Until
+// release is called the page stays pinned (immune to eviction) and
+// share-latched (writers to the page block), so the payload bytes are
+// stable. Forwarding stubs are followed; the borrow is always on the page
+// that holds the record body.
+//
+// Lifetime rules (see DESIGN.md "The byte path"):
+//   - release must be called exactly once, and the payload must not be read
+//     after it.
+//   - a goroutine holds at most ONE heap borrow at a time. Borrows nest with
+//     B+tree reads (heap → index order) but never with another heap borrow:
+//     two goroutines borrowing overlapping page sets in opposite orders,
+//     with writers queued between them, can deadlock.
+//   - the caller must not write through the payload slice.
+func (t *Table) FetchBorrowed(rid RID) ([]byte, func(), error) {
+	payload, release, fwd, err := t.fetchBorrowedRaw(rid)
+	if err != nil {
+		return nil, nil, err
+	}
+	if fwd != InvalidRID {
+		payload, release, fwd2, err := t.fetchBorrowedRaw(fwd)
+		if err != nil {
+			return nil, nil, err
+		}
+		if fwd2 != InvalidRID {
+			release()
+			return nil, nil, fmt.Errorf("heap: forwarding chain longer than one hop at %s", rid)
+		}
+		return payload, release, nil
+	}
+	return payload, release, nil
+}
+
+// fetchBorrowedRaw is fetchRaw without the copy-out: on success the returned
+// payload aliases the frame, which stays pinned and share-latched until
+// release. A forwarding stub releases the page immediately and returns the
+// target RID instead (stub bytes are decoded before the release).
+func (t *Table) fetchBorrowedRaw(rid RID) ([]byte, func(), RID, error) {
+	f, err := t.pool.Fetch(rid.Page)
+	if err != nil {
+		return nil, nil, InvalidRID, err
+	}
+	f.RLock()
+	drop := func() {
+		f.RUnlock()
+		t.pool.Unpin(f, false)
+	}
+	slots := int(binary.BigEndian.Uint16(f.Data[hdrSlots:]))
+	if int(rid.Slot) >= slots {
+		drop()
+		return nil, nil, InvalidRID, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	off, length := slotAt(f.Data, int(rid.Slot))
+	if off == 0 {
+		drop()
+		return nil, nil, InvalidRID, fmt.Errorf("%w: %s", ErrNotFound, rid)
+	}
+	flag := f.Data[off]
+	body := f.Data[off+1 : off+length : off+length]
+	if flag == recForward {
+		fwd := RIDFromBytes(body)
+		drop()
+		return nil, nil, fwd, nil
+	}
+	return body, drop, InvalidRID, nil
 }
 
 // fetchRaw reads the record at rid; if it is a forwarding stub, returns the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"rx/internal/buffer"
 	"rx/internal/pagestore"
@@ -328,5 +329,114 @@ func BenchmarkFetch(b *testing.B) {
 		if _, err := tbl.Fetch(rids[i%len(rids)]); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestFetchBorrowed(t *testing.T) {
+	pool := buffer.New(pagestore.NewMemStore(), 16)
+	tbl, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tbl.Insert([]byte("hello borrowed world"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, release, err := tbl.FetchBorrowed(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(payload) != "hello borrowed world" {
+		t.Fatalf("payload = %q", payload)
+	}
+	release()
+	// After release the record is still fetchable the ordinary way.
+	got, err := tbl.Fetch(rid)
+	if err != nil || string(got) != "hello borrowed world" {
+		t.Fatalf("Fetch after release = %q, %v", got, err)
+	}
+}
+
+func TestFetchBorrowedFollowsForwarding(t *testing.T) {
+	pool := buffer.New(pagestore.NewMemStore(), 32)
+	tbl, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill the first page so the grown record must move off-page.
+	rid, err := tbl.Insert(make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, _, err := tbl.tryInsert(rid.Page, recNormal, make([]byte, 512), true); err != nil {
+			t.Fatal(err)
+		} else {
+			f, _ := pool.Fetch(rid.Page)
+			f.RLock()
+			free := pageFree(f.Data)
+			f.RUnlock()
+			pool.Unpin(f, false)
+			if free < 600 {
+				break
+			}
+		}
+	}
+	big := make([]byte, 4096)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := tbl.Update(rid, big); err != nil {
+		t.Fatal(err)
+	}
+	payload, release, err := tbl.FetchBorrowed(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) != len(big) {
+		t.Fatalf("len = %d, want %d", len(payload), len(big))
+	}
+	for i := range big {
+		if payload[i] != big[i] {
+			t.Fatalf("byte %d = %d, want %d", i, payload[i], big[i])
+		}
+	}
+	release()
+}
+
+func TestFetchBorrowedBlocksWriters(t *testing.T) {
+	pool := buffer.New(pagestore.NewMemStore(), 16)
+	tbl, err := Create(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rid, err := tbl.Insert([]byte("stable"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, release, err := tbl.FetchBorrowed(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		// Update on the same page must block until release.
+		done <- tbl.Update(rid, []byte("mutated"))
+	}()
+	select {
+	case <-done:
+		t.Fatal("update completed while page was borrowed")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if string(payload) != "stable" {
+		t.Fatalf("payload changed under borrow: %q", payload)
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	got, err := tbl.Fetch(rid)
+	if err != nil || string(got) != "mutated" {
+		t.Fatalf("after release: %q, %v", got, err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rx/internal/arena"
 	"rx/internal/nodeid"
 	"rx/internal/xml"
 )
@@ -58,6 +59,18 @@ type Node struct {
 // IsProxy reports whether the node is a placeholder for subtrees stored in
 // another record.
 func (n *Node) IsProxy() bool { return n.Kind == xml.Proxy }
+
+// Detach copies the record's borrowed byte ranges (ContextID and the encoded
+// body) into owned memory, so the record stays valid after the underlying
+// buffer-pool frame is released. Offsets are preserved: Nodes decoded after a
+// Detach are indistinguishable from ones decoded before it, but Nodes decoded
+// BEFORE the Detach keep aliases (Rel, Value) into the old buffer — only
+// their Abs IDs are owned (nodeid.Append always allocates). Callers that hold
+// pre-detach Nodes across a Detach must restrict themselves to Abs.
+func (r *Record) Detach() {
+	r.ContextID = nodeid.Clone(r.ContextID)
+	r.body = append([]byte(nil), r.body...)
+}
 
 // Decode parses a record payload.
 func Decode(payload []byte) (*Record, error) {
@@ -144,6 +157,12 @@ func (d *decoder) relID() (nodeid.Rel, error) {
 // under the given parent absolute ID. Returns the node; n.end is the offset
 // just past the node's entire encoding (including element children).
 func (r *Record) DecodeNodeAt(off int, parentAbs nodeid.ID) (Node, error) {
+	return r.decodeNodeAt(nil, off, parentAbs)
+}
+
+// decodeNodeAt is DecodeNodeAt with the node's absolute ID allocated from
+// the arena when one is given (nil: the Go heap).
+func (r *Record) decodeNodeAt(a *arena.Arena, off int, parentAbs nodeid.ID) (Node, error) {
 	d := decoder{buf: r.body, pos: off}
 	if d.pos >= len(d.buf) {
 		return Node{}, ErrCorrupt
@@ -154,7 +173,7 @@ func (r *Record) DecodeNodeAt(off int, parentAbs nodeid.ID) (Node, error) {
 	if err != nil {
 		return Node{}, err
 	}
-	n := Node{Kind: kind, Rel: rel, Abs: nodeid.Append(parentAbs, rel), start: off}
+	n := Node{Kind: kind, Rel: rel, Abs: appendID(a, parentAbs, rel), start: off}
 	switch kind {
 	case xml.Element:
 		uri, err := d.uvarint()
@@ -401,6 +420,13 @@ func (r *Record) Find(target nodeid.ID) (Node, bool, error) {
 // record (§3.1: "for each contiguous interval of node IDs for nodes within a
 // record in document order, only one entry is in the node ID index").
 func (r *Record) Intervals() ([]nodeid.ID, nodeid.ID, error) {
+	return r.IntervalsArena(nil)
+}
+
+// IntervalsArena is Intervals with every returned (and intermediate) node ID
+// allocated from the arena when one is given; the result is valid until the
+// arena's next Reset.
+func (r *Record) IntervalsArena(a *arena.Arena) ([]nodeid.ID, nodeid.ID, error) {
 	var uppers []nodeid.ID
 	var minID nodeid.ID
 	var last nodeid.ID // last real node ID in the current interval
@@ -409,18 +435,18 @@ func (r *Record) Intervals() ([]nodeid.ID, nodeid.ID, error) {
 	var walk func(off int, parentAbs nodeid.ID, entries int) (int, error)
 	walk = func(off int, parentAbs nodeid.ID, entries int) (int, error) {
 		for i := 0; i < entries; i++ {
-			n, err := r.DecodeNodeAt(off, parentAbs)
+			n, err := r.decodeNodeAt(a, off, parentAbs)
 			if err != nil {
 				return 0, err
 			}
 			if n.IsProxy() {
 				if inInterval {
-					uppers = append(uppers, nodeid.Clone(last))
+					uppers = append(uppers, cloneID(a, last))
 					inInterval = false
 				}
 			} else {
 				if minID == nil {
-					minID = nodeid.Clone(n.Abs)
+					minID = cloneID(a, n.Abs)
 				}
 				last = n.Abs
 				inInterval = true
@@ -438,9 +464,17 @@ func (r *Record) Intervals() ([]nodeid.ID, nodeid.ID, error) {
 		return nil, nil, err
 	}
 	if inInterval {
-		uppers = append(uppers, nodeid.Clone(last))
+		uppers = append(uppers, cloneID(a, last))
 	}
 	return uppers, minID, nil
+}
+
+// cloneID copies an ID, from the arena when one is given.
+func cloneID(a *arena.Arena, id nodeid.ID) nodeid.ID {
+	if a == nil {
+		return nodeid.Clone(id)
+	}
+	return nodeid.ID(append(a.Make(len(id)), id...))
 }
 
 // CountNodes returns the number of real nodes stored in the record.

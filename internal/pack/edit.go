@@ -90,15 +90,15 @@ func encodeMut(m *MutNode) []byte {
 		b = appendUvarint(b, uint64(len(body)))
 		return append(b, body...)
 	case xml.Attribute:
-		return encodeLeaf(xml.Attribute, m.Rel, m.Name, m.Type, m.Value, 0, 0)
+		return encodeLeaf(nil, xml.Attribute, m.Rel, m.Name, m.Type, m.Value, 0, 0)
 	case xml.Text:
-		return encodeLeaf(xml.Text, m.Rel, xml.QName{}, m.Type, m.Value, 0, 0)
+		return encodeLeaf(nil, xml.Text, m.Rel, xml.QName{}, m.Type, m.Value, 0, 0)
 	case xml.Comment:
-		return encodeLeaf(xml.Comment, m.Rel, xml.QName{}, 0, m.Value, 0, 0)
+		return encodeLeaf(nil, xml.Comment, m.Rel, xml.QName{}, 0, m.Value, 0, 0)
 	case xml.ProcessingInstruction:
-		return encodeLeaf(xml.ProcessingInstruction, m.Rel, m.Name, 0, m.Value, 0, 0)
+		return encodeLeaf(nil, xml.ProcessingInstruction, m.Rel, m.Name, 0, m.Value, 0, 0)
 	case xml.Namespace:
-		return encodeNamespace(m.Rel, m.Name.Local, m.Name.URI)
+		return encodeNamespace(nil, m.Rel, m.Name.Local, m.Name.URI)
 	case xml.Proxy:
 		var b []byte
 		b = append(b, byte(xml.Proxy))

@@ -37,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 
+	"rx/internal/arena"
 	"rx/internal/nodeid"
 	"rx/internal/tokens"
 	"rx/internal/xml"
@@ -72,10 +73,46 @@ type EncodedRecord struct {
 type Packer struct {
 	threshold int
 	emit      func(EncodedRecord) error
+	// a supplies scratch for node encodings and record payloads; nil falls
+	// back to the Go heap. Emitted payloads are copied into heap pages by
+	// the storage layer, so the caller may Reset the arena once the
+	// document (or batch) is fully inserted.
+	a *arena.Arena
 
 	stack []*openElem
-	err   error
-	done  bool
+	// free recycles closed openElems (and their entries/ns capacity) within
+	// the document, so sibling turnover does not allocate.
+	free []*openElem
+	err  error
+	done bool
+}
+
+// newElem takes an openElem from the free list (or allocates one).
+func (p *Packer) newElem() *openElem {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free = p.free[:n-1]
+		*e = openElem{ns: e.ns[:0], entries: e.entries[:0]}
+		return e
+	}
+	return &openElem{}
+}
+
+// freeElem returns a closed element to the free list. The caller must be
+// done with every field, including the entries' encoded bytes (they are
+// copied into the parent's encoding or a record payload before the element
+// closes).
+func (p *Packer) freeElem(e *openElem) { p.free = append(p.free, e) }
+
+// appendID concatenates parent+rel into a fresh absolute ID, from the arena
+// when one is set.
+func appendID(a *arena.Arena, parent nodeid.ID, rel nodeid.Rel) nodeid.ID {
+	if a == nil {
+		return nodeid.Append(parent, rel)
+	}
+	b := a.Make(len(parent) + len(rel))
+	b = append(b, parent...)
+	return nodeid.ID(append(b, rel...))
 }
 
 type openElem struct {
@@ -109,7 +146,16 @@ func NewPacker(threshold int, emit func(EncodedRecord) error) *Packer {
 
 // PackStream packs a whole token stream (one document) with a fresh Packer.
 func PackStream(stream []byte, threshold int, emit func(EncodedRecord) error) error {
+	return PackStreamArena(stream, threshold, nil, emit)
+}
+
+// PackStreamArena is PackStream with node encodings and record payloads
+// allocated from a (nil: the Go heap). Payloads handed to emit are valid
+// until the arena's next Reset; the storage layer copies them into pages on
+// insert, so resetting after the document is stored is safe.
+func PackStreamArena(stream []byte, threshold int, a *arena.Arena, emit func(EncodedRecord) error) error {
 	p := NewPacker(threshold, emit)
+	p.a = a
 	r := tokens.NewReader(stream)
 	for r.More() {
 		t, err := r.Next()
@@ -135,7 +181,9 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		}
 		// The document node is the implicit root: open a pseudo-element with
 		// the empty absolute ID.
-		p.stack = append(p.stack, &openElem{abs: nodeid.Root})
+		root := p.newElem()
+		root.abs = nodeid.Root
+		p.stack = append(p.stack, root)
 	case tokens.EndDocument:
 		if len(p.stack) != 1 {
 			return p.fail(errors.New("pack: EndDocument with open elements"))
@@ -143,7 +191,9 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		root := p.stack[0]
 		p.stack = p.stack[:0]
 		p.done = true
-		return p.emitRecord(root, root.entries)
+		err := p.emitRecord(root, root.entries)
+		p.freeElem(root)
+		return err
 	case tokens.StartElement:
 		parent := p.top()
 		if parent == nil {
@@ -151,11 +201,10 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		}
 		rel := nodeid.RelAt(parent.next)
 		parent.next++
-		e := &openElem{
-			name: t.Name,
-			rel:  rel,
-			abs:  nodeid.Append(parent.abs, rel),
-		}
+		e := p.newElem()
+		e.name = t.Name
+		e.rel = rel
+		e.abs = appendID(p.a, parent.abs, rel)
 		p.stack = append(p.stack, e)
 	case tokens.EndElement:
 		if len(p.stack) < 2 {
@@ -168,10 +217,11 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		if err := p.reduce(e); err != nil {
 			return err
 		}
-		enc := encodeElement(e)
+		enc := encodeElement(p.a, e)
 		parent := p.top()
 		parent.entries = append(parent.entries, segment{bytes: enc, rel: e.rel})
 		parent.size += len(enc)
+		p.freeElem(e)
 	case tokens.Attr:
 		e := p.top()
 		if e == nil || len(p.stack) < 2 {
@@ -179,7 +229,7 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		}
 		rel := nodeid.RelAt(e.next)
 		e.next++
-		enc := encodeLeaf(xml.Attribute, rel, t.Name, t.Type, t.Value, 0, 0)
+		enc := encodeLeaf(p.a, xml.Attribute, rel, t.Name, t.Type, t.Value, 0, 0)
 		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
 		e.size += len(enc)
 	case tokens.NSDecl:
@@ -190,7 +240,7 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		e.ns = append(e.ns, NSBinding{Prefix: t.Prefix, URI: t.URI})
 		rel := nodeid.RelAt(e.next)
 		e.next++
-		enc := encodeNamespace(rel, t.Prefix, t.URI)
+		enc := encodeNamespace(p.a, rel, t.Prefix, t.URI)
 		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
 		e.size += len(enc)
 	case tokens.Text:
@@ -200,7 +250,7 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		}
 		rel := nodeid.RelAt(e.next)
 		e.next++
-		enc := encodeLeaf(xml.Text, rel, xml.QName{}, t.Type, t.Value, 0, 0)
+		enc := encodeLeaf(p.a, xml.Text, rel, xml.QName{}, t.Type, t.Value, 0, 0)
 		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
 		e.size += len(enc)
 	case tokens.Comment:
@@ -210,7 +260,7 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		}
 		rel := nodeid.RelAt(e.next)
 		e.next++
-		enc := encodeLeaf(xml.Comment, rel, xml.QName{}, 0, t.Value, 0, 0)
+		enc := encodeLeaf(p.a, xml.Comment, rel, xml.QName{}, 0, t.Value, 0, 0)
 		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
 		e.size += len(enc)
 	case tokens.PI:
@@ -220,7 +270,7 @@ func (p *Packer) Feed(t *tokens.Token) error {
 		}
 		rel := nodeid.RelAt(e.next)
 		e.next++
-		enc := encodeLeaf(xml.ProcessingInstruction, rel, t.Name, 0, t.Value, 0, 0)
+		enc := encodeLeaf(p.a, xml.ProcessingInstruction, rel, t.Name, 0, t.Value, 0, 0)
 		e.entries = append(e.entries, segment{bytes: enc, rel: rel})
 		e.size += len(enc)
 	default:
@@ -320,7 +370,7 @@ func (p *Packer) reduce(e *openElem) error {
 		if err := p.flushRun(e, run); err != nil {
 			return err
 		}
-		proxy := makeProxy(run)
+		proxy := makeProxy(p.a, run)
 		kept = append(kept, proxy)
 		keptSize += len(proxy.bytes)
 	}
@@ -331,12 +381,18 @@ func (p *Packer) reduce(e *openElem) error {
 
 // flushRun emits one record containing the run's subtrees with e as context.
 func (p *Packer) flushRun(e *openElem, run []segment) error {
-	var payload []byte
-	payload = appendHeader(payload, e.abs, p.pathTo(e), p.inScopeNS(e), len(run))
+	path := p.pathTo(e)
+	ns := p.inScopeNS(e)
+	size := 0
+	for _, s := range run {
+		size += len(s.bytes)
+	}
+	payload := p.a.Make(4*maxVar + len(e.abs) + 2*maxVar*(len(path)+len(ns)) + size)
+	payload = appendHeader(payload, e.abs, path, ns, len(run))
 	for _, s := range run {
 		payload = append(payload, s.bytes...)
 	}
-	rec, err := finishRecord(e.abs, payload)
+	rec, err := finishRecord(p.a, e.abs, payload)
 	if err != nil {
 		return p.fail(err)
 	}
@@ -345,12 +401,16 @@ func (p *Packer) flushRun(e *openElem, run []segment) error {
 
 // emitRecord emits the root record: context is the document node.
 func (p *Packer) emitRecord(root *openElem, entries []segment) error {
-	var payload []byte
+	size := 0
+	for _, s := range entries {
+		size += len(s.bytes)
+	}
+	payload := p.a.Make(4*maxVar + size)
 	payload = appendHeader(payload, nodeid.Root, nil, nil, len(entries))
 	for _, s := range entries {
 		payload = append(payload, s.bytes...)
 	}
-	rec, err := finishRecord(nodeid.Root, payload)
+	rec, err := finishRecord(p.a, nodeid.Root, payload)
 	if err != nil {
 		return p.fail(err)
 	}
@@ -385,7 +445,7 @@ func (p *Packer) inScopeNS(e *openElem) []NSBinding {
 	return out
 }
 
-func makeProxy(run []segment) segment {
+func makeProxy(a *arena.Arena, run []segment) segment {
 	count := 0
 	for _, s := range run {
 		if s.isProxy {
@@ -394,7 +454,7 @@ func makeProxy(run []segment) segment {
 			count++
 		}
 	}
-	var b []byte
+	b := a.Make(1 + len(run[0].rel) + maxVar)
 	b = append(b, byte(xml.Proxy))
 	b = append(b, run[0].rel...)
 	b = appendUvarint(b, uint64(count))
@@ -402,12 +462,12 @@ func makeProxy(run []segment) segment {
 }
 
 // finishRecord computes MinNodeID and the node-ID intervals of a payload.
-func finishRecord(contextID nodeid.ID, payload []byte) (EncodedRecord, error) {
+func finishRecord(a *arena.Arena, contextID nodeid.ID, payload []byte) (EncodedRecord, error) {
 	rec, err := Decode(payload)
 	if err != nil {
 		return EncodedRecord{}, err
 	}
-	intervals, minID, err := rec.Intervals()
+	intervals, minID, err := rec.IntervalsArena(a)
 	if err != nil {
 		return EncodedRecord{}, err
 	}
@@ -436,9 +496,12 @@ func appendHeader(b []byte, ctx nodeid.ID, path []xml.QName, ns []NSBinding, cou
 	return appendUvarint(b, uint64(count))
 }
 
+// maxVar bounds one uvarint field for arena capacity pre-sizing.
+const maxVar = binary.MaxVarintLen64
+
 // encodeElement assembles an element's encoding from its reduced entries.
-func encodeElement(e *openElem) []byte {
-	var b []byte
+func encodeElement(a *arena.Arena, e *openElem) []byte {
+	b := a.Make(1 + len(e.rel) + 5*maxVar + e.size)
 	b = append(b, byte(xml.Element))
 	b = append(b, e.rel...)
 	b = appendUvarint(b, uint64(e.name.URI))
@@ -453,8 +516,8 @@ func encodeElement(e *openElem) []byte {
 }
 
 // encodeLeaf encodes attribute, text, comment and PI nodes.
-func encodeLeaf(kind xml.Kind, rel nodeid.Rel, name xml.QName, typ xml.TypeID, value []byte, _, _ int) []byte {
-	var b []byte
+func encodeLeaf(a *arena.Arena, kind xml.Kind, rel nodeid.Rel, name xml.QName, typ xml.TypeID, value []byte, _, _ int) []byte {
+	b := a.Make(1 + len(rel) + 4*maxVar + len(value))
 	b = append(b, byte(kind))
 	b = append(b, rel...)
 	switch kind {
@@ -474,8 +537,8 @@ func encodeLeaf(kind xml.Kind, rel nodeid.Rel, name xml.QName, typ xml.TypeID, v
 	return append(b, value...)
 }
 
-func encodeNamespace(rel nodeid.Rel, prefix, uri xml.NameID) []byte {
-	var b []byte
+func encodeNamespace(a *arena.Arena, rel nodeid.Rel, prefix, uri xml.NameID) []byte {
+	b := a.Make(1 + len(rel) + 2*maxVar)
 	b = append(b, byte(xml.Namespace))
 	b = append(b, rel...)
 	b = appendUvarint(b, uint64(prefix))

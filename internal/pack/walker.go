@@ -84,6 +84,146 @@ func walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int, fetch F
 	return true, nil
 }
 
+// FetchBorrow resolves a proxy like Fetch, but may return a record whose
+// bytes are borrowed from a pinned buffer-pool frame. The returned release
+// function (nil when the record is owned) unpins the frame; the walker calls
+// it exactly once, either directly or after a Detach.
+type FetchBorrow func(first nodeid.ID) (*Record, func(), error)
+
+// borrowWalker threads the single outstanding frame borrow through a
+// depth-first walk. The invariant — at most ONE borrowed record at any
+// instant — keeps the walk deadlock-free against heap writers: a goroutine
+// never holds two heap-page read latches at once (see heap.FetchBorrowed).
+// Before fetching a proxy's record, the current borrow is detached (its bytes
+// copied to owned memory, frame released); when a fetched record's subtree
+// walk completes, its frame is released without the copy.
+type borrowWalker struct {
+	fetch   FetchBorrow
+	v       Visitor
+	rec     *Record // record whose bytes are currently borrowed (nil: none)
+	release func()
+}
+
+// borrow registers rec as the outstanding borrow. release may be nil (owned
+// record); the walker still tracks rec so drop stays idempotent.
+func (w *borrowWalker) borrow(rec *Record, release func()) {
+	w.rec, w.release = rec, release
+}
+
+// detach promotes the outstanding borrow to owned memory and releases its
+// frame. Nodes already decoded from it keep stale Rel/Value aliases; the
+// engine's visitors only use Abs after this point (see Record.Detach).
+func (w *borrowWalker) detach() {
+	if w.release != nil {
+		w.rec.Detach()
+		w.release()
+	}
+	w.rec, w.release = nil, nil
+}
+
+// drop releases rec's frame without copying, if rec is still the outstanding
+// borrow. Its bytes must not be used afterwards.
+func (w *borrowWalker) drop(rec *Record) {
+	if w.rec == rec {
+		if w.release != nil {
+			w.release()
+		}
+		w.rec, w.release = nil, nil
+	}
+}
+
+// dropAny releases whatever borrow is still outstanding (walk exit path).
+func (w *borrowWalker) dropAny() {
+	if w.release != nil {
+		w.release()
+	}
+	w.rec, w.release = nil, nil
+}
+
+// WalkBorrowed is Walk over borrowed records: rec's bytes may live in a
+// pinned buffer-pool frame, released by calling release (nil if rec is
+// owned). Proxy records are fetched through fetch and their frames released
+// as soon as each subtree completes, so the walk holds at most one frame pin
+// at any instant regardless of document size.
+func WalkBorrowed(rec *Record, release func(), fetch FetchBorrow, v Visitor) error {
+	w := &borrowWalker{fetch: fetch, v: v}
+	w.borrow(rec, release)
+	defer w.dropAny()
+	_, err := w.walkEntries(rec, 0, rec.ContextID, rec.SubtreeCount)
+	return err
+}
+
+// WalkSubtreeBorrowed is WalkSubtree over borrowed records; same lifetime
+// contract as WalkBorrowed. n must have been decoded from rec.
+func WalkSubtreeBorrowed(rec *Record, release func(), n Node, fetch FetchBorrow, v Visitor) error {
+	w := &borrowWalker{fetch: fetch, v: v}
+	w.borrow(rec, release)
+	defer w.dropAny()
+	cont, err := w.v.Enter(n, rec)
+	if err != nil || !cont {
+		return err
+	}
+	if n.Kind == xml.Element && n.EntryCount > 0 {
+		cont, err := w.walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount)
+		if err != nil || !cont {
+			return err
+		}
+	}
+	if n.Kind == xml.Element {
+		if _, err := w.v.Leave(n, rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// walkEntries is walkEntries (above) under the single-borrow protocol.
+func (w *borrowWalker) walkEntries(rec *Record, off int, parentAbs nodeid.ID, entries int) (bool, error) {
+	for i := 0; i < entries; i++ {
+		n, err := rec.DecodeNodeAt(off, parentAbs)
+		if err != nil {
+			return false, err
+		}
+		off = n.end
+		if n.IsProxy() {
+			// Release the current frame before taking another: the fetch
+			// descends into the node-ID index and then borrows a new heap
+			// page, and holding two page latches across that would risk
+			// deadlock. rec's body survives via the detach copy, so the
+			// continued decode of this run (off onwards) stays valid.
+			w.detach()
+			child, childRelease, err := w.fetch(n.Abs)
+			if err != nil {
+				return false, fmt.Errorf("pack: resolving proxy %s: %w", n.Abs, err)
+			}
+			w.borrow(child, childRelease)
+			cont, err := w.walkEntries(child, 0, child.ContextID, child.SubtreeCount)
+			w.drop(child)
+			if err != nil || !cont {
+				return cont, err
+			}
+			continue
+		}
+		cont, err := w.v.Enter(n, rec)
+		if err != nil || !cont {
+			return cont, err
+		}
+		if n.Kind == xml.Element && n.EntryCount > 0 {
+			cont, err := w.walkEntries(rec, n.bodyStart, n.Abs, n.EntryCount)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		if n.Kind == xml.Element {
+			cont, err := w.v.Leave(n, rec)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+	}
+	return true, nil
+}
+
 // WalkSubtree traverses one node's subtree (the node itself included),
 // resolving proxies. Used for node-scoped serialization and string-value
 // computation of query results reached through the NodeID index.

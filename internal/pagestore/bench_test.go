@@ -1,0 +1,55 @@
+package pagestore
+
+import "testing"
+
+func BenchmarkStoreRead(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cs   bool
+	}{{"raw", false}, {"checksum", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var s Store = NewMemStore()
+			if tc.cs {
+				s = NewChecksumStore(s)
+			}
+			id, _ := s.Allocate()
+			page := make([]byte, PageSize)
+			for i := range page {
+				page[i] = byte(i)
+			}
+			s.WritePage(id, page)
+			buf := make([]byte, PageSize)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.ReadPage(0, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreWrite(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		cs   bool
+	}{{"raw", false}, {"checksum", true}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var s Store = NewMemStore()
+			if tc.cs {
+				s = NewChecksumStore(s)
+			}
+			id, _ := s.Allocate()
+			page := make([]byte, PageSize)
+			for i := range page {
+				page[i] = byte(i)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.WritePage(id, page); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"hash/crc32"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"rx/internal/rxerr"
 )
@@ -39,6 +40,15 @@ const crcPerPage = 1984
 // crcBytes is the size of the CRC entry array; the written bitmap follows.
 const crcBytes = 4 * crcPerPage
 
+// verOff is the offset of the sidecar version byte, in the spare bytes after
+// the written bitmap.
+const verOff = crcBytes + crcPerPage/8
+
+// sidecarVersion 1 marks sidecars whose entries use the Castagnoli
+// polynomial. Version 0 (the zero value, as written by earlier builds) means
+// IEEE entries; such groups are migrated in place on first load.
+const sidecarVersion = 1
+
 // ErrPageChecksum reports a page whose contents do not match its stored
 // CRC32 — a torn write or silent media corruption. Retrieve the page with
 // errors.As; it matches rxerr.ErrChecksum under errors.Is.
@@ -64,6 +74,13 @@ type ChecksumStore struct {
 	inner  Store
 	pages  PageID               // cached logical page count
 	groups map[PageID]*crcGroup // group index → cached checksum page image
+
+	// writeGen is bumped (under mu, before the inner write) by every data-page
+	// write. The optimistic read path uses it to tell a benign race from real
+	// corruption: a verification failure with writeGen unchanged across the
+	// unlocked window cannot be a concurrent writer's doing and is reported
+	// immediately, without a re-read that could mask transient corruption.
+	writeGen atomic.Uint64
 }
 
 type crcGroup struct {
@@ -115,10 +132,24 @@ func logicalPages(phys PageID) PageID {
 	return n
 }
 
-// pageCRC is the stored checksum of a page image. CRC32(IEEE) is remapped
-// away from 0 so a stored entry of 0 (zero-filled sidecar region, or a
-// corruption that zeroed the entry) can never verify a written page.
+// castagnoli is the CRC32-C table; hash/crc32 dispatches to the SSE4.2 /
+// ARMv8 CRC instructions for it, making verification several times faster
+// than the software IEEE computation.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// pageCRC is the stored checksum of a page image: CRC32-C (Castagnoli),
+// remapped away from 0 so a stored entry of 0 (zero-filled sidecar region,
+// or a corruption that zeroed the entry) can never verify a written page.
 func pageCRC(buf []byte) uint32 {
+	c := crc32.Checksum(buf[:PageSize], castagnoli)
+	if c == 0 {
+		c = 1
+	}
+	return c
+}
+
+// pageCRCIEEE is the pre-version-1 checksum, kept for sidecar migration.
+func pageCRCIEEE(buf []byte) uint32 {
 	c := crc32.ChecksumIEEE(buf[:PageSize])
 	if c == 0 {
 		c = 1
@@ -126,20 +157,70 @@ func pageCRC(buf []byte) uint32 {
 	return c
 }
 
+// newGroup returns a fresh (never-persisted) group image, already stamped
+// with the current sidecar version.
+func newGroup(dirty bool) *crcGroup {
+	g := &crcGroup{data: make([]byte, PageSize), dirty: dirty}
+	g.data[verOff] = sidecarVersion
+	return g
+}
+
 // groupLocked returns group g's cached checksum page, loading it from the
-// inner store on first touch.
+// inner store on first touch and migrating pre-Castagnoli sidecars in place.
 func (c *ChecksumStore) groupLocked(g PageID) (*crcGroup, error) {
 	if grp, ok := c.groups[g]; ok {
 		return grp, nil
 	}
-	grp := &crcGroup{data: make([]byte, PageSize)}
+	var grp *crcGroup
 	if crcPhys(g) < c.inner.NumPages() {
+		grp = &crcGroup{data: make([]byte, PageSize)}
 		if err := c.inner.ReadPage(crcPhys(g), grp.data); err != nil {
 			return nil, err
 		}
+		if grp.data[verOff] != sidecarVersion {
+			if err := c.migrateGroupLocked(g, grp); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		grp = newGroup(false)
 	}
 	c.groups[g] = grp
 	return grp, nil
+}
+
+// migrateGroupLocked rewrites a version-0 (IEEE) group's entries as
+// Castagnoli. Each written page is read and verified against its old IEEE
+// entry first; a page that fails the old checksum keeps its stale entry, so
+// the corruption is still reported when the page itself is read (under the
+// new polynomial a stale IEEE entry can only verify by a 2^-32 accident).
+// The migration mutates only the cached image — it becomes durable with the
+// next Sync, and a crash before that simply re-runs it on reopen.
+func (c *ChecksumStore) migrateGroupLocked(g PageID, grp *crcGroup) error {
+	lo := g * crcPerPage
+	hi := lo + crcPerPage
+	if hi > c.pages {
+		hi = c.pages
+	}
+	buf := make([]byte, PageSize)
+	for id := lo; id < hi; id++ {
+		idx := id % crcPerPage
+		if !grp.written(idx) {
+			continue
+		}
+		if physOf(id) >= c.inner.NumPages() {
+			continue
+		}
+		if err := c.inner.ReadPage(physOf(id), buf); err != nil {
+			return err
+		}
+		if pageCRCIEEE(buf) == grp.get(idx) {
+			grp.set(idx, pageCRC(buf))
+		}
+	}
+	grp.data[verOff] = sidecarVersion
+	grp.dirty = true
+	return nil
 }
 
 func (g *crcGroup) get(idx PageID) uint32 {
@@ -168,6 +249,14 @@ func (g *crcGroup) setWritten(idx PageID, w bool) {
 }
 
 // ReadPage implements Store, verifying the page against its stored CRC.
+//
+// Fast path: the expected CRC and written bit are snapshotted under the
+// shared lock, then the inner read and the CRC computation run with no lock
+// held at all, so verification never serializes against sidecar updates. A
+// mismatch with writeGen unchanged across the unlocked window is real
+// corruption (no writer could have raced) and fails immediately; only when a
+// write did run concurrently does the slow path re-read and re-verify under
+// the exclusive lock, where the store is quiescent.
 func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 	c.mu.RLock()
 	if id >= c.pages {
@@ -177,8 +266,8 @@ func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 	}
 	grp, ok := c.groups[groupOf(id)]
 	if !ok {
-		// First touch of this group: load its sidecar page exclusively, then
-		// resume shared. Groups are never evicted, so the reload can't miss.
+		// First touch of this group: load its sidecar page exclusively.
+		// Groups are never evicted, so the reload can't miss.
 		c.mu.RUnlock()
 		c.mu.Lock()
 		_, err := c.groupLocked(groupOf(id))
@@ -189,22 +278,63 @@ func (c *ChecksumStore) ReadPage(id PageID, buf []byte) error {
 		c.mu.RLock()
 		grp = c.groups[groupOf(id)]
 	}
-	defer c.mu.RUnlock()
+	idx := id % crcPerPage
+	want := grp.get(idx)
+	written := grp.written(idx)
+	gen := c.writeGen.Load()
+	c.mu.RUnlock()
+	if err := c.inner.ReadPage(physOf(id), buf); err != nil {
+		return err
+	}
+	if written {
+		if pageCRC(buf) == want {
+			return nil
+		}
+	} else if allZero(buf[:PageSize]) {
+		// Never durably written: only an untouched (all-zero) page is
+		// acceptable. Anything else is a write that escaped its sync epoch.
+		return nil
+	}
+	if c.writeGen.Load() == gen {
+		// No write ran during the unlocked window, so the mismatch cannot be
+		// a racing writer. Report the bytes the device actually returned —
+		// re-reading here would mask transient read corruption.
+		return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
+	}
+	return c.readPageSlow(id, buf)
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// readPageSlow re-reads and re-verifies a page under the exclusive lock,
+// after an optimistic verification failed. With the lock held no writer can
+// be between its inner write and its sidecar update, so a mismatch here is
+// a torn write or media corruption, never a benign race.
+func (c *ChecksumStore) readPageSlow(id PageID, buf []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	grp, err := c.groupLocked(groupOf(id))
+	if err != nil {
+		return err
+	}
 	if err := c.inner.ReadPage(physOf(id), buf); err != nil {
 		return err
 	}
 	idx := id % crcPerPage
 	if !grp.written(idx) {
-		// Never durably written: only an untouched (all-zero) page is
-		// acceptable. Anything else is a write that escaped its sync epoch.
-		for _, b := range buf[:PageSize] {
-			if b != 0 {
-				return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
-			}
+		if allZero(buf[:PageSize]) {
+			return nil
 		}
-		return nil
+		return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
 	}
-	if got := pageCRC(buf); got != grp.get(idx) {
+	if pageCRC(buf) != grp.get(idx) {
 		return fmt.Errorf("%w", ErrPageChecksum{PageID: id})
 	}
 	return nil
@@ -218,6 +348,9 @@ func (c *ChecksumStore) WritePage(id PageID, buf []byte) error {
 	if id >= c.pages {
 		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, c.pages)
 	}
+	// Bumped before the inner write: a reader whose inner read observed this
+	// write's bytes is then guaranteed to observe the new generation too.
+	c.writeGen.Add(1)
 	if err := c.inner.WritePage(physOf(id), buf); err != nil {
 		return err
 	}
@@ -245,7 +378,7 @@ func (c *ChecksumStore) Allocate() (PageID, error) {
 		if cp != crcPhys(groupOf(id)) {
 			return InvalidPage, fmt.Errorf("pagestore: checksum layout broken: sidecar at %d, want %d", cp, crcPhys(groupOf(id)))
 		}
-		c.groups[groupOf(id)] = &crcGroup{data: make([]byte, PageSize), dirty: true}
+		c.groups[groupOf(id)] = newGroup(true)
 	}
 	dp, err := c.inner.Allocate()
 	if err != nil {
@@ -284,7 +417,7 @@ func (c *ChecksumStore) Rederive() error {
 	buf := make([]byte, PageSize)
 	for id := PageID(0); id < n; id++ {
 		if id%crcPerPage == 0 {
-			c.groups[groupOf(id)] = &crcGroup{data: make([]byte, PageSize), dirty: true}
+			c.groups[groupOf(id)] = newGroup(true)
 		}
 		if err := c.inner.ReadPage(physOf(id), buf); err != nil {
 			return err

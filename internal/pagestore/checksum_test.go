@@ -329,3 +329,86 @@ func BenchmarkChecksumStore(b *testing.B) {
 		})
 	})
 }
+
+// TestChecksumSidecarMigration: a version-0 (IEEE) sidecar is rewritten to
+// Castagnoli entries on first load, pages verify throughout, and a page that
+// fails its old IEEE checksum keeps a stale entry so the corruption is still
+// reported after migration.
+func TestChecksumSidecarMigration(t *testing.T) {
+	mem := NewMemStore()
+	cs := NewChecksumStore(mem)
+	buf := make([]byte, PageSize)
+	var ids []PageID
+	for i := 0; i < 4; i++ {
+		id, err := cs.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range buf {
+			buf[j] = byte(i + j)
+		}
+		if err := cs.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := cs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the sidecar as an old build would have: IEEE entries, no
+	// version byte.
+	side := make([]byte, PageSize)
+	if err := mem.ReadPage(crcPhys(0), side); err != nil {
+		t.Fatal(err)
+	}
+	side[verOff] = 0
+	for _, id := range ids {
+		if err := mem.ReadPage(physOf(id), buf); err != nil {
+			t.Fatal(err)
+		}
+		crc := pageCRCIEEE(buf)
+		d := side[id%crcPerPage*4:]
+		d[0], d[1], d[2], d[3] = byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc)
+	}
+	if err := mem.WritePage(crcPhys(0), side); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the last page underneath the sidecar: its IEEE entry no longer
+	// matches, so migration must keep the stale entry.
+	if err := mem.ReadPage(physOf(ids[3]), buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[100] ^= 0xff
+	if err := mem.WritePage(physOf(ids[3]), buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: loading the group migrates it; intact pages verify.
+	cs2 := NewChecksumStore(mem)
+	for _, id := range ids[:3] {
+		if err := cs2.ReadPage(id, buf); err != nil {
+			t.Fatalf("post-migration read of page %d: %v", id, err)
+		}
+	}
+	if err := cs2.ReadPage(ids[3], buf); !errors.Is(err, ErrPageChecksum{PageID: ids[3]}) {
+		t.Fatalf("corrupted page read = %v, want checksum error", err)
+	}
+	if err := cs2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.ReadPage(crcPhys(0), side); err != nil {
+		t.Fatal(err)
+	}
+	if side[verOff] != sidecarVersion {
+		t.Fatalf("sidecar version after migration+sync = %d, want %d", side[verOff], sidecarVersion)
+	}
+	// A third open must not need to migrate: entries already verify as
+	// Castagnoli.
+	cs3 := NewChecksumStore(mem)
+	for _, id := range ids[:3] {
+		if err := cs3.ReadPage(id, buf); err != nil {
+			t.Fatalf("second reopen read of page %d: %v", id, err)
+		}
+	}
+}

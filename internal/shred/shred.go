@@ -16,6 +16,7 @@ import (
 	"encoding/binary"
 	"errors"
 
+	"rx/internal/arena"
 	"rx/internal/btree"
 	"rx/internal/buffer"
 	"rx/internal/heap"
@@ -52,8 +53,8 @@ type Node struct {
 	Value []byte
 }
 
-func encodeRow(kind xml.Kind, name xml.QName, value []byte) []byte {
-	row := []byte{byte(kind)}
+func encodeRow(a *arena.Arena, kind xml.Kind, name xml.QName, value []byte) []byte {
+	row := append(a.Make(1+2*binary.MaxVarintLen64+len(value)), byte(kind))
 	row = binary.AppendUvarint(row, uint64(name.URI))
 	row = binary.AppendUvarint(row, uint64(name.Local))
 	return append(row, value...)
@@ -80,8 +81,8 @@ func decodeRow(id nodeid.ID, row []byte) (Node, error) {
 	return n, nil
 }
 
-func key(doc xml.DocID, id nodeid.ID) []byte {
-	k := make([]byte, 8, 8+len(id))
+func key(a *arena.Arena, doc xml.DocID, id nodeid.ID) []byte {
+	k := a.AllocRaw(8 + len(id))[:8]
 	binary.BigEndian.PutUint64(k, uint64(doc))
 	return append(k, id...)
 }
@@ -89,6 +90,9 @@ func key(doc xml.DocID, id nodeid.ID) []byte {
 // Insert shreds a token stream into rows (one per node), returning the node
 // count.
 func (s *Store) Insert(doc xml.DocID, stream []byte) (int, error) {
+	// Row and key scratch for the whole document comes from one arena; the
+	// heap and B+tree copy on insert, so it all dies together on return.
+	a := arena.New()
 	r := tokens.NewReader(stream)
 	type frame struct {
 		abs  nodeid.ID
@@ -103,12 +107,12 @@ func (s *Store) Insert(doc xml.DocID, stream []byte) (int, error) {
 	}
 	count := 0
 	put := func(id nodeid.ID, kind xml.Kind, name xml.QName, value []byte) error {
-		rid, err := s.tbl.Insert(encodeRow(kind, name, value))
+		rid, err := s.tbl.Insert(encodeRow(a, kind, name, value))
 		if err != nil {
 			return err
 		}
 		count++
-		return s.ix.Put(key(doc, id), rid.Bytes())
+		return s.ix.Put(key(a, doc, id), rid.Bytes())
 	}
 	for r.More() {
 		t, err := r.Next()
@@ -156,7 +160,7 @@ func (s *Store) Insert(doc xml.DocID, stream []byte) (int, error) {
 // traversal model (a real system would join the node table with itself per
 // edge; the index-seek-per-node is the same access pattern).
 func (s *Store) Traverse(doc xml.DocID, fn func(n Node) error) error {
-	from := key(doc, nodeid.Root)
+	from := key(nil, doc, nodeid.Root)
 	for {
 		e, err := s.ix.Ceiling(from)
 		if err != nil {
@@ -188,7 +192,7 @@ func (s *Store) Traverse(doc xml.DocID, fn func(n Node) error) error {
 
 // Get fetches one node by ID (point navigation).
 func (s *Store) Get(doc xml.DocID, id nodeid.ID) (Node, error) {
-	v, err := s.ix.Get(key(doc, id))
+	v, err := s.ix.Get(key(nil, doc, id))
 	if err != nil {
 		return Node{}, err
 	}

@@ -78,6 +78,13 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
+// NewWriterBuf returns a Writer that appends into buf (len 0 expected).
+// Lets callers place the stream in arena-managed memory; growth past cap
+// falls back to the Go heap transparently.
+func NewWriterBuf(buf []byte) *Writer {
+	return &Writer{buf: buf}
+}
+
 // Bytes returns the encoded stream (valid until the next Write/Reset).
 func (w *Writer) Bytes() []byte { return w.buf }
 

@@ -116,25 +116,31 @@ func (ix *Index) EncodeValue(raw []byte) ([]byte, error) {
 
 // EncodeTyped converts a string value under a key type.
 func EncodeTyped(typ xml.TypeID, raw []byte) ([]byte, error) {
+	return EncodeTypedInto(nil, typ, raw)
+}
+
+// EncodeTypedInto is EncodeTyped appending into dst (which may be arena
+// scratch; growth past its capacity falls back to the Go heap).
+func EncodeTypedInto(dst []byte, typ xml.TypeID, raw []byte) ([]byte, error) {
 	switch typ {
 	case xml.TString:
 		s := string(raw)
 		if len(s) > MaxStringKey {
 			s = s[:MaxStringKey]
 		}
-		return keycodec.String(nil, s), nil
+		return keycodec.String(dst, s), nil
 	case xml.TDouble:
 		v, err := strconv.ParseFloat(strings.TrimSpace(string(raw)), 64)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q as double", ErrNotIndexable, raw)
 		}
-		enc, err := keycodec.Float64(nil, v)
+		enc, err := keycodec.Float64(dst, v)
 		if err != nil {
 			return nil, fmt.Errorf("%w: %v", ErrNotIndexable, err)
 		}
 		return enc, nil
 	case xml.TDate:
-		enc, err := keycodec.Date(nil, string(raw))
+		enc, err := keycodec.Date(dst, string(raw))
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q as date", ErrNotIndexable, raw)
 		}
@@ -144,7 +150,7 @@ func EncodeTyped(typ xml.TypeID, raw []byte) ([]byte, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: %q as decimal", ErrNotIndexable, raw)
 		}
-		return keycodec.EncodeDecimal(nil, d), nil
+		return keycodec.EncodeDecimal(dst, d), nil
 	}
 	return nil, fmt.Errorf("valueindex: unsupported type %v", typ)
 }
@@ -163,7 +169,16 @@ func entryKey(encVal []byte, doc xml.DocID, id nodeid.ID) []byte {
 // Exported for the bulk loader, which sorts assembled keys before insertion
 // so B+tree puts run in key order.
 func EntryKey(encVal []byte, doc xml.DocID, id nodeid.ID) []byte {
-	return entryKey(encVal, doc, id)
+	return AppendEntryKey(nil, encVal, doc, id)
+}
+
+// AppendEntryKey is EntryKey appending into dst (arena scratch friendly).
+func AppendEntryKey(dst []byte, encVal []byte, doc xml.DocID, id nodeid.ID) []byte {
+	k := append(dst, encVal...)
+	var d [8]byte
+	binary.BigEndian.PutUint64(d[:], uint64(doc))
+	k = append(k, d[:]...)
+	return append(k, id...)
 }
 
 // PutKey inserts a pre-assembled entry key (see EntryKey).

@@ -16,6 +16,11 @@ import (
 // Handler receives virtual SAX events. Node IDs accompany every node event:
 // iterators over stored data pass real IDs, iterators over transient data
 // synthesize packer-identical ones.
+//
+// Value slices are valid only for the duration of the callback: iterators
+// over stored data serve them zero-copy from pinned buffer-pool frames that
+// are released as the walk advances. A handler that retains a value beyond
+// its event must copy it.
 type Handler interface {
 	StartDocument() error
 	EndDocument() error

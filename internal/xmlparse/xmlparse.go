@@ -12,10 +12,11 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"sort"
+	"sync"
 	"strconv"
 	"strings"
 
+	"rx/internal/arena"
 	"rx/internal/tokens"
 	"rx/internal/xml"
 )
@@ -25,6 +26,10 @@ type Options struct {
 	// PreserveWhitespace keeps whitespace-only text nodes. The default
 	// (false) strips them, the usual choice for data-centric XML storage.
 	PreserveWhitespace bool
+	// Arena, when non-nil, supplies the token buffer and parser scratch
+	// memory. The returned stream is only valid until the arena's next
+	// Reset (see package arena's lifetime rule).
+	Arena *arena.Arena
 }
 
 // SyntaxError reports a well-formedness violation with its byte offset.
@@ -39,17 +44,58 @@ func (e *SyntaxError) Error() string {
 
 // Parse parses doc into a fresh token stream using the name dictionary.
 func Parse(doc []byte, names xml.Names, opts Options) ([]byte, error) {
-	w := tokens.NewWriter(len(doc) + len(doc)/4)
+	var w *tokens.Writer
+	if opts.Arena != nil {
+		w = tokens.NewWriterBuf(opts.Arena.Make(len(doc) + len(doc)/4))
+	} else {
+		w = tokens.NewWriter(len(doc) + len(doc)/4)
+	}
 	if err := ParseTo(doc, names, opts, w); err != nil {
 		return nil, err
 	}
 	return w.Bytes(), nil
 }
 
+// parsers recycles parser structs (with their scratch buffers and name
+// cache) across calls; steady-state parsing allocates almost nothing beyond
+// the token stream itself.
+var parsers = sync.Pool{New: func() any { return &parser{} }}
+
+// maxNameCache bounds the per-parser name-string cache so a stream of
+// documents with ever-new names cannot grow it without bound.
+const maxNameCache = 4096
+
 // ParseTo parses doc, appending tokens to w.
 func ParseTo(doc []byte, names xml.Names, opts Options, w *tokens.Writer) error {
-	p := &parser{src: doc, names: names, opts: opts, w: w}
-	return p.document()
+	p := parsers.Get().(*parser)
+	p.src, p.pos, p.names, p.opts, p.arena, p.w = doc, 0, names, opts, opts.Arena, w
+	p.nsStack, p.depth = p.nsStack[:0], 0
+	p.attrs, p.raw, p.text = p.attrs[:0], p.raw[:0], p.text[:0]
+	if p.strs == nil || len(p.strs) > maxNameCache {
+		p.strs = make(map[string]string)
+	}
+	err := p.document()
+	// Drop references into caller data before pooling: attr values alias the
+	// source document and would pin it.
+	p.src, p.names, p.w, p.arena = nil, nil, nil, nil
+	clearAttrs(p.attrs)
+	clearRaw(p.raw)
+	parsers.Put(p)
+	return err
+}
+
+func clearAttrs(s []attr) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = attr{}
+	}
+}
+
+func clearRaw(s []rawAttr) {
+	s = s[:cap(s)]
+	for i := range s {
+		s[i] = rawAttr{}
+	}
 }
 
 type nsBinding struct {
@@ -63,17 +109,40 @@ type parser struct {
 	pos   int
 	names xml.Names
 	opts  Options
+	arena *arena.Arena
 	w     *tokens.Writer
 
 	nsStack []nsBinding
 	depth   int
-	// scratch buffers reused across elements
+	// scratch buffers reused across elements. text and raw are safe to
+	// share across the recursion: text is always flushed (empty) before
+	// descending into a child element, and raw is consumed before content
+	// parsing begins, so only one stack level ever has live data in them.
 	attrs []attr
+	raw   []rawAttr
+	text  []byte
+	// strs interns name strings across documents (the pool keeps parsers
+	// alive), so repeated element/attribute names cost no allocation.
+	strs map[string]string
 }
 
 type attr struct {
 	prefix, local string
 	uri           string
+	value         []byte
+}
+
+// attrLess orders attributes by (namespace URI, local name), the adjusted
+// document-order rule for attribute emission.
+func attrLess(a, b *attr) bool {
+	if a.uri != b.uri {
+		return a.uri < b.uri
+	}
+	return a.local < b.local
+}
+
+type rawAttr struct {
+	prefix, local string
 	value         []byte
 }
 
@@ -193,7 +262,19 @@ func (p *parser) name() (string, error) {
 	for p.pos < len(p.src) && isNameChar(p.src[p.pos]) {
 		p.pos++
 	}
-	return string(p.src[start:p.pos]), nil
+	return p.nameStr(p.src[start:p.pos]), nil
+}
+
+// nameStr converts a scanned name to a string through the intern cache; a
+// hit performs no allocation (the compiler elides the conversion in the map
+// lookup).
+func (p *parser) nameStr(b []byte) string {
+	if s, ok := p.strs[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	p.strs[s] = s
+	return s
 }
 
 // qname scans prefix:local or local.
@@ -249,11 +330,7 @@ func (p *parser) element() error {
 
 	// Scan attributes, separating namespace declarations.
 	p.attrs = p.attrs[:0]
-	type rawAttr struct {
-		prefix, local string
-		value         []byte
-	}
-	var raw []rawAttr
+	p.raw = p.raw[:0]
 	for {
 		p.skipSpace()
 		if p.pos >= len(p.src) {
@@ -285,7 +362,7 @@ func (p *parser) element() error {
 			}
 			p.nsStack = append(p.nsStack, nsBinding{prefix: aloc, uri: string(val), depth: p.depth})
 		default:
-			raw = append(raw, rawAttr{prefix: apfx, local: aloc, value: val})
+			p.raw = append(p.raw, rawAttr{prefix: apfx, local: aloc, value: val})
 		}
 	}
 
@@ -306,7 +383,11 @@ func (p *parser) element() error {
 
 	// Emit namespace declarations (adjusted order: sorted by prefix).
 	decls := p.nsStack[nsBase:]
-	sort.Slice(decls, func(i, j int) bool { return decls[i].prefix < decls[j].prefix })
+	for i := 1; i < len(decls); i++ {
+		for j := i; j > 0 && decls[j].prefix < decls[j-1].prefix; j-- {
+			decls[j], decls[j-1] = decls[j-1], decls[j]
+		}
+	}
 	for _, d := range decls {
 		pfxID, err := p.intern(d.prefix)
 		if err != nil {
@@ -321,19 +402,20 @@ func (p *parser) element() error {
 
 	// Resolve attributes, check duplicates, emit in adjusted (sorted) order.
 	p.attrs = p.attrs[:0]
-	for _, a := range raw {
+	for _, a := range p.raw {
 		auri, err := p.resolve(a.prefix, true)
 		if err != nil {
 			return err
 		}
 		p.attrs = append(p.attrs, attr{prefix: a.prefix, local: a.local, uri: auri, value: a.value})
 	}
-	sort.Slice(p.attrs, func(i, j int) bool {
-		if p.attrs[i].uri != p.attrs[j].uri {
-			return p.attrs[i].uri < p.attrs[j].uri
+	// Insertion sort: attribute lists are short, and sort.Slice would
+	// allocate a closure and swapper per element.
+	for i := 1; i < len(p.attrs); i++ {
+		for j := i; j > 0 && attrLess(&p.attrs[j], &p.attrs[j-1]); j-- {
+			p.attrs[j], p.attrs[j-1] = p.attrs[j-1], p.attrs[j]
 		}
-		return p.attrs[i].local < p.attrs[j].local
-	})
+	}
 	for i, a := range p.attrs {
 		if i > 0 && p.attrs[i-1].uri == a.uri && p.attrs[i-1].local == a.local {
 			p.pos = openPos
@@ -374,17 +456,16 @@ func (p *parser) popNS(base int) { p.nsStack = p.nsStack[:base] }
 
 // content parses element content up to and including the matching end tag.
 func (p *parser) content(local, prefix string) error {
-	var text []byte
 	flush := func() {
-		if len(text) == 0 {
+		if len(p.text) == 0 {
 			return
 		}
-		if !p.opts.PreserveWhitespace && isAllSpace(text) {
-			text = text[:0]
+		if !p.opts.PreserveWhitespace && isAllSpace(p.text) {
+			p.text = p.text[:0]
 			return
 		}
-		p.w.Text(text, xml.Untyped)
-		text = text[:0]
+		p.w.Text(p.text, xml.Untyped)
+		p.text = p.text[:0]
 	}
 	for {
 		if p.pos >= len(p.src) {
@@ -396,13 +477,13 @@ func (p *parser) content(local, prefix string) error {
 			for p.pos < len(p.src) && p.src[p.pos] != '<' && p.src[p.pos] != '&' {
 				p.pos++
 			}
-			text = append(text, p.src[start:p.pos]...)
+			p.text = append(p.text, p.src[start:p.pos]...)
 			if p.pos < len(p.src) && p.src[p.pos] == '&' {
 				r, err := p.entity()
 				if err != nil {
 					return err
 				}
-				text = append(text, r...)
+				p.text = append(p.text, r...)
 			}
 			continue
 		}
@@ -434,7 +515,7 @@ func (p *parser) content(local, prefix string) error {
 			if end < 0 {
 				return p.errf("unterminated CDATA section")
 			}
-			text = append(text, p.src[p.pos:p.pos+end]...)
+			p.text = append(p.text, p.src[p.pos:p.pos+end]...)
 			p.pos += end + 3
 		case p.has("<?"):
 			flush()
@@ -506,14 +587,33 @@ func (p *parser) entity() ([]byte, error) {
 	return nil, p.errf("unknown entity &%s;", ref)
 }
 
-// attrValue parses a quoted attribute value with entity expansion.
+// attrValue parses a quoted attribute value with entity expansion. Values
+// without entity references — the overwhelmingly common case — are returned
+// as subslices of the input with no allocation (the token writer copies
+// them); values with entities expand into arena scratch.
 func (p *parser) attrValue() ([]byte, error) {
 	if p.pos >= len(p.src) || (p.src[p.pos] != '"' && p.src[p.pos] != '\'') {
 		return nil, p.errf("expected quoted attribute value")
 	}
 	q := p.src[p.pos]
 	p.pos++
-	var out []byte
+	start := p.pos
+	i := start
+	for i < len(p.src) && p.src[i] != q && p.src[i] != '&' && p.src[i] != '<' {
+		i++
+	}
+	if i < len(p.src) && p.src[i] == q {
+		p.pos = i + 1
+		return p.src[start:i:i], nil
+	}
+	// Slow path: expand entities. The raw span bounds the expanded size
+	// (expansions only shrink), so the scratch rarely spills past its cap.
+	j := i
+	for j < len(p.src) && p.src[j] != q {
+		j++
+	}
+	out := append(p.arena.Make(j-start), p.src[start:i]...)
+	p.pos = i
 	for {
 		if p.pos >= len(p.src) {
 			return nil, p.errf("unterminated attribute value")
