@@ -91,6 +91,12 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff (default 1s).
 	MaxDelay time.Duration
+	// Seed seeds the client's private jitter RNG so backoff sequences are
+	// reproducible in tests and fault harnesses (0 = a unique seed per
+	// client). Each client owns its RNG either way: jitter stays
+	// independent across a fleet without touching the process-global
+	// math/rand state.
+	Seed int64
 }
 
 func (p *RetryPolicy) fill() {
@@ -105,8 +111,10 @@ func (p *RetryPolicy) fill() {
 	}
 }
 
-// backoff is the jittered wait before retry attempt k (0-based).
-func (p *RetryPolicy) backoff(attempt int) time.Duration {
+// backoff is the jittered wait before retry attempt k (0-based), drawn from
+// the client's seeded RNG. Callers hold c.mu, which also guards c.rng.
+func (c *DB) backoff(attempt int) time.Duration {
+	p := &c.retry
 	d := p.BaseDelay << attempt
 	if d <= 0 || d > p.MaxDelay {
 		d = p.MaxDelay
@@ -115,7 +123,7 @@ func (p *RetryPolicy) backoff(attempt int) time.Duration {
 	if half <= 0 {
 		return d
 	}
-	return time.Duration(half + rand.Int63n(half))
+	return time.Duration(half + c.rng.Int63n(half))
 }
 
 // defaultCancelGrace is how long after sending a cancel frame the client
@@ -148,6 +156,7 @@ type DB struct {
 	cancelGrace time.Duration
 	retry       RetryPolicy
 	retryOff    bool
+	rng         *rand.Rand // jitter source, guarded by mu like the round trips it paces
 
 	mu         sync.Mutex // serializes request/response round trips
 	nc         net.Conn   // nil between a teardown and the next reconnect
@@ -183,6 +192,11 @@ func Dial(addr string, opts ...Option) (*DB, error) {
 		o(c)
 	}
 	c.retry.fill()
+	seed := c.retry.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c.rng = rand.New(rand.NewSource(seed))
 
 	c.mu.Lock()
 	err := c.reconnectLocked(context.Background())
@@ -277,7 +291,7 @@ func (c *DB) reconnectLocked(ctx context.Context) error {
 	var lastErr error
 	for attempt := 0; attempt < c.attempts(); attempt++ {
 		if attempt > 0 {
-			wait := c.retry.backoff(attempt - 1)
+			wait := c.backoff(attempt - 1)
 			if hint := rxerr.RetryAfter(lastErr); hint > wait {
 				wait = hint
 			}
@@ -441,7 +455,7 @@ func (c *DB) roundTripLocked(ctx context.Context, typ byte, payload []byte, writ
 			// Busy means the request was shed before executing — safe to
 			// retry for any operation, waiting out the server's hint.
 			if retryable && errors.Is(derr, rxerr.ErrBusy) && attempt+1 < c.attempts() {
-				wait := c.retry.backoff(attempt)
+				wait := c.backoff(attempt)
 				if hint := rxerr.RetryAfter(derr); hint > wait {
 					wait = hint
 				}
@@ -464,7 +478,7 @@ func (c *DB) roundTripLocked(ctx context.Context, typ byte, payload []byte, writ
 		if attempt+1 >= c.attempts() {
 			return 0, nil, attempted, connLost(err)
 		}
-		if serr := c.sleepLocked(ctx, c.retry.backoff(attempt)); serr != nil {
+		if serr := c.sleepLocked(ctx, c.backoff(attempt)); serr != nil {
 			return 0, nil, attempted, serr
 		}
 	}

@@ -136,7 +136,10 @@ func main() {
 		fmt.Printf("backup written to %s\n", rest[0])
 	case "stats":
 		if len(rest) == 0 {
-			printDBStats(db)
+			if code := printDBStats(db); code != 0 {
+				db.Close()
+				os.Exit(code)
+			}
 			return
 		}
 		col := collection(db, rest[0])
@@ -419,8 +422,11 @@ func verify(db *rx.DB, throttle func()) int {
 	}
 }
 
-// printDBStats dumps the engine-wide observability counters.
-func printDBStats(db *rx.DB) {
+// printDBStats dumps the engine-wide observability counters and returns the
+// exit code: 0 healthy, 2 when the engine is up but degraded (read-only
+// after resource exhaustion) — the same "serving but damaged" convention
+// verify and scrub use.
+func printDBStats(db *rx.DB) int {
 	s := db.Stats()
 	fmt.Printf("scrub passes:        %d\n", s.ScrubPasses)
 	fmt.Printf("pages verified:      %d\n", s.PagesVerified)
@@ -439,6 +445,30 @@ func printDBStats(db *rx.DB) {
 	fmt.Printf("pool residency:      %d frames over %d shards [%s]\n",
 		s.PoolResident, s.PoolShards, strings.Join(occ, " "))
 	fmt.Printf("WAL commits/syncs:   %d/%d\n", s.WALCommits, s.WALSyncs)
+	mode := "read-write"
+	if s.DegradedReadOnly {
+		mode = "READ-ONLY (degraded): " + s.DegradedReason
+	}
+	fmt.Printf("mode:                %s\n", mode)
+	fmt.Printf("writes shed:         %d (degraded enters/exits: %d/%d)\n",
+		s.WritesShed, s.DegradedEnters, s.DegradedExits)
+	if s.PendingUndo > 0 {
+		fmt.Printf("pending undo:        %d operations awaiting replay (in-doubt)\n", s.PendingUndo)
+	}
+	if s.SpaceLowWater > 0 {
+		fmt.Printf("space watch:         free %d B (low %d, high %d)\n",
+			s.SpaceFree, s.SpaceLowWater, s.SpaceHighWater)
+	}
+	limit := "unlimited"
+	if s.MemLimit > 0 {
+		limit = fmt.Sprintf("%d B", s.MemLimit)
+	}
+	fmt.Printf("memory budget:       %s (used %d, peak %d, denials %d)\n",
+		limit, s.MemUsed, s.MemHighWater, s.MemDenials)
+	if s.DegradedReadOnly {
+		return 2
+	}
+	return 0
 }
 
 func collection(db *rx.DB, name string) *rx.Collection {

@@ -39,6 +39,12 @@ func main() {
 		idleTimeout  = flag.Duration("idle-timeout", 0, "close connections with no request for this long; clients reconnect transparently (0 = never)")
 		keepalive    = flag.Duration("keepalive", 3*time.Minute, "TCP keepalive probe period on accepted connections (0 = OS default)")
 		pprofAddr    = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
+		memBudget    = flag.Int64("mem-budget", 0, "engine-wide memory budget in bytes for buffered results and bulk staging (0 = unlimited)")
+		sessMem      = flag.Int64("session-mem", 0, "per-connection memory cap in bytes (0 = only the engine budget)")
+		queryMem     = flag.Int64("query-mem", 0, "per-query memory cap in bytes (0 = none)")
+		spaceLow     = flag.Int64("space-low", 0, "free-disk low-water mark in bytes: below it the engine goes read-only (0 = no watchdog)")
+		spaceHigh    = flag.Int64("space-high", 0, "free-disk recovery mark in bytes (0 = 2*space-low)")
+		spaceEvery   = flag.Duration("space-interval", 0, "free-disk probe interval (0 = 1s)")
 	)
 	flag.Parse()
 
@@ -67,6 +73,16 @@ func main() {
 	if *lockTimeout > 0 {
 		opts = append(opts, rx.WithLockTimeout(*lockTimeout))
 	}
+	if *memBudget > 0 {
+		opts = append(opts, rx.WithMemoryBudget(*memBudget))
+	}
+	if *spaceLow > 0 {
+		if *dbPath == "" {
+			fmt.Fprintln(os.Stderr, "rxserver: -space-low needs a file-backed database (-db)")
+			os.Exit(1)
+		}
+		opts = append(opts, rx.WithSpaceWatch(*spaceLow, *spaceHigh, *spaceEvery))
+	}
 	db, err := rx.Open(*dbPath, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "rxserver: open:", err)
@@ -80,10 +96,12 @@ func main() {
 		os.Exit(1)
 	}
 	srv := server.New(db.Engine(), server.Options{
-		MaxConns:       *maxConns,
-		MaxLockWaiters: *maxWaiters,
-		RequestTimeout: *reqTimeout,
-		IdleTimeout:    *idleTimeout,
+		MaxConns:        *maxConns,
+		MaxLockWaiters:  *maxWaiters,
+		RequestTimeout:  *reqTimeout,
+		IdleTimeout:     *idleTimeout,
+		SessionMemLimit: *sessMem,
+		QueryMemLimit:   *queryMem,
 	})
 
 	sig := make(chan os.Signal, 1)

@@ -365,216 +365,273 @@ func (t *Tree) descend(key []byte) (*buffer.Frame, error) {
 	}
 }
 
+// maxInternalCell is the worst-case internal cell a child split can push
+// into its parent: a separator of MaxKey bytes plus the child pointer.
+const maxInternalCell = 2 + MaxKey + 4
+
+// liveFree returns the bytes available for one more cell and its slot after
+// compaction — the capacity insertCell can actually reach, counting holes
+// left by removed cells as free.
+func liveFree(d []byte) int {
+	n := nKeys(d)
+	used := 0
+	for i := 0; i < n; i++ {
+		used += cellSize(d, i)
+	}
+	return pagestore.PageSize - hdrSize - (n+1)*slotSize - used
+}
+
 // Put inserts or replaces the value under key.
+//
+// The insert is a single top-down pass with preemptive splits: any node on
+// the path that could not absorb its worst-case insertion is split BEFORE
+// the descent continues, so each split only ever touches a parent that is
+// guaranteed to have room. The page for a split is allocated before the
+// first byte of the tree is modified at that level, which makes Put atomic
+// under allocation failure: on a full device it returns the typed no-space
+// error with the tree exactly as it was, instead of leaving a child split
+// whose separator no ancestor could be given.
 func (t *Tree) Put(key, val []byte) error {
 	if len(key) > MaxKey || len(val) > MaxValue {
 		return fmt.Errorf("%w: key %d, value %d", ErrKeyTooLarge, len(key), len(val))
 	}
+	leafNeed := 2 + len(key) + 2 + len(val)
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	sepKey, sepChild, err := t.putRec(t.root, key, val)
+
+	f, err := t.pool.Fetch(t.root)
 	if err != nil {
 		return err
 	}
-	if sepKey == nil {
+	f.RLock()
+	need := maxInternalCell
+	if isLeaf(f.Data) {
+		need = leafNeed
+	}
+	full := liveFree(f.Data) < need
+	f.RUnlock()
+	if full {
+		if err := t.splitRoot(f); err != nil {
+			t.pool.Unpin(f, false)
+			return err
+		}
+		t.pool.Unpin(f, false)
+		if f, err = t.pool.Fetch(t.root); err != nil {
+			return err
+		}
+	}
+
+	// Invariant from here: f has room for whatever this pass inserts into it.
+	for {
+		f.RLock()
+		leaf := isLeaf(f.Data)
+		var child pagestore.PageID
+		if !leaf {
+			child = childFor(f.Data, key)
+		}
+		f.RUnlock()
+		if leaf {
+			err = t.pool.Modify(f, func(d []byte) error {
+				i, exact := search(d, key)
+				if exact {
+					removeCell(d, i)
+				}
+				if !insertCell(d, i, leafCell(key, val)) {
+					return errors.New("btree: leaf full after preemptive split")
+				}
+				return nil
+			})
+			t.pool.Unpin(f, false)
+			return err
+		}
+		cf, err := t.pool.Fetch(child)
+		if err != nil {
+			t.pool.Unpin(f, false)
+			return err
+		}
+		cf.RLock()
+		need := maxInternalCell
+		if isLeaf(cf.Data) {
+			need = leafNeed
+		}
+		full := liveFree(cf.Data) < need
+		cf.RUnlock()
+		if full {
+			if err := t.splitChild(f, cf); err != nil {
+				t.pool.Unpin(cf, false)
+				t.pool.Unpin(f, false)
+				return err
+			}
+			// The separator may route key into the new right sibling.
+			f.RLock()
+			next := childFor(f.Data, key)
+			f.RUnlock()
+			if next != cf.ID {
+				t.pool.Unpin(cf, false)
+				if cf, err = t.pool.Fetch(next); err != nil {
+					t.pool.Unpin(f, false)
+					return err
+				}
+			}
+		}
+		t.pool.Unpin(f, false)
+		f = cf
+	}
+}
+
+// splitPlan captures everything a split writes, read from the left page
+// before any mutation so the mutations themselves cannot fail. For a leaf,
+// the separator is the right node's first key (copied up); for an internal
+// node, the middle key moves up and its child becomes the right node's
+// leftmost child.
+type splitPlan struct {
+	leaf     bool
+	mid      int
+	sep      []byte
+	leftmost pagestore.PageID // internal: the promoted cell's child
+	oldLink  pagestore.PageID
+	cells    [][]byte // copies of the cells that move right
+}
+
+func planSplit(d []byte) (*splitPlan, error) {
+	n := nKeys(d)
+	if n < 2 {
+		return nil, errors.New("btree: cannot split page with fewer than 2 cells")
+	}
+	p := &splitPlan{leaf: isLeaf(d), mid: n / 2, oldLink: link(d)}
+	p.sep = append([]byte(nil), cellKey(d, p.mid)...)
+	first := p.mid
+	if !p.leaf {
+		p.leftmost = childAt(d, p.mid)
+		first = p.mid + 1
+	}
+	for i := first; i < n; i++ {
+		off := cellOff(d, i)
+		sz := cellSize(d, i)
+		p.cells = append(p.cells, append([]byte(nil), d[off:off+sz]...))
+	}
+	return p, nil
+}
+
+func (p *splitPlan) fillRight(rd []byte) error {
+	initNode(rd, p.leaf)
+	if p.leaf {
+		setLink(rd, p.oldLink)
+	} else {
+		setLink(rd, p.leftmost)
+	}
+	for i, c := range p.cells {
+		if !insertCell(rd, i, c) {
+			return errors.New("btree: split target overflow")
+		}
+	}
+	return nil
+}
+
+func (p *splitPlan) truncateLeft(d []byte, rightID pagestore.PageID) {
+	binary.BigEndian.PutUint16(d[hdrNKeys:], uint16(p.mid))
+	compactNode(d)
+	if p.leaf {
+		setLink(d, rightID)
+	}
+}
+
+// splitChild splits the full child cf and installs the separator in its
+// parent pf, which the preemptive invariant guarantees has room. The right
+// page is allocated before any mutation; a failed allocation aborts with
+// the tree untouched. The mutations that follow are pure in-page edits —
+// no fetches, no allocations — so they cannot fail halfway.
+func (t *Tree) splitChild(pf, cf *buffer.Frame) error {
+	cf.RLock()
+	plan, err := planSplit(cf.Data)
+	cf.RUnlock()
+	if err != nil {
+		return err
+	}
+	rf, err := t.pool.NewPage()
+	if err != nil {
+		return fmt.Errorf("btree: split: %w", err)
+	}
+	rightID := rf.ID
+	err = t.pool.Modify(rf, plan.fillRight)
+	t.pool.Unpin(rf, false)
+	if err != nil {
+		return err
+	}
+	if err := t.pool.Modify(cf, func(d []byte) error {
+		plan.truncateLeft(d, rightID)
 		return nil
-	}
-	// Root split: new internal root.
-	nf, err := t.pool.NewPage()
-	if err != nil {
+	}); err != nil {
 		return err
 	}
-	err = t.pool.Modify(nf, func(d []byte) error {
-		initNode(d, false)
-		setLink(d, t.root)
-		if !insertCell(d, 0, internalCell(sepKey, sepChild)) {
-			return errors.New("btree: root cell does not fit")
+	return t.pool.Modify(pf, func(pd []byte) error {
+		i, _ := search(pd, plan.sep)
+		if !insertCell(pd, i, internalCell(plan.sep, rightID)) {
+			return errors.New("btree: parent cannot absorb separator")
 		}
 		return nil
 	})
-	newRoot := nf.ID
-	t.pool.Unpin(nf, false)
+}
+
+// splitRoot splits the full root rootf under a brand-new internal root and
+// repoints the meta page. Both pages (right sibling, new root) and the meta
+// frame are acquired before any mutation, for the same atomicity as
+// splitChild.
+func (t *Tree) splitRoot(rootf *buffer.Frame) error {
+	rootf.RLock()
+	plan, err := planSplit(rootf.Data)
+	rootf.RUnlock()
 	if err != nil {
 		return err
 	}
-	return t.setRoot(newRoot)
-}
-
-func (t *Tree) setRoot(id pagestore.PageID) error {
 	mf, err := t.pool.Fetch(t.meta)
 	if err != nil {
 		return err
 	}
-	err = t.pool.Modify(mf, func(d []byte) error {
-		binary.BigEndian.PutUint32(d[8:12], uint32(id))
-		return nil
-	})
+	rf, err := t.pool.NewPage()
+	if err != nil {
+		t.pool.Unpin(mf, false)
+		return fmt.Errorf("btree: root split: %w", err)
+	}
+	nrf, err := t.pool.NewPage()
+	if err != nil {
+		t.pool.Unpin(rf, false)
+		t.pool.Unpin(mf, false)
+		return fmt.Errorf("btree: root split: %w", err)
+	}
+	rightID, newRootID, oldRootID := rf.ID, nrf.ID, rootf.ID
+
+	err = t.pool.Modify(rf, plan.fillRight)
+	t.pool.Unpin(rf, false)
+	if err == nil {
+		err = t.pool.Modify(nrf, func(d []byte) error {
+			initNode(d, false)
+			setLink(d, oldRootID)
+			if !insertCell(d, 0, internalCell(plan.sep, rightID)) {
+				return errors.New("btree: root cell does not fit")
+			}
+			return nil
+		})
+	}
+	t.pool.Unpin(nrf, false)
+	if err == nil {
+		err = t.pool.Modify(rootf, func(d []byte) error {
+			plan.truncateLeft(d, rightID)
+			return nil
+		})
+	}
+	if err == nil {
+		err = t.pool.Modify(mf, func(d []byte) error {
+			binary.BigEndian.PutUint32(d[8:12], uint32(newRootID))
+			return nil
+		})
+	}
 	t.pool.Unpin(mf, false)
 	if err != nil {
 		return err
 	}
-	t.root = id
+	t.root = newRootID
 	return nil
-}
-
-// putRec inserts into the subtree rooted at pg. On child split it returns
-// the separator key and new right sibling for the caller to install; (nil,
-// 0, nil) means no split propagated.
-func (t *Tree) putRec(pg pagestore.PageID, key, val []byte) ([]byte, pagestore.PageID, error) {
-	f, err := t.pool.Fetch(pg)
-	if err != nil {
-		return nil, 0, err
-	}
-	f.RLock()
-	leaf := isLeaf(f.Data)
-	var child pagestore.PageID
-	if !leaf {
-		child = childFor(f.Data, key)
-	}
-	f.RUnlock()
-
-	if leaf {
-		var sep []byte
-		var right pagestore.PageID
-		err = t.pool.Modify(f, func(d []byte) error {
-			i, exact := search(d, key)
-			if exact {
-				removeCell(d, i)
-			}
-			if insertCell(d, i, leafCell(key, val)) {
-				return nil
-			}
-			s, r, err := t.split(d, true)
-			if err != nil {
-				return err
-			}
-			sep, right = s, r
-			if bytes.Compare(key, s) >= 0 {
-				return t.insertInto(r, leafCell(key, val), key)
-			}
-			j, _ := search(d, key)
-			if !insertCell(d, j, leafCell(key, val)) {
-				return fmt.Errorf("btree: cell does not fit after split (key %d bytes)", len(key))
-			}
-			return nil
-		})
-		t.pool.Unpin(f, false)
-		if err != nil {
-			return nil, 0, err
-		}
-		return sep, right, nil
-	}
-
-	sepKey, sepChild, err := t.putRec(child, key, val)
-	if err != nil {
-		t.pool.Unpin(f, false)
-		return nil, 0, err
-	}
-	if sepKey == nil {
-		t.pool.Unpin(f, false)
-		return nil, 0, nil
-	}
-	var up []byte
-	var right pagestore.PageID
-	err = t.pool.Modify(f, func(d []byte) error {
-		i, _ := search(d, sepKey)
-		if insertCell(d, i, internalCell(sepKey, sepChild)) {
-			return nil
-		}
-		u, r, err := t.split(d, false)
-		if err != nil {
-			return err
-		}
-		up, right = u, r
-		if bytes.Compare(sepKey, u) >= 0 {
-			return t.insertInto(r, internalCell(sepKey, sepChild), sepKey)
-		}
-		j, _ := search(d, sepKey)
-		if !insertCell(d, j, internalCell(sepKey, sepChild)) {
-			return errors.New("btree: internal cell does not fit after split")
-		}
-		return nil
-	})
-	t.pool.Unpin(f, false)
-	if err != nil {
-		return nil, 0, err
-	}
-	return up, right, nil
-}
-
-// insertInto inserts a prebuilt cell into page pg at the position for key.
-func (t *Tree) insertInto(pg pagestore.PageID, cell, key []byte) error {
-	rf, err := t.pool.Fetch(pg)
-	if err != nil {
-		return err
-	}
-	err = t.pool.Modify(rf, func(rd []byte) error {
-		j, exact := search(rd, key)
-		if exact {
-			removeCell(rd, j)
-		}
-		if !insertCell(rd, j, cell) {
-			return errors.New("btree: cell does not fit in split sibling")
-		}
-		return nil
-	})
-	t.pool.Unpin(rf, false)
-	return err
-}
-
-// split moves the upper half of d's cells to a new right sibling and returns
-// the separator key plus the new page. For a leaf, the separator is the
-// right node's first key (copied up); for an internal node, the middle key
-// moves up and its child becomes the right node's leftmost child.
-func (t *Tree) split(d []byte, leaf bool) ([]byte, pagestore.PageID, error) {
-	n := nKeys(d)
-	if n < 2 {
-		return nil, 0, errors.New("btree: cannot split page with fewer than 2 cells")
-	}
-	mid := n / 2
-	var sep []byte
-	var leftmost pagestore.PageID
-	firstRight := mid
-	if leaf {
-		sep = append([]byte(nil), cellKey(d, mid)...)
-	} else {
-		sep = append([]byte(nil), cellKey(d, mid)...)
-		leftmost = childAt(d, mid)
-		firstRight = mid + 1
-	}
-
-	rf, err := t.pool.NewPage()
-	if err != nil {
-		return nil, 0, err
-	}
-	err = t.pool.Modify(rf, func(rd []byte) error {
-		initNode(rd, leaf)
-		if leaf {
-			setLink(rd, link(d))
-		} else {
-			setLink(rd, leftmost)
-		}
-		for i := firstRight; i < n; i++ {
-			off := cellOff(d, i)
-			sz := cellSize(d, i)
-			if !insertCell(rd, i-firstRight, d[off:off+sz]) {
-				return errors.New("btree: split target overflow")
-			}
-		}
-		return nil
-	})
-	rightID := rf.ID
-	t.pool.Unpin(rf, false)
-	if err != nil {
-		return nil, 0, err
-	}
-
-	binary.BigEndian.PutUint16(d[hdrNKeys:], uint16(mid))
-	compactNode(d)
-	if leaf {
-		setLink(d, rightID)
-	}
-	return sep, rightID, nil
 }
 
 // Delete removes key from the tree. Underflowing nodes are not merged (lazy

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"rx/internal/pagestore"
+	"rx/internal/rxerr"
 )
 
 // LSN is a log sequence number. The buffer pool treats it opaquely.
@@ -75,12 +76,27 @@ func (f *Frame) SetLSN(l LSN) {
 	}
 }
 
+// PageRun is one changed byte range of a page mutation; Before and After
+// have equal length.
+type PageRun struct {
+	Off           int
+	Before, After []byte
+}
+
 // PageLogger receives physiological redo records for page mutations made
 // through Pool.Modify. Implemented by the WAL; nil disables logging.
 type PageLogger interface {
 	// LogPageDelta records that page id changed at [off, off+len(after)) from
 	// before to after, returning the record's LSN.
 	LogPageDelta(id pagestore.PageID, off int, before, after []byte) (LSN, error)
+	// LogPageDeltas records every changed run of ONE page mutation as a
+	// single log record, returning its LSN. The grouping is a correctness
+	// requirement, not an optimization: a flush may tear between records,
+	// and recovery must never reconstruct a page that is halfway through a
+	// Modify (say, a B+tree header counting a cell whose bytes never made
+	// the log). One record is atomic under the log's checksum framing — it
+	// is either entirely durable or entirely discarded.
+	LogPageDeltas(id pagestore.PageID, runs []PageRun) (LSN, error)
 }
 
 // Pool is a buffer pool of page frames, partitioned into shards so that
@@ -242,17 +258,24 @@ func (p *Pool) Modify(f *Frame, fn func(data []byte) error) error {
 	if len(runs) == 0 {
 		return nil // no change
 	}
-	// One delta record per changed run. The page LSN is the last run's LSN,
-	// so forcing the WAL up to the page LSN before write-back (the flushLSN
-	// coupling) covers every run of this mutation; redo applies the runs in
-	// log order, each gated on the page LSN it finds.
+	// All of the mutation's changed runs go into ONE log record (see
+	// PageLogger.LogPageDeltas): record framing is the torn-flush atomicity
+	// boundary, so a page recovered from the log is always at a Modify
+	// boundary, never halfway through one.
 	var lsn LSN
 	var err error
-	for _, r := range runs {
+	if len(runs) == 1 {
+		r := runs[0]
 		lsn, err = p.logger.LogPageDelta(f.ID, r.lo, before[r.lo:r.hi], f.Data[r.lo:r.hi])
-		if err != nil {
-			return err
+	} else {
+		prs := make([]PageRun, len(runs))
+		for i, r := range runs {
+			prs[i] = PageRun{Off: r.lo, Before: before[r.lo:r.hi], After: f.Data[r.lo:r.hi]}
 		}
+		lsn, err = p.logger.LogPageDeltas(f.ID, prs)
+	}
+	if err != nil {
+		return err
 	}
 	putLSN(f.Data, lsn)
 	f.SetLSN(lsn)
@@ -550,9 +573,12 @@ func (p *Pool) writeBack(f *Frame) error {
 	err := p.store.WritePage(f.ID, f.Data)
 	// Bounded retry with backoff: transient write-back errors (a busy or
 	// briefly failing device) should not fail an eviction or checkpoint.
-	// Page-range errors are deterministic and never retried.
+	// Page-range and no-space errors are persistent (a full disk does not
+	// clear in microseconds) and never retried here — the caller surfaces
+	// them so the engine can degrade instead of spinning.
 	for attempt := 0; err != nil && attempt < p.retryAttempts &&
-		!errors.Is(err, pagestore.ErrPageRange); attempt++ {
+		!errors.Is(err, pagestore.ErrPageRange) &&
+		!errors.Is(err, rxerr.ErrNoSpace); attempt++ {
 		time.Sleep(p.retryBase << attempt)
 		p.writeRetries.Add(1)
 		err = p.store.WritePage(f.ID, f.Data)

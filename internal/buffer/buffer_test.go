@@ -94,6 +94,14 @@ func (r *recordingLogger) LogPageDelta(id pagestore.PageID, off int, before, aft
 	return r.lastLSN, nil
 }
 
+func (r *recordingLogger) LogPageDeltas(id pagestore.PageID, runs []PageRun) (LSN, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.deltas++
+	r.lastLSN += 100
+	return r.lastLSN, nil
+}
+
 func TestModifyLogsDelta(t *testing.T) {
 	p := New(pagestore.NewMemStore(), 4)
 	lg := &recordingLogger{}

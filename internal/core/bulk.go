@@ -24,6 +24,7 @@ import (
 
 	"rx/internal/arena"
 	"rx/internal/heap"
+	"rx/internal/memgov"
 	"rx/internal/nodeid"
 	"rx/internal/pack"
 	"rx/internal/quickxscan"
@@ -39,6 +40,11 @@ type BatchOptions struct {
 	// registered schema (storing typed token streams) instead of plain
 	// parsing.
 	Schema string
+	// Mem, when non-nil, charges the batch's staging memory (parse arena,
+	// ingest arena) against a budget; a breach rejects the batch with
+	// rxerr.ErrOverBudget before (parse) or with a full wipe after (ingest)
+	// any page effects.
+	Mem *memgov.Budget
 }
 
 // InsertBatch parses and stores many documents as one atomic batch,
@@ -48,11 +54,24 @@ func (c *Collection) InsertBatch(docs [][]byte, opts BatchOptions) ([]xml.DocID,
 	if len(docs) == 0 {
 		return nil, nil
 	}
+	if err := c.db.checkWritable(); err != nil {
+		return nil, err
+	}
 	// One parse arena for the whole batch: every stream lives in it until
 	// the batch insert completes (pass 4 re-scans streams for value-index
-	// keys), then the lot resets at once.
+	// keys), then the lot resets at once. Its chunks are the batch's first
+	// real staging allocation, charged against the memory budget as they
+	// grow — a document set too big for the budget dies here, before any
+	// DocID is burned or page touched.
 	pa := parseArenas.Get().(*arena.Arena)
 	defer func() { pa.Reset(); parseArenas.Put(pa) }()
+	var charged int64
+	defer func() { opts.Mem.Release(charged) }()
+	foot := int64(pa.Footprint())
+	if err := opts.Mem.Reserve(foot); err != nil {
+		return nil, err
+	}
+	charged = foot
 	streams := make([][]byte, len(docs))
 	for i, doc := range docs {
 		var stream []byte
@@ -69,9 +88,16 @@ func (c *Collection) InsertBatch(docs [][]byte, opts BatchOptions) ([]xml.DocID,
 		if err != nil {
 			return nil, fmt.Errorf("core: batch document %d: %w", i, err)
 		}
+		if now := int64(pa.Footprint()); now > foot {
+			if err := opts.Mem.Reserve(now - foot); err != nil {
+				return nil, err
+			}
+			charged += now - foot
+			foot = now
+		}
 		streams[i] = stream
 	}
-	return c.insertStreamBatch(streams)
+	return c.insertStreamBatch(streams, opts.Mem)
 }
 
 // nodeEntry is one deferred NodeID-index insertion.
@@ -87,18 +113,17 @@ type valEntry struct {
 	rid heap.RID
 }
 
-// insertStreamBatch stores pre-parsed token streams as one batch.
-func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err error) {
+// insertStreamBatch stores pre-parsed token streams as one batch, charging
+// ingest staging against mem (nil = ungoverned).
+func (c *Collection) insertStreamBatch(streams [][]byte, mem *memgov.Budget) (ids []xml.DocID, err error) {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 
 	ids = make([]xml.DocID, len(streams))
-	for i := range streams {
-		if ids[i], err = c.db.cat.AllocDocID(c.meta); err != nil {
-			return nil, err
-		}
-	}
-
+	// The error returns below are `return nil, err`, which clears the named
+	// ids — the cleanup must range over its own reference to the slice or it
+	// would see an empty batch and leave half-inserted documents visible.
+	allocated := ids
 	var txn uint64
 	// Any failure past this point may have mutated pages for some of the
 	// documents; wipe whatever exists of each and abort the batch's
@@ -107,15 +132,28 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 		if err == nil {
 			return
 		}
-		for _, id := range ids {
-			if id != 0 {
-				_ = c.wipeDocLocked(id) // best effort; the first error stands
+		c.db.noteWriteErr(err)
+		for _, id := range allocated {
+			if id == 0 {
+				continue
+			}
+			if werr := c.wipeDocLocked(id); werr != nil {
+				// The wipe itself failed (full device blocking an eviction's
+				// write-ahead flush): park it as compensation debt so the
+				// partial document cannot outlive degraded mode.
+				c.db.deferCompensation(
+					[]logicalOp{{Kind: "insert", Col: c.meta.Name, Doc: id}}, werr)
 			}
 		}
 		if c.db.log != nil && txn != 0 {
 			_, _ = c.db.log.Abort(txn)
 		}
 	}()
+	for i := range streams {
+		if ids[i], err = c.db.cat.AllocDocID(c.meta); err != nil {
+			return nil, err
+		}
+	}
 	if c.db.log != nil {
 		txn = txnSeq.Add(1)
 		c.db.log.Begin(txn)
@@ -139,6 +177,22 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 	// value keys (pass 4) stay valid until then.
 	a := c.ingestArena()
 	defer a.Reset()
+	// The ingest arena is the batch's other staging ground (pack scratch,
+	// interval endpoints, value keys); charge its growth against the budget
+	// at the pass boundaries where it grows.
+	ingestFoot := int64(a.Footprint())
+	var ingestCharged int64
+	defer func() { mem.Release(ingestCharged) }()
+	chargeIngest := func() error {
+		if now := int64(a.Footprint()); now > ingestFoot {
+			if rerr := mem.Reserve(now - ingestFoot); rerr != nil {
+				return rerr
+			}
+			ingestCharged += now - ingestFoot
+			ingestFoot = now
+		}
+		return nil
+	}
 	var nodes []nodeEntry
 	for i, stream := range streams {
 		docID := ids[i]
@@ -155,6 +209,9 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err = chargeIngest(); err != nil {
+		return nil, err
 	}
 
 	// Pass 2 — NodeID index, in key order: (DocID, NodeID) sorts exactly
@@ -228,6 +285,9 @@ func (c *Collection) insertStreamBatch(streams [][]byte) (ids []xml.DocID, err e
 				return nil, err
 			}
 		}
+	}
+	if err = chargeIngest(); err != nil {
+		return nil, err
 	}
 
 	// One commit — one device sync — for the whole batch.

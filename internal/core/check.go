@@ -78,7 +78,7 @@ func (c *Collection) checkDoc(doc xml.DocID) error {
 	for _, e := range entries {
 		rec, err := c.fetchRecord(e.rid)
 		if err != nil {
-			return fmt.Errorf("entry %s → %s: %v", e.upper, e.rid, err)
+			return fmt.Errorf("entry %s → %s: %w", e.upper, e.rid, err)
 		}
 		n, found, err := rec.Find(e.upper)
 		if err != nil {
@@ -115,7 +115,7 @@ func (c *Collection) checkDoc(doc xml.DocID) error {
 	// Invariant 4: the document walks end to end.
 	h := &nodeCountHandler{}
 	if err := c.WalkDoc(doc, h); err != nil {
-		return fmt.Errorf("walk: %v", err)
+		return fmt.Errorf("walk: %w", err)
 	}
 	if h.nodes == 0 {
 		return errors.New("document walks to zero nodes")

@@ -590,13 +590,21 @@ func (c *Collection) wipeDocLocked(doc xml.DocID) error {
 	}
 	var d [8]byte
 	binary.BigEndian.PutUint64(d[:], uint64(doc))
-	if baseRIDBytes, err := c.docIx.Get(d[:]); err == nil {
-		if err := c.base.Delete(heap.RIDFromBytes(baseRIDBytes)); err != nil && !errors.Is(err, heap.ErrNotFound) {
-			return err
+	baseRIDBytes, err := c.docIx.Get(d[:])
+	if err != nil {
+		if errors.Is(err, btree.ErrNotFound) {
+			return nil // no DocID entry: nothing (left) to wipe
 		}
-		if err := c.docIx.Delete(d[:]); err != nil && !errors.Is(err, btree.ErrNotFound) {
-			return err
-		}
+		// Any other failure (a full device blocking an eviction, say) must
+		// surface: reporting success here would leave a ghost document
+		// visible in the DocID index.
+		return err
+	}
+	if err := c.base.Delete(heap.RIDFromBytes(baseRIDBytes)); err != nil && !errors.Is(err, heap.ErrNotFound) {
+		return err
+	}
+	if err := c.docIx.Delete(d[:]); err != nil && !errors.Is(err, btree.ErrNotFound) {
+		return err
 	}
 	return nil
 }

@@ -19,11 +19,25 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rx/internal/memgov"
 	"rx/internal/pagestore"
 	"rx/internal/quickxscan"
 	"rx/internal/xml"
 	"rx/internal/xpath"
 )
+
+// resultsBytes estimates the working-set bytes a result batch pins: the
+// slice headers plus node-ID and value payloads. This is the quantity
+// charged against QueryOptions.Mem while the batch sits buffered (parked in
+// a parallel source or handed to the cursor) — the real allocation the
+// memory budget governs.
+func resultsBytes(res []Result) int64 {
+	n := int64(0)
+	for i := range res {
+		n += 48 + int64(len(res[i].Node)) + int64(len(res[i].Value))
+	}
+	return n
+}
 
 // Cursor streams query results in (DocID, NodeID) order without
 // materializing the full result set. Usage:
@@ -51,6 +65,11 @@ type Cursor struct {
 	batch   []Result
 	bpos    int
 	skipped atomic.Int64
+
+	// mem/memHeld hold a budget reservation for results materialized up
+	// front (index-only access paths), released when the cursor stops.
+	mem     *memgov.Budget
+	memHeld int64
 }
 
 // batcher yields per-document result batches in document order. ok=false
@@ -127,11 +146,20 @@ func (cu *Cursor) stop() {
 		cu.src.close()
 		cu.src = nil
 	}
+	cu.mem.Release(cu.memHeld)
+	cu.memHeld = 0
 }
 
 // newSliceCursor wraps already-materialized results (index-only access).
-func newSliceCursor(results []Result, plan *Plan, opts QueryOptions) *Cursor {
-	return &Cursor{plan: plan, limit: opts.Limit, batch: results}
+// The whole result set sits in memory for the cursor's lifetime, so it is
+// charged against the budget in one piece.
+func newSliceCursor(results []Result, plan *Plan, opts QueryOptions) (*Cursor, error) {
+	n := resultsBytes(results)
+	if err := opts.Mem.Reserve(n); err != nil {
+		return nil, err
+	}
+	return &Cursor{plan: plan, limit: opts.Limit, batch: results,
+		mem: opts.Mem, memHeld: n}, nil
 }
 
 // newDocCursor builds a cursor that evaluates the query over docs, either
@@ -155,7 +183,7 @@ func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, 
 			return nil, err
 		}
 		cu.src = &serialSource{col: c, eval: e, docs: docs, ctx: opts.context(),
-			degraded: opts.Degraded, skipped: &cu.skipped}
+			degraded: opts.Degraded, skipped: &cu.skipped, mem: opts.Mem}
 		return cu, nil
 	}
 	plan.Parallelism = par
@@ -176,6 +204,7 @@ func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, 
 		ch:      make(chan docBatch, len(docs)),
 		total:   len(docs),
 		pending: make(map[int]docBatch),
+		mem:     opts.Mem,
 	}
 	var next atomic.Int64
 	s.wg.Add(par)
@@ -192,7 +221,19 @@ func (c *Collection) newDocCursor(q *xpath.Query, docs []xml.DocID, plan *Plan, 
 				if skip {
 					cu.skipped.Add(1)
 				}
-				s.ch <- docBatch{idx: i, res: res, err: err}
+				// The channel buffer is where results accumulate ahead of the
+				// consumer, so this is where the memory budget is charged; the
+				// reservation travels with the batch and is released when the
+				// consumer hands it on (or the source closes).
+				var n int64
+				if err == nil {
+					if n = resultsBytes(res); n > 0 {
+						if rerr := opts.Mem.Reserve(n); rerr != nil {
+							res, err, n = nil, rerr, 0
+						}
+					}
+				}
+				s.ch <- docBatch{idx: i, res: res, err: err, bytes: n}
 			}
 		}(e)
 	}
@@ -253,9 +294,14 @@ type serialSource struct {
 	ctx      context.Context
 	degraded bool
 	skipped  *atomic.Int64
+	mem      *memgov.Budget
+	held     int64 // bytes reserved for the batch currently out with the cursor
 }
 
 func (s *serialSource) nextBatch() ([]Result, bool, error) {
+	// The previous batch has been fully consumed by the cursor.
+	s.mem.Release(s.held)
+	s.held = 0
 	for s.pos < len(s.docs) {
 		if err := s.ctx.Err(); err != nil {
 			return nil, false, err
@@ -273,23 +319,36 @@ func (s *serialSource) nextBatch() ([]Result, bool, error) {
 		if len(rs) == 0 {
 			continue
 		}
+		if n := resultsBytes(rs); n > 0 {
+			if err := s.mem.Reserve(n); err != nil {
+				return nil, false, err
+			}
+			s.held = n
+		}
 		return rs, true, nil
 	}
 	return nil, false, nil
 }
 
-func (s *serialSource) close() {}
+func (s *serialSource) close() {
+	s.mem.Release(s.held)
+	s.held = 0
+}
 
 // docBatch is one document's results, tagged with its position in the
-// candidate order.
+// candidate order and the budget bytes reserved for it.
 type docBatch struct {
-	idx int
-	res []Result
-	err error
+	idx   int
+	res   []Result
+	err   error
+	bytes int64
 }
 
 // parallelSource merges worker output back into document order: batches
-// arriving early are parked in pending until their turn.
+// arriving early are parked in pending until their turn. Budget
+// reservations travel with the batches — made by the producing worker,
+// released when the consumer hands the batch to the cursor's successor call
+// or when the source closes.
 type parallelSource struct {
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -298,9 +357,14 @@ type parallelSource struct {
 	next    int
 	total   int
 	pending map[int]docBatch
+	mem     *memgov.Budget
+	held    int64 // bytes reserved for the batch currently out with the cursor
 }
 
 func (s *parallelSource) nextBatch() ([]Result, bool, error) {
+	// The previous batch has been fully consumed by the cursor.
+	s.mem.Release(s.held)
+	s.held = 0
 	for {
 		if s.next >= s.total {
 			return nil, false, nil
@@ -326,6 +390,7 @@ func (s *parallelSource) nextBatch() ([]Result, bool, error) {
 		if len(b.res) == 0 {
 			continue
 		}
+		s.held = b.bytes
 		return b.res, true, nil
 	}
 }
@@ -333,4 +398,22 @@ func (s *parallelSource) nextBatch() ([]Result, bool, error) {
 func (s *parallelSource) close() {
 	s.cancel()
 	s.wg.Wait()
+	// Workers are gone; return every reservation still travelling with an
+	// unconsumed batch (channel buffer, parked in pending, or out with the
+	// cursor).
+	for {
+		select {
+		case b := <-s.ch:
+			s.mem.Release(b.bytes)
+			continue
+		default:
+		}
+		break
+	}
+	for _, b := range s.pending {
+		s.mem.Release(b.bytes)
+	}
+	s.pending = nil
+	s.mem.Release(s.held)
+	s.held = 0
 }

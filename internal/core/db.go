@@ -16,11 +16,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rx/internal/btree"
 	"rx/internal/buffer"
 	"rx/internal/catalog"
 	"rx/internal/lock"
+	"rx/internal/memgov"
 	"rx/internal/nodeindex"
 	"rx/internal/pagestore"
 	"rx/internal/rxerr"
@@ -38,6 +40,10 @@ type Options struct {
 	// WAL, when set, enables write-ahead logging: every page mutation is
 	// logged physically and transactions log logical undo records.
 	WAL *wal.Log
+	// MemBudget caps the engine-wide working memory charged by queries,
+	// sessions, and bulk loads, in bytes (0 = unlimited, account only).
+	// Breaches fail the offending request with rxerr.ErrOverBudget.
+	MemBudget int64
 }
 
 // DB is an open database.
@@ -47,11 +53,23 @@ type DB struct {
 	cat   *catalog.Catalog
 	locks *lock.Manager
 	log   *wal.Log
+	mem   *memgov.Budget
 
 	mu      sync.Mutex
 	cols    map[string]*Collection
 	schemas map[string]*xmlschema.Schema
 	closers []func()
+
+	// Degraded read-only mode (see degraded.go): set when the device fills
+	// up, cleared when the free-space watchdog recovers the engine.
+	degraded  atomic.Bool
+	degMu     sync.Mutex
+	degReason string
+	compDebt  []logicalOp // unresolved undo work, replayed before leaving degraded mode
+	spaceFree atomic.Int64 // last watchdog probe (-1 = never probed)
+	watchLow  atomic.Int64 // watchdog low-water mark (0 = no watchdog)
+	watchHigh atomic.Int64 // watchdog high-water mark
+	retryHint atomic.Int64 // retry-after attached to shed writes (ns)
 
 	quarantine quarantineSet
 	stats      dbStats
@@ -80,14 +98,18 @@ func Open(store pagestore.Store, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &DB{
+	db := &DB{
 		store: store,
 		pool:  pool,
 		cat:   cat,
 		locks: lock.NewManager(opts.LockTimeoutMillis),
 		log:   opts.WAL,
+		mem:   memgov.New("server", opts.MemBudget),
 		cols:  map[string]*Collection{},
-	}, nil
+	}
+	db.spaceFree.Store(-1)
+	db.retryHint.Store(int64(defaultRetryAfter))
+	return db, nil
 }
 
 // OpenMemory opens a fresh in-memory database.
@@ -103,6 +125,11 @@ func (db *DB) Pool() *buffer.Pool { return db.pool }
 
 // Names returns the database-wide name dictionary.
 func (db *DB) Names() xml.Names { return db.cat }
+
+// MemBudget returns the engine-wide memory budget root. Sessions and
+// queries derive children from it so one global cap governs every
+// allocation site (never nil; an unlimited root only accounts).
+func (db *DB) MemBudget() *memgov.Budget { return db.mem }
 
 // Flush writes all dirty pages to the store and syncs it.
 func (db *DB) Flush() error { return db.pool.FlushAll() }
@@ -162,6 +189,9 @@ type CollectionOptions struct {
 // CreateCollection creates a collection: base table, internal XML table,
 // DocID index and NodeID index (Figure 2).
 func (db *DB) CreateCollection(name string, opts CollectionOptions) (*Collection, error) {
+	if err := db.checkWritable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.cat.GetCollection(name) != nil {

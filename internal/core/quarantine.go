@@ -206,6 +206,21 @@ type Stats struct {
 	// WAL (zero when the database runs without a log).
 	WALCommits uint64 // transactions committed
 	WALSyncs   uint64 // device syncs issued; < WALCommits means group commit batched
+
+	// Resource governance (degraded.go, memgov).
+	DegradedReadOnly bool   // engine currently sheds writes (disk exhausted)
+	DegradedReason   string // why, empty when read-write
+	WritesShed       uint64 // write requests rejected while degraded
+	DegradedEnters   uint64 // times the engine flipped read-only
+	DegradedExits    uint64 // times the watchdog recovered it to read-write
+	PendingUndo      int    // unresolved rollback operations awaiting replay
+	SpaceFree        int64  // last free-space probe in bytes (-1 = never probed)
+	SpaceLowWater    int64  // watchdog enter-degraded threshold (0 = no watchdog)
+	SpaceHighWater   int64  // watchdog recovery threshold
+	MemLimit         int64  // engine memory budget in bytes (0 = unlimited)
+	MemUsed          int64  // bytes currently reserved against the budget
+	MemHighWater     int64  // peak bytes ever reserved
+	MemDenials       uint64 // reservations denied at the engine root
 }
 
 // dbStats holds the DB's atomic counters behind Stats().
@@ -218,6 +233,9 @@ type dbStats struct {
 	docsLossy       uint64
 	indexesRebuilt  uint64
 	deadlockReruns  uint64
+	writesShed      uint64
+	degradedEnters  uint64
+	degradedExits   uint64
 }
 
 // Stats returns a consistent-enough snapshot of the engine counters (each
@@ -248,6 +266,18 @@ func (db *DB) Stats() Stats {
 		s.WALCommits = db.log.CommitCount()
 		s.WALSyncs = db.log.SyncCount()
 	}
+	s.DegradedReadOnly, s.DegradedReason = db.Degraded()
+	s.WritesShed = atomic.LoadUint64(&db.stats.writesShed)
+	s.DegradedEnters = atomic.LoadUint64(&db.stats.degradedEnters)
+	s.DegradedExits = atomic.LoadUint64(&db.stats.degradedExits)
+	s.PendingUndo = db.pendingUndo()
+	s.SpaceFree = db.spaceFree.Load()
+	s.SpaceLowWater = db.watchLow.Load()
+	s.SpaceHighWater = db.watchHigh.Load()
+	s.MemLimit = db.mem.Limit()
+	s.MemUsed = db.mem.Used()
+	s.MemHighWater = db.mem.HighWater()
+	s.MemDenials = db.mem.Denials()
 	q := &db.quarantine
 	q.mu.Lock()
 	for _, docs := range q.docs {

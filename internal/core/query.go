@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"rx/internal/catalog"
+	"rx/internal/memgov"
 	"rx/internal/nodeid"
 	"rx/internal/quickxscan"
 	"rx/internal/valueindex"
@@ -61,6 +62,15 @@ type QueryOptions struct {
 	// auto-quarantines the document and continues. Without it, touching a
 	// quarantined document fails the cursor with a typed ErrQuarantined.
 	Degraded bool
+	// Mem, when non-nil, charges the cursor's buffered result batches
+	// against a memory budget; a breach fails the cursor with
+	// rxerr.ErrOverBudget instead of buffering without bound.
+	Mem *memgov.Budget
+	// MemLimit, when positive, caps this one query: Cursor derives a
+	// per-query child of Mem (scope "query") so an oversized result set is
+	// denied at the query even when the session and server budgets still
+	// have room.
+	MemLimit int64
 }
 
 func (o QueryOptions) context() context.Context {
@@ -78,6 +88,9 @@ const ctxCheckEvery = 1024
 // the stored documents. The path must be a simple XPath expression without
 // predicates; typ is one of xml.TString, TDouble, TDate, TDecimal.
 func (c *Collection) CreateValueIndex(name, path string, typ xml.TypeID) error {
+	if err := c.db.checkWritable(); err != nil {
+		return err
+	}
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	for _, ov := range c.valIxs {
@@ -184,6 +197,9 @@ func (c *Collection) Cursor(expr string, opts QueryOptions) (*Cursor, error) {
 	if err := opts.context().Err(); err != nil {
 		return nil, err
 	}
+	if opts.MemLimit > 0 {
+		opts.Mem = opts.Mem.Child("query", opts.MemLimit)
+	}
 	valIxs := c.indexSnapshot()
 	plan := c.selectAccessPath(q, valIxs)
 	plan.Parallelism = 1
@@ -193,13 +209,13 @@ func (c *Collection) Cursor(expr string, opts QueryOptions) (*Cursor, error) {
 		if err != nil {
 			return nil, err
 		}
-		return newSliceCursor(results, plan, opts), nil
+		return newSliceCursor(results, plan, opts)
 	case "nodeid-filtering":
 		results, err := c.execNodeFilter(q, plan, opts)
 		if err != nil {
 			return nil, err
 		}
-		return newSliceCursor(results, plan, opts), nil
+		return newSliceCursor(results, plan, opts)
 	case "docid-list", "docid-anding", "docid-oring":
 		docs, err := c.docCandidates(plan, opts)
 		if err != nil {

@@ -1,0 +1,15 @@
+//go:build !linux && !darwin
+
+package core
+
+import "errors"
+
+// DiskFreeProbe has no statfs on this platform; the returned probe always
+// errors, which the watchdog treats as "no new information" — the engine
+// still degrades and recovers through the write-path ENOSPC funnel and
+// TryRecoverWritable, it just cannot anticipate exhaustion by watermark.
+func DiskFreeProbe(path string) func() (int64, error) {
+	return func() (int64, error) {
+		return 0, errors.New("core: free-space probe unsupported on this platform")
+	}
+}

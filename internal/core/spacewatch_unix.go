@@ -1,0 +1,19 @@
+//go:build linux || darwin
+
+package core
+
+import "syscall"
+
+// DiskFreeProbe returns a watchdog probe reporting the free bytes available
+// to unprivileged writers on the filesystem holding path (statfs Bavail, the
+// number the engine's own appends compete for — not Bfree, which counts the
+// root-reserved blocks too).
+func DiskFreeProbe(path string) func() (int64, error) {
+	return func() (int64, error) {
+		var st syscall.Statfs_t
+		if err := syscall.Statfs(path, &st); err != nil {
+			return 0, err
+		}
+		return int64(st.Bavail) * int64(st.Bsize), nil
+	}
+}

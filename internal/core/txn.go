@@ -90,8 +90,17 @@ func (t *Txn) record(op logicalOp) error {
 // Insert stores a document under an X document lock. The DocID is reserved
 // (and the undo record logged) before the insertion itself runs.
 func (t *Txn) Insert(col *Collection, doc []byte) (xml.DocID, error) {
+	id, err := t.insert(col, doc)
+	t.db.noteWriteErr(err)
+	return id, err
+}
+
+func (t *Txn) insert(col *Collection, doc []byte) (xml.DocID, error) {
 	if t.done {
 		return 0, errTxnDone
+	}
+	if err := t.db.checkWritable(); err != nil {
+		return 0, err
 	}
 	// Parse first: a malformed document must not burn an ID or log anything.
 	stream, err := xmlparse.Parse(doc, col.db.cat, xmlparse.Options{})
@@ -117,8 +126,17 @@ func (t *Txn) Insert(col *Collection, doc []byte) (xml.DocID, error) {
 // Delete removes a document under an X lock, capturing its content for undo
 // before the deletion runs.
 func (t *Txn) Delete(col *Collection, doc xml.DocID) error {
+	err := t.deleteDoc(col, doc)
+	t.db.noteWriteErr(err)
+	return err
+}
+
+func (t *Txn) deleteDoc(col *Collection, doc xml.DocID) error {
 	if t.done {
 		return errTxnDone
+	}
+	if err := t.db.checkWritable(); err != nil {
+		return err
 	}
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return err
@@ -135,8 +153,17 @@ func (t *Txn) Delete(col *Collection, doc xml.DocID) error {
 
 // UpdateText updates a text or attribute node under an X document lock.
 func (t *Txn) UpdateText(col *Collection, doc xml.DocID, id nodeid.ID, newValue []byte) error {
+	err := t.updateText(col, doc, id, newValue)
+	t.db.noteWriteErr(err)
+	return err
+}
+
+func (t *Txn) updateText(col *Collection, doc xml.DocID, id nodeid.ID, newValue []byte) error {
 	if t.done {
 		return errTxnDone
+	}
+	if err := t.db.checkWritable(); err != nil {
+		return err
 	}
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return err
@@ -167,8 +194,17 @@ func (t *Txn) UpdateText(col *Collection, doc xml.DocID, id nodeid.ID, newValue 
 // InsertFragment inserts a fragment under an X document lock. The new node's
 // ID is planned (and the undo record logged) before the insertion runs.
 func (t *Txn) InsertFragment(col *Collection, doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
+	id, err := t.insertFragment(col, doc, anchor, pos, fragment)
+	t.db.noteWriteErr(err)
+	return id, err
+}
+
+func (t *Txn) insertFragment(col *Collection, doc xml.DocID, anchor nodeid.ID, pos Position, fragment []byte) (nodeid.ID, error) {
 	if t.done {
 		return nil, errTxnDone
+	}
+	if err := t.db.checkWritable(); err != nil {
+		return nil, err
 	}
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return nil, err
@@ -199,11 +235,20 @@ func (t *Txn) InsertFragment(col *Collection, doc xml.DocID, anchor nodeid.ID, p
 // restores content; the restored nodes get fresh IDs, which no committed
 // state can have observed.)
 func (t *Txn) DeleteSubtree(col *Collection, doc xml.DocID, id nodeid.ID) error {
+	err := t.deleteSubtree(col, doc, id)
+	t.db.noteWriteErr(err)
+	return err
+}
+
+func (t *Txn) deleteSubtree(col *Collection, doc xml.DocID, id nodeid.ID) error {
 	if t.done {
 		return errTxnDone
 	}
 	if len(id) == 0 || nodeid.Level(id) == 1 {
 		return errors.New("core: cannot delete the document root; use Delete")
+	}
+	if err := t.db.checkWritable(); err != nil {
+		return err
 	}
 	if err := t.lk.LockDoc(col.Name(), doc, lock.X); err != nil {
 		return err
@@ -266,7 +311,16 @@ func (t *Txn) Cursor(col *Collection, expr string, opts QueryOptions) (*Cursor, 
 	return col.Cursor(expr, opts)
 }
 
-// Commit makes the transaction durable and releases its locks.
+// Commit makes the transaction durable and releases its locks. A commit
+// whose log flush fails (a full device, a dying disk) is NOT left in limbo:
+// the transaction's effects are compensated in-process before the locks are
+// released, so the caller observes a clean rollback with the typed error.
+// The WAL's durable watermark was already rolled back by the failed flush,
+// so no acknowledgement can ever run ahead of the bytes that never landed;
+// the pending tail then holds [Commit(T), compensation deltas, Abort(T)],
+// which redo resolves to the rolled-back state after any later successful
+// flush. A crash before that reflush leaves a torn tail that recovery treats
+// as a loser — the same rolled-back outcome by the logical-undo route.
 func (t *Txn) Commit() error {
 	if t.done {
 		return errTxnDone
@@ -275,7 +329,22 @@ func (t *Txn) Commit() error {
 	defer t.lk.ReleaseAll()
 	if t.db.log != nil {
 		if _, err := t.db.log.Commit(t.id); err != nil {
-			return err
+			t.db.noteWriteErr(err)
+			for i := len(t.undo) - 1; i >= 0; i-- {
+				if cerr := t.db.compensate(t.undo[i]); cerr != nil {
+					// The in-process rollback hit the same wall (usually an
+					// eviction's write-ahead flush on the full device). Park
+					// the unapplied undo as compensation debt; the engine is
+					// read-only until TryRecoverWritable replays it.
+					t.db.deferCompensation(t.undo[:i+1], cerr)
+					return fmt.Errorf("core: commit txn %d failed (%v); undo deferred to recovery: %w", t.id, err, cerr)
+				}
+			}
+			// Best effort: on a full device the abort record may not fit
+			// either; recovery then classifies the transaction by its torn
+			// tail, with the same rolled-back outcome.
+			_, _ = t.db.log.Abort(t.id)
+			return fmt.Errorf("core: commit txn %d rolled back: %w", t.id, err)
 		}
 	}
 	return nil
@@ -291,11 +360,13 @@ func (t *Txn) Rollback() error {
 	defer t.lk.ReleaseAll()
 	for i := len(t.undo) - 1; i >= 0; i-- {
 		if err := t.db.compensate(t.undo[i]); err != nil {
-			return fmt.Errorf("core: rollback txn %d: %w", t.id, err)
+			t.db.deferCompensation(t.undo[:i+1], err)
+			return fmt.Errorf("core: rollback txn %d: undo deferred to recovery: %w", t.id, err)
 		}
 	}
 	if t.db.log != nil {
 		if _, err := t.db.log.Abort(t.id); err != nil {
+			t.db.noteWriteErr(err)
 			return err
 		}
 	}
@@ -437,10 +508,12 @@ func (c *Collection) DocStream(doc xml.DocID) ([]byte, error) {
 // redo work after a crash.
 func (db *DB) Checkpoint() error {
 	if err := db.pool.FlushAll(); err != nil {
+		db.noteWriteErr(err)
 		return err
 	}
 	if db.log != nil {
 		if _, err := db.log.Checkpoint(); err != nil {
+			db.noteWriteErr(err)
 			return err
 		}
 	}
@@ -468,7 +541,7 @@ func Recover(store pagestore.Store, log *wal.Log, opts Options) (*DB, error) {
 				return nil, fmt.Errorf("core: recovery txn %d: %v", txn, err)
 			}
 			if err := db.compensate(op); err != nil {
-				return nil, fmt.Errorf("core: recovery compensation txn %d: %w", txn, err)
+				return nil, fmt.Errorf("core: recovery compensation txn %d (%s %s/%d): %w", txn, op.Kind, op.Col, op.Doc, err)
 			}
 		}
 		if _, err := log.Abort(txn); err != nil {

@@ -328,10 +328,13 @@ func (t *Table) insert(flag byte, payload []byte, countIt bool) (RID, error) {
 	} else if ok {
 		return rid, nil
 	}
-	// Extend the chain.
+	// Extend the chain. Allocation is where a full device bites the heap:
+	// keep the typed error (%w) so errors.Is(err, rxerr.ErrNoSpace)
+	// classification survives to the transaction layer, with the table
+	// context attached.
 	nf, err := t.pool.NewPage()
 	if err != nil {
-		return InvalidRID, err
+		return InvalidRID, fmt.Errorf("heap: extend table %d: %w", t.firstPage, err)
 	}
 	slot := -1
 	err = t.pool.Modify(nf, func(d []byte) error {

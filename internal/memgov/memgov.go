@@ -1,0 +1,146 @@
+// Package memgov implements hierarchical byte budgets for memory
+// governance: a server-wide budget with per-session and per-query children,
+// charged at the engine's real allocation sites (cursor batch buffers,
+// parse/ingest arenas, bulk-load staging, result framing) rather than
+// estimated. A reservation that does not fit anywhere on the chain fails
+// with the typed rxerr.OverBudgetError naming the breached scope, so one
+// oversized query dies with a clean error while the session, the
+// connection, and the server keep running.
+//
+// The package is a leaf (it imports only rxerr) so every layer — core,
+// session, server — can thread a *Budget without dependency knots. A nil
+// *Budget is valid everywhere and accounts nothing, mirroring the nil
+// *arena.Arena convention: call sites charge unconditionally and ungoverned
+// configurations pay only a nil check.
+package memgov
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rx/internal/rxerr"
+)
+
+// Budget is one node in a budget hierarchy. Reservations charge this node
+// and then walk up to the root; releases walk the same chain. A limit of 0
+// means unlimited — usage is still tracked for stats, nothing is denied at
+// this node (ancestors may still deny).
+type Budget struct {
+	scope  string
+	limit  int64
+	parent *Budget
+
+	mu   sync.Mutex
+	used int64
+	hw   int64
+
+	denials atomic.Uint64
+}
+
+// New builds a root budget. limit 0 = unlimited (account only).
+func New(scope string, limit int64) *Budget {
+	return &Budget{scope: scope, limit: limit}
+}
+
+// Child derives a sub-budget whose reservations also charge this budget.
+// A nil receiver returns a parentless budget, so ungoverned layers can
+// still hand their callees a scoped budget.
+func (b *Budget) Child(scope string, limit int64) *Budget {
+	return &Budget{scope: scope, limit: limit, parent: b}
+}
+
+// Reserve charges n bytes against this budget and every ancestor. On a
+// breach anywhere on the chain nothing stays charged and the typed
+// rxerr.OverBudgetError names the scope that denied. Reserving on a nil
+// budget always succeeds. n <= 0 is a no-op.
+func (b *Budget) Reserve(n int64) error {
+	if b == nil || n <= 0 {
+		return nil
+	}
+	if err := b.reserveOne(n); err != nil {
+		return err
+	}
+	if err := b.parent.Reserve(n); err != nil {
+		b.releaseOne(n)
+		return err
+	}
+	return nil
+}
+
+func (b *Budget) reserveOne(n int64) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.limit > 0 && b.used+n > b.limit {
+		b.denials.Add(1)
+		return rxerr.OverBudgetError{Scope: b.scope, Limit: b.limit, Used: b.used, Need: n}
+	}
+	b.used += n
+	if b.used > b.hw {
+		b.hw = b.used
+	}
+	return nil
+}
+
+// Release returns n bytes to this budget and every ancestor. Releasing on a
+// nil budget is a no-op.
+func (b *Budget) Release(n int64) {
+	if b == nil || n <= 0 {
+		return
+	}
+	b.releaseOne(n)
+	b.parent.Release(n)
+}
+
+func (b *Budget) releaseOne(n int64) {
+	b.mu.Lock()
+	b.used -= n
+	if b.used < 0 {
+		// Over-release is a call-site bug; clamp so stats stay sane.
+		b.used = 0
+	}
+	b.mu.Unlock()
+}
+
+// Used returns the bytes currently charged at this node.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.used
+}
+
+// HighWater returns the peak bytes ever charged at this node.
+func (b *Budget) HighWater() int64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.hw
+}
+
+// Limit returns the node's byte cap (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+// Scope returns the node's name.
+func (b *Budget) Scope() string {
+	if b == nil {
+		return ""
+	}
+	return b.scope
+}
+
+// Denials returns how many reservations this node has denied.
+func (b *Budget) Denials() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.denials.Load()
+}

@@ -1,0 +1,98 @@
+package memgov
+
+import (
+	"errors"
+	"testing"
+
+	"rx/internal/rxerr"
+)
+
+func TestReserveReleaseHierarchy(t *testing.T) {
+	root := New("server", 100)
+	sess := root.Child("session", 80)
+	q := sess.Child("query", 50)
+
+	if err := q.Reserve(40); err != nil {
+		t.Fatalf("reserve 40: %v", err)
+	}
+	if got := root.Used(); got != 40 {
+		t.Fatalf("root used = %d, want 40 (charges walk to the root)", got)
+	}
+	// Query cap denies first.
+	err := q.Reserve(20)
+	if !errors.Is(err, rxerr.ErrOverBudget) {
+		t.Fatalf("reserve 20 = %v, want ErrOverBudget", err)
+	}
+	var ob rxerr.OverBudgetError
+	if !errors.As(err, &ob) || ob.Scope != "query" {
+		t.Fatalf("denying scope = %q, want query", ob.Scope)
+	}
+	// A denial anywhere on the chain leaves nothing charged.
+	sibling := sess.Child("query", 50)
+	if err := sibling.Reserve(45); !errors.Is(err, rxerr.ErrOverBudget) {
+		t.Fatalf("sibling reserve = %v, want ErrOverBudget (session cap)", err)
+	}
+	var sob rxerr.OverBudgetError
+	errors.As(sibling.Reserve(45), &sob)
+	if sob.Scope != "session" {
+		t.Fatalf("denying scope = %q, want session", sob.Scope)
+	}
+	if got := sibling.Used(); got != 0 {
+		t.Fatalf("sibling used after denial = %d, want 0 (rollback)", got)
+	}
+	if got := sess.Used(); got != 40 {
+		t.Fatalf("session used after denial = %d, want 40", got)
+	}
+
+	q.Release(40)
+	if root.Used() != 0 || sess.Used() != 0 || q.Used() != 0 {
+		t.Fatalf("used after release = %d/%d/%d, want 0/0/0",
+			root.Used(), sess.Used(), q.Used())
+	}
+	if got := root.HighWater(); got != 40 {
+		t.Fatalf("root high water = %d, want 40", got)
+	}
+	if got := sess.Denials(); got != 2 {
+		t.Fatalf("session denials = %d, want 2", got)
+	}
+}
+
+func TestUnlimitedTracksOnly(t *testing.T) {
+	b := New("server", 0)
+	if err := b.Reserve(1 << 40); err != nil {
+		t.Fatalf("unlimited budget denied: %v", err)
+	}
+	if got := b.Used(); got != 1<<40 {
+		t.Fatalf("used = %d", got)
+	}
+}
+
+func TestNilBudgetIsSafe(t *testing.T) {
+	var b *Budget
+	if err := b.Reserve(1 << 30); err != nil {
+		t.Fatalf("nil reserve: %v", err)
+	}
+	b.Release(1 << 30)
+	if b.Used() != 0 || b.Limit() != 0 || b.HighWater() != 0 || b.Denials() != 0 || b.Scope() != "" {
+		t.Fatal("nil accessors must all zero out")
+	}
+	// A child of nil is a working parentless budget.
+	c := b.Child("query", 10)
+	if err := c.Reserve(20); !errors.Is(err, rxerr.ErrOverBudget) {
+		t.Fatalf("child of nil reserve = %v, want ErrOverBudget", err)
+	}
+	if err := c.Reserve(10); err != nil {
+		t.Fatalf("child of nil within limit: %v", err)
+	}
+}
+
+func TestOverReleaseClamps(t *testing.T) {
+	b := New("server", 100)
+	if err := b.Reserve(10); err != nil {
+		t.Fatal(err)
+	}
+	b.Release(50)
+	if got := b.Used(); got != 0 {
+		t.Fatalf("used after over-release = %d, want 0", got)
+	}
+}

@@ -12,6 +12,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"syscall"
+
+	"rx/internal/rxerr"
 )
 
 // PageSize is the fixed size of every page in bytes.
@@ -26,6 +29,17 @@ const InvalidPage PageID = ^PageID(0)
 
 // ErrPageRange reports access to a page beyond the allocated extent.
 var ErrPageRange = errors.New("pagestore: page out of range")
+
+// mapNoSpace links a device-level ENOSPC to the engine's typed
+// rxerr.ErrNoSpace so every layer above (buffer write-back, WAL flush,
+// transaction commit) classifies a full disk with errors.Is instead of
+// string matching. Other errors pass through unchanged.
+func mapNoSpace(err error, what string) error {
+	if err == nil || !errors.Is(err, syscall.ENOSPC) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: %v", rxerr.ErrNoSpace, what, err)
+}
 
 // Store is a flat array of pages.
 type Store interface {
@@ -152,7 +166,7 @@ func (s *FileStore) WritePage(id PageID, buf []byte) error {
 		return fmt.Errorf("%w: write page %d of %d", ErrPageRange, id, n)
 	}
 	_, err := s.f.WriteAt(buf[:PageSize], int64(id)*PageSize)
-	return err
+	return mapNoSpace(err, fmt.Sprintf("write page %d", id))
 }
 
 // Allocate implements Store.
@@ -161,7 +175,7 @@ func (s *FileStore) Allocate() (PageID, error) {
 	defer s.mu.Unlock()
 	id := s.pages
 	if err := s.f.Truncate(int64(id+1) * PageSize); err != nil {
-		return InvalidPage, err
+		return InvalidPage, mapNoSpace(err, fmt.Sprintf("extend to %d pages", id+1))
 	}
 	s.pages++
 	return id, nil
@@ -175,7 +189,7 @@ func (s *FileStore) NumPages() PageID {
 }
 
 // Sync implements Store.
-func (s *FileStore) Sync() error { return s.f.Sync() }
+func (s *FileStore) Sync() error { return mapNoSpace(s.f.Sync(), "sync") }
 
 // Close implements Store.
 func (s *FileStore) Close() error { return s.f.Close() }

@@ -41,6 +41,16 @@ var (
 	// open transaction do, and the transaction itself is gone (the server
 	// rolls it back on disconnect).
 	ErrConnLost = errors.New("rx: connection lost")
+	// ErrNoSpace reports an exhausted storage device. A transaction hitting
+	// it is rolled back cleanly (no partial effects survive); the engine may
+	// flip into read-only degraded mode, in which every write sheds with this
+	// error until the free-space watchdog observes space again.
+	ErrNoSpace = errors.New("rx: no space on device")
+	// ErrOverBudget reports a memory budget breach: the query, session, or
+	// server would exceed its configured byte budget. The request was
+	// abandoned at the allocation site; the connection and the server
+	// survive.
+	ErrOverBudget = errors.New("rx: memory budget exceeded")
 )
 
 // BusyError is the detail type behind ErrBusy when the server attaches a
@@ -65,12 +75,65 @@ func (e BusyError) Error() string {
 // Is links the detail type to the ErrBusy sentinel.
 func (e BusyError) Is(target error) bool { return target == ErrBusy }
 
+// NoSpaceError is the detail type behind ErrNoSpace. Reason names the layer
+// that hit the device (wal flush, page write-back, file extend); RetryAfter
+// carries the free-space watchdog's probe interval as a client backoff hint
+// when the engine is in degraded mode. Matched with errors.Is(err,
+// ErrNoSpace) for the class and errors.As for the details.
+type NoSpaceError struct {
+	// Reason says where the device filled up, or that the engine is serving
+	// read-only in degraded mode.
+	Reason string
+	// RetryAfter is the suggested wait before retrying the write; zero means
+	// no hint.
+	RetryAfter time.Duration
+}
+
+func (e NoSpaceError) Error() string {
+	if e.Reason == "" {
+		return ErrNoSpace.Error()
+	}
+	return fmt.Sprintf("%s: %s", ErrNoSpace.Error(), e.Reason)
+}
+
+// Is links the detail type to the ErrNoSpace sentinel.
+func (e NoSpaceError) Is(target error) bool { return target == ErrNoSpace }
+
+// OverBudgetError is the detail type behind ErrOverBudget: which budget
+// scope was breached and by how much. Matched with errors.Is(err,
+// ErrOverBudget) for the class and errors.As for the accounting.
+type OverBudgetError struct {
+	// Scope names the breached budget ("query", "session", "server").
+	Scope string
+	// Limit is the budget's byte cap, Used the bytes charged when the
+	// reservation arrived, Need the reservation that did not fit.
+	Limit int64
+	Used  int64
+	Need  int64
+}
+
+func (e OverBudgetError) Error() string {
+	if e.Scope == "" {
+		return ErrOverBudget.Error()
+	}
+	return fmt.Sprintf("%s: %s budget %d bytes, %d used, %d more needed",
+		ErrOverBudget.Error(), e.Scope, e.Limit, e.Used, e.Need)
+}
+
+// Is links the detail type to the ErrOverBudget sentinel.
+func (e OverBudgetError) Is(target error) bool { return target == ErrOverBudget }
+
 // RetryAfter extracts the server's backoff hint from an error chain, zero if
-// none. Works on both in-process and wire-decoded errors.
+// none. Works on both in-process and wire-decoded errors, for busy shedding
+// and for no-space degraded mode alike.
 func RetryAfter(err error) time.Duration {
 	var b BusyError
 	if errors.As(err, &b) {
 		return b.RetryAfter
+	}
+	var n NoSpaceError
+	if errors.As(err, &n) {
+		return n.RetryAfter
 	}
 	return 0
 }

@@ -595,25 +595,43 @@ func (c *conn) handleFetch(payload []byte) error {
 	}
 	c.setInflight(oc.cancel)
 	stop, timedOut := c.armRequestTimer(oc.cancel)
+	// The response batch is the server's own result buffering, charged
+	// against the session budget row by row as it accumulates — a batch the
+	// budget cannot hold fails this fetch with rx.ErrOverBudget (cursor
+	// closed, connection alive) instead of framing without bound.
+	mem := c.sess.Mem()
+	var framed int64
 	resp := &wire.RowsResp{}
 	for len(resp.Rows) < maxRows {
 		if !oc.cur.Next() {
 			if err := oc.cur.Err(); err != nil {
 				stop()
+				mem.Release(framed)
 				c.closeCursor(id, oc)
 				return c.respondErr(c.deadlineErr(err, timedOut))
 			}
 			resp.Done = true
 			break
 		}
-		resp.Rows = append(resp.Rows, oc.cur.Result())
+		row := oc.cur.Result()
+		n := int64(48 + len(row.Node) + len(row.Value))
+		if err := mem.Reserve(n); err != nil {
+			stop()
+			mem.Release(framed)
+			c.closeCursor(id, oc)
+			return c.respondErr(err)
+		}
+		framed += n
+		resp.Rows = append(resp.Rows, row)
 	}
 	stop()
 	resp.Skipped = uint32(oc.cur.Skipped())
 	if resp.Done {
 		c.closeCursor(id, oc)
 	}
-	return c.respond(wire.MsgRows, resp.Encode())
+	err := c.respond(wire.MsgRows, resp.Encode())
+	mem.Release(framed)
+	return err
 }
 
 // closeCursor releases a cursor and its context. Only the worker goroutine

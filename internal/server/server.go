@@ -68,6 +68,15 @@ type Options struct {
 	// (default 100ms, negative = no hint); shed clients wait at least this
 	// long before retrying.
 	BusyRetryAfter time.Duration
+	// SessionMemLimit caps each connection's governed memory — buffered
+	// query results, bulk-load staging, response framing — at this many
+	// bytes (0 = only the engine-wide budget applies). A breach fails the
+	// one request with rx.ErrOverBudget; the connection keeps serving.
+	SessionMemLimit int64
+	// QueryMemLimit is the default per-query memory cap applied to every
+	// query on every connection (0 = none). One oversized query dies with
+	// rx.ErrOverBudget even when its session still has budget headroom.
+	QueryMemLimit int64
 }
 
 // DefaultBatchRows is the fetch batch size when the client does not choose.
@@ -228,9 +237,18 @@ func (s *Server) overloaded() bool {
 	return s.db.Locks().Waiting() >= s.opts.MaxLockWaiters
 }
 
-// newSession builds the per-connection session.
+// newSession builds the per-connection session, wiring the server's memory
+// governance knobs: a per-session budget (child of the engine budget) and
+// the default per-query cap.
 func (s *Server) newSession() *session.Session {
-	return session.New(s.db)
+	var opts []session.Option
+	if s.opts.SessionMemLimit > 0 {
+		opts = append(opts, session.WithMemLimit(s.opts.SessionMemLimit))
+	}
+	if s.opts.QueryMemLimit > 0 {
+		opts = append(opts, session.WithDefaults(session.MemLimit(s.opts.QueryMemLimit)))
+	}
+	return session.New(s.db, opts...)
 }
 
 // Shutdown drains the server: the listener closes, idle connections close

@@ -582,6 +582,92 @@ func TestCursorLimit(t *testing.T) {
 	curs[1].Close()
 }
 
+// TestOverBudgetQueryKeepsServing is the memory-governance acceptance test:
+// a query that breaches the per-query memory cap must come back as a typed
+// rx.ErrOverBudget on that one query — the connection stays usable, other
+// queries on it still run, and the server keeps serving new connections.
+func TestOverBudgetQueryKeepsServing(t *testing.T) {
+	srv, addr := startServer(t, server.Options{
+		// Small enough that buffering a whole-collection NeedValues result
+		// breaches; big enough for session bookkeeping and tiny queries.
+		QueryMemLimit: 2048,
+	})
+	c := dial(t, addr)
+	ctx := context.Background()
+
+	if err := c.CreateCollection(ctx, "c"); err != nil {
+		t.Fatal(err)
+	}
+	// The serial cursor streams doc by doc, holding one document's results
+	// at a time — so any single document's buffered values must breach the
+	// cap for the test to bite regardless of cursor shape.
+	big := bytes.Repeat([]byte("x"), 3000)
+	var docs [][]byte
+	for i := 0; i < 8; i++ {
+		docs = append(docs, []byte(fmt.Sprintf("<product><id>%d</id><blob>%s</blob></product>", i, big)))
+	}
+	if _, err := c.InsertBatch(ctx, "c", docs); err != nil {
+		t.Fatal(err)
+	}
+
+	// The breach can surface at Query (slice-backed cursors buffer up front)
+	// or at Next (doc cursors buffer per batch); either way it must be the
+	// typed sentinel with its accounting attached.
+	overBudget := func() error {
+		cur, err := c.Query(ctx, "c", "/product", session.NeedValues())
+		if err != nil {
+			return err
+		}
+		defer cur.Close()
+		for cur.Next() {
+		}
+		return cur.Err()
+	}
+	err := overBudget()
+	if !errors.Is(err, rxerr.ErrOverBudget) {
+		t.Fatalf("over-budget query: want ErrOverBudget, got %v", err)
+	}
+	var ob rxerr.OverBudgetError
+	if !errors.As(err, &ob) || ob.Limit == 0 {
+		t.Fatalf("over-budget accounting lost over the wire: %#v from %v", ob, err)
+	}
+
+	// Same connection, query within budget: must still work — the breach
+	// killed the query, not the session.
+	cur, err := c.Query(ctx, "c", "/product/id", session.Limit(2))
+	if err != nil {
+		t.Fatalf("query after breach: %v", err)
+	}
+	var rows int
+	for cur.Next() {
+		rows++
+	}
+	if err := cur.Err(); err != nil || rows != 2 {
+		t.Fatalf("post-breach query: %d rows, %v", rows, err)
+	}
+	cur.Close()
+
+	// Writes on the same connection still work too.
+	if _, err := c.Insert(ctx, "c", doc(999)); err != nil {
+		t.Fatalf("insert after breach: %v", err)
+	}
+
+	// And the server still admits fresh connections.
+	c2 := dial(t, addr)
+	if names, err := c2.Collections(ctx); err != nil || len(names) != 1 {
+		t.Fatalf("new connection after breach: %v, %v", names, err)
+	}
+	if got := srv.Stats().ActiveConns; got != 2 {
+		t.Fatalf("active conns: %d", got)
+	}
+
+	// The breach is repeatable and still typed — budgets reset per query, so
+	// a second oversized query sheds the same way instead of compounding.
+	if err := overBudget(); !errors.Is(err, rxerr.ErrOverBudget) {
+		t.Fatalf("second over-budget query: %v", err)
+	}
+}
+
 func waitFor(t *testing.T, what string, ok func() bool) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"rx/internal/core"
+	"rx/internal/memgov"
 	"rx/internal/xml"
 )
 
@@ -100,6 +101,13 @@ func Degraded() QueryOption {
 	return func(o *core.QueryOptions) { o.Degraded = true }
 }
 
+// MemLimit caps this one query's buffered-result memory at n bytes; a
+// breach fails the query with rxerr.ErrOverBudget while the session keeps
+// serving. 0 leaves only the session/server budgets in force.
+func MemLimit(n int64) QueryOption {
+	return func(o *core.QueryOptions) { o.MemLimit = n }
+}
+
 // Session errors.
 var (
 	ErrClosed  = errors.New("session: closed")
@@ -120,21 +128,35 @@ func WithDefaults(opts ...QueryOption) Option {
 	}
 }
 
+// WithMemLimit caps the session's total governed memory (buffered query
+// results, bulk-load staging) at n bytes. The cap is a child of the
+// engine's server-wide budget, so both are enforced; 0 leaves only the
+// server budget in force.
+func WithMemLimit(n int64) Option {
+	return func(s *Session) {
+		if n > 0 {
+			s.mem = s.db.MemBudget().Child("session", n)
+		}
+	}
+}
+
 // Session is the embedded implementation of API: a thin stateful wrapper
 // over a shared *core.DB. Sessions are cheap; open one per logical caller
 // (the server opens one per connection).
 type Session struct {
 	db       *core.DB
 	defaults core.QueryOptions
+	mem      *memgov.Budget
 
 	mu     sync.Mutex
 	txn    *core.Txn
 	closed bool
 }
 
-// New opens a session over an engine.
+// New opens a session over an engine. Governed allocations charge the
+// engine's server-wide memory budget; WithMemLimit interposes a session cap.
 func New(db *core.DB, opts ...Option) *Session {
-	s := &Session{db: db}
+	s := &Session{db: db, mem: db.MemBudget()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -240,7 +262,7 @@ func (s *Session) InsertBatch(ctx context.Context, col string, docs [][]byte) ([
 		return nil, err
 	}
 	if txn == nil {
-		return c.InsertBatch(docs, core.BatchOptions{})
+		return c.InsertBatch(docs, core.BatchOptions{Mem: s.mem})
 	}
 	ids := make([]xml.DocID, len(docs))
 	for i, doc := range docs {
@@ -308,6 +330,7 @@ func (s *Session) Query(ctx context.Context, col, expr string, opts ...QueryOpti
 		o(&qo)
 	}
 	qo.Ctx = ctx
+	qo.Mem = s.mem
 	if txn != nil {
 		return txn.Cursor(c, expr, qo)
 	}
@@ -360,6 +383,12 @@ func (s *Session) Rollback(ctx context.Context) error {
 	}
 	return txn.Rollback()
 }
+
+// Mem returns the budget the session's governed allocations charge (the
+// engine budget, or the session cap WithMemLimit interposed). The server
+// charges result framing against it. Never nil-dereferences: a nil budget
+// accounts nothing.
+func (s *Session) Mem() *memgov.Budget { return s.mem }
 
 // InTxn reports whether the session has an open transaction.
 func (s *Session) InTxn() bool {

@@ -29,10 +29,12 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"rx/internal/buffer"
 	"rx/internal/pagestore"
+	"rx/internal/rxerr"
 )
 
 // Kind tags a log record.
@@ -46,6 +48,10 @@ const (
 	KindAbort
 	KindLogical
 	KindCheckpoint
+	// KindPageDeltaV carries every changed run of one page mutation in a
+	// single record, so the mutation is atomic under torn-flush recovery
+	// (a record either passes its checksum whole or is discarded whole).
+	KindPageDeltaV
 )
 
 // Record is one decoded log record.
@@ -56,6 +62,8 @@ type Record struct {
 	Page          pagestore.PageID
 	Off           int
 	Before, After []byte
+	// PageDeltaV field: all changed runs of one page mutation.
+	Runs []buffer.PageRun
 	// Transaction fields.
 	Txn uint64
 	// Logical operation payload (opaque to the WAL; the engine encodes it).
@@ -83,8 +91,11 @@ func OpenFileDevice(path string) (*FileDevice, error) {
 	return &FileDevice{f: f}, nil
 }
 
-func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) { return d.f.WriteAt(p, off) }
-func (d *FileDevice) ReadAt(p []byte, off int64) (int, error)  { return d.f.ReadAt(p, off) }
+func (d *FileDevice) WriteAt(p []byte, off int64) (int, error) {
+	n, err := d.f.WriteAt(p, off)
+	return n, mapNoSpace(err, "log write")
+}
+func (d *FileDevice) ReadAt(p []byte, off int64) (int, error) { return d.f.ReadAt(p, off) }
 func (d *FileDevice) Size() (int64, error) {
 	st, err := d.f.Stat()
 	if err != nil {
@@ -92,8 +103,20 @@ func (d *FileDevice) Size() (int64, error) {
 	}
 	return st.Size(), nil
 }
-func (d *FileDevice) Sync() error  { return d.f.Sync() }
+func (d *FileDevice) Sync() error  { return mapNoSpace(d.f.Sync(), "log sync") }
 func (d *FileDevice) Close() error { return d.f.Close() }
+
+// mapNoSpace links a device-level ENOSPC to the engine's typed
+// rxerr.ErrNoSpace. A full log device then fails Commit with an error the
+// transaction layer classifies with errors.Is — and Flush has already rolled
+// the durable watermark back, so no commit acknowledgement can run ahead of
+// the bytes that never landed.
+func mapNoSpace(err error, what string) error {
+	if err == nil || !errors.Is(err, syscall.ENOSPC) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: %v", rxerr.ErrNoSpace, what, err)
+}
 
 // MemDevice is an in-memory log device (tests, benchmarks).
 type MemDevice struct {
@@ -269,6 +292,28 @@ func (l *Log) LogPageDelta(id pagestore.PageID, off int, before, after []byte) (
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.appendLocked(KindPageDelta, payload), nil
+}
+
+// LogPageDeltas implements buffer.PageLogger: one record for every changed
+// run of a single page mutation. See KindPageDeltaV for why the runs must
+// share a record.
+func (l *Log) LogPageDeltas(id pagestore.PageID, runs []buffer.PageRun) (buffer.LSN, error) {
+	size := 8
+	for _, r := range runs {
+		size += 8 + len(r.Before) + len(r.After)
+	}
+	payload := make([]byte, 0, size)
+	payload = binary.BigEndian.AppendUint32(payload, uint32(id))
+	payload = binary.BigEndian.AppendUint32(payload, uint32(len(runs)))
+	for _, r := range runs {
+		payload = binary.BigEndian.AppendUint32(payload, uint32(r.Off))
+		payload = binary.BigEndian.AppendUint32(payload, uint32(len(r.Before)))
+		payload = append(payload, r.Before...)
+		payload = append(payload, r.After...)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appendLocked(KindPageDeltaV, payload), nil
 }
 
 // Begin logs a transaction start.
@@ -474,6 +519,29 @@ func decode(lsn buffer.LSN, body []byte) (Record, error) {
 		}
 		r.Before = p[12 : 12+bl]
 		r.After = p[12+bl:]
+	case KindPageDeltaV:
+		if len(p) < 8 {
+			return Record{}, errors.New("wal: short page delta vector")
+		}
+		r.Page = pagestore.PageID(binary.BigEndian.Uint32(p[0:4]))
+		n := int(binary.BigEndian.Uint32(p[4:8]))
+		p = p[8:]
+		for i := 0; i < n; i++ {
+			if len(p) < 8 {
+				return Record{}, errors.New("wal: short page delta run")
+			}
+			off := int(binary.BigEndian.Uint32(p[0:4]))
+			bl := int(binary.BigEndian.Uint32(p[4:8]))
+			if 8+2*bl > len(p) {
+				return Record{}, errors.New("wal: short page delta run body")
+			}
+			r.Runs = append(r.Runs, buffer.PageRun{
+				Off:    off,
+				Before: p[8 : 8+bl],
+				After:  p[8+bl : 8+2*bl],
+			})
+			p = p[8+2*bl:]
+		}
 	case KindBegin, KindCommit, KindAbort:
 		if len(p) < 8 {
 			return Record{}, errors.New("wal: short txn record")
@@ -531,7 +599,7 @@ func Recover(l *Log, store pagestore.Store) (*RecoveryResult, error) {
 	buf := make([]byte, pagestore.PageSize)
 	for i, r := range recs {
 		switch r.Kind {
-		case KindPageDelta:
+		case KindPageDelta, KindPageDeltaV:
 			if i <= lastCP {
 				continue
 			}
@@ -549,7 +617,16 @@ func Recover(l *Log, store pagestore.Store) (*RecoveryResult, error) {
 				res.Skipped++
 				continue
 			}
-			copy(buf[r.Off:], r.After)
+			if r.Kind == KindPageDelta {
+				copy(buf[r.Off:], r.After)
+			} else {
+				// All runs of one Modify land together — the record is the
+				// atomicity unit, so redo can never leave the page halfway
+				// through a mutation.
+				for _, run := range r.Runs {
+					copy(buf[run.Off:], run.After)
+				}
+			}
 			stampLSN(buf, r.LSN)
 			if err := store.WritePage(r.Page, buf); err != nil {
 				return nil, err

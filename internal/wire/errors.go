@@ -28,21 +28,28 @@ const (
 	CodeBusy
 	CodeCanceled
 	CodeDeadline
+	CodeNoSpace
+	CodeOverBudget
 )
 
 // EncodeError builds a MsgErr payload classifying err into the taxonomy.
 // Layout: u16 code, str message, str col, u64 doc, u64 page, str reason,
-// u32 retry-after (milliseconds). The detail fields are zero except where
-// the code defines them: retry-after is the CodeBusy backoff hint.
+// u32 retry-after (milliseconds), str scope, u64 limit, u64 used, u64 need.
+// The detail fields are zero except where the code defines them: retry-after
+// is the CodeBusy / CodeNoSpace backoff hint; scope/limit/used/need are the
+// CodeOverBudget accounting.
 func EncodeError(err error) []byte {
 	var w Writer
 	var code uint16
-	var col, reason string
+	var col, reason, scope string
 	var doc, page uint64
 	var retryAfterMs uint32
+	var limit, used, need uint64
 
 	var q core.ErrQuarantined
 	var pc pagestore.ErrPageChecksum
+	var ob rxerr.OverBudgetError
+	var ns rxerr.NoSpaceError
 	switch {
 	case errors.As(err, &q):
 		code = CodeQuarantined
@@ -59,6 +66,20 @@ func EncodeError(err error) []byte {
 		if d := rxerr.RetryAfter(err); d > 0 {
 			retryAfterMs = uint32(d / time.Millisecond)
 		}
+	case errors.Is(err, rxerr.ErrNoSpace):
+		code = CodeNoSpace
+		if errors.As(err, &ns) {
+			reason = ns.Reason
+		}
+		if d := rxerr.RetryAfter(err); d > 0 {
+			retryAfterMs = uint32(d / time.Millisecond)
+		}
+	case errors.Is(err, rxerr.ErrOverBudget):
+		code = CodeOverBudget
+		if errors.As(err, &ob) {
+			scope = ob.Scope
+			limit, used, need = uint64(ob.Limit), uint64(ob.Used), uint64(ob.Need)
+		}
 	case errors.Is(err, context.Canceled):
 		code = CodeCanceled
 	case errors.Is(err, context.DeadlineExceeded):
@@ -73,6 +94,10 @@ func EncodeError(err error) []byte {
 	w.U64(page)
 	w.Str(reason)
 	w.U32(retryAfterMs)
+	w.Str(scope)
+	w.U64(limit)
+	w.U64(used)
+	w.U64(need)
 	return w.Bytes()
 }
 
@@ -96,6 +121,10 @@ func DecodeError(payload []byte) error {
 	page := r.U64()
 	reason := r.Str()
 	retryAfterMs := r.U32()
+	scope := r.Str()
+	limit := r.U64()
+	used := r.U64()
+	need := r.U64()
 	if err := r.Done(); err != nil {
 		return err
 	}
@@ -115,6 +144,18 @@ func DecodeError(payload []byte) error {
 			}}
 		}
 		return &remoteError{msg: msg, under: rxerr.ErrBusy}
+	case CodeNoSpace:
+		return &remoteError{msg: msg, under: rxerr.NoSpaceError{
+			Reason:     reason,
+			RetryAfter: time.Duration(retryAfterMs) * time.Millisecond,
+		}}
+	case CodeOverBudget:
+		return &remoteError{msg: msg, under: rxerr.OverBudgetError{
+			Scope: scope,
+			Limit: int64(limit),
+			Used:  int64(used),
+			Need:  int64(need),
+		}}
 	case CodeCanceled:
 		return &remoteError{msg: msg, under: context.Canceled}
 	case CodeDeadline:

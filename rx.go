@@ -136,11 +136,29 @@ var (
 	// transparently and only surface this after the retry policy is
 	// exhausted.
 	ErrConnLost = rxerr.ErrConnLost
+	// ErrNoSpace reports a write rejected because the storage device is
+	// exhausted (or the engine is in read-only degraded mode after hitting
+	// it). Reads keep working; retry writes after space is freed —
+	// RetryAfter extracts the engine's hint.
+	ErrNoSpace = rxerr.ErrNoSpace
+	// ErrOverBudget reports an allocation denied by a memory budget
+	// (server-wide, per-session, or per-query). The offending request
+	// fails; the session, connection, and server keep running.
+	ErrOverBudget = rxerr.ErrOverBudget
 )
 
 // BusyError is the detail type behind ErrBusy when the server attaches a
 // retry-after hint; retrieve it with errors.As, or just call RetryAfter.
 type BusyError = rxerr.BusyError
+
+// NoSpaceError is the detail type behind ErrNoSpace: the reason the engine
+// went read-only and a retry-after hint. Retrieve it with errors.As.
+type NoSpaceError = rxerr.NoSpaceError
+
+// OverBudgetError is the detail type behind ErrOverBudget: which budget
+// scope denied ("server", "session", "query") and the byte accounting.
+// Retrieve it with errors.As.
+type OverBudgetError = rxerr.OverBudgetError
 
 // RetryAfter extracts the server's backoff hint from an ErrBusy rejection
 // (0 when the error carries none). Clients honor it automatically; manual
@@ -161,11 +179,21 @@ func WithValues() QueryOption { return session.NeedValues() }
 // failing.
 func WithDegraded() QueryOption { return session.Degraded() }
 
+// WithQueryMemLimit caps one session query's buffered-result memory at n
+// bytes; a breach fails the query with ErrOverBudget while the session
+// keeps serving.
+func WithQueryMemLimit(n int64) QueryOption { return session.MemLimit(n) }
+
 // WithSessionDefaults sets query options applied to every session query
 // before the per-call options.
 func WithSessionDefaults(opts ...QueryOption) SessionOption {
 	return session.WithDefaults(opts...)
 }
+
+// WithSessionMemLimit caps a session's total governed memory (buffered
+// query results, bulk-load staging) at n bytes, as a child of the engine's
+// memory budget.
+func WithSessionMemLimit(n int64) SessionOption { return session.WithMemLimit(n) }
 
 // DB is an open database: the engine plus a default embedded session. The
 // engine surface (collections, transactions, scrub/repair, stats) is
@@ -229,6 +257,7 @@ type openConfig struct {
 	groupDelay time.Duration
 	checksums  bool
 	scrub      *scrub.Options
+	spaceWatch *core.SpaceWatchOptions
 }
 
 // WithWAL enables write-ahead logging with the log at path; Open then runs
@@ -265,6 +294,30 @@ func WithLockTimeout(d time.Duration) Option {
 // always be opened with them, and one created without them never can be.
 func WithChecksums() Option {
 	return func(c *openConfig) { c.checksums = true }
+}
+
+// WithMemoryBudget caps the engine's governed memory — buffered query
+// results, bulk-load staging, server response framing — at n bytes across
+// all sessions. A reservation that does not fit fails the one request with
+// ErrOverBudget; everything else keeps running. 0 (the default) disables
+// the cap but still tracks usage in Stats.
+func WithMemoryBudget(n int64) Option {
+	return func(c *openConfig) { c.core.MemBudget = n }
+}
+
+// WithSpaceWatch starts a free-space watchdog on a file-backed database: the
+// filesystem holding the database is probed every interval (0 = 1s), and
+// when free space falls below low bytes the engine enters read-only degraded
+// mode — writes fail fast with ErrNoSpace, reads and queries keep serving —
+// recovering automatically once free space climbs back above high (0 =
+// 2*low, hysteresis so the engine doesn't flap at the threshold). Ignored
+// for in-memory databases. The engine also enters degraded mode reactively
+// when a WAL or page write hits the full device, whether or not a watchdog
+// is running; the watchdog's job is flipping it back.
+func WithSpaceWatch(low, high int64, interval time.Duration) Option {
+	return func(c *openConfig) {
+		c.spaceWatch = &core.SpaceWatchOptions{LowWater: low, HighWater: high, Interval: interval}
+	}
 }
 
 // WithScrub starts a background integrity scrubber on the opened database:
@@ -362,6 +415,14 @@ func Open(path string, opts ...Option) (*DB, error) {
 		s := scrub.New(cdb, *cfg.scrub)
 		s.Start()
 		cdb.RegisterCloser(s.Stop)
+	}
+	if cfg.spaceWatch != nil && path != "" {
+		w := *cfg.spaceWatch
+		w.Probe = core.DiskFreeProbe(path)
+		if _, err := cdb.StartSpaceWatch(w); err != nil {
+			cdb.Close()
+			return nil, err
+		}
 	}
 	return &DB{DB: cdb, sess: session.New(cdb)}, nil
 }
