@@ -764,6 +764,27 @@ func (c *DB) Query(ctx context.Context, col, expr string, opts ...session.QueryO
 	}, nil
 }
 
+// Explain plans a query on the server without executing it: the chosen
+// access method, the indexes in probe order, the cost estimates, and every
+// alternative the planner priced. A pure read — retried transparently on
+// connection loss like any other.
+func (c *DB) Explain(ctx context.Context, col, expr string, opts ...session.QueryOption) (*core.Plan, error) {
+	var qo core.QueryOptions
+	for _, o := range opts {
+		o(&qo)
+	}
+	req := wire.QueryReq{Col: col, Expr: expr, NeedValues: qo.NeedValues}
+	resp, err := c.expect(ctx, wire.MsgExplain, req.Encode(), wire.MsgPlan, false)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := wire.DecodePlanInfo(resp)
+	if err != nil {
+		return nil, err
+	}
+	return pi.Plan(), nil
+}
+
 // Begin opens a transaction on the connection's session. A transaction
 // lost to an earlier connection failure is superseded: Begin starts fresh.
 func (c *DB) Begin(ctx context.Context) error {

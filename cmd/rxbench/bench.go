@@ -20,6 +20,7 @@ import (
 	"rx/internal/buffer"
 	"rx/internal/core"
 	"rx/internal/pagestore"
+	"rx/internal/xml"
 )
 
 type benchResult struct {
@@ -168,6 +169,13 @@ func runSmokeBenchmarks() map[string][]benchResult {
 		run("pool-hot/checksum", poolHot(true)),
 	}
 
+	// E18 — adversarial planner workloads: data shapes where the old
+	// hard-wired index-first heuristic picks a pathological access path.
+	// Each pair benchmarks the heuristic's choice (pinned via ForceMethod)
+	// against the costed planner's pick on the same data; the committed
+	// baseline preserves the gap so a planner regression trips the gate.
+	suites["E18"] = e18Benchmarks()
+
 	// E16 — bulk load (32-document batches through InsertBatch).
 	suites["E16"] = []benchResult{
 		run("bulk-load-32", func(b *testing.B) {
@@ -187,6 +195,101 @@ func runSmokeBenchmarks() map[string][]benchResult {
 		}),
 	}
 	return suites
+}
+
+// e18DocXML is the adversarial shape: one selective field (Sku) and 64
+// Part/Qty entries per document, so an index over Qty holds 64 entries per
+// document and walking it costs far more than evaluating the document once.
+func e18DocXML(i int) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, `<Product><Sku>SKU-%d</Sku>`, i)
+	for j := 0; j < 64; j++ {
+		fmt.Fprintf(&sb, `<Part><Qty>%d</Qty></Part>`, j)
+	}
+	sb.WriteString(`</Product>`)
+	return []byte(sb.String())
+}
+
+func e18Benchmarks() []benchResult {
+	db, err := core.OpenMemory()
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	newCol := func(name string, opts core.CollectionOptions) *core.Collection {
+		col, err := db.CreateCollection(name, opts)
+		if err != nil {
+			panic(err)
+		}
+		docs := make([][]byte, 200)
+		for i := range docs {
+			docs[i] = e18DocXML(i)
+		}
+		if _, err := col.InsertBatch(docs, core.BatchOptions{}); err != nil {
+			panic(err)
+		}
+		return col
+	}
+	mustIndex := func(col *core.Collection, name, path string, t xml.TypeID) {
+		if err := col.CreateValueIndex(name, path, t); err != nil {
+			panic(err)
+		}
+	}
+	mustPlan := func(col *core.Collection, expr, want string) {
+		_, p, err := col.Query(expr)
+		if err != nil {
+			panic(err)
+		}
+		if p.Method != want {
+			panic(fmt.Sprintf("E18: costed planner picked %q for %s, expected %q", p.Method, expr, want))
+		}
+	}
+	q := func(col *core.Collection, expr, force string, wantResults int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs, _, err := col.QueryOpts(expr, core.QueryOptions{ForceMethod: force})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs) != wantResults {
+					b.Fatalf("results = %d, want %d", len(rs), wantResults)
+				}
+			}
+		}
+	}
+
+	// filter: the only matching index (//Qty) is inexact, the predicate
+	// anchors at Part, and the documents are multi-record — the shape where
+	// the old heuristic hard-wired NodeID filtering, fetching and
+	// re-evaluating all 12800 Part subtrees one by one. The cost model
+	// prices that walk against scanning the 200 documents and scans.
+	filterCol := newCol("e18_filter", core.CollectionOptions{PackThreshold: 512})
+	mustIndex(filterCol, "ix_any_qty", "//Qty", xml.TDouble)
+	if err := filterCol.RefreshStats(nil); err != nil {
+		panic(err)
+	}
+	filter := `/Product/Part[Qty >= 0]`
+	mustPlan(filterCol, filter, "scan")
+
+	// andorder: the old heuristic ANDed every available index, dragging the
+	// worthless Qty index (64 entries/doc, selectivity 1.0) into the merge;
+	// the cost model prices its saving at zero and probes only Sku.
+	andCol := newCol("e18_and", core.CollectionOptions{})
+	mustIndex(andCol, "ix_sku", "/Product/Sku", xml.TString)
+	mustIndex(andCol, "ix_qty", "/Product/Part/Qty", xml.TDouble)
+	if err := andCol.RefreshStats(nil); err != nil {
+		panic(err)
+	}
+	andorder := `/Product[Sku = 'SKU-42' and Part/Qty >= 0]`
+	mustPlan(andCol, andorder, "docid-list")
+
+	return []benchResult{
+		run("filter/heuristic", q(filterCol, filter, "nodeid-filtering", 12800)),
+		run("filter/costed", q(filterCol, filter, "", 12800)),
+		run("andorder/heuristic", q(andCol, andorder, "nodeid-anding", 1)),
+		run("andorder/costed", q(andCol, andorder, "", 1)),
+	}
 }
 
 func writeBenchJSON(dir string, suites map[string][]benchResult) error {

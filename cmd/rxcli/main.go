@@ -6,7 +6,8 @@
 //	rxcli -db data.rxdb insert <collection> <file.xml>...
 //	rxcli -db data.rxdb load [-batch n] <collection> <file.xml>...
 //	rxcli -db data.rxdb index <collection> <name> <xpath> <string|double|date|decimal>
-//	rxcli -db data.rxdb query <collection> <xpath>
+//	rxcli -db data.rxdb query [-explain] <collection> <xpath>
+//	rxcli -db data.rxdb explain <collection> <xpath>
 //	rxcli -db data.rxdb get <collection> <docid>
 //	rxcli -db data.rxdb delete <collection> <docid>
 //	rxcli -db data.rxdb ls [collection]
@@ -17,8 +18,13 @@
 //	rxcli -db data.rxdb quarantine ls
 //	rxcli -db data.rxdb quarantine clear <collection> <docid>
 //
+// explain prints the cost-based plan for a query without running it: the
+// chosen access method, the indexes in probe order, the planner's
+// cardinality and cost estimates, and every alternative it priced.
+// query -explain prints the same plan report before the results.
+//
 // With -remote host:port, the session commands (create, insert, load, index,
-// query, get, delete, ls) run against an rxserver over the wire instead of a
+// query, explain, get, delete, ls) run against an rxserver over the wire instead of a
 // local file — same handlers, same output, the session API is just remote.
 // The admin commands (stats, backup, verify, scrub, repair, quarantine)
 // operate on storage directly and always need a local -db.
@@ -68,6 +74,7 @@ func main() {
 	limit := flag.Int("limit", 0, "stop after this many query results (0 = all)")
 	rate := flag.Int("rate", 0, "scrub/repair/verify page reads per second (0 = unthrottled)")
 	degraded := flag.Bool("degraded", false, "queries skip quarantined documents instead of failing")
+	explain := flag.Bool("explain", false, "query prints its cost-based plan before the results")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -79,6 +86,7 @@ func main() {
 		limit:    *limit,
 		batch:    *batch,
 		degraded: *degraded,
+		explain:  *explain,
 	}
 
 	if *remote != "" {
@@ -240,6 +248,7 @@ type sessionArgs struct {
 	limit    int
 	batch    int
 	degraded bool
+	explain  bool
 }
 
 // runSession executes the commands that speak the session API — the same
@@ -307,7 +316,12 @@ func runSession(api rx.SessionAPI, cmd string, rest []string, a sessionArgs) boo
 		fatal(api.CreateValueIndex(ctx, rest[0], rest[1], rest[2], typ))
 		fmt.Printf("index %q on %s created\n", rest[1], rest[2])
 	case "query":
-		need(rest, 2, "query <collection> <xpath>")
+		// Accept -explain after the command word too, matching the docs.
+		if len(rest) > 0 && rest[0] == "-explain" {
+			a.explain = true
+			rest = rest[1:]
+		}
+		need(rest, 2, "query [-explain] <collection> <xpath>")
 		opts := []rx.QueryOption{
 			rx.WithValues(),
 			rx.WithParallelism(a.jobs),
@@ -315,6 +329,11 @@ func runSession(api rx.SessionAPI, cmd string, rest []string, a sessionArgs) boo
 		}
 		if a.degraded {
 			opts = append(opts, rx.WithDegraded())
+		}
+		if a.explain {
+			plan, err := api.Explain(ctx, rest[0], rest[1], rx.WithValues())
+			fatal(err)
+			printPlan(plan)
 		}
 		cur, err := api.Query(ctx, rest[0], rest[1], opts...)
 		fatal(err)
@@ -337,6 +356,11 @@ func runSession(api rx.SessionAPI, cmd string, rest []string, a sessionArgs) boo
 		if skipped := cur.Skipped(); skipped > 0 {
 			fmt.Printf("-- %d quarantined documents skipped (degraded)\n", skipped)
 		}
+	case "explain":
+		need(rest, 2, "explain <collection> <xpath>")
+		plan, err := api.Explain(ctx, rest[0], rest[1], rx.WithValues())
+		fatal(err)
+		printPlan(plan)
 	case "get":
 		need(rest, 2, "get <collection> <docid>")
 		id, err := strconv.ParseUint(rest[1], 10, 64)
@@ -369,6 +393,28 @@ func runSession(api rx.SessionAPI, cmd string, rest []string, a sessionArgs) boo
 		return false
 	}
 	return true
+}
+
+// printPlan renders an EXPLAIN report: the chosen plan line, then every
+// alternative the planner priced, cheapest first.
+func printPlan(p *rx.Plan) {
+	fmt.Printf("plan: %s\n", p.Method)
+	fmt.Printf("  exact:     %v\n", p.Exact)
+	if len(p.Indexes) > 0 {
+		fmt.Printf("  indexes:   %s (probe order)\n", strings.Join(p.Indexes, ", "))
+	}
+	fmt.Printf("  est docs:  %d\n", p.EstDocs)
+	fmt.Printf("  est cost:  %.2f\n", p.EstCost)
+	if len(p.Alternatives) > 0 {
+		fmt.Println("  alternatives (cheapest first):")
+		for _, a := range p.Alternatives {
+			marker := " "
+			if a.Method == p.Method {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-18s est docs %-8d est cost %.2f\n", marker, a.Method, a.EstDocs, a.EstCost)
+		}
+	}
 }
 
 // throttle builds the page-read pacing hook for verify (nil = unthrottled).
@@ -465,6 +511,8 @@ func printDBStats(db *rx.DB) int {
 	}
 	fmt.Printf("memory budget:       %s (used %d, peak %d, denials %d)\n",
 		limit, s.MemUsed, s.MemHighWater, s.MemDenials)
+	fmt.Printf("plan cache:          %d hits / %d misses\n", s.PlanCacheHits, s.PlanCacheMisses)
+	fmt.Printf("stats refreshes:     %d\n", s.StatsRefreshPasses)
 	if s.DegradedReadOnly {
 		return 2
 	}
@@ -492,7 +540,7 @@ func fatal(err error) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: rxcli [-db file] [-wal file] [-j n] [-limit n] <command> ...
-commands: create, insert, load, index, query, get, delete, ls, stats, backup,
-          verify, scrub, repair, quarantine`)
+commands: create, insert, load, index, query, explain, get, delete, ls, stats,
+          backup, verify, scrub, repair, quarantine`)
 	os.Exit(2)
 }

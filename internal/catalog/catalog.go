@@ -19,6 +19,7 @@ import (
 	"rx/internal/buffer"
 	"rx/internal/heap"
 	"rx/internal/pagestore"
+	"rx/internal/stats"
 	"rx/internal/xml"
 )
 
@@ -63,6 +64,10 @@ type Collection struct {
 	NextDocID uint64
 	// Indexes are the collection's XPath value indexes.
 	Indexes []ValueIndexMeta
+	// Stats are the collection's optimizer statistics as of the last persist
+	// (stats refresh, index DDL, or a periodic checkpoint piggybacked on the
+	// row rewrite). Advisory: absent on old databases, rebuilt by refresh.
+	Stats *stats.CollectionStats `json:",omitempty"`
 
 	rid heap.RID // catalog row, for updates
 }
@@ -301,6 +306,17 @@ func (c *Catalog) AddCollection(col *Collection) error {
 func (c *Catalog) UpdateCollection(col *Collection) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.updateLocked(col)
+}
+
+// UpdateCollectionStats installs a statistics snapshot on the collection and
+// rewrites its row. The snapshot pointer is assigned under the catalog lock —
+// the same lock every row marshal holds — so a caller may pass a freshly
+// cloned snapshot without coordinating with concurrent AllocDocID rewrites.
+func (c *Catalog) UpdateCollectionStats(col *Collection, s *stats.CollectionStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	col.Stats = s
 	return c.updateLocked(col)
 }
 

@@ -194,9 +194,13 @@ func (c *Collection) insertStreamBatch(streams [][]byte, mem *memgov.Budget) (id
 		return nil
 	}
 	var nodes []nodeEntry
+	docBytes := make([]int64, len(streams))
+	var records int64
 	for i, stream := range streams {
 		docID := ids[i]
 		err = pack.PackStreamArena(stream, c.packThreshold(), a, func(rec pack.EncodedRecord) error {
+			docBytes[i] += int64(len(rec.Payload))
+			records++
 			rid, herr := c.xmlTbl.Insert(xmlRow(docID, rec.MinNodeID, rec.Payload))
 			if herr != nil {
 				return herr
@@ -251,6 +255,7 @@ func (c *Collection) insertStreamBatch(streams [][]byte, mem *memgov.Budget) (id
 	// Pass 4 — value indexes: accumulate every document's keys per index,
 	// sort, insert in order. Needs the NodeID index populated (pass 2) to
 	// resolve match nodes to record RIDs.
+	ixEntries := map[string]int64{}
 	for _, ov := range c.valIxs {
 		var entries []valEntry
 		for i, stream := range streams {
@@ -285,6 +290,7 @@ func (c *Collection) insertStreamBatch(streams [][]byte, mem *memgov.Budget) (id
 				return nil, err
 			}
 		}
+		ixEntries[ov.meta.Name] += int64(len(entries))
 	}
 	if err = chargeIngest(); err != nil {
 		return nil, err
@@ -296,5 +302,6 @@ func (c *Collection) insertStreamBatch(streams [][]byte, mem *memgov.Budget) (id
 			return nil, err
 		}
 	}
+	c.noteBatch(docBytes, records, streams, ixEntries)
 	return ids, nil
 }

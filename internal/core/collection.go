@@ -16,6 +16,7 @@ import (
 	"rx/internal/pack"
 	"rx/internal/quickxscan"
 	"rx/internal/serialize"
+	"rx/internal/stats"
 	"rx/internal/valueindex"
 	"rx/internal/vsax"
 	"rx/internal/xml"
@@ -47,6 +48,17 @@ type Collection struct {
 	// lazily created. Its footprint stays bounded by the largest document
 	// inserted through this collection.
 	ing *arena.Arena
+
+	// statsMu guards the live optimizer statistics; planner reads take a
+	// snapshot under it. Ordered after writeMu (writers note mutations while
+	// holding writeMu), never the other way around.
+	statsMu    sync.Mutex
+	live       *stats.CollectionStats
+	statsDirty int // doc mutations since last catalog persist
+	// pathTab interns element paths for PathCounts (own internal mutex);
+	// pathStack is insert-path scratch guarded by writeMu.
+	pathTab   pathTable
+	pathStack []int32
 }
 
 // ingestArena returns the collection's ingest arena (caller holds writeMu).
@@ -101,14 +113,16 @@ func createCollection(db *DB, name string, opts CollectionOptions) (*Collection,
 	if err := db.cat.AddCollection(meta); err != nil {
 		return nil, err
 	}
-	return &Collection{
+	c := &Collection{
 		db:     db,
 		meta:   meta,
 		base:   base,
 		xmlTbl: xmlTbl,
 		docIx:  docIx,
 		nodeIx: nodeIx,
-	}, nil
+	}
+	c.initStats()
+	return c, nil
 }
 
 func openCollection(db *DB, meta *catalog.Collection) (*Collection, error) {
@@ -140,6 +154,7 @@ func openCollection(db *DB, meta *catalog.Collection) (*Collection, error) {
 		}
 		c.valIxs = append(c.valIxs, ov)
 	}
+	c.initStats()
 	return c, nil
 }
 
@@ -265,7 +280,10 @@ func (c *Collection) insertStreamLocked(docID xml.DocID, stream []byte) error {
 	// copies of the bytes.
 	a := c.ingestArena()
 	defer a.Reset()
+	var docBytes, records int64
 	err := pack.PackStreamArena(stream, c.packThreshold(), a, func(rec pack.EncodedRecord) error {
+		docBytes += int64(len(rec.Payload))
+		records++
 		rid, err := c.xmlTbl.Insert(xmlRow(docID, rec.MinNodeID, rec.Payload))
 		if err != nil {
 			return err
@@ -297,31 +315,46 @@ func (c *Collection) insertStreamLocked(docID xml.DocID, stream []byte) error {
 		return err
 	}
 	// XPath value index keys: one streaming pass per index (§3.3).
+	var ixEntries map[string]int64
 	for _, ov := range c.valIxs {
-		if err := c.addValueKeys(ov, docID, stream); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-// addValueKeys generates and inserts one index's keys for a document.
-func (c *Collection) addValueKeys(ov *openValueIndex, docID xml.DocID, stream []byte) error {
-	matches, err := quickxscan.EvalTokens(ov.keygen, stream)
-	if err != nil {
-		return err
-	}
-	for _, m := range matches {
-		rid, err := c.lookupCur(docID, m.ID)
+		n, err := c.addValueKeys(ov, docID, stream)
 		if err != nil {
 			return err
 		}
-		err = ov.ix.Put(m.Value, docID, m.ID, rid)
-		if err != nil && !errors.Is(err, valueindex.ErrNotIndexable) {
-			return err
+		if n > 0 {
+			if ixEntries == nil {
+				ixEntries = map[string]int64{}
+			}
+			ixEntries[ov.meta.Name] += int64(n)
 		}
 	}
+	c.noteInsert(docBytes, records, stream, ixEntries)
 	return nil
+}
+
+// addValueKeys generates and inserts one index's keys for a document,
+// returning how many entries landed.
+func (c *Collection) addValueKeys(ov *openValueIndex, docID xml.DocID, stream []byte) (int, error) {
+	matches, err := quickxscan.EvalTokens(ov.keygen, stream)
+	if err != nil {
+		return 0, err
+	}
+	added := 0
+	for _, m := range matches {
+		rid, err := c.lookupCur(docID, m.ID)
+		if err != nil {
+			return added, err
+		}
+		err = ov.ix.Put(m.Value, docID, m.ID, rid)
+		if err != nil {
+			if !errors.Is(err, valueindex.ErrNotIndexable) {
+				return added, err
+			}
+			continue
+		}
+		added++
+	}
+	return added, nil
 }
 
 // Count returns the number of documents.
@@ -500,10 +533,13 @@ func (c *Collection) deleteLocked(doc xml.DocID) error {
 	}
 	// Value index entries: regenerate keys from the stored document and
 	// delete them exactly (cheaper than scanning whole indexes).
+	ixEntries := map[string]int64{}
 	for _, ov := range c.valIxs {
-		if err := c.dropValueKeys(ov, doc); err != nil {
+		n, err := c.dropValueKeys(ov, doc)
+		if err != nil {
 			return err
 		}
+		ixEntries[ov.meta.Name] += int64(n)
 	}
 	// XML records: collect distinct RIDs from the NodeID index entries, in
 	// scan order — page mutations must happen in a deterministic sequence or
@@ -523,7 +559,11 @@ func (c *Collection) deleteLocked(doc xml.DocID) error {
 	if err := c.base.Delete(heap.RIDFromBytes(baseRIDBytes)); err != nil {
 		return err
 	}
-	return c.docIx.Delete(d[:])
+	if err := c.docIx.Delete(d[:]); err != nil {
+		return err
+	}
+	c.noteDelete(int64(len(rids)), ixEntries)
+	return nil
 }
 
 // docRecordRIDs returns the distinct record RIDs the NodeID index references
@@ -569,10 +609,13 @@ func (c *Collection) wipeDocLocked(doc xml.DocID) error {
 	// index (or not walking at all while pre-update keys survive). Scan the
 	// indexes for the document's entries instead — exact regardless of the
 	// tree's state.
+	ixEntries := map[string]int64{}
 	for _, ov := range c.valIxs {
-		if _, err := ov.ix.DeleteDocEntries(doc); err != nil {
+		n, err := ov.ix.DeleteDocEntries(doc)
+		if err != nil {
 			return err
 		}
+		ixEntries[ov.meta.Name] += int64(n)
 	}
 	rids, err := c.docRecordRIDs(doc)
 	if err != nil {
@@ -606,23 +649,32 @@ func (c *Collection) wipeDocLocked(doc xml.DocID) error {
 	if err := c.docIx.Delete(d[:]); err != nil && !errors.Is(err, btree.ErrNotFound) {
 		return err
 	}
+	// The DocID entry existed, so the document was counted (a fully-applied
+	// insert); half-inserted wipes return above without an entry to delete
+	// and were never noted in the first place.
+	c.noteDelete(int64(len(rids)), ixEntries)
 	return nil
 }
 
 // dropValueKeys removes one index's entries for a document by re-deriving
-// them from the stored data.
-func (c *Collection) dropValueKeys(ov *openValueIndex, doc xml.DocID) error {
+// them from the stored data, returning how many entries it dropped.
+func (c *Collection) dropValueKeys(ov *openValueIndex, doc xml.DocID) (int, error) {
 	matches, err := c.evalStored(doc, ov.keygen)
 	if err != nil {
-		return err
+		return 0, err
 	}
+	dropped := 0
 	for _, m := range matches {
 		err := ov.ix.Delete(m.Value, doc, m.ID)
-		if err != nil && !errors.Is(err, valueindex.ErrNotIndexable) && !errors.Is(err, btree.ErrNotFound) {
-			return err
+		if err != nil {
+			if !errors.Is(err, valueindex.ErrNotIndexable) && !errors.Is(err, btree.ErrNotFound) {
+				return dropped, err
+			}
+			continue
 		}
+		dropped++
 	}
-	return nil
+	return dropped, nil
 }
 
 // scanAdapter drives a quickxscan evaluator from vsax events.

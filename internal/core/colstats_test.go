@@ -1,0 +1,402 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rx/internal/pagestore"
+	"rx/internal/xml"
+)
+
+// TestIncrementalStats checks the scalar statistics across every write path:
+// insert, delete, bulk load, and reopen.
+func TestIncrementalStats(t *testing.T) {
+	store := pagestore.NewMemStore()
+	db, err := Open(store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+
+	doc := func(i int) []byte {
+		return []byte(fmt.Sprintf(`<r><v>%d</v><pad>%030d</pad></r>`, i, i))
+	}
+	var ids []xml.DocID
+	for i := 0; i < 10; i++ {
+		id, err := col.Insert(doc(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	s := col.StatsSnapshot()
+	if s.DocCount != 10 {
+		t.Fatalf("DocCount = %d after 10 inserts", s.DocCount)
+	}
+	if s.RecordCount < 10 {
+		t.Fatalf("RecordCount = %d", s.RecordCount)
+	}
+	if s.TotalDocBytes <= 0 || s.MaxDocBytes <= 0 {
+		t.Fatalf("byte counters: total=%d max=%d", s.TotalDocBytes, s.MaxDocBytes)
+	}
+	if s.PathCounts["/r/v"] != 10 {
+		t.Fatalf("PathCounts[/r/v] = %d, want 10", s.PathCounts["/r/v"])
+	}
+
+	// Deletes decrement.
+	for _, id := range ids[:4] {
+		if err := col.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s = col.StatsSnapshot()
+	if s.DocCount != 6 {
+		t.Fatalf("DocCount = %d after 4 deletes", s.DocCount)
+	}
+
+	// Bulk load adds in one batch.
+	var batch [][]byte
+	for i := 100; i < 120; i++ {
+		batch = append(batch, doc(i))
+	}
+	if _, err := col.InsertBatch(batch, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	s = col.StatsSnapshot()
+	if s.DocCount != 26 {
+		t.Fatalf("DocCount = %d after bulk load", s.DocCount)
+	}
+	if s.PathCounts["/r/v"] != 30 { // 10 inserts + 20 bulk (deletes leave paths stale)
+		t.Fatalf("PathCounts[/r/v] = %d, want 30", s.PathCounts["/r/v"])
+	}
+
+	// Index creation seeds index statistics and bumps the epoch.
+	epoch := col.StatsEpoch()
+	if err := col.CreateValueIndex("ix_v", "/r/v", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+	if col.StatsEpoch() == epoch {
+		t.Fatal("index DDL must bump the stats epoch")
+	}
+	s = col.StatsSnapshot()
+	if is := s.Index("ix_v"); is == nil || is.Entries != 26 || is.Distinct != 26 {
+		t.Fatalf("index stats after DDL = %+v", s.Index("ix_v"))
+	}
+
+	// Refresh rebuilds the derived statistics exactly (and fixes the stale
+	// path counts the deletes left behind).
+	if err := col.RefreshStats(nil); err != nil {
+		t.Fatal(err)
+	}
+	s = col.StatsSnapshot()
+	if s.DocCount != 26 || s.PathCounts["/r/v"] != 26 {
+		t.Fatalf("after refresh: docs=%d paths=%d, want 26/26", s.DocCount, s.PathCounts["/r/v"])
+	}
+	if is := s.Index("ix_v"); is == nil || is.Entries != 26 || len(is.Hist.Buckets) == 0 {
+		t.Fatalf("index stats after refresh = %+v", s.Index("ix_v"))
+	}
+
+	// Reopen: persisted statistics come back; counts are reconciled with the
+	// actual table contents either way.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(store, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	col2, err := db2.Collection("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = col2.StatsSnapshot()
+	if s.DocCount != 26 {
+		t.Fatalf("DocCount after reopen = %d", s.DocCount)
+	}
+	if is := s.Index("ix_v"); is == nil || is.Entries != 26 || len(is.Hist.Buckets) == 0 {
+		t.Fatalf("index stats lost across reopen: %+v", s.Index("ix_v"))
+	}
+	if s.PathCounts["/r/v"] != 26 {
+		t.Fatalf("path counts lost across reopen: %d", s.PathCounts["/r/v"])
+	}
+}
+
+// flipDoc is a document with 16 <v> entries — many index entries per
+// document, the shape where an unselective index walk costs more than
+// scanning the documents themselves.
+func flipDoc(vals [16]int) []byte {
+	doc := `<r>`
+	for _, v := range vals {
+		doc += fmt.Sprintf(`<v>%d</v>`, v)
+	}
+	return []byte(doc + `</r>`)
+}
+
+// TestPlanFlipAfterRefresh pins the headline planner behavior: while the
+// statistics still describe the old (selective) data the planner keeps the
+// index, and the refresh that reveals the predicate matches nearly every
+// entry flips the same query to a scan.
+func TestPlanFlipAfterRefresh(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	// Seed phase: 20 docs x 16 distinct values 0..319, then a refresh so the
+	// histogram describes this uniform population, under which `v >= 300`
+	// matches only the top ~6% of entries.
+	for i := 0; i < 20; i++ {
+		var vals [16]int
+		for j := range vals {
+			vals[j] = i*16 + j
+		}
+		if _, err := col.Insert(flipDoc(vals)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.CreateValueIndex("ix", "/r/v", xml.TDouble); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.RefreshStats(nil); err != nil {
+		t.Fatal(err)
+	}
+	_, p, err := col.Query(`/r[v >= 300]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method == "scan" {
+		t.Fatalf("selective range should use the index, got %+v", p)
+	}
+
+	// Skew phase: bury the collection in documents whose every entry lands in
+	// the formerly sparse tail. The incremental entry counter grows, but the
+	// histogram still describes the uniform seed data, so the (drift-scaled)
+	// estimate stays modest and the planner keeps the index...
+	var batch [][]byte
+	for i := 0; i < 400; i++ {
+		var vals [16]int
+		for j := range vals {
+			vals[j] = 300 + j
+		}
+		batch = append(batch, flipDoc(vals))
+	}
+	if _, err := col.InsertBatch(batch, BatchOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, p, err = col.Query(`/r[v >= 300]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method == "scan" {
+		t.Fatalf("pre-refresh estimate should still favor the index, got %+v", p)
+	}
+
+	// ...until the refresh rebuilds the histogram: v >= 300 now matches ~6400
+	// of 6720 entries, and walking them all costs more than evaluating the
+	// 420 documents directly.
+	epoch := col.StatsEpoch()
+	if err := col.RefreshStats(nil); err != nil {
+		t.Fatal(err)
+	}
+	if col.StatsEpoch() == epoch {
+		t.Fatal("refresh must bump the stats epoch")
+	}
+	res, p, err := col.Query(`/r[v >= 300]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Method != "scan" {
+		t.Fatalf("after refresh the planner should know v>=300 matches ~everything and scan, got %+v", p)
+	}
+	if len(res) != 402 { // seed docs 18 and 19 (values 288..319) + the 400 skew docs
+		t.Fatalf("results = %d, want 402", len(res))
+	}
+}
+
+// TestForceMethodValidation pins the ForceMethod contract.
+func TestForceMethodValidation(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	for i := 0; i < 5; i++ {
+		col.Insert([]byte(fmt.Sprintf(`<r><v>%d</v></r>`, i)))
+	}
+	col.CreateValueIndex("ix", "/r/v", xml.TDouble)
+
+	// Scan is always available.
+	_, p, err := col.QueryOpts(`/r[v = 3]`, QueryOptions{ForceMethod: "scan"})
+	if err != nil || p.Method != "scan" {
+		t.Fatalf("forced scan: plan=%+v err=%v", p, err)
+	}
+	// A method the query does not admit fails planning.
+	if _, _, err := col.QueryOpts(`/r[v = 3]`, QueryOptions{ForceMethod: "docid-oring"}); err == nil {
+		t.Fatal("forcing an unavailable method must fail")
+	}
+	// The forced plan still records every priced alternative.
+	if len(p.Alternatives) < 2 {
+		t.Fatalf("alternatives = %+v", p.Alternatives)
+	}
+}
+
+// TestPlannerDifferential is the planner oracle test: on randomized data and
+// a grid of queries, every access method the planner can produce must return
+// byte-identical results to the forced full scan.
+func TestPlannerDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{PackThreshold: 512})
+
+	// Mixed shapes: single-record docs and multi-record docs, duplicate-heavy
+	// and distinct fields, so different queries admit different method sets.
+	for i := 0; i < 60; i++ {
+		items := 1 + rng.Intn(6)
+		doc := `<order><hdr><cust>` + fmt.Sprintf("C%02d", rng.Intn(8)) + `</cust>` +
+			fmt.Sprintf(`<total>%d</total>`, rng.Intn(1000)) + `</hdr><items>`
+		for j := 0; j < items; j++ {
+			doc += fmt.Sprintf(`<item><sku>S%03d</sku><qty>%d</qty></item>`, rng.Intn(40), 1+rng.Intn(9))
+		}
+		doc += `</items></order>`
+		if _, err := col.Insert([]byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(col.CreateValueIndex("ix_cust", "/order/hdr/cust", xml.TString))
+	must(col.CreateValueIndex("ix_total", "/order/hdr/total", xml.TDouble))
+	must(col.CreateValueIndex("ix_qty", "//qty", xml.TDouble))
+	must(col.RefreshStats(nil))
+
+	queries := []string{
+		`/order/hdr[cust = 'C03']`,
+		`/order/hdr[total < 500]`,
+		`/order/hdr[cust = 'C01' and total >= 200]`,
+		`/order/hdr[cust = 'C05' or total > 900]`,
+		`/order/items/item[qty = 3]`,
+		`/order/items/item[qty >= 8]/sku`,
+		`/order/hdr[total >= 100 and total < 700]`,
+		`//item[qty = 5]`,
+	}
+	// Randomized equality probes widen the grid.
+	for i := 0; i < 10; i++ {
+		queries = append(queries, fmt.Sprintf(`/order/hdr[cust = 'C%02d']`, rng.Intn(10)))
+		queries = append(queries, fmt.Sprintf(`/order/items/item[qty > %d]`, rng.Intn(10)))
+	}
+
+	for _, q := range queries {
+		want, wantPlan, err := col.QueryOpts(q, QueryOptions{ForceMethod: "scan", Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: scan oracle: %v", q, err)
+		}
+		chosen, _, err := col.Query(q)
+		if err != nil {
+			t.Fatalf("%s: costed plan: %v", q, err)
+		}
+		compare := func(method string, got []Result) {
+			if len(got) != len(want) {
+				t.Fatalf("%s via %s: %d results, scan %d", q, method, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].Doc != want[i].Doc || got[i].Node.String() != want[i].Node.String() {
+					t.Fatalf("%s via %s: result %d = %v, scan %v", q, method, i, got[i], want[i])
+				}
+			}
+		}
+		compare("costed:"+wantPlan.Method, chosen)
+		// Every candidate the planner priced must agree with the oracle.
+		for _, alt := range wantPlan.Alternatives {
+			got, p, err := col.QueryOpts(q, QueryOptions{ForceMethod: alt.Method, Parallelism: 1})
+			if err != nil {
+				t.Fatalf("%s forced %s: %v", q, alt.Method, err)
+			}
+			if p.Method != alt.Method {
+				t.Fatalf("%s forced %s ran as %s", q, alt.Method, p.Method)
+			}
+			compare(alt.Method, got)
+		}
+	}
+}
+
+// TestDeterministicProbeOrder pins the satellite: with two usable indexes the
+// probe order is by estimated selectivity, ties broken by name, and repeat
+// planning yields the identical plan.
+func TestDeterministicProbeOrder(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	for i := 0; i < 40; i++ {
+		// a: 2 distinct values (unselective); b: 40 distinct (selective).
+		doc := fmt.Sprintf(`<r><a>%d</a><b>%d</b></r>`, i%2, i)
+		if _, err := col.Insert([]byte(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	col.CreateValueIndex("ix_a", "/r/a", xml.TDouble)
+	col.CreateValueIndex("ix_b", "/r/b", xml.TDouble)
+	if err := col.RefreshStats(nil); err != nil {
+		t.Fatal(err)
+	}
+	var first *Plan
+	for i := 0; i < 5; i++ {
+		_, p, err := col.Query(`/r[a = 1 and b = 7]`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Indexes) == 0 || p.Indexes[0] != "ix_b" {
+			t.Fatalf("probe order = %v, want ix_b (most selective) first", p.Indexes)
+		}
+		if first == nil {
+			first = p
+			continue
+		}
+		if p.Method != first.Method || len(p.Indexes) != len(first.Indexes) {
+			t.Fatalf("plan not deterministic: %+v vs %+v", p, first)
+		}
+		for j := range p.Indexes {
+			if p.Indexes[j] != first.Indexes[j] {
+				t.Fatalf("probe order not deterministic: %v vs %v", p.Indexes, first.Indexes)
+			}
+		}
+	}
+}
+
+// TestExplainEstimates sanity-checks Plan cost fields end to end in core.
+func TestExplainEstimates(t *testing.T) {
+	db := newDB(t)
+	col, _ := db.CreateCollection("c", CollectionOptions{})
+	for i := 0; i < 30; i++ {
+		col.Insert([]byte(fmt.Sprintf(`<r><v>%d</v></r>`, i)))
+	}
+	col.CreateValueIndex("ix", "/r/v", xml.TDouble)
+	p, err := col.Plan(`/r[v = 7]`, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.EstCost <= 0 {
+		t.Fatalf("EstCost = %f", p.EstCost)
+	}
+	if p.EstDocs < 1 || p.EstDocs > 5 {
+		t.Fatalf("EstDocs = %d for a 1-in-30 equality", p.EstDocs)
+	}
+	if len(p.Alternatives) < 2 {
+		t.Fatalf("alternatives = %+v", p.Alternatives)
+	}
+	// Alternatives come cheapest first and include the chosen method.
+	prev := -1.0
+	seen := false
+	for _, a := range p.Alternatives {
+		if a.EstCost < prev {
+			t.Fatalf("alternatives not sorted: %+v", p.Alternatives)
+		}
+		prev = a.EstCost
+		if a.Method == p.Method {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("chosen method missing from alternatives: %+v", p)
+	}
+	if p.Alternatives[0].Method != p.Method {
+		t.Fatalf("chosen %s is not the cheapest alternative %+v", p.Method, p.Alternatives[0])
+	}
+}

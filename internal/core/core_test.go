@@ -163,8 +163,10 @@ func TestTable2AccessMethods(t *testing.T) {
 		t.Errorf("case 2 did not narrow candidates: %d", plan2.CandidateDocs)
 	}
 
-	// Case 3: ANDing across both indexes.
-	res3, plan3, err := col.Query("/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.1]")
+	// Case 3: ANDing across both indexes. Both predicates are selective, so
+	// the costed planner keeps both probes (an unselective predicate would be
+	// pruned from the intersection — see TestPlannerCostChoices).
+	res3, plan3, err := col.Query("/Catalog/Categories/Product[RegPrice > 250 and Discount > 0.1]")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +177,7 @@ func TestTable2AccessMethods(t *testing.T) {
 		t.Errorf("case 3 should use both indexes: %v", plan3.Indexes)
 	}
 	// Verify against scan.
-	sc3, _, _ := col.Query("//Product[RegPrice > 100 and Discount > 0.1]")
+	sc3, _, _ := col.Query("//Product[RegPrice > 250 and Discount > 0.1]")
 	if len(res3) != len(sc3) {
 		t.Errorf("case 3: %d results vs scan %d", len(res3), len(sc3))
 	}
@@ -207,7 +209,7 @@ func TestTable2AccessMethods(t *testing.T) {
 	if err := col.CreateValueIndex("ix_discount_exact", "/Catalog/Categories/Product/Discount", xml.TDouble); err != nil {
 		t.Fatal(err)
 	}
-	res5, plan5, err := col.Query("/Catalog/Categories/Product[RegPrice > 100 and Discount > 0.1]")
+	res5, plan5, err := col.Query("/Catalog/Categories/Product[RegPrice > 250 and Discount > 0.1]")
 	if err != nil {
 		t.Fatal(err)
 	}

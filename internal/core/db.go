@@ -170,6 +170,22 @@ func (db *DB) Close() error {
 	for i := len(closers) - 1; i >= 0; i-- {
 		closers[i]()
 	}
+	// Checkpoint any statistics accumulated since the last periodic persist
+	// (best-effort: a read-only or full-device close still closes).
+	db.mu.Lock()
+	cols := make([]*Collection, 0, len(db.cols))
+	for _, c := range db.cols {
+		cols = append(cols, c)
+	}
+	db.mu.Unlock()
+	for _, c := range cols {
+		c.statsMu.Lock()
+		dirty := c.statsDirty > 0
+		c.statsMu.Unlock()
+		if dirty {
+			c.persistStats()
+		}
+	}
 	if err := db.pool.FlushAll(); err != nil {
 		return err
 	}

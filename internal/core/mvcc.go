@@ -385,10 +385,13 @@ func (c *Collection) deleteVersionedDoc(doc xml.DocID) error {
 	if err != nil {
 		return lookupErr(err, fmt.Sprintf("document %d", doc))
 	}
+	ixEntries := map[string]int64{}
 	for _, ov := range c.valIxs {
-		if err := c.dropValueKeys(ov, doc); err != nil {
+		n, err := c.dropValueKeys(ov, doc)
+		if err != nil {
 			return err
 		}
+		ixEntries[ov.meta.Name] += int64(n)
 	}
 	// All entries across all versions.
 	rids := map[heap.RID]bool{}
@@ -416,7 +419,11 @@ func (c *Collection) deleteVersionedDoc(doc xml.DocID) error {
 	if err := c.base.Delete(heap.RIDFromBytes(baseRIDBytes)); err != nil {
 		return err
 	}
-	return c.docIx.Delete(d[:])
+	if err := c.docIx.Delete(d[:]); err != nil {
+		return err
+	}
+	c.noteDelete(int64(len(rids)), ixEntries)
+	return nil
 }
 
 // Vacuum discards versions older than keep, reclaiming rows no remaining

@@ -221,6 +221,11 @@ type Stats struct {
 	MemUsed          int64  // bytes currently reserved against the budget
 	MemHighWater     int64  // peak bytes ever reserved
 	MemDenials       uint64 // reservations denied at the engine root
+
+	// Query planning (colstats.go, session plan cache).
+	PlanCacheHits      uint64 // session plan-cache lookups answered from cache
+	PlanCacheMisses    uint64 // lookups that had to plan from scratch
+	StatsRefreshPasses uint64 // completed statistics refresh passes
 }
 
 // dbStats holds the DB's atomic counters behind Stats().
@@ -236,6 +241,9 @@ type dbStats struct {
 	writesShed      uint64
 	degradedEnters  uint64
 	degradedExits   uint64
+	planCacheHits   uint64
+	planCacheMisses uint64
+	statsRefreshes  uint64
 }
 
 // Stats returns a consistent-enough snapshot of the engine counters (each
@@ -278,6 +286,9 @@ func (db *DB) Stats() Stats {
 	s.MemUsed = db.mem.Used()
 	s.MemHighWater = db.mem.HighWater()
 	s.MemDenials = db.mem.Denials()
+	s.PlanCacheHits = atomic.LoadUint64(&db.stats.planCacheHits)
+	s.PlanCacheMisses = atomic.LoadUint64(&db.stats.planCacheMisses)
+	s.StatsRefreshPasses = atomic.LoadUint64(&db.stats.statsRefreshes)
 	q := &db.quarantine
 	q.mu.Lock()
 	for _, docs := range q.docs {

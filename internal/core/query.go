@@ -1,15 +1,19 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"strings"
 
 	"rx/internal/catalog"
 	"rx/internal/memgov"
 	"rx/internal/nodeid"
 	"rx/internal/quickxscan"
+	"rx/internal/stats"
 	"rx/internal/valueindex"
 	"rx/internal/xml"
 	"rx/internal/xpath"
@@ -26,9 +30,10 @@ type Result struct {
 // Plan reports the access method chosen for a query (§4.3, Table 2).
 type Plan struct {
 	// Method is one of "scan", "nodeid-list", "nodeid-anding",
-	// "docid-list", "docid-anding", "docid-oring".
+	// "nodeid-filtering", "docid-list", "docid-anding", "docid-oring".
 	Method string
-	// Indexes names the XPath value indexes used.
+	// Indexes names the XPath value indexes used, in probe order (the
+	// planner probes the most selective first).
 	Indexes []string
 	// Exact is true when the index result needed no re-evaluation on the
 	// documents.
@@ -39,8 +44,25 @@ type Plan struct {
 	// Parallelism is the number of workers used for document
 	// re-evaluation (1 for index-only access and serial execution).
 	Parallelism int
+	// EstDocs is the planner's cardinality estimate: documents (or, for
+	// node-level plans, subtrees/result nodes) the plan expects to touch.
+	EstDocs int
+	// EstCost is the plan's estimated cost in the planner's abstract units
+	// (roughly: one unit per record fetched).
+	EstCost float64
+	// Alternatives lists every candidate the planner priced, cheapest
+	// first; the chosen plan is among them. EXPLAIN surfaces this.
+	Alternatives []PlanAlt
 
+	q  *xpath.Query
 	pq *plannedQuery
+}
+
+// PlanAlt is one candidate access path the planner considered.
+type PlanAlt struct {
+	Method  string
+	EstDocs int
+	EstCost float64
 }
 
 // QueryOptions tune one query execution.
@@ -71,6 +93,12 @@ type QueryOptions struct {
 	// denied at the query even when the session and server budgets still
 	// have room.
 	MemLimit int64
+	// ForceMethod, when set, bypasses cost-based selection and executes the
+	// named access method. The method must be among the candidates the
+	// query admits ("scan" always is) or planning fails. Used by the
+	// differential planner tests and benchmarks; EXPLAIN still reports the
+	// full candidate list.
+	ForceMethod string
 }
 
 func (o QueryOptions) context() context.Context {
@@ -132,7 +160,27 @@ func (c *Collection) CreateValueIndex(name, path string, typ xml.TypeID) error {
 	c.valIxs = append(c.valIxs, ov)
 	c.ixMu.Unlock()
 	c.meta.Indexes = append(c.meta.Indexes, im)
-	return c.db.cat.UpdateCollection(c.meta)
+	// Seed the new index's statistics exactly from the backfilled entries
+	// (the backfill just wrote them; one ordered scan builds cardinality and
+	// histogram), bump the stats epoch so cached plans replan against the
+	// new index, and persist index list + statistics in one row write.
+	b := stats.NewBuilder(stats.HistogramBuckets)
+	if err := ix.Scan(valueindex.Range{}, func(e valueindex.Entry) bool {
+		b.Add(e.EncodedValue)
+		return true
+	}); err != nil {
+		return err
+	}
+	c.statsMu.Lock()
+	is := c.live.EnsureIndex(name)
+	is.Entries = b.Count()
+	is.Distinct = b.Distinct()
+	is.Hist = b.Build()
+	c.live.Epoch++
+	c.statsDirty = 0
+	snap := c.live.Clone()
+	c.statsMu.Unlock()
+	return c.db.cat.UpdateCollectionStats(c.meta, snap)
 }
 
 // ValueIndexes lists the collection's value index names.
@@ -187,6 +235,18 @@ func (c *Collection) QueryOpts(expr string, opts QueryOptions) ([]Result, *Plan,
 // so callers iterate without materializing the full result set. The caller
 // must Close the cursor.
 func (c *Collection) Cursor(expr string, opts QueryOptions) (*Cursor, error) {
+	p, err := c.Plan(expr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return c.CursorPlanned(p, opts)
+}
+
+// Plan parses expr and runs access-path selection without executing the
+// query: the returned Plan carries the chosen method, its cost estimates,
+// and every alternative considered. EXPLAIN and the session plan cache are
+// built on it; pass it to CursorPlanned to execute.
+func (c *Collection) Plan(expr string, opts QueryOptions) (*Plan, error) {
 	q, err := xpath.Parse(expr)
 	if err != nil {
 		return nil, err
@@ -194,15 +254,24 @@ func (c *Collection) Cursor(expr string, opts QueryOptions) (*Cursor, error) {
 	if !q.Rooted {
 		return nil, errors.New("core: collection queries must be rooted paths")
 	}
+	return c.selectAccessPath(q, c.indexSnapshot(), opts)
+}
+
+// CursorPlanned executes a plan produced by Plan. The plan is not consumed:
+// execution works on a copy, so a cached plan can be executed repeatedly.
+func (c *Collection) CursorPlanned(p *Plan, opts QueryOptions) (*Cursor, error) {
 	if err := opts.context().Err(); err != nil {
 		return nil, err
 	}
 	if opts.MemLimit > 0 {
 		opts.Mem = opts.Mem.Child("query", opts.MemLimit)
 	}
-	valIxs := c.indexSnapshot()
-	plan := c.selectAccessPath(q, valIxs)
+	cp := *p
+	cp.Indexes = append([]string(nil), p.Indexes...)
+	cp.Alternatives = append([]PlanAlt(nil), p.Alternatives...)
+	plan := &cp
 	plan.Parallelism = 1
+	q := plan.q
 	switch plan.Method {
 	case "nodeid-list", "nodeid-anding":
 		results, err := c.execNodeList(q, plan, opts)
@@ -249,16 +318,32 @@ type plannedQuery struct {
 	spineLen  int
 }
 
-// selectAccessPath implements the §4.3 access-path selection: exact
-// DocID/NodeID list when index and predicate match exactly, filtering when
-// the index path merely contains the query path, ANDing/ORing across
-// multiple indexes, scan otherwise. valIxs is the caller's snapshot of the
-// collection's value indexes.
-func (c *Collection) selectAccessPath(q *xpath.Query, valIxs []*openValueIndex) *Plan {
-	plan := &Plan{Method: "scan"}
-	if len(valIxs) == 0 {
-		return plan
-	}
+// Cost model constants. Units are abstract ("roughly one record fetch");
+// only ratios matter. They price the work each access path actually does:
+// scans evaluate every document (fetch its records, run QuickXScan);
+// index paths pay a probe to position the B+tree, a per-entry cost to walk
+// matching entries, and — for node-level paths — a per-entry cost to derive
+// and deduplicate result/subtree prefixes; filtering paths then re-evaluate
+// candidate documents or subtrees.
+const (
+	costFetchRecord = 1.0  // fetch + decode one packed record
+	costEvalRecord  = 2.0  // fixed per-document evaluation overhead (setup)
+	costEvalPerKB   = 12.0 // evaluate one KiB of document content (walk, match)
+	costIndexEntry  = 0.25 // visit one value-index entry in a range scan
+	costIndexProbe  = 2.0  // position one B+tree range scan
+	costNodeEntry   = 0.25 // derive + dedupe a node-ID prefix per entry
+	costResultValue = 0.5  // materialize one result node's string value
+	costSubtreeBase = 0.5  // per-subtree setup (NodeID probe, record seek)
+)
+
+// selectAccessPath implements §4.3 access-path selection, costed: it builds
+// every candidate the query admits — exact DocID/NodeID lists when index and
+// predicate match exactly, filtering when the index path merely contains the
+// query path, ANDing/ORing across multiple indexes, and always the parallel
+// scan — prices each against the collection's statistics, and returns the
+// cheapest (or the candidate named by opts.ForceMethod). valIxs is the
+// caller's snapshot of the collection's value indexes.
+func (c *Collection) selectAccessPath(q *xpath.Query, valIxs []*openValueIndex, opts QueryOptions) (*Plan, error) {
 	spine := spineSteps(q)
 	// Predicates on any spine step can narrow the candidate documents; only
 	// result-step predicates can support exact node-level access (the
@@ -275,7 +360,8 @@ func (c *Collection) selectAccessPath(q *xpath.Query, valIxs []*openValueIndex) 
 			}
 		}
 	}
-	pq := &plannedQuery{spineLen: len(spine)}
+	var matched []planConjunct
+	var orParts []planConjunct
 	unindexed := 0
 	resultIdx := len(spine) - 1
 	allOnResult := true
@@ -283,7 +369,7 @@ func (c *Collection) selectAccessPath(q *xpath.Query, valIxs []*openValueIndex) 
 		switch e := conj.expr.(type) {
 		case xpath.Cmp:
 			if pc, ok := matchIndex(valIxs, spine[:conj.stepIdx+1], e); ok {
-				pq.conjuncts = append(pq.conjuncts, pc)
+				matched = append(matched, pc)
 				if conj.stepIdx != resultIdx {
 					allOnResult = false
 				}
@@ -294,63 +380,239 @@ func (c *Collection) selectAccessPath(q *xpath.Query, valIxs []*openValueIndex) 
 			// this is the only conjunct (otherwise treat as unindexed).
 			l, lok := e.L.(xpath.Cmp)
 			r, rok := e.R.(xpath.Cmp)
-			if lok && rok && len(pq.conjuncts) == 0 && len(conjuncts) == 1 {
+			if lok && rok && len(matched) == 0 && len(conjuncts) == 1 {
 				pl, okl := matchIndex(valIxs, spine[:conj.stepIdx+1], l)
 				pr, okr := matchIndex(valIxs, spine[:conj.stepIdx+1], r)
 				if okl && okr {
-					pq.orParts = []planConjunct{pl, pr}
+					orParts = []planConjunct{pl, pr}
 					continue
 				}
 			}
 		}
 		unindexed++
 	}
-	switch {
-	case len(pq.orParts) == 2:
-		plan.Method = "docid-oring"
-		plan.Indexes = []string{pq.orParts[0].ov.meta.Name, pq.orParts[1].ov.meta.Name}
-	case len(pq.conjuncts) == 0:
-		return plan
-	default:
-		allExact := true
-		for _, pc := range pq.conjuncts {
-			if !pc.exact {
-				allExact = false
-			}
-			plan.Indexes = append(plan.Indexes, pc.ov.meta.Name)
-		}
-		// Node-level exact access needs: every conjunct exact and anchored
-		// at the result step, no unindexed residue, and a pure child-axis
-		// name-test spine so the result node is a node-ID prefix of the
-		// predicate node (§4.3: "If all the indexes match exactly ... the
-		// result list is exact").
-		if allExact && allOnResult && unindexed == 0 && pureChildSpine(spine) {
-			plan.Exact = true
-			if len(pq.conjuncts) == 1 {
-				plan.Method = "nodeid-list"
-			} else {
-				plan.Method = "nodeid-anding"
-			}
-		} else if len(pq.conjuncts) == 1 {
-			// §4.3: for small documents DocID-list filtering is enough; for
-			// large (multi-record) documents, NodeID-level access narrows
-			// re-evaluation to the candidate subtrees. The subtree is rooted
-			// at the predicate's anchor step, so every step up to the anchor
-			// must be a concrete child step (the anchor node is then a
-			// node-ID prefix of the predicate node) and no other predicates
-			// may sit above it (their content lies outside the subtree).
-			anchor := pq.conjuncts[0].level
-			if unindexed == 0 && pureChildSpine(spine[:anchor]) && c.largeDocs() {
-				plan.Method = "nodeid-filtering"
-			} else {
-				plan.Method = "docid-list"
-			}
-		} else {
-			plan.Method = "docid-anding"
+
+	allExact := len(matched) > 0
+	for _, pc := range matched {
+		if !pc.exact {
+			allExact = false
 		}
 	}
-	plan.pq = pq
-	return plan
+	// Eligibility of the node-level candidates (§4.3): exact lists need
+	// every conjunct exact and anchored at the result step over a pure
+	// child-axis spine; subtree filtering needs a single conjunct whose
+	// anchor is reachable by a pure child-axis prefix and no predicate
+	// residue outside the subtree.
+	nodeListOK := allExact && allOnResult && unindexed == 0 &&
+		len(orParts) == 0 && pureChildSpine(spine)
+	anchor := 0
+	filterOK := len(matched) == 1 && unindexed == 0 && len(orParts) == 0
+	if filterOK {
+		anchor = matched[0].level
+		filterOK = pureChildSpine(spine[:anchor])
+	}
+
+	// Statistics snapshot: everything the cost formulas need, read under
+	// one short critical section (histogram probes are pure functions of
+	// immutable buckets).
+	c.statsMu.Lock()
+	n := float64(c.live.DocCount)
+	rpd := c.live.RecordsPerDoc()
+	avgKB := float64(c.live.AvgDocBytes()) / 1024
+	ests := make([]float64, len(matched))
+	for i, pc := range matched {
+		ests[i] = estimateConjunct(c.live.Index(pc.ov.meta.Name), pc.rng)
+	}
+	var orEsts [2]float64
+	if len(orParts) == 2 {
+		orEsts[0] = estimateConjunct(c.live.Index(orParts[0].ov.meta.Name), orParts[0].rng)
+		orEsts[1] = estimateConjunct(c.live.Index(orParts[1].ov.meta.Name), orParts[1].rng)
+	}
+	var anchorCount float64
+	if filterOK {
+		anchorCount = float64(c.live.PathCounts[spinePath(spine[:anchor])])
+	}
+	c.statsMu.Unlock()
+
+	// Evaluating a document costs a fetch per packed record plus an
+	// evaluation pass over its content: a large document is proportionally
+	// more expensive to rehydrate and walk than a small one, whether its
+	// bulk sits in one packed record or many.
+	perDoc := rpd*costFetchRecord + costEvalRecord + costEvalPerKB*avgKB
+	spineLen := len(spine)
+	var cands []*Plan
+
+	// Parallel full scan: always a candidate (and the differential oracle).
+	cands = append(cands, &Plan{
+		Method:  "scan",
+		EstDocs: int(math.Round(n)),
+		EstCost: n * perDoc,
+	})
+
+	if len(orParts) == 2 {
+		e := orEsts[0] + orEsts[1]
+		d := math.Min(n, e)
+		cands = append(cands, &Plan{
+			Method:  "docid-oring",
+			Indexes: []string{orParts[0].ov.meta.Name, orParts[1].ov.meta.Name},
+			EstDocs: int(math.Round(d)),
+			EstCost: 2*costIndexProbe + e*costIndexEntry + d*perDoc,
+			pq:      &plannedQuery{orParts: orParts, spineLen: spineLen},
+		})
+	}
+
+	if len(matched) > 0 && len(orParts) == 0 {
+		// DocID filtering: probe the most selective index first, then add
+		// further indexes greedily — an index joins the intersection only
+		// when its probe costs less than the document evaluations it is
+		// expected to save (this prunes the wasteful members of the old
+		// always-AND-everything plan and fixes its arbitrary order).
+		order := make([]int, len(matched))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if ests[ia] != ests[ib] {
+				return ests[ia] < ests[ib]
+			}
+			return matched[ia].ov.meta.Name < matched[ib].ov.meta.Name
+		})
+		first := order[0]
+		included := []planConjunct{matched[first]}
+		names := []string{matched[first].ov.meta.Name}
+		cost := costIndexProbe + ests[first]*costIndexEntry
+		d := math.Min(n, ests[first])
+		for _, i := range order[1:] {
+			sel := 1.0
+			if n > 0 {
+				sel = math.Min(n, ests[i]) / n
+			}
+			saving := d * (1 - sel) * perDoc
+			probe := costIndexProbe + ests[i]*costIndexEntry
+			if probe < saving {
+				included = append(included, matched[i])
+				names = append(names, matched[i].ov.meta.Name)
+				cost += probe
+				d *= sel
+			}
+		}
+		method := "docid-list"
+		if len(included) > 1 {
+			method = "docid-anding"
+		}
+		cands = append(cands, &Plan{
+			Method:  method,
+			Indexes: names,
+			EstDocs: int(math.Round(d)),
+			EstCost: cost + d*perDoc,
+			pq:      &plannedQuery{conjuncts: included, spineLen: spineLen},
+		})
+	}
+
+	if nodeListOK {
+		// Exact node-level access: every conjunct's entries are walked and
+		// intersected at the node level; no document is re-evaluated. All
+		// conjuncts participate (dropping one would widen the exact result).
+		cost := 0.0
+		res := math.Inf(1)
+		var names []string
+		for i, pc := range matched {
+			cost += costIndexProbe + ests[i]*(costIndexEntry+costNodeEntry)
+			names = append(names, pc.ov.meta.Name)
+			res = math.Min(res, ests[i])
+		}
+		for i := range matched {
+			if n > 0 && ests[i] > res {
+				res *= math.Min(n, ests[i]) / n
+			}
+		}
+		if opts.NeedValues {
+			cost += res * costResultValue
+		}
+		method := "nodeid-list"
+		if len(matched) > 1 {
+			method = "nodeid-anding"
+		}
+		cands = append(cands, &Plan{
+			Method:  method,
+			Indexes: names,
+			Exact:   true,
+			EstDocs: int(math.Round(res)),
+			EstCost: cost,
+			pq:      &plannedQuery{conjuncts: matched, spineLen: spineLen},
+		})
+	}
+
+	if filterOK {
+		// NodeID filtering: re-evaluate only the anchor subtrees. A subtree
+		// is priced as the anchor's share of a document (per-path element
+		// counts give anchors-per-document) plus a fixed seek cost.
+		e := ests[0]
+		subtrees := e
+		perSub := costSubtreeBase + perDoc
+		if anchorCount > 0 && n > 0 {
+			subtrees = math.Min(subtrees, anchorCount)
+			perSub = costSubtreeBase + perDoc/(anchorCount/n)
+		}
+		cands = append(cands, &Plan{
+			Method:  "nodeid-filtering",
+			Indexes: []string{matched[0].ov.meta.Name},
+			EstDocs: int(math.Round(subtrees)),
+			EstCost: costIndexProbe + e*(costIndexEntry+costNodeEntry) + subtrees*perSub,
+			pq:      &plannedQuery{conjuncts: matched, spineLen: spineLen},
+		})
+	}
+
+	// Cheapest wins; ties break on method name so plans are deterministic.
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].EstCost != cands[b].EstCost {
+			return cands[a].EstCost < cands[b].EstCost
+		}
+		return cands[a].Method < cands[b].Method
+	})
+	alts := make([]PlanAlt, len(cands))
+	for i, p := range cands {
+		alts[i] = PlanAlt{Method: p.Method, EstDocs: p.EstDocs, EstCost: p.EstCost}
+	}
+	chosen := cands[0]
+	if opts.ForceMethod != "" {
+		chosen = nil
+		for _, p := range cands {
+			if p.Method == opts.ForceMethod {
+				chosen = p
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, fmt.Errorf("core: access method %q not available for this query", opts.ForceMethod)
+		}
+	}
+	chosen.Alternatives = alts
+	chosen.q = q
+	if chosen.pq == nil {
+		chosen.pq = &plannedQuery{spineLen: spineLen}
+	}
+	return chosen, nil
+}
+
+// estimateConjunct estimates how many index entries a conjunct's range scan
+// will visit. Caller holds statsMu.
+func estimateConjunct(is *stats.IndexStats, rng valueindex.Range) float64 {
+	if rng.Lo != nil && rng.Hi != nil && !rng.LoStrict && !rng.HiStrict && bytes.Equal(rng.Lo, rng.Hi) {
+		return is.EstimateEq(rng.Lo)
+	}
+	return is.EstimateRange(rng.Lo, rng.Hi, rng.LoStrict, rng.HiStrict)
+}
+
+// spinePath renders a pure child-axis spine prefix as a PathCounts key.
+func spinePath(spine []*xpath.Step) string {
+	var b strings.Builder
+	for _, s := range spine {
+		b.WriteByte('/')
+		b.WriteString(s.Local)
+	}
+	return b.String()
 }
 
 // matchIndex finds an index usable for the comparison predicate anchored at

@@ -430,6 +430,21 @@ func (c *conn) handle(ctx context.Context, req request) error {
 	case wire.MsgQuery:
 		return c.handleQuery(req.payload)
 
+	case wire.MsgExplain:
+		q, err := wire.DecodeQueryReq(req.payload)
+		if err != nil {
+			return c.respondErr(err)
+		}
+		var opts []session.QueryOption
+		if q.NeedValues {
+			opts = append(opts, session.NeedValues())
+		}
+		p, err := c.sess.Explain(ctx, q.Col, q.Expr, opts...)
+		if err != nil {
+			return c.respondErr(err)
+		}
+		return c.respond(wire.MsgPlan, wire.FromPlan(p).Encode())
+
 	case wire.MsgFetch:
 		return c.handleFetch(req.payload)
 

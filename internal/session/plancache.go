@@ -1,0 +1,95 @@
+package session
+
+import (
+	"container/list"
+	"sync"
+
+	"rx/internal/core"
+)
+
+// planCacheSize bounds the per-session plan cache. Sessions are per-caller,
+// so a small LRU covers the handful of query shapes a caller repeats.
+const planCacheSize = 64
+
+// planKey identifies a cached plan. The statistics epoch is part of the key,
+// so a statistics refresh or an index DDL (both bump the epoch) invalidates
+// every plan over that collection without any cross-session signalling —
+// stale entries simply stop being reachable and age out of the LRU.
+// NeedValues participates because costing is value-aware (node-level paths
+// pay to materialize result values).
+type planKey struct {
+	col        string
+	expr       string
+	epoch      uint64
+	needValues bool
+}
+
+// planCache is a small LRU of query plans keyed by (collection, expression,
+// statistics epoch, NeedValues). Planning is pure — a *core.Plan is
+// read-only during execution — so one cached plan can back any number of
+// cursors.
+type planCache struct {
+	mu      sync.Mutex
+	entries map[planKey]*list.Element
+	order   *list.List // front = most recently used
+}
+
+type planEntry struct {
+	key  planKey
+	plan *core.Plan
+}
+
+func newPlanCache() *planCache {
+	return &planCache{
+		entries: make(map[planKey]*list.Element, planCacheSize),
+		order:   list.New(),
+	}
+}
+
+func (pc *planCache) get(key planKey) *core.Plan {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	el, ok := pc.entries[key]
+	if !ok {
+		return nil
+	}
+	pc.order.MoveToFront(el)
+	return el.Value.(*planEntry).plan
+}
+
+func (pc *planCache) put(key planKey, plan *core.Plan) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if el, ok := pc.entries[key]; ok {
+		el.Value.(*planEntry).plan = plan
+		pc.order.MoveToFront(el)
+		return
+	}
+	pc.entries[key] = pc.order.PushFront(&planEntry{key: key, plan: plan})
+	if pc.order.Len() > planCacheSize {
+		el := pc.order.Back()
+		pc.order.Remove(el)
+		delete(pc.entries, el.Value.(*planEntry).key)
+	}
+}
+
+// plan resolves a query plan through the session's cache. ForceMethod
+// bypasses the cache entirely (forced plans are for tests and benchmarks;
+// caching them would poison later unforced lookups... and vice versa).
+func (s *Session) plan(c *core.Collection, col, expr string, qo core.QueryOptions) (*core.Plan, error) {
+	if qo.ForceMethod != "" {
+		return c.Plan(expr, qo)
+	}
+	key := planKey{col: col, expr: expr, epoch: c.StatsEpoch(), needValues: qo.NeedValues}
+	if p := s.plans.get(key); p != nil {
+		s.db.NotePlanCache(true)
+		return p, nil
+	}
+	s.db.NotePlanCache(false)
+	p, err := c.Plan(expr, qo)
+	if err != nil {
+		return nil, err
+	}
+	s.plans.put(key, p)
+	return p, nil
+}

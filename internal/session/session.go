@@ -51,6 +51,10 @@ type API interface {
 	// cursor. The context cancels the query between documents — for a remote
 	// session, end to end: cancelling stops the server-side cursor too.
 	Query(ctx context.Context, col, expr string, opts ...QueryOption) (Cursor, error)
+	// Explain plans a query without executing it: the chosen access method,
+	// the indexes in probe order, the cardinality/cost estimates, and every
+	// alternative the planner priced.
+	Explain(ctx context.Context, col, expr string, opts ...QueryOption) (*core.Plan, error)
 	// Begin opens a transaction on the session. Exactly one transaction may
 	// be open per session.
 	Begin(ctx context.Context) error
@@ -108,6 +112,14 @@ func MemLimit(n int64) QueryOption {
 	return func(o *core.QueryOptions) { o.MemLimit = n }
 }
 
+// ForceMethod bypasses cost-based access-path selection and runs the named
+// method ("scan", "nodeid-list", ...). Planning fails if the query does not
+// admit it. For differential tests and benchmarks; forced plans skip the
+// plan cache.
+func ForceMethod(m string) QueryOption {
+	return func(o *core.QueryOptions) { o.ForceMethod = m }
+}
+
 // Session errors.
 var (
 	ErrClosed  = errors.New("session: closed")
@@ -147,6 +159,7 @@ type Session struct {
 	db       *core.DB
 	defaults core.QueryOptions
 	mem      *memgov.Budget
+	plans    *planCache
 
 	mu     sync.Mutex
 	txn    *core.Txn
@@ -156,7 +169,7 @@ type Session struct {
 // New opens a session over an engine. Governed allocations charge the
 // engine's server-wide memory budget; WithMemLimit interposes a session cap.
 func New(db *core.DB, opts ...Option) *Session {
-	s := &Session{db: db, mem: db.MemBudget()}
+	s := &Session{db: db, mem: db.MemBudget(), plans: newPlanCache()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -332,9 +345,32 @@ func (s *Session) Query(ctx context.Context, col, expr string, opts ...QueryOpti
 	qo.Ctx = ctx
 	qo.Mem = s.mem
 	if txn != nil {
+		// Transactional queries bypass the plan cache: they are rare enough
+		// that the lock-scoped path stays simple.
 		return txn.Cursor(c, expr, qo)
 	}
-	return c.Cursor(expr, qo)
+	p, err := s.plan(c, col, expr, qo)
+	if err != nil {
+		return nil, err
+	}
+	return c.CursorPlanned(p, qo)
+}
+
+// Explain plans a query without executing it. It goes through the same plan
+// cache as Query, so EXPLAIN shows exactly the plan the next Query will run.
+func (s *Session) Explain(ctx context.Context, col, expr string, opts ...QueryOption) (*core.Plan, error) {
+	if _, err := s.guard(ctx); err != nil {
+		return nil, err
+	}
+	c, err := s.collection(col)
+	if err != nil {
+		return nil, err
+	}
+	qo := s.defaults
+	for _, o := range opts {
+		o(&qo)
+	}
+	return s.plan(c, col, expr, qo)
 }
 
 // Begin opens a transaction on the session.

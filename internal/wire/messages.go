@@ -11,6 +11,8 @@ package wire
 // ever flooding a slow client.
 
 import (
+	"math"
+
 	"rx/internal/core"
 	"rx/internal/nodeid"
 	"rx/internal/xml"
@@ -20,8 +22,9 @@ import (
 // clients whose major version it does not speak.
 //
 // Version history: 2 added MsgPing/MsgPong keepalive and the retry-after
-// field on error frames.
-const ProtocolVersion = 2
+// field on error frames. 3 added MsgExplain/MsgPlan and grew PlanInfo with
+// cost estimates (EstDocs, EstCost) and the planner's priced alternatives.
+const ProtocolVersion = 3
 
 // Message types. Requests are client→server, responses server→client.
 const (
@@ -53,6 +56,8 @@ const (
 	MsgFetch       byte = 0x32 // request: u32 cursor, u32 maxRows
 	MsgRows        byte = 0x33 // response: RowsResp
 	MsgCloseCursor byte = 0x34 // request: u32 cursor
+	MsgExplain     byte = 0x35 // request: QueryReq (cursor ignored; plans only)
+	MsgPlan        byte = 0x36 // response: PlanInfo
 
 	MsgBegin    byte = 0x40 // request: empty
 	MsgCommit   byte = 0x41 // request: empty
@@ -102,52 +107,92 @@ func DecodeQueryReq(payload []byte) (*QueryReq, error) {
 	return q, nil
 }
 
-// PlanInfo is the wire form of core.Plan, returned when a cursor opens.
+// PlanAltInfo is the wire form of core.PlanAlt: one candidate access path
+// the planner priced.
+type PlanAltInfo struct {
+	Method  string
+	EstDocs uint32
+	EstCost float64
+}
+
+// PlanInfo is the wire form of core.Plan, returned when a cursor opens
+// (MsgQueryOK) and by EXPLAIN (MsgPlan).
 type PlanInfo struct {
 	Method        string
 	Exact         bool
 	CandidateDocs uint32
 	Parallelism   uint32
+	EstDocs       uint32
+	EstCost       float64
 	Indexes       []string
+	Alternatives  []PlanAltInfo
 }
 
 // FromPlan converts the planner's report for transport.
 func FromPlan(p *core.Plan) PlanInfo {
-	return PlanInfo{
+	pi := PlanInfo{
 		Method:        p.Method,
 		Exact:         p.Exact,
 		CandidateDocs: uint32(p.CandidateDocs),
 		Parallelism:   uint32(p.Parallelism),
+		EstDocs:       uint32(p.EstDocs),
+		EstCost:       p.EstCost,
 		Indexes:       p.Indexes,
 	}
+	for _, a := range p.Alternatives {
+		pi.Alternatives = append(pi.Alternatives, PlanAltInfo{
+			Method:  a.Method,
+			EstDocs: uint32(a.EstDocs),
+			EstCost: a.EstCost,
+		})
+	}
+	return pi
 }
 
 // Plan converts back to the caller-visible form.
 func (pi PlanInfo) Plan() *core.Plan {
-	return &core.Plan{
+	p := &core.Plan{
 		Method:        pi.Method,
 		Exact:         pi.Exact,
 		CandidateDocs: int(pi.CandidateDocs),
 		Parallelism:   int(pi.Parallelism),
+		EstDocs:       int(pi.EstDocs),
+		EstCost:       pi.EstCost,
 		Indexes:       pi.Indexes,
 	}
+	for _, a := range pi.Alternatives {
+		p.Alternatives = append(p.Alternatives, core.PlanAlt{
+			Method:  a.Method,
+			EstDocs: int(a.EstDocs),
+			EstCost: a.EstCost,
+		})
+	}
+	return p
 }
 
-// Encode appends the MsgQueryOK payload.
+// Encode appends the MsgQueryOK/MsgPlan payload.
 func (pi PlanInfo) Encode() []byte {
 	var w Writer
 	w.Str(pi.Method)
 	w.Bool(pi.Exact)
 	w.U32(pi.CandidateDocs)
 	w.U32(pi.Parallelism)
+	w.U32(pi.EstDocs)
+	w.U64(math.Float64bits(pi.EstCost))
 	w.U32(uint32(len(pi.Indexes)))
 	for _, ix := range pi.Indexes {
 		w.Str(ix)
 	}
+	w.U32(uint32(len(pi.Alternatives)))
+	for _, a := range pi.Alternatives {
+		w.Str(a.Method)
+		w.U32(a.EstDocs)
+		w.U64(math.Float64bits(a.EstCost))
+	}
 	return w.Bytes()
 }
 
-// DecodePlanInfo parses a MsgQueryOK payload.
+// DecodePlanInfo parses a MsgQueryOK/MsgPlan payload.
 func DecodePlanInfo(payload []byte) (PlanInfo, error) {
 	r := NewReader(payload)
 	pi := PlanInfo{
@@ -155,10 +200,20 @@ func DecodePlanInfo(payload []byte) (PlanInfo, error) {
 		Exact:         r.Bool(),
 		CandidateDocs: r.U32(),
 		Parallelism:   r.U32(),
+		EstDocs:       r.U32(),
+		EstCost:       math.Float64frombits(r.U64()),
 	}
 	n := int(r.U32())
 	for i := 0; i < n && r.Err() == nil; i++ {
 		pi.Indexes = append(pi.Indexes, r.Str())
+	}
+	n = int(r.U32())
+	for i := 0; i < n && r.Err() == nil; i++ {
+		pi.Alternatives = append(pi.Alternatives, PlanAltInfo{
+			Method:  r.Str(),
+			EstDocs: r.U32(),
+			EstCost: math.Float64frombits(r.U64()),
+		})
 	}
 	if err := r.Done(); err != nil {
 		return PlanInfo{}, err

@@ -52,8 +52,11 @@ type (
 	CollectionOptions = core.CollectionOptions
 	// Result is one query match.
 	Result = core.Result
-	// Plan describes the access method a query used.
+	// Plan describes the access method the cost-based planner chose for a
+	// query, with its cardinality/cost estimates and priced alternatives.
 	Plan = core.Plan
+	// PlanAlt is one alternative access path the planner priced.
+	PlanAlt = core.PlanAlt
 	// QueryOptions tune one query execution (parallelism, limit, context).
 	QueryOptions = core.QueryOptions
 	// Cursor streams query results without materializing the full set.
@@ -252,12 +255,13 @@ const (
 type Option func(*openConfig)
 
 type openConfig struct {
-	core       core.Options
-	walPath    string
-	groupDelay time.Duration
-	checksums  bool
-	scrub      *scrub.Options
-	spaceWatch *core.SpaceWatchOptions
+	core         core.Options
+	walPath      string
+	groupDelay   time.Duration
+	checksums    bool
+	scrub        *scrub.Options
+	spaceWatch   *core.SpaceWatchOptions
+	statsRefresh time.Duration
 }
 
 // WithWAL enables write-ahead logging with the log at path; Open then runs
@@ -330,6 +334,24 @@ func WithSpaceWatch(low, high int64, interval time.Duration) Option {
 // passes, auto-repair).
 func WithScrub(interval time.Duration, rate int) Option {
 	return func(c *openConfig) { c.scrub = &scrub.Options{Interval: interval, Rate: rate} }
+}
+
+// WithStatsRefresh starts a background statistics refresher: every interval
+// (0 = 10 min) each collection's planner statistics — per-path element
+// counts, value-index cardinalities and histograms — are recomputed from the
+// stored data and persisted through the catalog, like a scrub pass for the
+// optimizer. Between passes the scalar counters (document/record counts,
+// sizes) stay exact incrementally; the refresh repairs the drift in the
+// distribution statistics that inserts and deletes cannot maintain cheaply.
+// The refresher stops automatically when the DB is closed; DB.RefreshStats
+// runs one synchronous pass on demand.
+func WithStatsRefresh(interval time.Duration) Option {
+	return func(c *openConfig) {
+		if interval <= 0 {
+			interval = 10 * time.Minute
+		}
+		c.statsRefresh = interval
+	}
 }
 
 // NewScrubber builds a scrubber service over an open database without
@@ -415,6 +437,9 @@ func Open(path string, opts ...Option) (*DB, error) {
 		s := scrub.New(cdb, *cfg.scrub)
 		s.Start()
 		cdb.RegisterCloser(s.Stop)
+	}
+	if cfg.statsRefresh > 0 {
+		cdb.RegisterCloser(cdb.StartStatsRefresh(cfg.statsRefresh))
 	}
 	if cfg.spaceWatch != nil && path != "" {
 		w := *cfg.spaceWatch
